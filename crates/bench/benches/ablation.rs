@@ -1,0 +1,86 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * register **reuse** on a committed last use (Section 3.2 optimisation)
+//!   versus releasing and reallocating;
+//! * the depth of the speculation window (maximum pending branches), which
+//!   bounds both the checkpoint stack and the Release Queue;
+//! * the extended mechanism's Release Queue versus falling back to the
+//!   conventional path under speculation (i.e. extended vs basic).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use earlyreg_bench::smoke_workload;
+use earlyreg_core::ReleasePolicy;
+use earlyreg_sim::{MachineConfig, RunLimits, Simulator};
+use earlyreg_workloads::Workload;
+
+fn run_with(
+    workload: &Workload,
+    policy: ReleasePolicy,
+    registers: usize,
+    reuse: bool,
+    max_pending_branches: usize,
+) -> f64 {
+    let mut config = MachineConfig::icpp02(policy, registers, registers);
+    config.rename.reuse_on_committed_lu = reuse;
+    config.rename.max_pending_branches = max_pending_branches;
+    let mut sim = Simulator::new(config, &workload.program);
+    sim.run(RunLimits {
+        max_instructions: 20_000,
+        max_cycles: 2_000_000,
+    })
+    .ipc()
+}
+
+fn bench_reuse_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reuse");
+    group.sample_size(10);
+    let workload = smoke_workload("tomcatv");
+    for reuse in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("extended_48", if reuse { "reuse" } else { "release_realloc" }),
+            &reuse,
+            |b, &reuse| {
+                b.iter(|| black_box(run_with(&workload, ReleasePolicy::Extended, 48, reuse, 20)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_speculation_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pending_branches");
+    group.sample_size(10);
+    let workload = smoke_workload("gcc");
+    for depth in [4usize, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("extended_48", format!("depth_{depth}")),
+            &depth,
+            |b, &depth| {
+                b.iter(|| black_box(run_with(&workload, ReleasePolicy::Extended, 48, true, depth)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_release_queue_vs_fallback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_conditional_release");
+    group.sample_size(10);
+    let workload = smoke_workload("gcc");
+    for policy in [ReleasePolicy::Basic, ReleasePolicy::Extended] {
+        group.bench_with_input(
+            BenchmarkId::new("gcc_44", policy.label()),
+            &policy,
+            |b, &policy| b.iter(|| black_box(run_with(&workload, policy, 44, true, 20))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_ablation,
+    bench_speculation_depth,
+    bench_release_queue_vs_fallback
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 3 benchmark: Empty/Ready/Idle occupancy measurement under
+//! conventional renaming (one integer and one FP workload, smoke scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use earlyreg_bench::{run_sim, smoke_workload};
+use earlyreg_core::ReleasePolicy;
+
+fn bench_fig03(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_occupancy");
+    group.sample_size(10);
+    for name in ["gcc", "swim"] {
+        let workload = smoke_workload(name);
+        group.bench_with_input(BenchmarkId::new("conventional_96", name), &workload, |b, w| {
+            b.iter(|| {
+                let stats = run_sim(w, ReleasePolicy::Conventional, 96);
+                // The figure's metric: average idle registers (the waste the
+                // early-release mechanisms reclaim).
+                black_box(stats.occupancy_int.avg_idle() + stats.occupancy_fp.avg_idle())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig03);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 9 benchmark: the analytic register-file delay/energy sweep
+//! (40–160 registers) plus the Section 4.4 energy balance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use earlyreg_rfmodel::{access_energy_pj, access_time_ns, energy_balance, RfGeometry};
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09/delay_energy_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for registers in (40..=160).step_by(8) {
+                total += access_time_ns(RfGeometry::int_file(registers));
+                total += access_time_ns(RfGeometry::fp_file(registers));
+                total += access_energy_pj(RfGeometry::int_file(registers));
+                total += access_energy_pj(RfGeometry::fp_file(registers));
+            }
+            total += access_time_ns(RfGeometry::lus_table());
+            total += access_energy_pj(RfGeometry::lus_table());
+            black_box(total)
+        })
+    });
+    c.bench_function("sec44/energy_balance", |b| {
+        b.iter(|| black_box(energy_balance(64, 79, 56, 72).relative_difference()))
+    });
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 11 benchmark: the IPC-vs-register-file-size sweep (three sizes,
+//! three policies, one FP workload, smoke scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use earlyreg_bench::{run_sim, smoke_workload};
+use earlyreg_core::ReleasePolicy;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_sweep");
+    group.sample_size(10);
+    let workload = smoke_workload("swim");
+    for &size in &[40usize, 64, 128] {
+        for policy in ReleasePolicy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("swim_{size}"), policy.label()),
+                &(size, policy),
+                |b, &(size, policy)| b.iter(|| black_box(run_sim(&workload, policy, size).ipc())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Section 3.3 benchmark: basic-mechanism speedup at very tight register
+//! files (40 registers per class).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use earlyreg_bench::{run_sim, smoke_workload};
+use earlyreg_core::ReleasePolicy;
+
+fn bench_sec33(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec33_basic");
+    group.sample_size(10);
+    for name in ["go", "mgrid"] {
+        let workload = smoke_workload(name);
+        for policy in [ReleasePolicy::Conventional, ReleasePolicy::Basic] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_40"), policy.label()),
+                &(workload.clone(), policy),
+                |b, (w, policy)| b.iter(|| black_box(run_sim(w, *policy, 40).ipc())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sec33);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Micro-benchmarks of the core hardware structures: rename/commit
+//! throughput under each policy, Release Queue operations, free list,
+//! branch predictor and cache accesses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use earlyreg_core::{
+    FreeList, InstrId, PhysReg, ReleasePolicy, ReleaseQueue, RenameConfig, RenameUnit, UseKind,
+};
+use earlyreg_isa::{ArchReg, BranchCond, Instruction, Opcode, RegClass};
+use earlyreg_sim::{Cache, CacheConfig, GsharePredictor};
+
+fn rename_commit_loop(policy: ReleasePolicy, iterations: u64) -> u64 {
+    let mut ru = RenameUnit::new(RenameConfig::icpp02(policy, 96, 96));
+    let add = Instruction {
+        op: Opcode::IAdd,
+        dst: Some(ArchReg::int(1)),
+        src1: Some(ArchReg::int(1)),
+        src2: Some(ArchReg::int(2)),
+        imm: 0,
+    };
+    let branch = Instruction {
+        op: Opcode::Branch(BranchCond::Ne),
+        dst: None,
+        src1: Some(ArchReg::int(1)),
+        src2: None,
+        imm: 0,
+    };
+    let mut released = 0u64;
+    let mut pending = std::collections::VecDeque::new();
+    for cycle in 0..iterations {
+        let instr = if cycle % 8 == 7 { &branch } else { &add };
+        if let Ok(renamed) = ru.rename(instr, cycle) {
+            pending.push_back((renamed.id, instr.op.is_cond_branch()));
+        }
+        if pending.len() > 32 {
+            let (id, is_branch) = pending.pop_front().unwrap();
+            if is_branch {
+                ru.resolve_branch_correct(id, cycle);
+            }
+            released += ru.commit(id, cycle).released.len() as u64;
+        }
+    }
+    released
+}
+
+fn bench_rename_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rename_unit");
+    for policy in ReleasePolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("rename_commit", policy.label()),
+            &policy,
+            |b, &policy| b.iter(|| rename_commit_loop(black_box(policy), 2_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_release_queue(c: &mut Criterion) {
+    c.bench_function("release_queue/schedule_confirm", |b| {
+        b.iter(|| {
+            let mut q = ReleaseQueue::new(160, 160);
+            for level in 0..16u64 {
+                q.push_level(InstrId(level * 10));
+                for reg in 0..8u16 {
+                    q.mark_committed_lu(RegClass::Int, PhysReg(reg + level as u16));
+                }
+                q.mark_inflight_lu(InstrId(level * 10 + 1), UseKind::Dst);
+            }
+            let mut released = 0;
+            for level in 0..16u64 {
+                released += q.confirm(InstrId(level * 10)).release_now.len();
+            }
+            black_box(released)
+        })
+    });
+}
+
+fn bench_free_list(c: &mut Criterion) {
+    c.bench_function("free_list/allocate_release", |b| {
+        b.iter(|| {
+            let mut fl = FreeList::new(160, 32);
+            let mut held = Vec::with_capacity(128);
+            for _ in 0..128 {
+                held.push(fl.allocate().unwrap());
+            }
+            for p in held {
+                fl.release(p);
+            }
+            black_box(fl.free_count())
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("gshare/predict_resolve", |b| {
+        let mut predictor = GsharePredictor::new(18);
+        let mut toggle = false;
+        b.iter(|| {
+            toggle = !toggle;
+            let p = predictor.predict(black_box(1234));
+            predictor.resolve(&p, toggle);
+            if p.taken != toggle {
+                predictor.repair(&p, toggle);
+            }
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("dcache/strided_access", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            associativity: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xf_ffff;
+            black_box(cache.access(addr))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rename_unit,
+    bench_release_queue,
+    bench_free_list,
+    bench_predictor,
+    bench_cache
+);
+criterion_main!(benches);

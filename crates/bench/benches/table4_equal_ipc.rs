@@ -1,0 +1,28 @@
+//! Table 4 benchmark: the equal-IPC search — measure the conventional IPC at
+//! a reference size, sample the extended curve and interpolate the matching
+//! (smaller) register file size.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use earlyreg_bench::{run_sim, smoke_workload};
+use earlyreg_core::ReleasePolicy;
+use earlyreg_experiments::interpolate_equal_ipc;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_equal_ipc");
+    group.sample_size(10);
+    let workload = smoke_workload("applu");
+    group.bench_function("applu_69_to_extended", |b| {
+        b.iter(|| {
+            let target = run_sim(&workload, ReleasePolicy::Conventional, 69).ipc();
+            let curve: Vec<(usize, f64)> = [48usize, 56, 64, 72]
+                .iter()
+                .map(|&size| (size, run_sim(&workload, ReleasePolicy::Extended, size).ipc()))
+                .collect();
+            black_box(interpolate_equal_ipc(&curve, target))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

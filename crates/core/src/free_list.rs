@@ -1,0 +1,187 @@
+//! Free list of physical registers.
+//!
+//! One free list exists per register class (Figure 1).  The list hands out
+//! destination physical registers at rename and receives released registers
+//! at commit / early release / squash recovery.  In debug builds the list
+//! tracks membership so that a double release or an allocation of a non-free
+//! register — both symptoms of a release-policy bug — panic immediately.
+
+use crate::types::PhysReg;
+
+/// A LIFO free list with membership checking.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    stack: Vec<PhysReg>,
+    /// `in_list[p]` is true iff `p` is currently free.
+    in_list: Vec<bool>,
+    capacity: usize,
+}
+
+impl FreeList {
+    /// Create a free list for a file of `total` physical registers where the
+    /// first `initially_allocated` registers (the initial architectural
+    /// mappings) start out allocated and the rest start out free.
+    pub fn new(total: usize, initially_allocated: usize) -> Self {
+        assert!(
+            initially_allocated <= total,
+            "cannot pre-allocate {initially_allocated} registers out of {total}"
+        );
+        let mut in_list = vec![false; total];
+        // Push in reverse so that allocation order is ascending, which makes
+        // unit tests and debug dumps easier to read.
+        let mut stack = Vec::with_capacity(total);
+        for idx in (initially_allocated..total).rev() {
+            stack.push(PhysReg(idx as u16));
+            in_list[idx] = true;
+        }
+        FreeList {
+            stack,
+            in_list,
+            capacity: total,
+        }
+    }
+
+    /// Total number of physical registers in the file.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of registers currently free.
+    #[inline]
+    pub fn free_count(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of registers currently allocated.
+    #[inline]
+    pub fn allocated_count(&self) -> usize {
+        self.capacity - self.stack.len()
+    }
+
+    /// True if no register is free.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// True if `p` is currently on the free list.
+    #[inline]
+    pub fn contains(&self, p: PhysReg) -> bool {
+        self.in_list[p.index()]
+    }
+
+    /// Allocate a register, or `None` if the list is empty (a rename stall).
+    pub fn allocate(&mut self) -> Option<PhysReg> {
+        let p = self.stack.pop()?;
+        debug_assert!(self.in_list[p.index()], "free list corrupted: popped a non-free register");
+        self.in_list[p.index()] = false;
+        Some(p)
+    }
+
+    /// Return a register to the free list.
+    ///
+    /// # Panics
+    /// Panics if `p` is already free (double release) or out of range.
+    pub fn release(&mut self, p: PhysReg) {
+        assert!(
+            p.index() < self.capacity,
+            "released register {p} is out of range (capacity {})",
+            self.capacity
+        );
+        assert!(
+            !self.in_list[p.index()],
+            "double release of physical register {p}"
+        );
+        self.in_list[p.index()] = true;
+        self.stack.push(p);
+    }
+
+    /// Iterate over the currently free registers (order unspecified).
+    pub fn iter_free(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        self.stack.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_partition() {
+        let fl = FreeList::new(48, 32);
+        assert_eq!(fl.capacity(), 48);
+        assert_eq!(fl.free_count(), 16);
+        assert_eq!(fl.allocated_count(), 32);
+        assert!(!fl.contains(PhysReg(0)));
+        assert!(!fl.contains(PhysReg(31)));
+        assert!(fl.contains(PhysReg(32)));
+        assert!(fl.contains(PhysReg(47)));
+    }
+
+    #[test]
+    fn allocation_order_is_ascending() {
+        let mut fl = FreeList::new(40, 32);
+        let a = fl.allocate().unwrap();
+        let b = fl.allocate().unwrap();
+        assert_eq!(a, PhysReg(32));
+        assert_eq!(b, PhysReg(33));
+    }
+
+    #[test]
+    fn allocate_until_empty_then_stall() {
+        let mut fl = FreeList::new(36, 32);
+        for _ in 0..4 {
+            assert!(fl.allocate().is_some());
+        }
+        assert!(fl.is_empty());
+        assert_eq!(fl.allocate(), None);
+    }
+
+    #[test]
+    fn release_makes_register_reallocatable() {
+        let mut fl = FreeList::new(33, 32);
+        let p = fl.allocate().unwrap();
+        assert!(fl.is_empty());
+        fl.release(p);
+        assert_eq!(fl.free_count(), 1);
+        assert_eq!(fl.allocate(), Some(p));
+    }
+
+    #[test]
+    fn release_of_initially_allocated_register_works() {
+        let mut fl = FreeList::new(40, 32);
+        fl.release(PhysReg(5));
+        assert!(fl.contains(PhysReg(5)));
+        assert_eq!(fl.free_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut fl = FreeList::new(40, 32);
+        fl.release(PhysReg(5));
+        fl.release(PhysReg(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_release_panics() {
+        let mut fl = FreeList::new(40, 32);
+        fl.release(PhysReg(100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_preallocation_panics() {
+        let _ = FreeList::new(10, 20);
+    }
+
+    #[test]
+    fn iter_free_matches_count() {
+        let mut fl = FreeList::new(40, 32);
+        let _ = fl.allocate();
+        assert_eq!(fl.iter_free().count(), fl.free_count());
+        assert!(fl.iter_free().all(|p| fl.contains(p)));
+    }
+}

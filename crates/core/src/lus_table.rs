@@ -1,0 +1,208 @@
+//! Last-Uses Table (LUs Table), the key structure of both early-release
+//! mechanisms (paper Section 3.1, Figure 5).
+//!
+//! For every *logical* register the table records which dynamic instruction
+//! uses the current version for the last time (so far), in which operand slot
+//! (`Kind`: src1/src2/dst), and whether that instruction has already committed
+//! (the `C` bit).  When a redefinition (next-version, NV) of the register is
+//! renamed, the table identifies the last-use (LU) instruction so the release
+//! of the previous version can be retimed to the LU's commit — or performed
+//! immediately if the LU has already committed.
+//!
+//! Like the Map Table, the LUs Table is checkpointed at every branch so that
+//! a misprediction can restore the pre-branch contents (Section 3.1: "we
+//! assume that an LUs Table copy is made at each branch prediction").  Commit
+//! updates of the `C` bit are applied to *all* copies (Section 3.2).
+
+use crate::types::{InstrId, UseKind};
+use earlyreg_isa::{ArchReg, RegClass};
+use serde::{Deserialize, Serialize};
+
+/// One Last-Uses Table entry (one per logical register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LusEntry {
+    /// The instruction that uses the current version of this logical register
+    /// for the last time (so far).  `None` means "no in-flight producer or
+    /// reader exists" — the reset / post-exception state, equivalent to a
+    /// committed last use of unknown identity.
+    pub last_user: Option<InstrId>,
+    /// Which operand slot of that instruction uses the register.
+    pub kind: UseKind,
+    /// The paper's `C` bit: true once the last-use instruction has committed.
+    pub committed: bool,
+}
+
+impl LusEntry {
+    /// Reset state: the last use is considered long committed.
+    pub fn reset() -> Self {
+        LusEntry {
+            last_user: None,
+            kind: UseKind::Dst,
+            committed: true,
+        }
+    }
+}
+
+/// The Last-Uses Table for one register class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LusTable {
+    class: RegClass,
+    entries: Vec<LusEntry>,
+}
+
+impl LusTable {
+    /// Create a table in the reset state.
+    pub fn new(class: RegClass) -> Self {
+        LusTable {
+            class,
+            entries: vec![LusEntry::reset(); class.num_logical()],
+        }
+    }
+
+    /// The register class this table covers.
+    #[inline]
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Current entry for a logical register.
+    #[inline]
+    pub fn get(&self, reg: ArchReg) -> LusEntry {
+        debug_assert_eq!(reg.class(), self.class);
+        self.entries[reg.index()]
+    }
+
+    /// Record that instruction `id` uses `reg` in operand slot `kind`
+    /// ("Renaming 1" in Section 3.2).  The new user is by construction the
+    /// youngest so far, so it simply overwrites the entry, with `C = 0`.
+    pub fn record_use(&mut self, reg: ArchReg, id: InstrId, kind: UseKind) {
+        debug_assert_eq!(reg.class(), self.class);
+        self.entries[reg.index()] = LusEntry {
+            last_user: Some(id),
+            kind,
+            committed: false,
+        };
+    }
+
+    /// Commit-time `C` bit update ("Commit" step in Section 3.2): for each
+    /// logical register operand of the committing instruction, set the `C`
+    /// bit if this instruction is still recorded as the last user.
+    pub fn mark_committed(&mut self, reg: ArchReg, id: InstrId) {
+        debug_assert_eq!(reg.class(), self.class);
+        let entry = &mut self.entries[reg.index()];
+        if entry.last_user == Some(id) {
+            entry.committed = true;
+        }
+    }
+
+    /// Reset every entry to the "last use long committed" state (used at
+    /// machine reset and after a precise-exception recovery, where every
+    /// in-flight instruction has been squashed).
+    pub fn reset_all(&mut self) {
+        for e in &mut self.entries {
+            *e = LusEntry::reset();
+        }
+    }
+
+    /// Restore the table contents from a checkpoint copy.
+    pub fn restore_from(&mut self, snapshot: &LusTable) {
+        debug_assert_eq!(self.class, snapshot.class);
+        self.entries.copy_from_slice(&snapshot.entries);
+    }
+
+    /// Iterate over `(logical register, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ArchReg, LusEntry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(move |(i, &e)| (ArchReg::new(self.class, i), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_is_committed_with_no_user() {
+        let t = LusTable::new(RegClass::Int);
+        let e = t.get(ArchReg::int(5));
+        assert_eq!(e.last_user, None);
+        assert!(e.committed);
+    }
+
+    #[test]
+    fn record_use_overwrites_and_clears_c_bit() {
+        let mut t = LusTable::new(RegClass::Int);
+        let r = ArchReg::int(3);
+        t.record_use(r, InstrId(10), UseKind::Src1);
+        let e = t.get(r);
+        assert_eq!(e.last_user, Some(InstrId(10)));
+        assert_eq!(e.kind, UseKind::Src1);
+        assert!(!e.committed);
+
+        // A younger user supersedes the previous one.
+        t.record_use(r, InstrId(12), UseKind::Dst);
+        let e = t.get(r);
+        assert_eq!(e.last_user, Some(InstrId(12)));
+        assert_eq!(e.kind, UseKind::Dst);
+    }
+
+    #[test]
+    fn mark_committed_only_applies_to_the_recorded_last_user() {
+        let mut t = LusTable::new(RegClass::Fp);
+        let r = ArchReg::fp(7);
+        t.record_use(r, InstrId(10), UseKind::Src2);
+        // Commit of a different instruction does not set the C bit.
+        t.mark_committed(r, InstrId(9));
+        assert!(!t.get(r).committed);
+        // Commit of the recorded last user does.
+        t.mark_committed(r, InstrId(10));
+        assert!(t.get(r).committed);
+        // The identity of the last user is preserved (needed so a later
+        // redefinition can still see "committed" state).
+        assert_eq!(t.get(r).last_user, Some(InstrId(10)));
+    }
+
+    #[test]
+    fn restore_from_checkpoint_reverts_younger_uses() {
+        let mut t = LusTable::new(RegClass::Int);
+        let r = ArchReg::int(1);
+        t.record_use(r, InstrId(5), UseKind::Src1);
+        let checkpoint = t.clone();
+        t.record_use(r, InstrId(9), UseKind::Dst);
+        t.restore_from(&checkpoint);
+        assert_eq!(t.get(r).last_user, Some(InstrId(5)));
+        assert_eq!(t.get(r).kind, UseKind::Src1);
+    }
+
+    #[test]
+    fn c_bit_updates_survive_via_explicit_propagation() {
+        // The paper requires commit-time C updates to be applied to every
+        // checkpoint copy; the RenameUnit does this by calling mark_committed
+        // on each stored copy.  Here we check the primitive works on a copy.
+        let mut working = LusTable::new(RegClass::Int);
+        let r = ArchReg::int(2);
+        working.record_use(r, InstrId(4), UseKind::Src1);
+        let mut copy = working.clone();
+        working.mark_committed(r, InstrId(4));
+        copy.mark_committed(r, InstrId(4));
+        assert!(copy.get(r).committed);
+    }
+
+    #[test]
+    fn reset_all_clears_every_entry() {
+        let mut t = LusTable::new(RegClass::Int);
+        for i in 0..32 {
+            t.record_use(ArchReg::int(i), InstrId(i as u64), UseKind::Dst);
+        }
+        t.reset_all();
+        assert!(t.iter().all(|(_, e)| e.committed && e.last_user.is_none()));
+    }
+
+    #[test]
+    fn iter_yields_one_entry_per_logical_register() {
+        let t = LusTable::new(RegClass::Fp);
+        assert_eq!(t.iter().count(), 32);
+    }
+}

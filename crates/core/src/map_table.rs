@@ -1,0 +1,172 @@
+//! Map Table and In-Order Map Table.
+//!
+//! The Map Table (MT) holds the speculative logical→physical mapping used by
+//! rename; the In-Order Map Table (IOMT, called Retirement Register Alias
+//! Table in the Pentium 4) holds the *architectural* mapping updated at
+//! commit, and is the recovery source for precise exceptions (paper Figure 1
+//! and Section 2).
+
+use crate::types::PhysReg;
+use earlyreg_isa::{ArchReg, RegClass};
+
+/// A logical→physical mapping for one register class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapTable {
+    class: RegClass,
+    map: Vec<PhysReg>,
+}
+
+impl MapTable {
+    /// Create the identity mapping `logical i → physical i`, which is the
+    /// reset state of the machine (the first `L` physical registers hold the
+    /// initial architectural values).
+    pub fn identity(class: RegClass) -> Self {
+        MapTable {
+            class,
+            map: (0..class.num_logical()).map(|i| PhysReg(i as u16)).collect(),
+        }
+    }
+
+    /// The register class this table maps.
+    #[inline]
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Current mapping of a logical register.
+    #[inline]
+    pub fn get(&self, reg: ArchReg) -> PhysReg {
+        debug_assert_eq!(reg.class(), self.class);
+        self.map[reg.index()]
+    }
+
+    /// Redirect a logical register to a new physical register, returning the
+    /// previous mapping (the paper's `old_pd`).
+    #[inline]
+    pub fn set(&mut self, reg: ArchReg, phys: PhysReg) -> PhysReg {
+        debug_assert_eq!(reg.class(), self.class);
+        std::mem::replace(&mut self.map[reg.index()], phys)
+    }
+
+    /// Restore this table from a snapshot (branch misprediction recovery).
+    pub fn restore_from(&mut self, snapshot: &MapTable) {
+        debug_assert_eq!(self.class, snapshot.class);
+        self.map.copy_from_slice(&snapshot.map);
+    }
+
+    /// Find the logical register currently mapped to `phys`, if any.
+    pub fn find_logical(&self, phys: PhysReg) -> Option<ArchReg> {
+        self.map
+            .iter()
+            .position(|&p| p == phys)
+            .map(|i| ArchReg::new(self.class, i))
+    }
+
+    /// Iterate over `(logical, physical)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ArchReg, PhysReg)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (ArchReg::new(self.class, i), p))
+    }
+
+    /// All mapped physical registers (with duplicates, if any — duplicates
+    /// only occur transiently for stale dead-value mappings after an
+    /// exception recovery, see `RenameUnit` documentation).
+    pub fn mapped_physical(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        self.map.iter().copied()
+    }
+}
+
+/// The pair of speculative and architectural map tables for one class.
+#[derive(Debug, Clone)]
+pub struct MapTablePair {
+    /// Speculative map updated at rename.
+    pub front: MapTable,
+    /// In-order (architectural) map updated at commit.
+    pub retire: MapTable,
+}
+
+impl MapTablePair {
+    /// Reset state: both tables hold the identity mapping.
+    pub fn new(class: RegClass) -> Self {
+        MapTablePair {
+            front: MapTable::identity(class),
+            retire: MapTable::identity(class),
+        }
+    }
+
+    /// Precise-exception recovery: the speculative map becomes a copy of the
+    /// architectural map.
+    pub fn recover_from_retire(&mut self) {
+        let retire = self.retire.clone();
+        self.front.restore_from(&retire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_reset_state() {
+        let mt = MapTable::identity(RegClass::Int);
+        for i in 0..32 {
+            assert_eq!(mt.get(ArchReg::int(i)), PhysReg(i as u16));
+        }
+    }
+
+    #[test]
+    fn set_returns_previous_mapping() {
+        let mut mt = MapTable::identity(RegClass::Int);
+        let old = mt.set(ArchReg::int(3), PhysReg(40));
+        assert_eq!(old, PhysReg(3));
+        assert_eq!(mt.get(ArchReg::int(3)), PhysReg(40));
+        let old2 = mt.set(ArchReg::int(3), PhysReg(41));
+        assert_eq!(old2, PhysReg(40));
+    }
+
+    #[test]
+    fn restore_matches_snapshot() {
+        let mut mt = MapTable::identity(RegClass::Fp);
+        let snapshot = mt.clone();
+        mt.set(ArchReg::fp(1), PhysReg(50));
+        mt.set(ArchReg::fp(2), PhysReg(51));
+        assert_ne!(mt, snapshot);
+        mt.restore_from(&snapshot);
+        assert_eq!(mt, snapshot);
+    }
+
+    #[test]
+    fn find_logical_locates_mapping() {
+        let mut mt = MapTable::identity(RegClass::Int);
+        mt.set(ArchReg::int(7), PhysReg(99));
+        assert_eq!(mt.find_logical(PhysReg(99)), Some(ArchReg::int(7)));
+        assert_eq!(mt.find_logical(PhysReg(98)), None);
+    }
+
+    #[test]
+    fn pair_recovery_copies_retire_into_front() {
+        let mut pair = MapTablePair::new(RegClass::Int);
+        pair.front.set(ArchReg::int(1), PhysReg(60));
+        pair.retire.set(ArchReg::int(1), PhysReg(33));
+        pair.recover_from_retire();
+        assert_eq!(pair.front.get(ArchReg::int(1)), PhysReg(33));
+        assert_eq!(pair.retire.get(ArchReg::int(1)), PhysReg(33));
+    }
+
+    #[test]
+    fn iter_covers_all_logical_registers() {
+        let mt = MapTable::identity(RegClass::Fp);
+        assert_eq!(mt.iter().count(), 32);
+        assert_eq!(mt.mapped_physical().count(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn wrong_class_lookup_is_rejected_in_debug() {
+        let mt = MapTable::identity(RegClass::Int);
+        let _ = mt.get(ArchReg::fp(0));
+    }
+}

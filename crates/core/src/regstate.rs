@@ -1,0 +1,364 @@
+//! Physical register lifetime tracking (Figure 2 / Figure 3).
+//!
+//! The paper breaks the `Allocated` state of a physical register into three
+//! sub-states:
+//!
+//! * **Empty** — from allocation (rename) until the value is actually written
+//!   (writeback);
+//! * **Ready** — from the write until the commit of the instruction that uses
+//!   the register for the last time;
+//! * **Idle** — from that last-use commit until the register is released.
+//!
+//! Figure 3 reports, for conventional renaming, the average number of
+//! registers in each sub-state: the *idle* component is pure waste and is what
+//! the early-release mechanisms reclaim.  This module computes those averages
+//! exactly by integrating the duration of every allocation episode rather
+//! than sampling: at release time we know the allocation, write and last-use
+//! commit cycles and can attribute every cycle of the episode to one of the
+//! three sub-states.
+
+use crate::types::{PhysReg, ReleaseReason};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle data for one currently-allocated physical register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Episode {
+    alloc_cycle: u64,
+    write_cycle: Option<u64>,
+    last_use_commit_cycle: Option<u64>,
+}
+
+/// Integrated occupancy totals for one register class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyTotals {
+    /// Sum over all cycles of the number of Empty registers.
+    pub empty_cycles: u64,
+    /// Sum over all cycles of the number of Ready registers.
+    pub ready_cycles: u64,
+    /// Sum over all cycles of the number of Idle registers.
+    pub idle_cycles: u64,
+    /// Cycles over which the totals were integrated.
+    pub elapsed_cycles: u64,
+}
+
+impl OccupancyTotals {
+    /// Average number of registers in the Empty state.
+    pub fn avg_empty(&self) -> f64 {
+        self.avg(self.empty_cycles)
+    }
+
+    /// Average number of registers in the Ready state.
+    pub fn avg_ready(&self) -> f64 {
+        self.avg(self.ready_cycles)
+    }
+
+    /// Average number of registers in the Idle state.
+    pub fn avg_idle(&self) -> f64 {
+        self.avg(self.idle_cycles)
+    }
+
+    /// Average number of allocated registers (empty + ready + idle).
+    pub fn avg_allocated(&self) -> f64 {
+        self.avg_empty() + self.avg_ready() + self.avg_idle()
+    }
+
+    /// The paper's "overhead" metric: how much the idle registers inflate the
+    /// number of useful (empty + ready) registers, as a fraction.
+    /// Figure 3 reports 45.8 % for integer codes and 16.8 % for FP codes.
+    pub fn idle_overhead(&self) -> f64 {
+        let useful = self.avg_empty() + self.avg_ready();
+        if useful <= 0.0 {
+            0.0
+        } else {
+            self.avg_idle() / useful
+        }
+    }
+
+    fn avg(&self, sum: u64) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            sum as f64 / self.elapsed_cycles as f64
+        }
+    }
+}
+
+/// Per-class tracker of physical register lifetimes.
+#[derive(Debug, Clone)]
+pub struct OccupancyTracker {
+    episodes: Vec<Option<Episode>>,
+    totals: OccupancyTotals,
+    /// Number of completed allocation episodes.
+    completed_episodes: u64,
+    /// Sum of complete episode lengths (alloc → release), for average
+    /// register lifetime reporting.
+    total_episode_cycles: u64,
+}
+
+impl OccupancyTracker {
+    /// Create a tracker for a file of `total` physical registers where the
+    /// first `initially_allocated` registers hold the initial architectural
+    /// state (they start out allocated, written and "used" at cycle 0).
+    pub fn new(total: usize, initially_allocated: usize) -> Self {
+        let mut episodes = vec![None; total];
+        for slot in episodes.iter_mut().take(initially_allocated) {
+            *slot = Some(Episode {
+                alloc_cycle: 0,
+                write_cycle: Some(0),
+                last_use_commit_cycle: Some(0),
+            });
+        }
+        OccupancyTracker {
+            episodes,
+            totals: OccupancyTotals::default(),
+            completed_episodes: 0,
+            total_episode_cycles: 0,
+        }
+    }
+
+    /// Number of physical registers currently allocated.
+    pub fn allocated_now(&self) -> usize {
+        self.episodes.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Record an allocation (rename time).
+    pub fn on_allocate(&mut self, p: PhysReg, cycle: u64) {
+        debug_assert!(
+            self.episodes[p.index()].is_none(),
+            "allocation of {p} which is already allocated"
+        );
+        self.episodes[p.index()] = Some(Episode {
+            alloc_cycle: cycle,
+            write_cycle: None,
+            last_use_commit_cycle: None,
+        });
+    }
+
+    /// Record that the register's value was produced (writeback time).
+    /// Later writes (only possible through the reuse optimisation) keep the
+    /// first write cycle, which is the conservative choice for Empty time.
+    pub fn on_write(&mut self, p: PhysReg, cycle: u64) {
+        if let Some(ep) = self.episodes[p.index()].as_mut() {
+            if ep.write_cycle.is_none() {
+                ep.write_cycle = Some(cycle);
+            }
+        }
+    }
+
+    /// Record that a committed instruction used the register (as source or as
+    /// its own destination) at `cycle`.
+    pub fn on_committed_use(&mut self, p: PhysReg, cycle: u64) {
+        if let Some(ep) = self.episodes[p.index()].as_mut() {
+            ep.last_use_commit_cycle = Some(match ep.last_use_commit_cycle {
+                Some(prev) => prev.max(cycle),
+                None => cycle,
+            });
+        }
+    }
+
+    /// Record a release and fold the episode into the totals.
+    pub fn on_release(&mut self, p: PhysReg, cycle: u64, _reason: ReleaseReason) {
+        let Some(ep) = self.episodes[p.index()].take() else {
+            debug_assert!(false, "release of {p} which is not allocated");
+            return;
+        };
+        let (empty, ready, idle) = Self::split(&ep, cycle);
+        self.totals.empty_cycles += empty;
+        self.totals.ready_cycles += ready;
+        self.totals.idle_cycles += idle;
+        self.completed_episodes += 1;
+        self.total_episode_cycles += cycle.saturating_sub(ep.alloc_cycle);
+    }
+
+    /// Split an episode ending at `end` into (empty, ready, idle) durations.
+    fn split(ep: &Episode, end: u64) -> (u64, u64, u64) {
+        let end = end.max(ep.alloc_cycle);
+        let write = ep.write_cycle.unwrap_or(end).clamp(ep.alloc_cycle, end);
+        // With no committed use observed (yet), the register cannot be called
+        // Idle: idle time only exists in hindsight, after the last use's
+        // commit.  Classify the tail as Ready.
+        let last_use = ep
+            .last_use_commit_cycle
+            .unwrap_or(end)
+            .clamp(write, end);
+        let empty = write - ep.alloc_cycle;
+        let ready = last_use - write;
+        let idle = end - last_use;
+        (empty, ready, idle)
+    }
+
+    /// Produce the integrated totals as of `now`, including the contribution
+    /// of episodes that are still open.  Non-destructive.
+    pub fn totals_at(&self, now: u64) -> OccupancyTotals {
+        let mut t = self.totals;
+        for ep in self.episodes.iter().flatten() {
+            let (empty, ready, idle) = Self::split(ep, now);
+            t.empty_cycles += empty;
+            t.ready_cycles += ready;
+            t.idle_cycles += idle;
+        }
+        t.elapsed_cycles = now;
+        t
+    }
+
+    /// Number of completed allocation episodes (register versions whose
+    /// lifetime fully elapsed).
+    pub fn completed_episodes(&self) -> u64 {
+        self.completed_episodes
+    }
+
+    /// Average lifetime (allocation to release) of completed episodes, in
+    /// cycles.
+    pub fn avg_lifetime(&self) -> f64 {
+        if self.completed_episodes == 0 {
+            0.0
+        } else {
+            self.total_episode_cycles as f64 / self.completed_episodes as f64
+        }
+    }
+
+    /// Whether the register is currently tracked as allocated.
+    pub fn is_allocated(&self, p: PhysReg) -> bool {
+        self.episodes[p.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_registers_start_allocated() {
+        let t = OccupancyTracker::new(48, 32);
+        assert_eq!(t.allocated_now(), 32);
+        assert!(t.is_allocated(PhysReg(0)));
+        assert!(!t.is_allocated(PhysReg(40)));
+    }
+
+    #[test]
+    fn one_episode_splits_into_three_states() {
+        let mut t = OccupancyTracker::new(8, 0);
+        let p = PhysReg(3);
+        t.on_allocate(p, 10); // empty 10..20
+        t.on_write(p, 20); // ready 20..35
+        t.on_committed_use(p, 30);
+        t.on_committed_use(p, 35); // last use commit
+        t.on_release(p, 50, ReleaseReason::Conventional); // idle 35..50
+        let totals = t.totals_at(50);
+        assert_eq!(totals.empty_cycles, 10);
+        assert_eq!(totals.ready_cycles, 15);
+        assert_eq!(totals.idle_cycles, 15);
+        assert_eq!(t.completed_episodes(), 1);
+        assert_eq!(t.avg_lifetime(), 40.0);
+    }
+
+    #[test]
+    fn unused_open_tail_counts_as_ready_not_idle() {
+        // A value that was written but whose last use is not yet known cannot
+        // be classified Idle (that classification only exists in hindsight).
+        let mut t = OccupancyTracker::new(8, 0);
+        let p = PhysReg(2);
+        t.on_allocate(p, 0);
+        t.on_write(p, 4);
+        t.on_release(p, 24, ReleaseReason::SquashMispredict);
+        let totals = t.totals_at(24);
+        assert_eq!(totals.empty_cycles, 4);
+        assert_eq!(totals.ready_cycles, 20);
+        assert_eq!(totals.idle_cycles, 0);
+    }
+
+    #[test]
+    fn never_written_register_is_empty_for_its_whole_life() {
+        let mut t = OccupancyTracker::new(8, 0);
+        let p = PhysReg(0);
+        t.on_allocate(p, 5);
+        t.on_release(p, 25, ReleaseReason::SquashMispredict);
+        let totals = t.totals_at(25);
+        assert_eq!(totals.empty_cycles, 20);
+        assert_eq!(totals.ready_cycles, 0);
+        assert_eq!(totals.idle_cycles, 0);
+    }
+
+    #[test]
+    fn never_used_register_goes_straight_to_idle_after_write() {
+        // Figure 4.b: a value that is written but never read — the "last use"
+        // is the write itself (its defining instruction's commit).
+        let mut t = OccupancyTracker::new(8, 0);
+        let p = PhysReg(1);
+        t.on_allocate(p, 0);
+        t.on_write(p, 4);
+        t.on_committed_use(p, 6); // the defining instruction commits
+        t.on_release(p, 30, ReleaseReason::Conventional);
+        let totals = t.totals_at(30);
+        assert_eq!(totals.empty_cycles, 4);
+        assert_eq!(totals.ready_cycles, 2);
+        assert_eq!(totals.idle_cycles, 24);
+    }
+
+    #[test]
+    fn open_episodes_contribute_to_totals_at() {
+        let mut t = OccupancyTracker::new(8, 0);
+        t.on_allocate(PhysReg(0), 0);
+        t.on_write(PhysReg(0), 10);
+        let totals = t.totals_at(40);
+        assert_eq!(totals.empty_cycles, 10);
+        // no committed use yet: ready runs from the write to "now".
+        assert_eq!(totals.ready_cycles, 30);
+        assert_eq!(totals.idle_cycles, 0);
+        assert_eq!(totals.elapsed_cycles, 40);
+    }
+
+    #[test]
+    fn totals_at_is_non_destructive() {
+        let mut t = OccupancyTracker::new(8, 0);
+        t.on_allocate(PhysReg(0), 0);
+        let a = t.totals_at(10);
+        let b = t.totals_at(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn averages_and_overhead() {
+        let totals = OccupancyTotals {
+            empty_cycles: 100,
+            ready_cycles: 300,
+            idle_cycles: 200,
+            elapsed_cycles: 100,
+        };
+        assert_eq!(totals.avg_empty(), 1.0);
+        assert_eq!(totals.avg_ready(), 3.0);
+        assert_eq!(totals.avg_idle(), 2.0);
+        assert_eq!(totals.avg_allocated(), 6.0);
+        assert!((totals.idle_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_release_reduces_idle_time() {
+        // Two identical episodes, one released at the last-use commit (early)
+        // and one at the next-version commit (conventional).
+        let mut early = OccupancyTracker::new(4, 0);
+        early.on_allocate(PhysReg(0), 0);
+        early.on_write(PhysReg(0), 5);
+        early.on_committed_use(PhysReg(0), 10);
+        early.on_release(PhysReg(0), 10, ReleaseReason::EarlyAtLuCommit);
+
+        let mut conv = OccupancyTracker::new(4, 0);
+        conv.on_allocate(PhysReg(0), 0);
+        conv.on_write(PhysReg(0), 5);
+        conv.on_committed_use(PhysReg(0), 10);
+        conv.on_release(PhysReg(0), 40, ReleaseReason::Conventional);
+
+        assert_eq!(early.totals_at(50).idle_cycles, 0);
+        assert_eq!(conv.totals_at(50).idle_cycles, 30);
+    }
+
+    #[test]
+    fn uses_of_unallocated_registers_are_ignored() {
+        // Wrong-path writeback after a squash may touch a register that has
+        // already been freed; the tracker must tolerate it.
+        let mut t = OccupancyTracker::new(4, 0);
+        t.on_write(PhysReg(2), 10);
+        t.on_committed_use(PhysReg(2), 10);
+        assert_eq!(t.totals_at(20).ready_cycles, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! The Release Queue (RelQue) of the extended mechanism (paper Section 4,
+//! Figures 7 and 8).
+//!
+//! The queue holds **conditional releases**: releases scheduled by
+//! next-version instructions that were decoded while branches were still
+//! pending verification.  It is organised as a FIFO of *levels*, one per
+//! pending branch, oldest branch at the front.  Each level holds:
+//!
+//! * `RwNSx` (*Release when Non-Speculative*): a bit-vector over physical
+//!   registers (one per class here, since the machine has separate integer
+//!   and FP files), used when the last-use instruction has **already
+//!   committed** — the only remaining condition is the branch outcome.
+//! * `RwCx` (*Release when Commit*): per last-use-instruction 3-bit marks
+//!   (`rel1`/`rel2`/`reld`), used when the last-use instruction is **still in
+//!   flight** — the release also has to wait for its commit.
+//!
+//! The operations map one-to-one onto the paper's control steps:
+//!
+//! * branch decode       → [`ReleaseQueue::push_level`] (Step 1)
+//! * speculative NV decode → [`ReleaseQueue::mark_committed_lu`] /
+//!   [`ReleaseQueue::mark_inflight_lu`] (Step 2)
+//! * branch misprediction → [`ReleaseQueue::mispredict`] (Step 3)
+//! * branch confirmation → [`ReleaseQueue::confirm`] (Steps 4 and 6)
+//! * LU commit while still conditional → [`ReleaseQueue::on_commit`] (Step 5)
+
+use crate::types::{InstrId, PhysReg, UseKind};
+use earlyreg_isa::RegClass;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One level of the Release Queue (all the conditional releases that depend
+/// on a particular pending branch and every older pending branch).
+#[derive(Debug, Clone)]
+pub struct RelQueLevel {
+    /// The pending branch this level belongs to.
+    pub branch_id: InstrId,
+    /// `RwNSx`: per-class decoded bit-vectors over physical registers.
+    rwns: [Vec<bool>; 2],
+    /// `RwCx`: marks keyed by the last-use instruction, one 3-bit mask each.
+    rwc: BTreeMap<InstrId, u8>,
+}
+
+impl RelQueLevel {
+    fn new(branch_id: InstrId, phys_int: usize, phys_fp: usize) -> Self {
+        RelQueLevel {
+            branch_id,
+            rwns: [vec![false; phys_int], vec![false; phys_fp]],
+            rwc: BTreeMap::new(),
+        }
+    }
+
+    /// Number of conditional releases recorded in this level.
+    pub fn mark_count(&self) -> usize {
+        let rwns: usize = self.rwns.iter().map(|v| v.iter().filter(|&&b| b).count()).sum();
+        let rwc: usize = self.rwc.values().map(|m| m.count_ones() as usize).sum();
+        rwns + rwc
+    }
+
+    /// True if the level holds a RwNS mark for `(class, phys)`.
+    pub fn has_rwns(&self, class: RegClass, phys: PhysReg) -> bool {
+        self.rwns[class.index()][phys.index()]
+    }
+
+    /// The RwC mask recorded for `lu`, if any.
+    pub fn rwc_mask(&self, lu: InstrId) -> Option<u8> {
+        self.rwc.get(&lu).copied()
+    }
+
+    fn or_into(&self, other: &mut RelQueLevel) {
+        for class in 0..2 {
+            for (dst, src) in other.rwns[class].iter_mut().zip(self.rwns[class].iter()) {
+                *dst |= *src;
+            }
+        }
+        for (&id, &mask) in &self.rwc {
+            *other.rwc.entry(id).or_insert(0) |= mask;
+        }
+    }
+
+    fn drain_rwns(&mut self) -> Vec<(RegClass, PhysReg)> {
+        let mut out = Vec::new();
+        for class in RegClass::ALL {
+            for (idx, bit) in self.rwns[class.index()].iter_mut().enumerate() {
+                if *bit {
+                    out.push((class, PhysReg(idx as u16)));
+                    *bit = false;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What happened when a branch prediction was confirmed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfirmOutcome {
+    /// Registers to release right now (the paper's *Branch-Confirm Release*,
+    /// only non-empty when the confirmed branch was the oldest pending one).
+    pub release_now: Vec<(RegClass, PhysReg)>,
+    /// `RwC1` marks to merge into `RwC0`, i.e. into the early-release bits of
+    /// the corresponding reorder-structure entries (`(last-use id, mask)`).
+    pub to_rwc0: Vec<(InstrId, u8)>,
+}
+
+/// The Release Queue.
+#[derive(Debug, Clone)]
+pub struct ReleaseQueue {
+    levels: VecDeque<RelQueLevel>,
+    phys_int: usize,
+    phys_fp: usize,
+}
+
+impl ReleaseQueue {
+    /// Create an empty queue for register files of the given sizes.
+    pub fn new(phys_int: usize, phys_fp: usize) -> Self {
+        ReleaseQueue {
+            levels: VecDeque::new(),
+            phys_int,
+            phys_fp,
+        }
+    }
+
+    /// Number of levels currently stacked (the paper's `TAIL`).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when no branch is pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Total number of conditional releases across all levels.  The paper
+    /// notes this is bounded by the reorder-structure size; the rename unit's
+    /// tests assert that invariant.
+    pub fn total_marks(&self) -> usize {
+        self.levels.iter().map(|l| l.mark_count()).sum()
+    }
+
+    /// Access a level by 0-based position (0 = oldest pending branch).
+    pub fn level(&self, position: usize) -> Option<&RelQueLevel> {
+        self.levels.get(position)
+    }
+
+    /// 0-based position of the level owned by `branch_id`.
+    pub fn position_of(&self, branch_id: InstrId) -> Option<usize> {
+        self.levels.iter().position(|l| l.branch_id == branch_id)
+    }
+
+    /// Step 1 — a conditional branch was decoded: stack a new, empty level.
+    pub fn push_level(&mut self, branch_id: InstrId) {
+        if let Some(back) = self.levels.back() {
+            assert!(
+                back.branch_id < branch_id,
+                "branches must enter the release queue in program order"
+            );
+        }
+        self.levels
+            .push_back(RelQueLevel::new(branch_id, self.phys_int, self.phys_fp));
+    }
+
+    /// Step 2 (last use already committed) — record a conditional release of
+    /// `(class, phys)` in the youngest level.
+    ///
+    /// # Panics
+    /// Panics if no branch is pending (the caller must use the unconditional
+    /// path in that case).
+    pub fn mark_committed_lu(&mut self, class: RegClass, phys: PhysReg) {
+        let level = self
+            .levels
+            .back_mut()
+            .expect("mark_committed_lu requires at least one pending branch");
+        level.rwns[class.index()][phys.index()] = true;
+    }
+
+    /// Step 2 (last use still in flight) — record a conditional release tied
+    /// to the commit of `lu`'s operand slot `kind`, in the youngest level.
+    pub fn mark_inflight_lu(&mut self, lu: InstrId, kind: UseKind) {
+        let level = self
+            .levels
+            .back_mut()
+            .expect("mark_inflight_lu requires at least one pending branch");
+        *level.rwc.entry(lu).or_insert(0) |= kind.mask();
+    }
+
+    /// Step 5 — the last-use instruction `id` is committing while some of its
+    /// scheduled releases are still conditional: move its `RwCx` marks to the
+    /// corresponding `RwNSx` bit-vectors.  `resolve` maps an operand slot of
+    /// the committing instruction to the physical register it references.
+    pub fn on_commit<F>(&mut self, id: InstrId, mut resolve: F)
+    where
+        F: FnMut(UseKind) -> Option<(RegClass, PhysReg)>,
+    {
+        for level in &mut self.levels {
+            if let Some(mask) = level.rwc.remove(&id) {
+                for kind in UseKind::ALL {
+                    if mask & kind.mask() != 0 {
+                        let (class, phys) = resolve(kind).unwrap_or_else(|| {
+                            panic!("RwC mark references operand {kind:?} of {id} which does not exist")
+                        });
+                        level.rwns[class.index()][phys.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Steps 4 and 6 — the prediction of `branch_id` was verified correct.
+    ///
+    /// If it was the oldest pending branch, its `RwNS` registers are returned
+    /// for immediate release and its `RwC` marks are returned for merging
+    /// into `RwC0` (the reorder-structure early-release bits).  Otherwise the
+    /// level is OR-merged into the next older level.
+    pub fn confirm(&mut self, branch_id: InstrId) -> ConfirmOutcome {
+        let pos = self
+            .position_of(branch_id)
+            .unwrap_or_else(|| panic!("confirm of branch {branch_id} which owns no RelQue level"));
+        let mut level = self.levels.remove(pos).expect("position is valid");
+        if pos == 0 {
+            ConfirmOutcome {
+                release_now: level.drain_rwns(),
+                to_rwc0: level.rwc.into_iter().collect(),
+            }
+        } else {
+            let older = &mut self.levels[pos - 1];
+            level.or_into(older);
+            ConfirmOutcome::default()
+        }
+    }
+
+    /// Step 3 — the prediction of `branch_id` was wrong: clear its level and
+    /// every younger one (their schedulings belong to squashed instructions).
+    pub fn mispredict(&mut self, branch_id: InstrId) {
+        let pos = self
+            .position_of(branch_id)
+            .unwrap_or_else(|| panic!("mispredict of branch {branch_id} which owns no RelQue level"));
+        self.levels.truncate(pos);
+    }
+
+    /// Clear everything (exception recovery).
+    pub fn clear(&mut self) {
+        self.levels.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> ReleaseQueue {
+        ReleaseQueue::new(64, 64)
+    }
+
+    #[test]
+    fn push_levels_in_order() {
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.push_level(InstrId(20));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.position_of(InstrId(10)), Some(0));
+        assert_eq!(q.position_of(InstrId(20)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_levels_panic() {
+        let mut q = queue();
+        q.push_level(InstrId(20));
+        q.push_level(InstrId(10));
+    }
+
+    #[test]
+    fn marks_land_in_the_youngest_level() {
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.push_level(InstrId(20));
+        q.mark_committed_lu(RegClass::Int, PhysReg(5));
+        q.mark_inflight_lu(InstrId(15), UseKind::Src2);
+        assert!(q.level(1).unwrap().has_rwns(RegClass::Int, PhysReg(5)));
+        assert!(!q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(5)));
+        assert_eq!(q.level(1).unwrap().rwc_mask(InstrId(15)), Some(UseKind::Src2.mask()));
+        assert_eq!(q.total_marks(), 2);
+    }
+
+    #[test]
+    fn confirm_of_oldest_releases_rwns_and_exposes_rwc() {
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.mark_committed_lu(RegClass::Fp, PhysReg(7));
+        q.mark_inflight_lu(InstrId(8), UseKind::Dst);
+        let out = q.confirm(InstrId(10));
+        assert_eq!(out.release_now, vec![(RegClass::Fp, PhysReg(7))]);
+        assert_eq!(out.to_rwc0, vec![(InstrId(8), UseKind::Dst.mask())]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn confirm_of_non_oldest_merges_into_previous_level() {
+        // Figure 8.a: the second oldest branch is confirmed — its schedulings
+        // become conditional only on the oldest branch.
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.push_level(InstrId(20));
+        q.mark_committed_lu(RegClass::Int, PhysReg(33));
+        q.mark_inflight_lu(InstrId(12), UseKind::Src1);
+        let out = q.confirm(InstrId(20));
+        assert_eq!(out, ConfirmOutcome::default());
+        assert_eq!(q.depth(), 1);
+        assert!(q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(33)));
+        assert_eq!(q.level(0).unwrap().rwc_mask(InstrId(12)), Some(UseKind::Src1.mask()));
+    }
+
+    #[test]
+    fn out_of_order_confirmation_then_oldest() {
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.push_level(InstrId(20));
+        q.push_level(InstrId(30));
+        q.mark_committed_lu(RegClass::Int, PhysReg(40)); // conditional on all three
+        // Branch 30 verifies first: merge into level of 20.
+        assert_eq!(q.confirm(InstrId(30)), ConfirmOutcome::default());
+        // Branch 20 verifies: merge into level of 10.
+        assert_eq!(q.confirm(InstrId(20)), ConfirmOutcome::default());
+        // Branch 10 (now the oldest) verifies: the release fires.
+        let out = q.confirm(InstrId(10));
+        assert_eq!(out.release_now, vec![(RegClass::Int, PhysReg(40))]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mispredict_clears_the_level_and_younger_ones() {
+        // Step 3: TAIL is left pointing at the level just older than the
+        // mispredicted branch.
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.mark_committed_lu(RegClass::Int, PhysReg(50));
+        q.push_level(InstrId(20));
+        q.mark_committed_lu(RegClass::Int, PhysReg(51));
+        q.push_level(InstrId(30));
+        q.mark_committed_lu(RegClass::Int, PhysReg(52));
+        q.mispredict(InstrId(20));
+        assert_eq!(q.depth(), 1);
+        assert!(q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(50)));
+        assert_eq!(q.total_marks(), 1);
+    }
+
+    #[test]
+    fn commit_moves_rwc_marks_to_rwns_in_every_level() {
+        // Step 5 ("Mark" in Figure 8.b): an LU commits while its NV is still
+        // speculative — the release stays conditional but switches to the
+        // decoded RwNS form.
+        let mut q = queue();
+        q.push_level(InstrId(10));
+        q.mark_inflight_lu(InstrId(5), UseKind::Src1);
+        q.push_level(InstrId(20));
+        q.mark_inflight_lu(InstrId(5), UseKind::Dst);
+        q.on_commit(InstrId(5), |kind| match kind {
+            UseKind::Src1 => Some((RegClass::Int, PhysReg(3))),
+            UseKind::Dst => Some((RegClass::Fp, PhysReg(9))),
+            UseKind::Src2 => None,
+        });
+        assert!(q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(3)));
+        assert!(q.level(1).unwrap().has_rwns(RegClass::Fp, PhysReg(9)));
+        assert_eq!(q.level(0).unwrap().rwc_mask(InstrId(5)), None);
+        assert_eq!(q.level(1).unwrap().rwc_mask(InstrId(5)), None);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut q = queue();
+        q.push_level(InstrId(1));
+        q.mark_committed_lu(RegClass::Int, PhysReg(2));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_marks(), 0);
+    }
+
+    #[test]
+    fn duplicate_marks_do_not_double_count_rwns() {
+        let mut q = queue();
+        q.push_level(InstrId(1));
+        q.mark_committed_lu(RegClass::Int, PhysReg(2));
+        q.mark_committed_lu(RegClass::Int, PhysReg(2));
+        assert_eq!(q.total_marks(), 1);
+        let out = q.confirm(InstrId(1));
+        assert_eq!(out.release_now.len(), 1);
+    }
+}

@@ -1,0 +1,926 @@
+//! The rename/release engine.
+//!
+//! [`RenameUnit`] implements the complete allocate/release mechanism of the
+//! paper for both register classes and all three policies:
+//!
+//! * **Conventional** (Section 2): a redefinition allocates a new physical
+//!   register and the previous version (`old_pd`) is released when the
+//!   redefinition commits.
+//! * **Basic** (Section 3): when the redefinition (NV) is decoded and no
+//!   unverified branch separates it from the last use (LU) of the previous
+//!   version, the release is retimed to the LU's commit via the
+//!   `rel1/rel2/reld` bits — or performed immediately (optionally *reusing*
+//!   the register) if the LU has already committed.  Otherwise the
+//!   conventional path is used.
+//! * **Extended** (Section 4): the conventional path is removed entirely.
+//!   Redefinitions decoded under pending branches schedule *conditional*
+//!   releases in the [Release Queue](crate::release_queue::ReleaseQueue)
+//!   which are cancelled by mispredictions and performed at LU commit /
+//!   oldest-branch confirmation otherwise.
+//!
+//! The unit also deals with the two recovery mechanisms the paper requires:
+//! branch misprediction recovery through per-branch checkpoints of the Map
+//! Table, Last-Uses Table and stale-mapping flags, and precise-exception
+//! recovery through the In-Order Map Table (Section 4.3).
+//!
+//! ## Stale architectural mappings
+//!
+//! The paper's Section 4.3 observes that after an early release the value
+//! "attached" to a logical register may be garbage, which is safe because the
+//! first use of that register on the committed path is guaranteed to be a
+//! write.  One consequence (implicit in the paper) is that after a precise
+//! exception restores the map from the In-Order Map Table, a logical register
+//! may map to a physical register that has already been handed back to the
+//! free list.  The mapping is *stale*: it will never be read, but the next
+//! redefinition of that logical register must not release (or reuse) the
+//! stale register — it is no longer owned by this logical register.  The unit
+//! tracks this with a per-logical-register `skip_release` flag that is set
+//! during exception recovery (from the non-speculative `arch_released` flag),
+//! checkpointed across branches, and consumed by the next redefinition.
+
+use crate::free_list::FreeList;
+use crate::lus_table::LusTable;
+use crate::map_table::MapTablePair;
+use crate::regstate::{OccupancyTotals, OccupancyTracker};
+use crate::release_queue::ReleaseQueue;
+use crate::ros::{DstRename, RosBook, RosEntry};
+use crate::stats::ReleaseStats;
+use crate::types::{
+    InstrId, PhysReg, ReleasePolicy, ReleaseReason, RenameConfig, RenameStall, UseKind,
+};
+use earlyreg_isa::{ArchReg, Instruction, RegClass};
+use std::collections::VecDeque;
+
+/// A physical register returned to the free list (or reused), with the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseEvent {
+    /// Register class.
+    pub class: RegClass,
+    /// The physical register.
+    pub phys: PhysReg,
+    /// Why it was released.
+    pub reason: ReleaseReason,
+}
+
+/// Result of renaming one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenamedInstr {
+    /// The dynamic instruction identifier assigned by the rename unit.
+    pub id: InstrId,
+    /// First source operand: logical register and the physical register that
+    /// holds its value.
+    pub src1: Option<(ArchReg, PhysReg)>,
+    /// Second source operand.
+    pub src2: Option<(ArchReg, PhysReg)>,
+    /// Destination rename, if the instruction writes a register.
+    pub dst: Option<DstRename>,
+}
+
+/// Result of committing one instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommitOutcome {
+    /// Registers released by this commit (early bits, RwC0 and/or the
+    /// conventional `old_pd` release).
+    pub released: Vec<ReleaseEvent>,
+}
+
+/// Result of a recovery action (branch misprediction or exception).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Number of in-flight instructions squashed.
+    pub squashed: usize,
+    /// Registers freed because their allocating instruction was squashed.
+    pub freed: Vec<ReleaseEvent>,
+}
+
+/// How the destination of a redefinition will be handled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DestAction {
+    /// Allocate a new register; release the previous version at this
+    /// instruction's commit (`rel_old = 1`).
+    Conventional,
+    /// Allocate a new register; the previous version is stale (already
+    /// released before an exception recovery) and must not be touched.
+    SkipStale,
+    /// Allocate a new register; set the early-release bit `kind` on the
+    /// in-flight last-use instruction `lu` (RwC0 path).
+    EarlyOnLu { lu: InstrId, kind: UseKind },
+    /// Release the previous version immediately and allocate a new register.
+    Immediate,
+    /// Reuse the previous version's register for the new version.
+    Reuse,
+    /// Extended only: schedule a conditional release in the youngest Release
+    /// Queue level — `RwNS` form when the last use has committed, `RwC` form
+    /// (tied to `lu`/`kind`) otherwise.
+    Conditional {
+        lu_committed: bool,
+        lu: InstrId,
+        kind: UseKind,
+    },
+}
+
+/// Per-branch checkpoint of the speculative rename state.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    branch_id: InstrId,
+    maps: [crate::map_table::MapTable; 2],
+    lus: Option<[LusTable; 2]>,
+    skip_release: [Vec<bool>; 2],
+}
+
+/// Per-class rename state.
+#[derive(Debug, Clone)]
+struct Bank {
+    free: FreeList,
+    maps: MapTablePair,
+    lus: LusTable,
+    occupancy: OccupancyTracker,
+    /// Non-speculative: the architectural (IOMT) version of this logical
+    /// register has been freed early and its redefinition has not committed.
+    arch_released: Vec<bool>,
+    /// Non-speculative: the architectural version of this logical register is
+    /// still allocated but its *value* may have been clobbered by a reuse
+    /// (Section 3.2) whose redefinition has not committed yet.
+    arch_clobbered: Vec<bool>,
+    /// Speculative (checkpointed): the current front-map entry for this
+    /// logical register is stale and must not be released or reused by its
+    /// next redefinition.
+    skip_release: Vec<bool>,
+}
+
+impl Bank {
+    fn new(class: RegClass, phys: usize) -> Self {
+        let logical = class.num_logical();
+        Bank {
+            free: FreeList::new(phys, logical),
+            maps: MapTablePair::new(class),
+            lus: LusTable::new(class),
+            occupancy: OccupancyTracker::new(phys, logical),
+            arch_released: vec![false; logical],
+            arch_clobbered: vec![false; logical],
+            skip_release: vec![false; logical],
+        }
+    }
+}
+
+/// The rename/release engine (see module documentation).
+#[derive(Debug, Clone)]
+pub struct RenameUnit {
+    config: RenameConfig,
+    trace_enabled: bool,
+    next_id: u64,
+    banks: [Bank; 2],
+    book: RosBook,
+    checkpoints: VecDeque<Checkpoint>,
+    relque: ReleaseQueue,
+    stats: ReleaseStats,
+}
+
+impl RenameUnit {
+    /// Create a rename unit in the reset state: logical register `i` of each
+    /// class maps to physical register `i`, everything else is free.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`RenameConfig::validate`]).
+    pub fn new(config: RenameConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid rename configuration: {e}"));
+        RenameUnit {
+            trace_enabled: std::env::var_os("EARLYREG_TRACE").is_some(),
+            next_id: 0,
+            banks: [
+                Bank::new(RegClass::Int, config.phys_int),
+                Bank::new(RegClass::Fp, config.phys_fp),
+            ],
+            book: RosBook::new(),
+            checkpoints: VecDeque::new(),
+            relque: ReleaseQueue::new(config.phys_int, config.phys_fp),
+            stats: ReleaseStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this unit was built with.
+    pub fn config(&self) -> &RenameConfig {
+        &self.config
+    }
+
+    /// Release/allocation accounting.
+    pub fn stats(&self) -> &ReleaseStats {
+        &self.stats
+    }
+
+    /// Emit a rename/release event when the `EARLYREG_TRACE` environment
+    /// variable is set (a debugging aid; the flag is sampled once at
+    /// construction).
+    fn trace(&self, msg: &str) {
+        if self.trace_enabled {
+            eprintln!("TRACE {msg}");
+        }
+    }
+
+    /// Occupancy (Empty/Ready/Idle) totals for one class as of `now`.
+    pub fn occupancy_totals(&self, class: RegClass, now: u64) -> OccupancyTotals {
+        self.banks[class.index()].occupancy.totals_at(now)
+    }
+
+    /// Number of free physical registers in a class.
+    pub fn free_count(&self, class: RegClass) -> usize {
+        self.banks[class.index()].free.free_count()
+    }
+
+    /// Number of unverified branches currently in flight.
+    pub fn pending_branches(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Number of in-flight (renamed, not yet committed or squashed)
+    /// instructions.
+    pub fn in_flight(&self) -> usize {
+        self.book.len()
+    }
+
+    /// Speculative mapping of a logical register.
+    pub fn mapping(&self, reg: ArchReg) -> PhysReg {
+        self.banks[reg.class().index()].maps.front.get(reg)
+    }
+
+    /// Architectural (in-order) mapping of a logical register.
+    pub fn arch_mapping(&self, reg: ArchReg) -> PhysReg {
+        self.banks[reg.class().index()].maps.retire.get(reg)
+    }
+
+    /// True when the *architectural value* of `reg` is unreliable: its
+    /// version was released early, or reused and overwritten, before the
+    /// redefinition committed.  The paper's Section 4.3 argues this is safe
+    /// precisely because the value is dead (the first use on the committed
+    /// path is a write); callers comparing against an architectural golden
+    /// model must skip such registers, and no committed instruction may read
+    /// them (an invariant the simulator checks at every commit).
+    pub fn arch_value_unreliable(&self, reg: ArchReg) -> bool {
+        let bank = self.bank(reg.class());
+        bank.arch_released[reg.index()] || bank.arch_clobbered[reg.index()]
+    }
+
+    /// Total conditional releases currently scheduled in the Release Queue.
+    pub fn release_queue_marks(&self) -> usize {
+        self.relque.total_marks()
+    }
+
+    fn bank(&self, class: RegClass) -> &Bank {
+        &self.banks[class.index()]
+    }
+
+    fn bank_mut(&mut self, class: RegClass) -> &mut Bank {
+        &mut self.banks[class.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Rename
+    // ------------------------------------------------------------------
+
+    /// Can an instruction of this shape be renamed right now?  (Convenience
+    /// wrapper used by the fetch/decode stage; [`RenameUnit::rename`] performs
+    /// the same checks atomically.)
+    pub fn can_rename(&self, instr: &Instruction) -> bool {
+        if instr.op.is_cond_branch()
+            && self.checkpoints.len() >= self.config.max_pending_branches
+        {
+            return false;
+        }
+        if let Some(dst) = instr.dst {
+            let (needs_alloc, frees_first) = self.dest_allocation_needs(instr, dst);
+            if needs_alloc && !frees_first && self.bank(dst.class()).free.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decide, without side effects, whether renaming `instr` will need a
+    /// fresh physical register and whether it will free one first.
+    fn dest_allocation_needs(&self, instr: &Instruction, dst: ArchReg) -> (bool, bool) {
+        if self.config.policy == ReleasePolicy::Conventional {
+            return (true, false);
+        }
+        let bank = self.bank(dst.class());
+        if bank.skip_release[dst.index()] {
+            return (true, false);
+        }
+        let reads_own_dst = instr.src1 == Some(dst) || instr.src2 == Some(dst);
+        if reads_own_dst {
+            // The last use of the previous version will be this instruction
+            // itself: an in-flight LU, handled by the rel bits / RwC path.
+            return (true, false);
+        }
+        let lu = bank.lus.get(dst);
+        let pending = self.checkpoints.len();
+        if lu.committed && pending == 0 {
+            if self.config.reuse_on_committed_lu {
+                (false, false)
+            } else {
+                (true, true)
+            }
+        } else {
+            (true, false)
+        }
+    }
+
+    /// Decide how the destination of `instr` will be handled.  Must be called
+    /// *after* the source uses of `instr` have been recorded in the Last-Uses
+    /// Table (so that an instruction reading its own destination register is
+    /// correctly identified as the last use of the previous version).
+    fn plan_dest(&self, dst: ArchReg, id: InstrId) -> DestAction {
+        if self.config.policy == ReleasePolicy::Conventional {
+            return DestAction::Conventional;
+        }
+        let bank = self.bank(dst.class());
+        if bank.skip_release[dst.index()] {
+            return DestAction::SkipStale;
+        }
+        let lu = bank.lus.get(dst);
+        let pending = self.checkpoints.len();
+        match (lu.committed, lu.last_user) {
+            // Last use already committed.
+            (true, _) => {
+                if pending == 0 {
+                    if self.config.reuse_on_committed_lu {
+                        DestAction::Reuse
+                    } else {
+                        DestAction::Immediate
+                    }
+                } else if self.config.policy == ReleasePolicy::Extended {
+                    DestAction::Conditional {
+                        lu_committed: true,
+                        lu: lu.last_user.unwrap_or(id),
+                        kind: lu.kind,
+                    }
+                } else {
+                    // Basic, Case 2: fall back to the conventional release.
+                    DestAction::Conventional
+                }
+            }
+            // Last use still in flight.
+            (false, Some(lu_id)) => {
+                // Unsafe when an *unverified* branch lies between the last
+                // use and this redefinition — or when the last use is itself
+                // an unverified branch: if it mispredicts, this redefinition
+                // is squashed and the map rolled back, but the surviving
+                // last-use entry would still carry the release bit and free a
+                // register that is live again.
+                let branch_between = self.checkpoints.iter().any(|c| c.branch_id >= lu_id);
+                if !branch_between {
+                    // Case 1: every pending branch (if any) is older than the
+                    // last use, so a misprediction squashes the last use along
+                    // with this redefinition and the scheduling dies with it.
+                    DestAction::EarlyOnLu {
+                        lu: lu_id,
+                        kind: lu.kind,
+                    }
+                } else if self.config.policy == ReleasePolicy::Extended {
+                    DestAction::Conditional {
+                        lu_committed: false,
+                        lu: lu_id,
+                        kind: lu.kind,
+                    }
+                } else {
+                    DestAction::Conventional
+                }
+            }
+            (false, None) => unreachable!("an uncommitted LUs entry always names its last user"),
+        }
+    }
+
+    /// Rename one instruction (decode/rename stage).
+    ///
+    /// On success the instruction becomes the youngest in-flight instruction
+    /// and the returned [`RenamedInstr`] carries its operand physical
+    /// registers.  On failure nothing is modified and the caller should stall
+    /// and retry next cycle.
+    pub fn rename(
+        &mut self,
+        instr: &Instruction,
+        cycle: u64,
+    ) -> Result<RenamedInstr, RenameStall> {
+        let is_branch = instr.op.is_cond_branch();
+        if is_branch && self.checkpoints.len() >= self.config.max_pending_branches {
+            return Err(RenameStall::TooManyPendingBranches);
+        }
+        if let Some(dst) = instr.dst {
+            let (needs_alloc, frees_first) = self.dest_allocation_needs(instr, dst);
+            if needs_alloc && !frees_first && self.bank(dst.class()).free.is_empty() {
+                return Err(RenameStall::NoFreePhysReg(dst.class()));
+            }
+        }
+
+        // ---- side effects start here -----------------------------------
+        let id = InstrId(self.next_id);
+        self.next_id += 1;
+
+        // Read the source mappings.
+        let src1 = instr.src1.map(|r| (r, self.mapping(r)));
+        let src2 = instr.src2.map(|r| (r, self.mapping(r)));
+
+        // Renaming 1 (sources): record the source uses in the LUs table.
+        if self.config.policy.uses_lus_table() {
+            if let Some(r) = instr.src1 {
+                self.bank_mut(r.class()).lus.record_use(r, id, UseKind::Src1);
+            }
+            if let Some(r) = instr.src2 {
+                self.bank_mut(r.class()).lus.record_use(r, id, UseKind::Src2);
+            }
+        }
+
+        // Renaming 2 (destination): release scheduling / reuse / allocation.
+        let mut own_rel = [false; 3];
+        let mut rel_old = false;
+        let mut dst_rename = None;
+        if let Some(dst) = instr.dst {
+            let class = dst.class();
+            let action = self.plan_dest(dst, id);
+            let old_pd = self.bank(class).maps.front.get(dst);
+            let renamed = match action {
+                DestAction::Conventional => {
+                    if self.config.policy == ReleasePolicy::Basic
+                        || self.config.policy == ReleasePolicy::Extended
+                    {
+                        self.stats.class_mut(class).fallback_to_conventional += 1;
+                    }
+                    rel_old = true;
+                    let phys = self.allocate(class, cycle);
+                    DstRename {
+                        arch: dst,
+                        phys,
+                        prev: old_pd,
+                        reused: false,
+                    }
+                }
+                DestAction::SkipStale => {
+                    self.bank_mut(class).skip_release[dst.index()] = false;
+                    let phys = self.allocate(class, cycle);
+                    DstRename {
+                        arch: dst,
+                        phys,
+                        prev: old_pd,
+                        reused: false,
+                    }
+                }
+                DestAction::EarlyOnLu { lu, kind } => {
+                    if lu == id {
+                        // This instruction reads its own destination: it is
+                        // the last use of the previous version.
+                        own_rel[kind.index()] = true;
+                    } else {
+                        let entry = self
+                            .book
+                            .get_mut(lu)
+                            .expect("in-flight last use must have a reorder-structure entry");
+                        debug_assert!(
+                            !entry.rel[kind.index()],
+                            "early-release bit set twice on {lu} slot {kind:?}"
+                        );
+                        entry.rel[kind.index()] = true;
+                    }
+                    let phys = self.allocate(class, cycle);
+                    DstRename {
+                        arch: dst,
+                        phys,
+                        prev: old_pd,
+                        reused: false,
+                    }
+                }
+                DestAction::Immediate => {
+                    self.free_register(class, old_pd, cycle, ReleaseReason::ImmediateAtDecode);
+                    let phys = self.allocate(class, cycle);
+                    DstRename {
+                        arch: dst,
+                        phys,
+                        prev: old_pd,
+                        reused: false,
+                    }
+                }
+                DestAction::Reuse => {
+                    let bank = self.bank_mut(class);
+                    // End the previous version's lifetime and start the new
+                    // one in the same register.
+                    bank.occupancy.on_release(old_pd, cycle, ReleaseReason::Reused);
+                    bank.occupancy.on_allocate(old_pd, cycle);
+                    // The architectural value of `dst` will be overwritten by
+                    // this (still uncommitted) instruction — the Section 4.3
+                    // "safe but imprecise" situation.
+                    if bank.maps.retire.get(dst) == old_pd {
+                        bank.arch_clobbered[dst.index()] = true;
+                    }
+                    self.stats.class_mut(class).record_release(ReleaseReason::Reused);
+                    DstRename {
+                        arch: dst,
+                        phys: old_pd,
+                        prev: old_pd,
+                        reused: true,
+                    }
+                }
+                DestAction::Conditional {
+                    lu_committed,
+                    lu,
+                    kind,
+                } => {
+                    debug_assert_eq!(self.config.policy, ReleasePolicy::Extended);
+                    if lu_committed {
+                        self.relque.mark_committed_lu(class, old_pd);
+                    } else {
+                        self.relque.mark_inflight_lu(lu, kind);
+                    }
+                    self.stats.class_mut(class).conditional_schedulings += 1;
+                    let phys = self.allocate(class, cycle);
+                    DstRename {
+                        arch: dst,
+                        phys,
+                        prev: old_pd,
+                        reused: false,
+                    }
+                }
+            };
+            self.trace(&format!(
+                "cycle {cycle} RENAME {id} dst {dst} action {action:?} old {old_pd} new {} reused {}",
+                renamed.phys, renamed.reused
+            ));
+            // Redirect the map to the new version and record the destination
+            // use in the LUs table (the new version's provisional last use is
+            // its own producer — the Figure 4.b case).
+            self.bank_mut(class).maps.front.set(dst, renamed.phys);
+            if self.config.policy.uses_lus_table() {
+                self.bank_mut(class).lus.record_use(dst, id, UseKind::Dst);
+            }
+            dst_rename = Some(renamed);
+        }
+
+        // Branches: take a checkpoint of the speculative rename state and
+        // (extended) stack a new Release Queue level.
+        if is_branch {
+            let cp = Checkpoint {
+                branch_id: id,
+                maps: [
+                    self.banks[0].maps.front.clone(),
+                    self.banks[1].maps.front.clone(),
+                ],
+                lus: if self.config.policy.uses_lus_table() {
+                    Some([self.banks[0].lus.clone(), self.banks[1].lus.clone()])
+                } else {
+                    None
+                },
+                skip_release: [
+                    self.banks[0].skip_release.clone(),
+                    self.banks[1].skip_release.clone(),
+                ],
+            };
+            self.checkpoints.push_back(cp);
+            if self.config.policy.uses_release_queue() {
+                self.relque.push_level(id);
+            }
+        }
+
+        self.book.push(RosEntry {
+            id,
+            srcs: [src1, src2],
+            dst: dst_rename,
+            is_branch,
+            rel: own_rel,
+            rel_old,
+        });
+
+        Ok(RenamedInstr {
+            id,
+            src1,
+            src2,
+            dst: dst_rename,
+        })
+    }
+
+    fn allocate(&mut self, class: RegClass, cycle: u64) -> PhysReg {
+        let bank = self.bank_mut(class);
+        let phys = bank
+            .free
+            .allocate()
+            .expect("allocation availability was checked before side effects");
+        bank.occupancy.on_allocate(phys, cycle);
+        self.stats.class_mut(class).allocations += 1;
+        self.trace(&format!("cycle {cycle} ALLOC {class} {phys}"));
+        phys
+    }
+
+    fn free_register(&mut self, class: RegClass, phys: PhysReg, cycle: u64, reason: ReleaseReason) {
+        let bank = self.bank_mut(class);
+        // An early free of the register currently recorded as some logical
+        // register's architectural version leaves a stale In-Order Map Table
+        // entry behind; remember it for precise-exception recovery.
+        if matches!(
+            reason,
+            ReleaseReason::ImmediateAtDecode
+                | ReleaseReason::EarlyAtLuCommit
+                | ReleaseReason::BranchConfirm
+        ) {
+            if let Some(r) = bank.maps.retire.find_logical(phys) {
+                bank.arch_released[r.index()] = true;
+            }
+        }
+        bank.free.release(phys);
+        bank.occupancy.on_release(phys, cycle, reason);
+        self.stats.class_mut(class).record_release(reason);
+        self.trace(&format!("cycle {cycle} FREE {class} {phys} reason {reason:?}"));
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback
+    // ------------------------------------------------------------------
+
+    /// Record that the value of `(class, phys)` was produced (used only for
+    /// the Empty/Ready/Idle occupancy accounting of Figure 3).
+    pub fn mark_value_written(&mut self, class: RegClass, phys: PhysReg, cycle: u64) {
+        self.bank_mut(class).occupancy.on_write(phys, cycle);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Commit the oldest in-flight instruction.  `id` must identify it (the
+    /// call panics otherwise — commits are in program order by construction).
+    pub fn commit(&mut self, id: InstrId, cycle: u64) -> CommitOutcome {
+        let entry = self.book.pop_head(id);
+        self.trace(&format!("cycle {cycle} COMMIT {id} rel {:?} rel_old {} dst {:?}", entry.rel, entry.rel_old, entry.dst));
+        let mut released = Vec::new();
+
+        // Occupancy: every operand of a committing instruction counts as a
+        // committed use of its physical register.
+        for &(arch, phys) in entry.srcs.iter().flatten() {
+            self.bank_mut(arch.class()).occupancy.on_committed_use(phys, cycle);
+        }
+        if let Some(d) = entry.dst {
+            self.bank_mut(d.arch.class()).occupancy.on_committed_use(d.phys, cycle);
+        }
+
+        // Architectural map update (and clearing of the "architectural
+        // version released early" flag — a new architectural version exists).
+        if let Some(d) = entry.dst {
+            let bank = self.bank_mut(d.arch.class());
+            bank.maps.retire.set(d.arch, d.phys);
+            bank.arch_released[d.arch.index()] = false;
+            bank.arch_clobbered[d.arch.index()] = false;
+        }
+
+        // Last-Uses Table C-bit update, applied to the working table and to
+        // every checkpoint copy (Section 3.2).
+        if self.config.policy.uses_lus_table() {
+            let mark = |reg: ArchReg, banks: &mut [Bank; 2], checkpoints: &mut VecDeque<Checkpoint>| {
+                banks[reg.class().index()].lus.mark_committed(reg, id);
+                for cp in checkpoints.iter_mut() {
+                    if let Some(lus) = cp.lus.as_mut() {
+                        lus[reg.class().index()].mark_committed(reg, id);
+                    }
+                }
+            };
+            for &(arch, _) in entry.srcs.iter().flatten() {
+                mark(arch, &mut self.banks, &mut self.checkpoints);
+            }
+            if let Some(d) = entry.dst {
+                mark(d.arch, &mut self.banks, &mut self.checkpoints);
+            }
+        }
+
+        // Early-release bits (rel1/rel2/reld — RwC0 in the extended scheme).
+        for kind in UseKind::ALL {
+            if entry.rel[kind.index()] {
+                let (arch, phys) = entry
+                    .operand_phys(kind)
+                    .expect("early-release bit set for a missing operand");
+                self.free_register(arch.class(), phys, cycle, ReleaseReason::EarlyAtLuCommit);
+                released.push(ReleaseEvent {
+                    class: arch.class(),
+                    phys,
+                    reason: ReleaseReason::EarlyAtLuCommit,
+                });
+            }
+        }
+
+        // Extended, Step 5: conditional releases tied to this instruction's
+        // commit switch from the RwC form to the RwNS form.
+        if self.config.policy.uses_release_queue() {
+            let entry_ref = &entry;
+            self.relque.on_commit(id, |kind| {
+                entry_ref
+                    .operand_phys(kind)
+                    .map(|(arch, phys)| (arch.class(), phys))
+            });
+        }
+
+        // Conventional release of the previous version.
+        if entry.rel_old {
+            if let Some(d) = entry.dst {
+                if !d.reused && d.prev != d.phys {
+                    self.free_register(
+                        d.arch.class(),
+                        d.prev,
+                        cycle,
+                        ReleaseReason::Conventional,
+                    );
+                    released.push(ReleaseEvent {
+                        class: d.arch.class(),
+                        phys: d.prev,
+                        reason: ReleaseReason::Conventional,
+                    });
+                }
+            }
+        }
+
+        CommitOutcome { released }
+    }
+
+    // ------------------------------------------------------------------
+    // Branch resolution
+    // ------------------------------------------------------------------
+
+    /// The prediction of branch `id` was verified correct.  Returns the
+    /// branch-confirm releases (extended mechanism, Step 6).
+    pub fn resolve_branch_correct(&mut self, id: InstrId, cycle: u64) -> Vec<ReleaseEvent> {
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|c| c.branch_id == id)
+            .unwrap_or_else(|| panic!("branch {id} has no checkpoint to confirm"));
+        self.checkpoints.remove(pos);
+
+        let mut released = Vec::new();
+        if self.config.policy.uses_release_queue() {
+            let outcome = self.relque.confirm(id);
+            for (class, phys) in outcome.release_now {
+                self.free_register(class, phys, cycle, ReleaseReason::BranchConfirm);
+                released.push(ReleaseEvent {
+                    class,
+                    phys,
+                    reason: ReleaseReason::BranchConfirm,
+                });
+            }
+            for (lu, mask) in outcome.to_rwc0 {
+                let entry = self
+                    .book
+                    .get_mut(lu)
+                    .expect("an RwC mark always references an in-flight last use");
+                for kind in UseKind::ALL {
+                    if mask & kind.mask() != 0 {
+                        entry.rel[kind.index()] = true;
+                    }
+                }
+            }
+        }
+        released
+    }
+
+    /// The prediction of branch `id` was wrong: squash every younger
+    /// instruction and restore the speculative rename state from the branch's
+    /// checkpoint.
+    pub fn recover_branch_mispredict(&mut self, id: InstrId, cycle: u64) -> RecoveryOutcome {
+        self.trace(&format!("cycle {cycle} MISPREDICT {id}"));
+        let squashed = self.book.squash_after(id, false);
+        let mut freed = Vec::new();
+        for entry in &squashed {
+            if let Some(d) = entry.dst {
+                if !d.reused {
+                    self.free_register(
+                        d.arch.class(),
+                        d.phys,
+                        cycle,
+                        ReleaseReason::SquashMispredict,
+                    );
+                    freed.push(ReleaseEvent {
+                        class: d.arch.class(),
+                        phys: d.phys,
+                        reason: ReleaseReason::SquashMispredict,
+                    });
+                }
+            }
+        }
+
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|c| c.branch_id == id)
+            .unwrap_or_else(|| panic!("mispredicted branch {id} has no checkpoint"));
+        // Checkpoints of squashed (younger) branches disappear; the
+        // mispredicted branch's own checkpoint is consumed by the recovery.
+        self.checkpoints.truncate(pos + 1);
+        let cp = self.checkpoints.pop_back().expect("checkpoint exists");
+        for class in RegClass::ALL {
+            let bank = &mut self.banks[class.index()];
+            bank.maps.front.restore_from(&cp.maps[class.index()]);
+            if let Some(lus) = cp.lus.as_ref() {
+                bank.lus.restore_from(&lus[class.index()]);
+            }
+            bank.skip_release.copy_from_slice(&cp.skip_release[class.index()]);
+        }
+
+        if self.config.policy.uses_release_queue() {
+            self.relque.mispredict(id);
+        }
+
+        RecoveryOutcome {
+            squashed: squashed.len(),
+            freed,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exception recovery
+    // ------------------------------------------------------------------
+
+    /// Precise-exception recovery: every in-flight instruction (including the
+    /// faulting one, which has not committed) is squashed and the speculative
+    /// map is restored from the In-Order Map Table.
+    pub fn recover_exception(&mut self, cycle: u64) -> RecoveryOutcome {
+        let squashed = self.book.drain_all();
+        let mut freed = Vec::new();
+        for entry in &squashed {
+            if let Some(d) = entry.dst {
+                if !d.reused {
+                    self.free_register(
+                        d.arch.class(),
+                        d.phys,
+                        cycle,
+                        ReleaseReason::SquashException,
+                    );
+                    freed.push(ReleaseEvent {
+                        class: d.arch.class(),
+                        phys: d.phys,
+                        reason: ReleaseReason::SquashException,
+                    });
+                }
+            }
+        }
+        self.checkpoints.clear();
+        self.relque.clear();
+        for class in RegClass::ALL {
+            let bank = &mut self.banks[class.index()];
+            bank.maps.recover_from_retire();
+            bank.lus.reset_all();
+            // Logical registers whose architectural version was freed early
+            // now have a stale mapping (paper Section 4.3): their next
+            // redefinition must not release or reuse it.
+            for r in 0..class.num_logical() {
+                bank.skip_release[r] = bank.arch_released[r];
+            }
+        }
+        RecoveryOutcome {
+            squashed: squashed.len(),
+            freed,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests / debugging)
+    // ------------------------------------------------------------------
+
+    /// Check internal consistency; returns a description of the first
+    /// violated invariant, if any.  Used by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for class in RegClass::ALL {
+            let bank = self.bank(class);
+            let cap = self.config.phys_regs(class);
+            if bank.free.free_count() + bank.occupancy.allocated_now() != cap {
+                return Err(format!(
+                    "{class}: free ({}) + allocated ({}) != capacity ({cap})",
+                    bank.free.free_count(),
+                    bank.occupancy.allocated_now()
+                ));
+            }
+            for (reg, phys) in bank.maps.front.iter() {
+                if bank.free.contains(phys) && !bank.skip_release[reg.index()] {
+                    return Err(format!(
+                        "{class}: speculative map of {reg} points to free register {phys} \
+                         without a stale-mapping flag"
+                    ));
+                }
+            }
+        }
+        let dst_in_flight = self.book.iter().filter(|e| e.dst.is_some()).count();
+        if self.relque.total_marks() > dst_in_flight {
+            return Err(format!(
+                "release queue holds {} marks but only {dst_in_flight} in-flight instructions \
+                 have destinations (paper Section 4.2 bound violated)",
+                self.relque.total_marks()
+            ));
+        }
+        if self.relque.depth() != 0 && !self.config.policy.uses_release_queue() {
+            return Err("release queue used by a policy that should not use it".into());
+        }
+        if self.config.policy.uses_release_queue() && self.relque.depth() != self.checkpoints.len()
+        {
+            return Err(format!(
+                "release queue depth ({}) out of sync with pending branches ({})",
+                self.relque.depth(),
+                self.checkpoints.len()
+            ));
+        }
+        Ok(())
+    }
+}

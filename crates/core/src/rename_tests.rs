@@ -1,0 +1,690 @@
+//! Unit tests of the [`RenameUnit`](crate::rename::RenameUnit), mirroring the
+//! paper's worked examples (Figures 4, 6 and 8) and the recovery corner
+//! cases.
+
+use crate::rename::RenameUnit;
+use crate::types::{
+    InstrId, PhysReg, ReleasePolicy, ReleaseReason, RenameConfig, RenameStall,
+};
+use earlyreg_isa::{ArchReg, BranchCond, Instruction, Opcode, RegClass};
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn cfg(policy: ReleasePolicy, phys: usize) -> RenameConfig {
+    RenameConfig::icpp02(policy, phys, phys)
+}
+
+fn unit(policy: ReleasePolicy) -> RenameUnit {
+    RenameUnit::new(cfg(policy, 48))
+}
+
+/// `dst = src1 op src2` integer instruction.
+fn iadd(dst: usize, a: usize, b: usize) -> Instruction {
+    Instruction {
+        op: Opcode::IAdd,
+        dst: Some(ArchReg::int(dst)),
+        src1: Some(ArchReg::int(a)),
+        src2: Some(ArchReg::int(b)),
+        imm: 0,
+    }
+}
+
+/// `dst = imm` integer instruction (a pure definition, no sources).
+fn ili(dst: usize) -> Instruction {
+    Instruction {
+        op: Opcode::ILoadImm,
+        dst: Some(ArchReg::int(dst)),
+        src1: None,
+        src2: None,
+        imm: 7,
+    }
+}
+
+/// Conditional branch on `r<a>`.
+fn branch(a: usize) -> Instruction {
+    Instruction {
+        op: Opcode::Branch(BranchCond::Ne),
+        dst: None,
+        src1: Some(ArchReg::int(a)),
+        src2: None,
+        imm: 0,
+    }
+}
+
+/// Store of r<a> (a register use without a destination).
+fn store(addr: usize, data: usize) -> Instruction {
+    Instruction {
+        op: Opcode::StoreInt,
+        dst: None,
+        src1: Some(ArchReg::int(addr)),
+        src2: Some(ArchReg::int(data)),
+        imm: 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conventional policy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conventional_releases_old_pd_at_nv_commit() {
+    let mut ru = unit(ReleasePolicy::Conventional);
+    let p_r1_initial = ru.mapping(ArchReg::int(1));
+    assert_eq!(p_r1_initial, PhysReg(1));
+
+    // i:  r1 = ...            (new version of r1)
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    // LU: r3 = r2 + r1        (last use of p7)
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    assert_eq!(lu.src2, Some((ArchReg::int(1), p7)));
+    // NV: r1 = ...            (next version of r1)
+    let nv = ru.rename(&ili(1), 2).unwrap();
+    assert_ne!(nv.dst.unwrap().phys, p7);
+    assert_eq!(nv.dst.unwrap().prev, p7);
+
+    // Commits: i releases the initial version, LU releases nothing,
+    // NV releases p7 — conventional timing.
+    let out_i = ru.commit(i.id, 10);
+    assert_eq!(out_i.released.len(), 1);
+    assert_eq!(out_i.released[0].phys, p_r1_initial);
+    assert_eq!(out_i.released[0].reason, ReleaseReason::Conventional);
+
+    let out_lu = ru.commit(lu.id, 11);
+    assert!(out_lu.released.iter().all(|e| e.phys != p7));
+
+    let out_nv = ru.commit(nv.id, 12);
+    assert!(out_nv
+        .released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::Conventional));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn conventional_stalls_when_free_list_is_exhausted() {
+    // 34 physical registers = 32 architectural + 2 rename buffers.
+    let mut ru = RenameUnit::new(cfg(ReleasePolicy::Conventional, 34));
+    assert!(ru.rename(&ili(1), 0).is_ok());
+    assert!(ru.rename(&ili(2), 0).is_ok());
+    let err = ru.rename(&ili(3), 0).unwrap_err();
+    assert_eq!(err, RenameStall::NoFreePhysReg(RegClass::Int));
+    assert!(!ru.can_rename(&ili(3)));
+    // A register-less instruction can still be renamed.
+    assert!(ru.can_rename(&store(1, 2)));
+    // Committing the first definition releases its previous version and
+    // unblocks rename.
+    let head = InstrId(0);
+    ru.commit(head, 5);
+    assert!(ru.can_rename(&ili(3)));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn conventional_never_does_early_releases() {
+    let mut ru = unit(ReleasePolicy::Conventional);
+    for c in 0..20u64 {
+        let r = ru.rename(&iadd(1, 1, 2), c).unwrap();
+        ru.commit(r.id, c + 1);
+    }
+    let s = ru.stats().class(RegClass::Int);
+    assert_eq!(s.total_early(), 0);
+    assert!(s.conventional_releases > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Basic mechanism — Figure 4.a / Figure 6 scenarios
+// ---------------------------------------------------------------------------
+
+#[test]
+fn basic_retimes_release_to_lu_commit_fig4a() {
+    // Figure 4.a: i defines r1 (p7), LU reads it for the last time, NV
+    // redefines r1.  With the basic mechanism p7 is released when LU commits,
+    // not when NV commits.
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    let nv = ru.rename(&ili(1), 2).unwrap();
+    assert!(!nv.dst.unwrap().reused);
+
+    ru.commit(i.id, 10);
+    let out_lu = ru.commit(lu.id, 11);
+    assert!(
+        out_lu
+            .released
+            .iter()
+            .any(|e| e.phys == p7 && e.reason == ReleaseReason::EarlyAtLuCommit),
+        "p7 must be released at the last-use commit, got {:?}",
+        out_lu.released
+    );
+    // NV's commit must not release p7 again (rel_old was cleared).
+    let out_nv = ru.commit(nv.id, 12);
+    assert!(out_nv.released.iter().all(|e| e.phys != p7));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn basic_releases_unread_value_at_its_own_commit_fig4b() {
+    // Figure 4.b: LU writes r3 and nobody reads it before NV redefines r3.
+    // The "last use" is the defining instruction itself (Kind = dst).
+    let mut ru = unit(ReleasePolicy::Basic);
+    let lu = ru.rename(&iadd(3, 5, 9), 0).unwrap(); // LU: r3 = r5 + r9
+    let p7 = lu.dst.unwrap().phys;
+    let nv = ru.rename(&ili(3), 1).unwrap(); // NV: r3 = ...
+    assert_ne!(nv.dst.unwrap().phys, p7);
+
+    let out_lu = ru.commit(lu.id, 10);
+    assert!(out_lu
+        .released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::EarlyAtLuCommit));
+    let out_nv = ru.commit(nv.id, 11);
+    assert!(out_nv.released.iter().all(|e| e.phys != p7));
+}
+
+#[test]
+fn basic_reuses_register_when_lu_already_committed() {
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 5);
+    ru.commit(lu.id, 6);
+
+    // NV decoded after the LU committed, with no pending branches: the
+    // mapping is left untouched and the same register is reused.
+    let free_before = ru.free_count(RegClass::Int);
+    let nv = ru.rename(&ili(1), 10).unwrap();
+    let d = nv.dst.unwrap();
+    assert!(d.reused);
+    assert_eq!(d.phys, p7);
+    assert_eq!(ru.mapping(ArchReg::int(1)), p7);
+    // Three reuses in total: the first definitions of r1 and r3 reuse the
+    // initial architectural registers (their last use is trivially long
+    // committed at program start), plus this NV.
+    assert_eq!(ru.stats().class(RegClass::Int).reuses, 3);
+    // The reuse consumed no free register.
+    assert_eq!(ru.free_count(RegClass::Int), free_before);
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn basic_releases_immediately_when_reuse_is_disabled() {
+    let mut config = cfg(ReleasePolicy::Basic, 48);
+    config.reuse_on_committed_lu = false;
+    let mut ru = RenameUnit::new(config);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 5);
+    ru.commit(lu.id, 6);
+
+    let free_before = ru.free_count(RegClass::Int);
+    let nv = ru.rename(&ili(1), 10).unwrap();
+    assert!(!nv.dst.unwrap().reused);
+    // One register freed (p7), one allocated: net zero.
+    assert_eq!(ru.free_count(RegClass::Int), free_before);
+    // Three immediate releases in total: the first definitions of r1 and r3
+    // immediately released the initial architectural registers, plus this NV
+    // releasing p7.
+    assert_eq!(ru.stats().class(RegClass::Int).immediate_at_decode, 3);
+    assert_eq!(ru.stats().class(RegClass::Int).reuses, 0);
+    let _ = p7;
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn basic_falls_back_to_conventional_under_pending_branch() {
+    // Case 2: a pending branch separates LU from NV — the basic mechanism
+    // must leave the conventional release in place.
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    let br = ru.rename(&branch(3), 2).unwrap();
+    let nv = ru.rename(&ili(1), 3).unwrap();
+
+    assert_eq!(ru.stats().class(RegClass::Int).fallback_to_conventional, 1);
+
+    ru.commit(i.id, 10);
+    let out_lu = ru.commit(lu.id, 11);
+    assert!(out_lu.released.iter().all(|e| e.phys != p7), "no early release in Case 2");
+    ru.resolve_branch_correct(br.id, 12);
+    ru.commit(br.id, 12);
+    let out_nv = ru.commit(nv.id, 13);
+    assert!(out_nv
+        .released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::Conventional));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn basic_applies_when_pending_branch_is_older_than_lu() {
+    // Case 1 also covers LU and NV in the same basic block *after* a pending
+    // branch: a misprediction would squash both, so the early release is
+    // safe.
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let br = ru.rename(&branch(1), 1).unwrap();
+    let lu = ru.rename(&iadd(3, 2, 1), 2).unwrap(); // after the branch
+    let _nv = ru.rename(&ili(1), 3).unwrap(); // same block as LU
+
+    ru.commit(i.id, 10);
+    ru.resolve_branch_correct(br.id, 11);
+    ru.commit(br.id, 11);
+    let out_lu = ru.commit(lu.id, 12);
+    assert!(out_lu
+        .released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::EarlyAtLuCommit));
+}
+
+#[test]
+fn instruction_reading_its_own_destination_is_its_own_last_use() {
+    // NV: r1 = r1 + r2 — the previous version's last use is NV itself, so the
+    // release happens at NV's commit through the early-release path.
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let nv = ru.rename(&iadd(1, 1, 2), 1).unwrap();
+    assert_eq!(nv.src1, Some((ArchReg::int(1), p7)));
+
+    ru.commit(i.id, 5);
+    let out_nv = ru.commit(nv.id, 6);
+    assert!(out_nv
+        .released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::EarlyAtLuCommit));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn squashed_nv_does_not_release_the_previous_version() {
+    // A branch older than both LU and NV mispredicts: LU and NV are squashed
+    // and the previous version must remain mapped and allocated.
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let br = ru.rename(&branch(1), 1).unwrap();
+    let lu = ru.rename(&iadd(3, 2, 1), 2).unwrap();
+    let nv = ru.rename(&ili(1), 3).unwrap();
+    let _ = (lu, nv);
+
+    ru.commit(i.id, 5);
+    let rec = ru.recover_branch_mispredict(br.id, 6);
+    assert_eq!(rec.squashed, 2);
+    assert_eq!(ru.mapping(ArchReg::int(1)), p7);
+    assert!(ru.in_flight() == 1); // only the branch remains
+    ru.commit(br.id, 7);
+    ru.check_invariants().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Extended mechanism — Release Queue behaviour (Figure 8)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn extended_schedules_conditional_release_under_pending_branch() {
+    // LU in flight, one pending branch between LU and NV: the release is
+    // conditional; it happens only after both the branch confirms and the LU
+    // commits.
+    let mut ru = unit(ReleasePolicy::Extended);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    let br = ru.rename(&branch(3), 2).unwrap();
+    let nv = ru.rename(&ili(1), 3).unwrap();
+    let _ = nv;
+    assert_eq!(ru.release_queue_marks(), 1);
+
+    ru.commit(i.id, 10);
+    // LU commits while the branch is still pending: the mark moves to RwNS
+    // (Step 5) and nothing is released yet.
+    let out_lu = ru.commit(lu.id, 11);
+    assert!(out_lu.released.iter().all(|e| e.phys != p7));
+    assert_eq!(ru.release_queue_marks(), 1);
+
+    // The branch confirms: branch-confirm release fires (Step 6).
+    let released = ru.resolve_branch_correct(br.id, 12);
+    assert!(released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::BranchConfirm));
+    assert_eq!(ru.release_queue_marks(), 0);
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn extended_conditional_release_with_committed_lu_uses_rwns() {
+    // LU already committed, NV decoded under a pending branch: the release is
+    // recorded in decoded (RwNS) form and fires at branch confirmation.
+    let mut ru = unit(ReleasePolicy::Extended);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 2);
+    ru.commit(lu.id, 3);
+
+    let br = ru.rename(&branch(3), 4).unwrap();
+    let _nv = ru.rename(&ili(1), 5).unwrap();
+    assert_eq!(ru.release_queue_marks(), 1);
+
+    let released = ru.resolve_branch_correct(br.id, 6);
+    assert!(released
+        .iter()
+        .any(|e| e.phys == p7 && e.reason == ReleaseReason::BranchConfirm));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn extended_cancels_conditional_release_on_misprediction() {
+    let mut ru = unit(ReleasePolicy::Extended);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 2);
+    ru.commit(lu.id, 3);
+
+    let br = ru.rename(&branch(3), 4).unwrap();
+    let nv = ru.rename(&ili(1), 5).unwrap();
+    let nv_phys = nv.dst.unwrap().phys;
+    assert_eq!(ru.release_queue_marks(), 1);
+
+    let rec = ru.recover_branch_mispredict(br.id, 6);
+    assert_eq!(rec.squashed, 1);
+    assert!(rec.freed.iter().any(|e| e.phys == nv_phys));
+    // The conditional release was cancelled and p7 is still the mapping.
+    assert_eq!(ru.release_queue_marks(), 0);
+    assert_eq!(ru.mapping(ArchReg::int(1)), p7);
+    ru.commit(br.id, 7);
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn extended_nested_branches_release_only_after_the_oldest_confirms() {
+    // Two pending branches; the NV is conditional on both.  Confirming the
+    // younger one first must not release anything (Figure 8.a); only when the
+    // oldest confirms does the register come back (Figure 8.c).
+    let mut ru = unit(ReleasePolicy::Extended);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 2);
+    ru.commit(lu.id, 3);
+
+    let br1 = ru.rename(&branch(3), 4).unwrap();
+    let br2 = ru.rename(&branch(2), 5).unwrap();
+    let _nv = ru.rename(&ili(1), 6).unwrap();
+    assert_eq!(ru.pending_branches(), 2);
+
+    let none = ru.resolve_branch_correct(br2.id, 7);
+    assert!(none.is_empty());
+    assert_eq!(ru.release_queue_marks(), 1);
+
+    let released = ru.resolve_branch_correct(br1.id, 8);
+    assert!(released.iter().any(|e| e.phys == p7));
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn extended_has_no_conventional_releases() {
+    // Enough physical registers to keep 30 redefinitions in flight at once.
+    let mut ru = RenameUnit::new(cfg(ReleasePolicy::Extended, 96));
+    // A long chain of redefinitions with interleaved uses.
+    let mut ids = Vec::new();
+    for c in 0..30u64 {
+        ids.push(ru.rename(&iadd(1, 1, 2), c).unwrap().id);
+    }
+    for (c, id) in ids.iter().enumerate() {
+        ru.commit(*id, 100 + c as u64);
+    }
+    let s = ru.stats().class(RegClass::Int);
+    assert_eq!(s.conventional_releases, 0);
+    assert!(s.early_at_lu_commit > 0);
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn extended_outperforms_conventional_in_registers_held() {
+    // The defining property: with the same instruction stream, the extended
+    // mechanism holds fewer allocated registers than conventional renaming
+    // once last uses commit.
+    let run = |policy: ReleasePolicy| -> usize {
+        let mut ru = RenameUnit::new(cfg(policy, 96));
+        // Define 8 values, read each once, never redefine until the end.
+        let defs: Vec<_> = (1..=8).map(|r| ru.rename(&ili(r), 0).unwrap()).collect();
+        let uses: Vec<_> = (1..=8)
+            .map(|r| ru.rename(&iadd(9, r, r), 1).unwrap())
+            .collect();
+        // Redefine all of them (NV instructions).
+        let nvs: Vec<_> = (1..=8).map(|r| ru.rename(&ili(r), 2).unwrap()).collect();
+        for d in &defs {
+            ru.commit(d.id, 10);
+        }
+        for u in &uses {
+            ru.commit(u.id, 20);
+        }
+        // Do not commit the NVs: under conventional release the previous
+        // versions are still held; under early release they are already free.
+        let free = ru.free_count(RegClass::Int);
+        for nv in &nvs {
+            ru.commit(nv.id, 30);
+        }
+        ru.check_invariants().unwrap();
+        free
+    };
+    let free_conv = run(ReleasePolicy::Conventional);
+    let free_ext = run(ReleasePolicy::Extended);
+    assert!(
+        free_ext >= free_conv + 8,
+        "extended should have released the 8 previous versions early \
+         (conv free = {free_conv}, ext free = {free_ext})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Exception recovery and stale mappings (Section 4.3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exception_recovery_restores_architectural_mapping() {
+    let mut ru = unit(ReleasePolicy::Extended);
+    let a = ru.rename(&ili(1), 0).unwrap();
+    ru.commit(a.id, 1);
+    let arch_p = ru.arch_mapping(ArchReg::int(1));
+
+    // Speculative redefinitions that never commit.
+    let _b = ru.rename(&ili(1), 2).unwrap();
+    let _c = ru.rename(&ili(1), 3).unwrap();
+    assert_ne!(ru.mapping(ArchReg::int(1)), arch_p);
+
+    let rec = ru.recover_exception(10);
+    assert_eq!(rec.squashed, 2);
+    assert_eq!(ru.mapping(ArchReg::int(1)), arch_p);
+    assert_eq!(ru.in_flight(), 0);
+    assert_eq!(ru.pending_branches(), 0);
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn stale_mapping_after_exception_is_not_released_twice() {
+    // The Section 4.3 scenario: the architectural version of r1 is released
+    // early (its redefinition was in flight), then an exception squashes the
+    // redefinition.  The restored mapping is stale; the next redefinition of
+    // r1 must not release (or reuse) it.
+    let mut ru = unit(ReleasePolicy::Extended);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    let nv = ru.rename(&ili(1), 2).unwrap();
+    let _ = nv;
+
+    ru.commit(i.id, 3);
+    // LU commits → p7 released early (it is the architectural version of r1).
+    let out = ru.commit(lu.id, 4);
+    assert!(out.released.iter().any(|e| e.phys == p7));
+
+    // Exception before NV commits: the map is restored from the IOMT, which
+    // still names p7 for r1 even though p7 is free.
+    ru.recover_exception(5);
+    assert_eq!(ru.mapping(ArchReg::int(1)), p7);
+    assert_eq!(ru.arch_mapping(ArchReg::int(1)), p7);
+    // Invariants still hold because the stale mapping is flagged.
+    ru.check_invariants().unwrap();
+
+    // p7 may meanwhile be reallocated to a different logical register...
+    let other = ru.rename(&ili(5), 6).unwrap();
+    // ...and the next redefinition of r1 must not free or reuse p7.
+    let nv2 = ru.rename(&ili(1), 7).unwrap();
+    assert_ne!(nv2.dst.unwrap().phys, other.dst.unwrap().phys);
+    assert!(!nv2.dst.unwrap().reused);
+    ru.commit(other.id, 8);
+    ru.commit(nv2.id, 9);
+    ru.check_invariants().unwrap();
+    // No double release happened (the FreeList would have panicked), and the
+    // accounting shows exactly one early release of p7.
+    assert_eq!(ru.stats().class(RegClass::Int).early_at_lu_commit, 1);
+}
+
+#[test]
+fn stale_mapping_flag_survives_branch_recovery() {
+    // A checkpoint taken between the exception recovery and the consuming
+    // redefinition must preserve the stale-mapping flag, otherwise a
+    // misprediction rollback would reintroduce the double-release hazard.
+    let mut ru = unit(ReleasePolicy::Extended);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    let _nv = ru.rename(&ili(1), 2).unwrap();
+    ru.commit(i.id, 3);
+    ru.commit(lu.id, 4);
+    ru.recover_exception(5);
+    assert_eq!(ru.mapping(ArchReg::int(1)), p7);
+
+    // Branch taken while the stale mapping is live, then a redefinition of r1
+    // consumes the flag, then the branch mispredicts.
+    let br = ru.rename(&branch(2), 6).unwrap();
+    let _nv2 = ru.rename(&ili(1), 7).unwrap();
+    ru.recover_branch_mispredict(br.id, 8);
+    ru.commit(br.id, 9);
+    // The stale mapping is back; the next redefinition must again skip it.
+    let nv3 = ru.rename(&ili(1), 10).unwrap();
+    assert!(!nv3.dst.unwrap().reused);
+    ru.commit(nv3.id, 11);
+    ru.check_invariants().unwrap();
+    assert_eq!(ru.stats().class(RegClass::Int).early_at_lu_commit, 1);
+}
+
+#[test]
+fn reused_register_survives_exception_recovery() {
+    // Reuse keeps the register allocated; an exception after the reuse must
+    // leave a perfectly ordinary (owned) mapping behind.
+    let mut ru = unit(ReleasePolicy::Basic);
+    let i = ru.rename(&ili(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 2);
+    ru.commit(lu.id, 3);
+    let nv = ru.rename(&ili(1), 4).unwrap();
+    assert!(nv.dst.unwrap().reused);
+
+    ru.recover_exception(5);
+    assert_eq!(ru.mapping(ArchReg::int(1)), p7);
+    // The register is still allocated and can be released by a later
+    // redefinition in the normal way.
+    let lu2 = ru.rename(&iadd(4, 2, 1), 6).unwrap();
+    let nv2 = ru.rename(&ili(1), 7).unwrap();
+    let _ = nv2;
+    let out = ru.commit(lu2.id, 8);
+    assert!(out.released.iter().any(|e| e.phys == p7));
+    ru.check_invariants().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting checks
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pending_branch_limit_is_enforced() {
+    let mut ru = unit(ReleasePolicy::Extended);
+    for k in 0..20 {
+        assert!(ru.rename(&branch(1), k).is_ok());
+    }
+    assert_eq!(ru.pending_branches(), 20);
+    assert_eq!(
+        ru.rename(&branch(1), 21).unwrap_err(),
+        RenameStall::TooManyPendingBranches
+    );
+    assert!(!ru.can_rename(&branch(1)));
+}
+
+#[test]
+fn fp_and_int_files_are_independent() {
+    let mut ru = RenameUnit::new(cfg(ReleasePolicy::Extended, 34));
+    // Exhaust the integer file with instructions that read their own
+    // destination (these always need a fresh register: the previous version
+    // is only released at their own commit).
+    assert!(ru.rename(&iadd(1, 1, 2), 0).is_ok());
+    assert!(ru.rename(&iadd(2, 2, 3), 0).is_ok());
+    assert_eq!(
+        ru.rename(&iadd(3, 3, 4), 0).unwrap_err(),
+        RenameStall::NoFreePhysReg(RegClass::Int)
+    );
+    // FP renames still succeed (the FP free list is untouched).
+    let fp_def = Instruction {
+        op: Opcode::FAdd,
+        dst: Some(ArchReg::fp(1)),
+        src1: Some(ArchReg::fp(1)),
+        src2: Some(ArchReg::fp(2)),
+        imm: 0,
+    };
+    assert!(ru.rename(&fp_def, 0).is_ok());
+    assert_eq!(ru.free_count(RegClass::Fp), 1);
+    assert_eq!(ru.free_count(RegClass::Int), 0);
+    ru.check_invariants().unwrap();
+}
+
+#[test]
+fn occupancy_idle_time_is_lower_with_early_release() {
+    // Build the same def → use → redefine pattern under both policies with a
+    // long gap between the last use commit and the redefinition commit; the
+    // idle integral must be much smaller with the extended mechanism.
+    let run = |policy: ReleasePolicy| {
+        let mut ru = unit(policy);
+        let i = ru.rename(&ili(1), 0).unwrap();
+        ru.mark_value_written(RegClass::Int, i.dst.unwrap().phys, 1);
+        let lu = ru.rename(&iadd(3, 2, 1), 1).unwrap();
+        ru.mark_value_written(RegClass::Int, lu.dst.unwrap().phys, 2);
+        let nv = ru.rename(&ili(1), 2).unwrap();
+        ru.mark_value_written(RegClass::Int, nv.dst.unwrap().phys, 3);
+        ru.commit(i.id, 5);
+        ru.commit(lu.id, 6);
+        // Long drain before NV commits.
+        ru.commit(nv.id, 1000);
+        ru.occupancy_totals(RegClass::Int, 1000).idle_cycles
+    };
+    let idle_conv = run(ReleasePolicy::Conventional);
+    let idle_ext = run(ReleasePolicy::Extended);
+    assert!(
+        idle_ext + 900 < idle_conv,
+        "idle cycles: conv = {idle_conv}, extended = {idle_ext}"
+    );
+}
+
+#[test]
+fn release_queue_marks_never_exceed_in_flight_destinations() {
+    let mut ru = RenameUnit::new(cfg(ReleasePolicy::Extended, 96));
+    let mut renamed = Vec::new();
+    for k in 0..40u64 {
+        if k % 5 == 0 {
+            renamed.push(ru.rename(&branch(1), k).unwrap());
+        } else {
+            renamed.push(ru.rename(&iadd(((k % 6) + 1) as usize, 2, 3), k).unwrap());
+        }
+        ru.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,286 @@
+//! Rename-side bookkeeping of in-flight instructions.
+//!
+//! The paper's Reorder Structure (ROS) keeps, next to the usual pipeline
+//! state, the rename-related fields shown in Figures 1 and 5: the logical and
+//! physical identifiers of the operands, the previous-version identifier
+//! `old_pd`, the conventional-release enable `rel_old` and the three
+//! early-release bits `rel1`/`rel2`/`reld`.  The cycle-level simulator keeps
+//! its own pipeline-status view of the reorder structure; this module holds
+//! the *rename engine's* view, which is what the release mechanisms operate
+//! on.
+//!
+//! Entries are stored in program order in a deque and looked up by
+//! [`InstrId`] with a binary search (identifiers are strictly increasing in
+//! program order, even across squashes).
+
+use crate::types::{InstrId, PhysReg, UseKind};
+use earlyreg_isa::ArchReg;
+use std::collections::VecDeque;
+
+/// Destination-register rename information of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DstRename {
+    /// The logical destination register (`rd`).
+    pub arch: ArchReg,
+    /// The physical register holding the new version (`pd`).
+    pub phys: PhysReg,
+    /// The physical register holding the previous version (`old_pd`).
+    pub prev: PhysReg,
+    /// True when the previous version's register was *reused* as the new
+    /// version (Section 3.2 optimisation): no new register was allocated.
+    pub reused: bool,
+}
+
+/// Rename bookkeeping for one in-flight instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RosEntry {
+    /// Unique dynamic instruction identifier.
+    pub id: InstrId,
+    /// Source operands: logical and physical identifiers (`r1/p1`, `r2/p2`).
+    pub srcs: [Option<(ArchReg, PhysReg)>; 2],
+    /// Destination operand, if the instruction writes a register.
+    pub dst: Option<DstRename>,
+    /// True for conditional branches (they own a checkpoint / RelQue level).
+    pub is_branch: bool,
+    /// Early-release bits `rel1`, `rel2`, `reld`: when set, the corresponding
+    /// physical operand register is released when this instruction commits.
+    /// In the extended mechanism this array is the `RwC0` row of the entry.
+    pub rel: [bool; 3],
+    /// Conventional-release enable (`rel_old`).  When set, `old_pd` is
+    /// released when this instruction commits.  Always false for the extended
+    /// mechanism (which removes the field altogether) and for instructions
+    /// without a destination.
+    pub rel_old: bool,
+}
+
+impl RosEntry {
+    /// The physical register referenced by an operand slot, if present.
+    pub fn operand_phys(&self, kind: UseKind) -> Option<(ArchReg, PhysReg)> {
+        match kind {
+            UseKind::Src1 => self.srcs[0],
+            UseKind::Src2 => self.srcs[1],
+            UseKind::Dst => self.dst.map(|d| (d.arch, d.phys)),
+        }
+    }
+}
+
+/// Program-ordered collection of in-flight [`RosEntry`]s.
+#[derive(Debug, Clone, Default)]
+pub struct RosBook {
+    entries: VecDeque<RosEntry>,
+}
+
+impl RosBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        RosBook {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of in-flight instructions tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no instruction is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append a newly renamed instruction (must be younger than everything
+    /// already present).
+    pub fn push(&mut self, entry: RosEntry) {
+        if let Some(back) = self.entries.back() {
+            assert!(
+                back.id < entry.id,
+                "instructions must be inserted in program order ({} then {})",
+                back.id,
+                entry.id
+            );
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Internal: position of `id`, if present.
+    fn position(&self, id: InstrId) -> Option<usize> {
+        let idx = self.entries.partition_point(|e| e.id < id);
+        (idx < self.entries.len() && self.entries[idx].id == id).then_some(idx)
+    }
+
+    /// Shared access to an entry by id.
+    pub fn get(&self, id: InstrId) -> Option<&RosEntry> {
+        self.position(id).map(|i| &self.entries[i])
+    }
+
+    /// Mutable access to an entry by id.
+    pub fn get_mut(&mut self, id: InstrId) -> Option<&mut RosEntry> {
+        self.position(id).map(move |i| &mut self.entries[i])
+    }
+
+    /// The oldest in-flight entry.
+    pub fn head(&self) -> Option<&RosEntry> {
+        self.entries.front()
+    }
+
+    /// Remove and return the oldest entry; panics if it is not `id`
+    /// (commit must proceed in program order).
+    pub fn pop_head(&mut self, id: InstrId) -> RosEntry {
+        let head = self
+            .entries
+            .pop_front()
+            .unwrap_or_else(|| panic!("commit of {id} with an empty reorder structure"));
+        assert_eq!(
+            head.id, id,
+            "commit must be in program order: expected {}, got {id}",
+            head.id
+        );
+        head
+    }
+
+    /// Remove every entry strictly younger than `id` (branch misprediction
+    /// recovery) or younger-or-equal (`inclusive = true`, exception
+    /// recovery), returning them youngest-first.
+    pub fn squash_after(&mut self, id: InstrId, inclusive: bool) -> Vec<RosEntry> {
+        let mut squashed = Vec::new();
+        while let Some(back) = self.entries.back() {
+            let kill = if inclusive { back.id >= id } else { back.id > id };
+            if kill {
+                squashed.push(self.entries.pop_back().expect("back exists"));
+            } else {
+                break;
+            }
+        }
+        squashed
+    }
+
+    /// Iterate oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RosEntry> {
+        self.entries.iter()
+    }
+
+    /// Drain every entry (exception recovery), youngest first.
+    pub fn drain_all(&mut self) -> Vec<RosEntry> {
+        let mut all: Vec<RosEntry> = self.entries.drain(..).collect();
+        all.reverse();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_isa::ArchReg;
+
+    fn entry(id: u64) -> RosEntry {
+        RosEntry {
+            id: InstrId(id),
+            srcs: [Some((ArchReg::int(1), PhysReg(1))), None],
+            dst: Some(DstRename {
+                arch: ArchReg::int(2),
+                phys: PhysReg(40),
+                prev: PhysReg(2),
+                reused: false,
+            }),
+            is_branch: false,
+            rel: [false; 3],
+            rel_old: true,
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut book = RosBook::new();
+        for id in [3, 7, 9, 20] {
+            book.push(entry(id));
+        }
+        assert_eq!(book.len(), 4);
+        assert!(book.get(InstrId(9)).is_some());
+        assert!(book.get(InstrId(10)).is_none());
+        assert_eq!(book.head().unwrap().id, InstrId(3));
+    }
+
+    #[test]
+    fn lookup_with_id_gaps() {
+        let mut book = RosBook::new();
+        book.push(entry(1));
+        book.push(entry(100));
+        book.push(entry(101));
+        assert!(book.get(InstrId(100)).is_some());
+        assert!(book.get(InstrId(50)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_push_panics() {
+        let mut book = RosBook::new();
+        book.push(entry(5));
+        book.push(entry(4));
+    }
+
+    #[test]
+    fn pop_head_in_order() {
+        let mut book = RosBook::new();
+        book.push(entry(1));
+        book.push(entry(2));
+        let e = book.pop_head(InstrId(1));
+        assert_eq!(e.id, InstrId(1));
+        assert_eq!(book.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn pop_head_out_of_order_panics() {
+        let mut book = RosBook::new();
+        book.push(entry(1));
+        book.push(entry(2));
+        let _ = book.pop_head(InstrId(2));
+    }
+
+    #[test]
+    fn squash_after_exclusive_keeps_the_pivot() {
+        let mut book = RosBook::new();
+        for id in 1..=6 {
+            book.push(entry(id));
+        }
+        let squashed = book.squash_after(InstrId(3), false);
+        assert_eq!(squashed.len(), 3);
+        assert_eq!(squashed[0].id, InstrId(6)); // youngest first
+        assert_eq!(book.len(), 3);
+        assert!(book.get(InstrId(3)).is_some());
+    }
+
+    #[test]
+    fn squash_after_inclusive_removes_the_pivot() {
+        let mut book = RosBook::new();
+        for id in 1..=4 {
+            book.push(entry(id));
+        }
+        let squashed = book.squash_after(InstrId(3), true);
+        assert_eq!(squashed.len(), 2);
+        assert!(book.get(InstrId(3)).is_none());
+        assert!(book.get(InstrId(2)).is_some());
+    }
+
+    #[test]
+    fn drain_all_empties_the_book() {
+        let mut book = RosBook::new();
+        for id in 1..=3 {
+            book.push(entry(id));
+        }
+        let drained = book.drain_all();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].id, InstrId(3));
+        assert!(book.is_empty());
+    }
+
+    #[test]
+    fn operand_phys_selects_the_right_slot() {
+        let e = entry(1);
+        assert_eq!(e.operand_phys(UseKind::Src1), Some((ArchReg::int(1), PhysReg(1))));
+        assert_eq!(e.operand_phys(UseKind::Src2), None);
+        assert_eq!(e.operand_phys(UseKind::Dst), Some((ArchReg::int(2), PhysReg(40))));
+    }
+}

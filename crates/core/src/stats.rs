@@ -1,0 +1,138 @@
+//! Release / allocation accounting.
+//!
+//! These counters are the raw material for the evaluation: how many registers
+//! were released by which path, how often the basic/extended mechanisms could
+//! retime a release, how many redefinitions fell back to the conventional
+//! path because of pending branches, and so on.
+
+use crate::types::ReleaseReason;
+use earlyreg_isa::RegClass;
+use serde::{Deserialize, Serialize};
+
+/// Per-class release/allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassReleaseStats {
+    /// Physical registers allocated (excluding the initial architectural
+    /// mappings and excluding reuses).
+    pub allocations: u64,
+    /// Redefinitions that reused the previous version's register
+    /// (Section 3.2 optimisation).
+    pub reuses: u64,
+    /// Conventional releases (at next-version commit).
+    pub conventional_releases: u64,
+    /// Early releases performed at the commit of the last-use instruction
+    /// (rel bits / RwC0).
+    pub early_at_lu_commit: u64,
+    /// Immediate releases performed at next-version decode (last use already
+    /// committed, no pending branches).
+    pub immediate_at_decode: u64,
+    /// Conditional releases performed when the oldest pending branch was
+    /// confirmed (RwNS1).
+    pub branch_confirm_releases: u64,
+    /// Registers of squashed instructions returned on branch misprediction.
+    pub squash_mispredict_frees: u64,
+    /// Registers of squashed instructions returned on exception recovery.
+    pub squash_exception_frees: u64,
+    /// Redefinitions that had to fall back to the conventional release path
+    /// because an unverified branch separated them from the last use
+    /// (only meaningful for the basic mechanism).
+    pub fallback_to_conventional: u64,
+    /// Redefinitions whose release was scheduled conditionally in the Release
+    /// Queue (extended mechanism only).
+    pub conditional_schedulings: u64,
+}
+
+impl ClassReleaseStats {
+    /// Total registers returned to the free list (all reasons, excluding
+    /// reuses which never leave the allocated state).
+    pub fn total_frees(&self) -> u64 {
+        self.conventional_releases
+            + self.early_at_lu_commit
+            + self.immediate_at_decode
+            + self.branch_confirm_releases
+            + self.squash_mispredict_frees
+            + self.squash_exception_frees
+    }
+
+    /// Total releases attributable to the early-release mechanisms
+    /// (including reuses, which end the previous version's lifetime early).
+    pub fn total_early(&self) -> u64 {
+        self.early_at_lu_commit + self.immediate_at_decode + self.branch_confirm_releases + self.reuses
+    }
+
+    /// Record a release by reason.
+    pub fn record_release(&mut self, reason: ReleaseReason) {
+        match reason {
+            ReleaseReason::Conventional => self.conventional_releases += 1,
+            ReleaseReason::EarlyAtLuCommit => self.early_at_lu_commit += 1,
+            ReleaseReason::ImmediateAtDecode => self.immediate_at_decode += 1,
+            ReleaseReason::Reused => self.reuses += 1,
+            ReleaseReason::BranchConfirm => self.branch_confirm_releases += 1,
+            ReleaseReason::SquashMispredict => self.squash_mispredict_frees += 1,
+            ReleaseReason::SquashException => self.squash_exception_frees += 1,
+        }
+    }
+}
+
+/// Combined release statistics for both register classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseStats {
+    /// Integer-file counters.
+    pub int: ClassReleaseStats,
+    /// FP-file counters.
+    pub fp: ClassReleaseStats,
+}
+
+impl ReleaseStats {
+    /// Counters for one class.
+    pub fn class(&self, class: RegClass) -> &ClassReleaseStats {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    /// Mutable counters for one class.
+    pub fn class_mut(&mut self, class: RegClass) -> &mut ClassReleaseStats {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_release_routes_to_the_right_counter() {
+        let mut s = ClassReleaseStats::default();
+        s.record_release(ReleaseReason::Conventional);
+        s.record_release(ReleaseReason::EarlyAtLuCommit);
+        s.record_release(ReleaseReason::EarlyAtLuCommit);
+        s.record_release(ReleaseReason::ImmediateAtDecode);
+        s.record_release(ReleaseReason::Reused);
+        s.record_release(ReleaseReason::BranchConfirm);
+        s.record_release(ReleaseReason::SquashMispredict);
+        s.record_release(ReleaseReason::SquashException);
+        assert_eq!(s.conventional_releases, 1);
+        assert_eq!(s.early_at_lu_commit, 2);
+        assert_eq!(s.immediate_at_decode, 1);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.branch_confirm_releases, 1);
+        assert_eq!(s.squash_mispredict_frees, 1);
+        assert_eq!(s.squash_exception_frees, 1);
+        assert_eq!(s.total_frees(), 7);
+        assert_eq!(s.total_early(), 5);
+    }
+
+    #[test]
+    fn per_class_access() {
+        let mut s = ReleaseStats::default();
+        s.class_mut(RegClass::Int).allocations = 3;
+        s.class_mut(RegClass::Fp).allocations = 5;
+        assert_eq!(s.class(RegClass::Int).allocations, 3);
+        assert_eq!(s.class(RegClass::Fp).allocations, 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. **Register reuse** (Section 3.2): when the last use has already
+//!    committed, the mechanisms may either release-and-reallocate or keep the
+//!    mapping and reuse the register.  Reuse avoids touching the free list
+//!    and is what the paper recommends.
+//! 2. **Speculation depth**: the number of unverified branches supported
+//!    bounds both the checkpoint stack and the Release Queue; shrinking it
+//!    saves hardware but stalls the front end earlier.
+//! 3. **Conditional releases** (the Release Queue itself): the extended
+//!    mechanism versus the basic mechanism's fallback to conventional release
+//!    under speculation — this isolates the contribution of Section 4.
+
+use crate::config::ExperimentOptions;
+use crate::metrics::harmonic_mean;
+use crate::report::{fmt, fmt_pct, TextTable};
+use earlyreg_core::ReleasePolicy;
+use earlyreg_sim::{MachineConfig, RunLimits, Simulator};
+use earlyreg_workloads::{suite, WorkloadClass};
+use serde::Serialize;
+
+/// Register-file size used by the ablation (tight enough for every knob to
+/// matter).
+pub const ABLATION_REGISTERS: usize = 48;
+
+/// One ablation variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Variant {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Release policy.
+    pub policy: ReleasePolicy,
+    /// Whether the reuse optimisation is enabled.
+    pub reuse: bool,
+    /// Maximum unverified branches (checkpoints / Release Queue depth).
+    pub max_pending_branches: usize,
+}
+
+/// The variants examined.
+pub const VARIANTS: [Variant; 6] = [
+    Variant {
+        name: "conventional",
+        policy: ReleasePolicy::Conventional,
+        reuse: true,
+        max_pending_branches: 20,
+    },
+    Variant {
+        name: "basic (no reuse)",
+        policy: ReleasePolicy::Basic,
+        reuse: false,
+        max_pending_branches: 20,
+    },
+    Variant {
+        name: "basic",
+        policy: ReleasePolicy::Basic,
+        reuse: true,
+        max_pending_branches: 20,
+    },
+    Variant {
+        name: "extended (no reuse)",
+        policy: ReleasePolicy::Extended,
+        reuse: false,
+        max_pending_branches: 20,
+    },
+    Variant {
+        name: "extended (4 branches)",
+        policy: ReleasePolicy::Extended,
+        reuse: true,
+        max_pending_branches: 4,
+    },
+    Variant {
+        name: "extended",
+        policy: ReleasePolicy::Extended,
+        reuse: true,
+        max_pending_branches: 20,
+    },
+];
+
+/// Harmonic-mean IPC of each group under each variant.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationResult {
+    /// (variant, int hmean IPC, fp hmean IPC) triples in [`VARIANTS`] order.
+    pub rows: Vec<(Variant, f64, f64)>,
+}
+
+/// Run the ablation.
+pub fn run(options: &ExperimentOptions) -> AblationResult {
+    let workloads = suite(options.scale);
+    let mut rows = Vec::new();
+    for variant in VARIANTS {
+        let mut int_ipcs = Vec::new();
+        let mut fp_ipcs = Vec::new();
+        for workload in &workloads {
+            let mut config =
+                MachineConfig::icpp02(variant.policy, ABLATION_REGISTERS, ABLATION_REGISTERS);
+            config.rename.reuse_on_committed_lu = variant.reuse;
+            config.rename.max_pending_branches = variant.max_pending_branches;
+            let mut sim = Simulator::new(config, &workload.program);
+            let stats = sim.run(RunLimits {
+                max_instructions: options.max_instructions,
+                max_cycles: options.max_instructions.saturating_mul(64).max(10_000_000),
+            });
+            match workload.class() {
+                WorkloadClass::Int => int_ipcs.push(stats.ipc()),
+                WorkloadClass::Fp => fp_ipcs.push(stats.ipc()),
+            }
+        }
+        rows.push((variant, harmonic_mean(&int_ipcs), harmonic_mean(&fp_ipcs)));
+    }
+    AblationResult { rows }
+}
+
+/// Render the ablation table.
+pub fn render(result: &AblationResult) -> String {
+    let baseline = result
+        .rows
+        .iter()
+        .find(|(v, _, _)| v.policy == ReleasePolicy::Conventional)
+        .map(|&(_, int, fp)| (int, fp))
+        .unwrap_or((1.0, 1.0));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation — design choices at {ABLATION_REGISTERS}int+{ABLATION_REGISTERS}fp registers\n\n"
+    ));
+    let mut table = TextTable::new(["variant", "int Hm IPC", "fp Hm IPC", "int vs conv", "fp vs conv"]);
+    for &(variant, int_ipc, fp_ipc) in &result.rows {
+        table.row([
+            variant.name.to_string(),
+            fmt(int_ipc, 3),
+            fmt(fp_ipc, 3),
+            fmt_pct(int_ipc / baseline.0 - 1.0),
+            fmt_pct(fp_ipc / baseline.1 - 1.0),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nnotes: the reuse optimisation mainly saves free-list traffic; a 4-deep speculation \
+         window throttles the branchy integer codes; the Release Queue (extended vs basic) is \
+         what recovers the early releases lost to unresolved branches\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_workloads::Scale;
+
+    #[test]
+    fn ablation_smoke_run_orders_variants_sensibly() {
+        let options = ExperimentOptions {
+            scale: Scale::Smoke,
+            threads: 2,
+            max_instructions: 15_000,
+        };
+        let result = run(&options);
+        assert_eq!(result.rows.len(), VARIANTS.len());
+        let ipc_of = |name: &str| {
+            result
+                .rows
+                .iter()
+                .find(|(v, _, _)| v.name == name)
+                .map(|&(_, int, fp)| (int, fp))
+                .unwrap()
+        };
+        let conv = ipc_of("conventional");
+        let extended = ipc_of("extended");
+        // The full extended mechanism must not lose to conventional release.
+        assert!(extended.0 >= conv.0 * 0.97);
+        assert!(extended.1 >= conv.1 * 0.97);
+        let text = render(&result);
+        assert!(text.contains("extended (4 branches)"));
+    }
+}

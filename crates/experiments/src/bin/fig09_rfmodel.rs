@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: access time and energy of the LUs Table and of the
+//! integer/FP register files as a function of the number of registers.
+use earlyreg_experiments::fig09;
+fn main() {
+    let result = fig09::run();
+    print!("{}", fig09::render(&result));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Section 4.4 cost analysis: the register-file energy
+//! balance and the storage cost of the extended mechanism.
+use earlyreg_experiments::sec44;
+fn main() {
+    let result = sec44::run();
+    print!("{}", sec44::render(&result));
+}

@@ -1,0 +1,5 @@
+//! Prints the paper's Table 1 (context: commercial processors with merged
+//! register files).  Nothing is simulated.
+fn main() {
+    print!("{}", earlyreg_experiments::context::render_table1());
+}

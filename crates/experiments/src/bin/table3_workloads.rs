@@ -1,0 +1,5 @@
+//! Prints the paper's Table 3 together with the synthetic kernels this
+//! reproduction substitutes for the SPEC95 programs.
+fn main() {
+    print!("{}", earlyreg_experiments::context::render_table3());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 4: register file sizes at which the extended mechanism
+//! matches the IPC of conventional release, and the storage saved.
+//!
+//! Usage: table4_equal_ipc [--scale smoke|bench|full] [--threads N]
+use earlyreg_experiments::{table4, ExperimentOptions};
+fn main() {
+    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = table4::run(&options);
+    print!("{}", table4::render(&result));
+}

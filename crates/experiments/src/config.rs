@@ -1,0 +1,120 @@
+//! Experiment-wide options.
+
+use earlyreg_workloads::Scale;
+use serde::{Deserialize, Serialize};
+
+/// The register-file sizes swept in Figure 11 (both panels use the same
+/// x-axis: 40–128 in steps of 8, plus 160).
+pub const FIG11_SIZES: [usize; 13] = [40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 160];
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOptions {
+    /// Workload scale (dynamic instruction budget per benchmark).
+    pub scale: Scale,
+    /// Worker threads for the simulation sweep (`0` = one per CPU).
+    pub threads: usize,
+    /// Cap on committed instructions per simulation point (a safety net on
+    /// top of the workload's own halt).
+    pub max_instructions: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            scale: Scale::Full,
+            threads: 0,
+            max_instructions: 5_000_000,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Options for the given scale with defaults for everything else.
+    pub fn with_scale(scale: Scale) -> Self {
+        ExperimentOptions {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Parse command-line arguments of the experiment binaries.
+    ///
+    /// Recognised flags: `--scale smoke|bench|full`, `--threads N`.
+    /// Unknown flags produce an error message listing the supported ones.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut options = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let value = iter.next().ok_or("--scale requires a value")?;
+                    options.scale = match value.as_str() {
+                        "smoke" => Scale::Smoke,
+                        "bench" => Scale::Bench,
+                        "full" => Scale::Full,
+                        other => return Err(format!("unknown scale '{other}' (smoke|bench|full)")),
+                    };
+                }
+                "--threads" => {
+                    let value = iter.next().ok_or("--threads requires a value")?;
+                    options.threads = value
+                        .parse()
+                        .map_err(|_| format!("invalid thread count '{value}'"))?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--scale smoke|bench|full] [--threads N]".to_string())
+                }
+                other => return Err(format!("unknown argument '{other}'; try --help")),
+            }
+        }
+        Ok(options)
+    }
+
+    /// Number of worker threads to actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_options() {
+        let o = ExperimentOptions::default();
+        assert_eq!(o.scale, Scale::Full);
+        assert!(o.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn parses_scale_and_threads() {
+        let o = ExperimentOptions::from_args(args(&["--scale", "smoke", "--threads", "3"])).unwrap();
+        assert_eq!(o.scale, Scale::Smoke);
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.effective_threads(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_arguments() {
+        assert!(ExperimentOptions::from_args(args(&["--bogus"])).is_err());
+        assert!(ExperimentOptions::from_args(args(&["--scale", "huge"])).is_err());
+        assert!(ExperimentOptions::from_args(args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn fig11_sizes_match_the_paper_axis() {
+        assert_eq!(FIG11_SIZES.first(), Some(&40));
+        assert_eq!(FIG11_SIZES.last(), Some(&160));
+        assert_eq!(FIG11_SIZES.len(), 13);
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 10 — per-benchmark IPC for a very tight 48int + 48FP register file
+//! under the conventional, basic and extended policies, plus the per-group
+//! harmonic means.
+//!
+//! Paper reference points: for FP codes the basic mechanism gains ≈ 6 % and
+//! the extended ≈ 8 % over conventional; for integer codes basic is ≈ neutral
+//! and extended gains ≈ 5 %.
+
+use crate::config::ExperimentOptions;
+use crate::metrics::{harmonic_mean, speedup};
+use crate::report::{fmt, fmt_pct, TextTable};
+use crate::runner::{cross_points, run_sweep, RunResult};
+use earlyreg_core::ReleasePolicy;
+use earlyreg_workloads::{suite, WorkloadClass};
+use serde::{Deserialize, Serialize};
+
+/// Register file size of Figure 10.
+pub const FIG10_REGISTERS: usize = 48;
+
+/// IPC of one benchmark under the three policies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub workload: String,
+    /// Benchmark group.
+    pub class: WorkloadClass,
+    /// IPC under conventional release.
+    pub conv: f64,
+    /// IPC under the basic mechanism.
+    pub basic: f64,
+    /// IPC under the extended mechanism.
+    pub extended: f64,
+}
+
+/// Full Figure 10 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Result {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl Fig10Result {
+    /// Harmonic-mean IPC of a group under a policy.
+    pub fn hmean(&self, class: WorkloadClass, policy: ReleasePolicy) -> f64 {
+        let values: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| match policy {
+                ReleasePolicy::Conventional => r.conv,
+                ReleasePolicy::Basic => r.basic,
+                ReleasePolicy::Extended => r.extended,
+            })
+            .collect();
+        harmonic_mean(&values)
+    }
+
+    /// Speedup of a policy over conventional for a group (harmonic means).
+    pub fn group_speedup(&self, class: WorkloadClass, policy: ReleasePolicy) -> f64 {
+        speedup(self.hmean(class, policy), self.hmean(class, ReleasePolicy::Conventional))
+    }
+}
+
+fn ipc_from(results: &[RunResult], workload: &str, policy: ReleasePolicy) -> f64 {
+    results
+        .iter()
+        .find(|r| r.point.workload == workload && r.point.policy == policy)
+        .map(|r| r.ipc())
+        .unwrap_or(0.0)
+}
+
+/// Run the Figure 10 experiment.
+pub fn run(options: &ExperimentOptions) -> Fig10Result {
+    let workloads = suite(options.scale);
+    let points = cross_points(&workloads, &ReleasePolicy::ALL, &[FIG10_REGISTERS]);
+    let results = run_sweep(options, points);
+    let rows = workloads
+        .iter()
+        .map(|w| Fig10Row {
+            workload: w.name().to_string(),
+            class: w.class(),
+            conv: ipc_from(&results, w.name(), ReleasePolicy::Conventional),
+            basic: ipc_from(&results, w.name(), ReleasePolicy::Basic),
+            extended: ipc_from(&results, w.name(), ReleasePolicy::Extended),
+        })
+        .collect();
+    Fig10Result { rows }
+}
+
+/// Render the Figure 10 table.
+pub fn render(result: &Fig10Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 10 — IPC with a {FIG10_REGISTERS}int+{FIG10_REGISTERS}fp register file\n\n"
+    ));
+    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+        let mut table = TextTable::new(["benchmark", "conv", "basic", "extended", "basic/conv", "ext/conv"]);
+        for row in result.rows.iter().filter(|r| r.class == class) {
+            table.row([
+                row.workload.clone(),
+                fmt(row.conv, 3),
+                fmt(row.basic, 3),
+                fmt(row.extended, 3),
+                fmt_pct(speedup(row.basic, row.conv)),
+                fmt_pct(speedup(row.extended, row.conv)),
+            ]);
+        }
+        table.row([
+            "Hm".to_string(),
+            fmt(result.hmean(class, ReleasePolicy::Conventional), 3),
+            fmt(result.hmean(class, ReleasePolicy::Basic), 3),
+            fmt(result.hmean(class, ReleasePolicy::Extended), 3),
+            fmt_pct(result.group_speedup(class, ReleasePolicy::Basic)),
+            fmt_pct(result.group_speedup(class, ReleasePolicy::Extended)),
+        ]);
+        out.push_str(&format!("{} programs\n", class.label()));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "paper reference (48+48): FP basic ≈ +6%, FP extended ≈ +8%, \
+         integer basic ≈ +0%, integer extended ≈ +5% over conventional\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_workloads::Scale;
+
+    #[test]
+    fn fig10_smoke_run_preserves_policy_ordering() {
+        let options = ExperimentOptions {
+            scale: Scale::Smoke,
+            threads: 2,
+            max_instructions: 30_000,
+        };
+        let result = run(&options);
+        assert_eq!(result.rows.len(), 10);
+        for row in &result.rows {
+            assert!(row.conv > 0.0, "{} has zero conventional IPC", row.workload);
+            // Early release must never hurt by more than simulation noise.
+            assert!(row.basic >= row.conv * 0.97, "{}: basic {} vs conv {}", row.workload, row.basic, row.conv);
+            assert!(row.extended >= row.conv * 0.97, "{}: ext {} vs conv {}", row.workload, row.extended, row.conv);
+        }
+        // At 48 registers the FP group must benefit from the extended scheme.
+        assert!(result.group_speedup(WorkloadClass::Fp, ReleasePolicy::Extended) > 0.0);
+        let text = render(&result);
+        assert!(text.contains("Hm"));
+        assert!(text.contains("ext/conv"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Metric helpers: means, speedups, equal-IPC interpolation.
+
+/// Harmonic mean — the paper reports `Hm` over each benchmark group in
+/// Figures 10 and 11.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum_inv: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    values.len() as f64 / sum_inv
+}
+
+/// Arithmetic mean — Figure 3 reports `Amean` of the occupancy breakdown.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Relative speedup of `new` over `baseline` (0.05 = 5 % faster).
+pub fn speedup(new: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        new / baseline - 1.0
+    }
+}
+
+/// Find the register-file size at which the `candidate` IPC curve reaches
+/// `target_ipc`, by linear interpolation over `(size, ipc)` samples sorted by
+/// size.  Returns `None` when the curve never reaches the target.
+///
+/// This is how Table 4 ("register file sizes giving equal IPC") is derived:
+/// the target is the conventional policy's IPC at some size, and the curve is
+/// the extended policy's IPC over the swept sizes.
+pub fn interpolate_equal_ipc(curve: &[(usize, f64)], target_ipc: f64) -> Option<f64> {
+    if curve.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<(usize, f64)> = curve.to_vec();
+    sorted.sort_by_key(|&(size, _)| size);
+    if sorted[0].1 >= target_ipc {
+        return Some(sorted[0].0 as f64);
+    }
+    for window in sorted.windows(2) {
+        let (s0, v0) = window[0];
+        let (s1, v1) = window[1];
+        if v0 < target_ipc && v1 >= target_ipc {
+            if (v1 - v0).abs() < 1e-12 {
+                return Some(s1 as f64);
+            }
+            let t = (target_ipc - v0) / (v1 - v0);
+            return Some(s0 as f64 + t * (s1 - s0) as f64);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // Harmonic mean is dominated by the slowest member.
+        let hm = harmonic_mean(&[1.0, 4.0]);
+        assert!((hm - 1.6).abs() < 1e-12);
+        assert!(hm < arithmetic_mean(&[1.0, 4.0]));
+    }
+
+    #[test]
+    fn arithmetic_mean_basics() {
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert!((arithmetic_mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_definition() {
+        assert!((speedup(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((speedup(0.9, 1.0) + 0.1).abs() < 1e-12);
+        assert_eq!(speedup(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn equal_ipc_interpolation() {
+        let curve = [(40, 1.0), (48, 1.5), (56, 2.0), (64, 2.1)];
+        // Exactly at a sample.
+        assert!((interpolate_equal_ipc(&curve, 1.5).unwrap() - 48.0).abs() < 1e-9);
+        // Between samples: 1.75 is halfway between 48 and 56.
+        assert!((interpolate_equal_ipc(&curve, 1.75).unwrap() - 52.0).abs() < 1e-9);
+        // Below the smallest sample.
+        assert_eq!(interpolate_equal_ipc(&curve, 0.5), Some(40.0));
+        // Unreachable target.
+        assert_eq!(interpolate_equal_ipc(&curve, 3.0), None);
+        // Empty curve.
+        assert_eq!(interpolate_equal_ipc(&[], 1.0), None);
+    }
+
+    #[test]
+    fn equal_ipc_handles_unsorted_input() {
+        let curve = [(56, 2.0), (40, 1.0), (48, 1.5)];
+        assert!((interpolate_equal_ipc(&curve, 1.75).unwrap() - 52.0).abs() < 1e-9);
+    }
+}

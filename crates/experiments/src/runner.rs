@@ -1,0 +1,180 @@
+//! Parallel execution of simulation points.
+//!
+//! Every experiment reduces to a set of *(workload, policy, register-file
+//! size)* points, each of which is an independent cycle-level simulation.
+//! [`run_sweep`] builds the workload suite once, distributes the points over
+//! a pool of worker threads through a crossbeam channel and collects the
+//! per-point statistics.
+
+use crate::config::ExperimentOptions;
+use earlyreg_core::ReleasePolicy;
+use earlyreg_sim::{MachineConfig, RunLimits, SimStats, Simulator};
+use earlyreg_workloads::{suite, Workload, WorkloadClass};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// One simulation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct RunPoint {
+    /// Workload name (must exist in the suite).
+    pub workload: &'static str,
+    /// Integer or FP benchmark group.
+    pub class: WorkloadClass,
+    /// Release policy.
+    pub policy: ReleasePolicy,
+    /// Integer physical registers.
+    pub phys_int: usize,
+    /// FP physical registers.
+    pub phys_fp: usize,
+}
+
+/// Statistics of one simulated point.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// The point that was simulated.
+    pub point: RunPoint,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Simulate a single point on the Table 2 machine.
+pub fn run_point(workload: &Workload, point: RunPoint, max_instructions: u64) -> RunResult {
+    let config = MachineConfig::icpp02(point.policy, point.phys_int, point.phys_fp);
+    let mut sim = Simulator::new(config, &workload.program);
+    let stats = sim.run(RunLimits {
+        max_instructions,
+        max_cycles: max_instructions.saturating_mul(64).max(10_000_000),
+    });
+    assert_eq!(
+        stats.oracle_violations, 0,
+        "{} under {:?} with {}int+{}fp registers read a discarded value",
+        point.workload, point.policy, point.phys_int, point.phys_fp
+    );
+    RunResult { point, stats }
+}
+
+/// Helper: build the canonical cross product of points for the given
+/// workloads, policies and (symmetric) register file sizes.
+pub fn cross_points(
+    workloads: &[Workload],
+    policies: &[ReleasePolicy],
+    sizes: &[usize],
+) -> Vec<RunPoint> {
+    let mut points = Vec::with_capacity(workloads.len() * policies.len() * sizes.len());
+    for w in workloads {
+        for &policy in policies {
+            for &size in sizes {
+                points.push(RunPoint {
+                    workload: w.name(),
+                    class: w.class(),
+                    policy,
+                    phys_int: size,
+                    phys_fp: size,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Run every point in parallel and return the results sorted by
+/// (workload, policy, size) for deterministic reporting.
+pub fn run_sweep(options: &ExperimentOptions, points: Vec<RunPoint>) -> Vec<RunResult> {
+    let workloads = suite(options.scale);
+    let results = Mutex::new(Vec::with_capacity(points.len()));
+    let (sender, receiver) = crossbeam::channel::unbounded::<RunPoint>();
+    for point in points {
+        sender.send(point).expect("channel is open");
+    }
+    drop(sender);
+
+    let threads = options.effective_threads().max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let receiver = receiver.clone();
+            let results = &results;
+            let workloads = &workloads;
+            let max_instructions = options.max_instructions;
+            scope.spawn(move || {
+                while let Ok(point) = receiver.recv() {
+                    let workload = workloads
+                        .iter()
+                        .find(|w| w.name() == point.workload)
+                        .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload));
+                    let result = run_point(workload, point, max_instructions);
+                    results.lock().push(result);
+                }
+            });
+        }
+    });
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|r| {
+        (
+            r.point.workload,
+            r.point.policy.label(),
+            r.point.phys_int,
+            r.point.phys_fp,
+        )
+    });
+    results
+}
+
+/// Select, from a result set, the IPC of a specific point.
+pub fn ipc_of(
+    results: &[RunResult],
+    workload: &str,
+    policy: ReleasePolicy,
+    phys_int: usize,
+) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| {
+            r.point.workload == workload && r.point.policy == policy && r.point.phys_int == phys_int
+        })
+        .map(|r| r.ipc())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_workloads::Scale;
+
+    #[test]
+    fn cross_points_covers_the_product() {
+        let workloads = suite(Scale::Smoke);
+        let points = cross_points(&workloads, &[ReleasePolicy::Conventional], &[48, 64]);
+        assert_eq!(points.len(), 10 * 1 * 2);
+    }
+
+    #[test]
+    fn sweep_runs_points_in_parallel_and_sorts_results() {
+        let options = ExperimentOptions {
+            scale: Scale::Smoke,
+            threads: 2,
+            max_instructions: 20_000,
+        };
+        let workloads = suite(Scale::Smoke);
+        let subset: Vec<Workload> = workloads
+            .into_iter()
+            .filter(|w| w.name() == "perl" || w.name() == "swim")
+            .collect();
+        let points = cross_points(&subset, &[ReleasePolicy::Conventional, ReleasePolicy::Extended], &[48]);
+        let results = run_sweep(&options, points);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.stats.committed > 1_000));
+        assert!(results.windows(2).all(|w| {
+            (w[0].point.workload, w[0].point.policy.label())
+                <= (w[1].point.workload, w[1].point.policy.label())
+        }));
+        assert!(ipc_of(&results, "perl", ReleasePolicy::Extended, 48).is_some());
+        assert!(ipc_of(&results, "perl", ReleasePolicy::Basic, 48).is_none());
+    }
+}

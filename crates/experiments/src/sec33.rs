@@ -1,0 +1,132 @@
+//! Section 3.3 — speedups of the *basic* mechanism alone.
+//!
+//! Paper reference points (average speedup of basic over conventional):
+//!
+//! * 64int + 64FP registers: ≈ 3 % for FP codes, negligible for integer codes;
+//! * 48int + 48FP registers: ≈ 6 % for FP codes, negligible for integer codes;
+//! * 40int + 40FP registers: ≈ 9 % for FP codes and ≈ 5 % for integer codes.
+
+use crate::config::ExperimentOptions;
+use crate::metrics::{harmonic_mean, speedup};
+use crate::report::{fmt, fmt_pct, TextTable};
+use crate::runner::{cross_points, run_sweep, RunResult};
+use earlyreg_core::ReleasePolicy;
+use earlyreg_workloads::{suite, WorkloadClass};
+use serde::{Deserialize, Serialize};
+
+/// Register sizes examined in Section 3.3.
+pub const SEC33_SIZES: [usize; 3] = [40, 48, 64];
+
+/// Speedup of the basic mechanism for one group at one size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Sec33Point {
+    /// Benchmark group.
+    pub class: WorkloadClass,
+    /// Registers per class.
+    pub size: usize,
+    /// Harmonic-mean IPC under conventional release.
+    pub conv_ipc: f64,
+    /// Harmonic-mean IPC under the basic mechanism.
+    pub basic_ipc: f64,
+}
+
+impl Sec33Point {
+    /// Speedup of basic over conventional.
+    pub fn speedup(&self) -> f64 {
+        speedup(self.basic_ipc, self.conv_ipc)
+    }
+}
+
+/// Full Section 3.3 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sec33Result {
+    /// All (group, size) points.
+    pub points: Vec<Sec33Point>,
+}
+
+impl Sec33Result {
+    /// Look up a point.
+    pub fn point(&self, class: WorkloadClass, size: usize) -> Option<&Sec33Point> {
+        self.points.iter().find(|p| p.class == class && p.size == size)
+    }
+}
+
+fn group_hmean(raw: &[RunResult], class: WorkloadClass, policy: ReleasePolicy, size: usize) -> f64 {
+    let values: Vec<f64> = raw
+        .iter()
+        .filter(|r| r.point.class == class && r.point.policy == policy && r.point.phys_int == size)
+        .map(|r| r.ipc())
+        .collect();
+    harmonic_mean(&values)
+}
+
+/// Run the Section 3.3 experiment.
+pub fn run(options: &ExperimentOptions) -> Sec33Result {
+    let workloads = suite(options.scale);
+    let points = cross_points(
+        &workloads,
+        &[ReleasePolicy::Conventional, ReleasePolicy::Basic],
+        &SEC33_SIZES,
+    );
+    let raw = run_sweep(options, points);
+    let mut out = Vec::new();
+    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+        for &size in &SEC33_SIZES {
+            out.push(Sec33Point {
+                class,
+                size,
+                conv_ipc: group_hmean(&raw, class, ReleasePolicy::Conventional, size),
+                basic_ipc: group_hmean(&raw, class, ReleasePolicy::Basic, size),
+            });
+        }
+    }
+    Sec33Result { points: out }
+}
+
+/// Render the Section 3.3 table.
+pub fn render(result: &Sec33Result) -> String {
+    let mut out = String::new();
+    out.push_str("Section 3.3 — speedup of the basic mechanism over conventional release\n\n");
+    let mut table = TextTable::new(["group", "registers", "conv IPC", "basic IPC", "speedup"]);
+    for point in &result.points {
+        table.row([
+            point.class.label().to_string(),
+            point.size.to_string(),
+            fmt(point.conv_ipc, 3),
+            fmt(point.basic_ipc, 3),
+            fmt_pct(point.speedup()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\npaper reference: FP ≈ +3% at 64, ≈ +6% at 48, ≈ +9% at 40 registers; \
+         integer ≈ +0% at 64/48 and ≈ +5% at 40 registers\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_workloads::Scale;
+
+    #[test]
+    fn sec33_smoke_run_is_consistent() {
+        let options = ExperimentOptions {
+            scale: Scale::Smoke,
+            threads: 2,
+            max_instructions: 25_000,
+        };
+        let result = run(&options);
+        assert_eq!(result.points.len(), 6);
+        for point in &result.points {
+            assert!(point.conv_ipc > 0.0);
+            assert!(point.basic_ipc >= point.conv_ipc * 0.97, "{point:?}");
+        }
+        // Tighter files cannot be faster than looser ones under the same policy.
+        let fp40 = result.point(WorkloadClass::Fp, 40).unwrap().conv_ipc;
+        let fp64 = result.point(WorkloadClass::Fp, 64).unwrap().conv_ipc;
+        assert!(fp64 >= fp40 * 0.98);
+        assert!(render(&result).contains("speedup"));
+    }
+}

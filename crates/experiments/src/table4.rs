@@ -1,0 +1,165 @@
+//! Table 4 — register file sizes giving equal IPC.
+//!
+//! The paper shows that the extended mechanism reaches the IPC of a
+//! conventional machine with a smaller register file:
+//!
+//! | group | conv | extended | saved |
+//! |-------|------|----------|-------|
+//! | FP    | 69   | 64       | 7.2 % |
+//! | FP    | 79   | 72       | 8.9 % |
+//! | int   | 64   | 56       | 12.5 % |
+//! | int   | 72   | 64       | 11.1 % |
+//!
+//! The reproduction measures the conventional harmonic-mean IPC at the
+//! paper's reference sizes and interpolates the extended-policy IPC curve to
+//! find the size at which it matches.
+
+use crate::config::ExperimentOptions;
+use crate::metrics::{harmonic_mean, interpolate_equal_ipc};
+use crate::report::{fmt, fmt_pct, TextTable};
+use crate::runner::{cross_points, run_sweep, RunResult};
+use earlyreg_core::ReleasePolicy;
+use earlyreg_workloads::{suite, Workload, WorkloadClass};
+use serde::{Deserialize, Serialize};
+
+/// Conventional reference sizes examined per group (paper's Table 4 rows).
+pub const CONV_SIZES_FP: [usize; 2] = [69, 79];
+/// Conventional reference sizes for the integer group.
+pub const CONV_SIZES_INT: [usize; 2] = [64, 72];
+/// Grid over which the extended-policy IPC curve is sampled.
+pub const EXTENDED_GRID: [usize; 9] = [40, 44, 48, 56, 64, 72, 80, 88, 96];
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Benchmark group.
+    pub class: WorkloadClass,
+    /// Conventional register file size (per class).
+    pub conv_size: usize,
+    /// Conventional harmonic-mean IPC at that size.
+    pub conv_ipc: f64,
+    /// Interpolated extended-policy size reaching the same IPC
+    /// (`None` when the extended curve never reaches it on the grid).
+    pub extended_size: Option<f64>,
+}
+
+impl Table4Row {
+    /// Fraction of registers saved.
+    pub fn saved_fraction(&self) -> Option<f64> {
+        self.extended_size
+            .map(|ext| (self.conv_size as f64 - ext) / self.conv_size as f64)
+    }
+}
+
+/// Full Table 4 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// Rows in the paper's order (FP pair, then integer pair).
+    pub rows: Vec<Table4Row>,
+}
+
+fn group_hmean(raw: &[RunResult], class: WorkloadClass, policy: ReleasePolicy, size: usize) -> f64 {
+    let values: Vec<f64> = raw
+        .iter()
+        .filter(|r| r.point.class == class && r.point.policy == policy && r.point.phys_int == size)
+        .map(|r| r.ipc())
+        .collect();
+    harmonic_mean(&values)
+}
+
+/// Run the Table 4 experiment.
+pub fn run(options: &ExperimentOptions) -> Table4Result {
+    let workloads = suite(options.scale);
+    let fp_workloads: Vec<Workload> = workloads.iter().filter(|w| w.class() == WorkloadClass::Fp).cloned().collect();
+    let int_workloads: Vec<Workload> = workloads.iter().filter(|w| w.class() == WorkloadClass::Int).cloned().collect();
+
+    let mut points = Vec::new();
+    points.extend(cross_points(&fp_workloads, &[ReleasePolicy::Conventional], &CONV_SIZES_FP));
+    points.extend(cross_points(&int_workloads, &[ReleasePolicy::Conventional], &CONV_SIZES_INT));
+    points.extend(cross_points(&fp_workloads, &[ReleasePolicy::Extended], &EXTENDED_GRID));
+    points.extend(cross_points(&int_workloads, &[ReleasePolicy::Extended], &EXTENDED_GRID));
+    let raw = run_sweep(options, points);
+
+    let mut rows = Vec::new();
+    for (class, conv_sizes) in [
+        (WorkloadClass::Fp, CONV_SIZES_FP),
+        (WorkloadClass::Int, CONV_SIZES_INT),
+    ] {
+        let curve: Vec<(usize, f64)> = EXTENDED_GRID
+            .iter()
+            .map(|&size| (size, group_hmean(&raw, class, ReleasePolicy::Extended, size)))
+            .collect();
+        for &conv_size in &conv_sizes {
+            let conv_ipc = group_hmean(&raw, class, ReleasePolicy::Conventional, conv_size);
+            let extended_size = interpolate_equal_ipc(&curve, conv_ipc);
+            rows.push(Table4Row {
+                class,
+                conv_size,
+                conv_ipc,
+                extended_size,
+            });
+        }
+    }
+    Table4Result { rows }
+}
+
+/// Render Table 4.
+pub fn render(result: &Table4Result) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4 — register file sizes giving equal IPC (per class)\n\n");
+    let mut table = TextTable::new(["group", "conv size", "conv IPC", "extended size", "saved"]);
+    for row in &result.rows {
+        table.row([
+            row.class.label().to_string(),
+            row.conv_size.to_string(),
+            fmt(row.conv_ipc, 3),
+            row.extended_size
+                .map(|s| fmt(s, 1))
+                .unwrap_or_else(|| "n/a".to_string()),
+            row.saved_fraction()
+                .map(fmt_pct)
+                .unwrap_or_else(|| "n/a".to_string()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\npaper reference: FP 69→64 (7.2% saved) and 79→72 (8.9%); \
+         integer 64→56 (12.5%) and 72→64 (11.1%)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_fraction_matches_definition() {
+        let row = Table4Row {
+            class: WorkloadClass::Fp,
+            conv_size: 80,
+            conv_ipc: 2.0,
+            extended_size: Some(72.0),
+        };
+        assert!((row.saved_fraction().unwrap() - 0.1).abs() < 1e-12);
+        let none = Table4Row {
+            extended_size: None,
+            ..row
+        };
+        assert_eq!(none.saved_fraction(), None);
+    }
+
+    #[test]
+    fn render_handles_missing_extended_sizes() {
+        let result = Table4Result {
+            rows: vec![Table4Row {
+                class: WorkloadClass::Int,
+                conv_size: 64,
+                conv_ipc: 1.5,
+                extended_size: None,
+            }],
+        };
+        let text = render(&result);
+        assert!(text.contains("n/a"));
+    }
+}

@@ -1,0 +1,425 @@
+//! Architectural emulator — the golden model.
+//!
+//! The emulator executes a [`Program`] one instruction at a time with purely
+//! architectural state (logical registers + memory).  The out-of-order
+//! simulator in `earlyreg-sim` must commit exactly the same instruction stream
+//! and produce the same final state (modulo registers holding provably dead
+//! values discarded by early release — see the paper's Section 4.3); the
+//! integration tests enforce this.
+
+use crate::instr::{Instruction, Opcode};
+use crate::program::Program;
+use crate::reg::{ArchReg, RegClass, NUM_LOGICAL_FP, NUM_LOGICAL_INT};
+use crate::semantics;
+use serde::{Deserialize, Serialize};
+
+/// Complete architectural state: logical registers plus data memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    /// Integer logical registers.
+    pub int_regs: [i64; NUM_LOGICAL_INT],
+    /// Floating-point logical registers.
+    pub fp_regs: [f64; NUM_LOGICAL_FP],
+    /// Word-addressed data memory (raw 64-bit patterns).
+    pub memory: Vec<u64>,
+}
+
+impl ArchState {
+    /// Fresh state with zeroed registers and the program's initial data image.
+    pub fn for_program(program: &Program) -> Self {
+        let mut memory = vec![0u64; program.memory_words];
+        memory[..program.data.len()].copy_from_slice(&program.data);
+        ArchState {
+            int_regs: [0; NUM_LOGICAL_INT],
+            fp_regs: [0.0; NUM_LOGICAL_FP],
+            memory,
+        }
+    }
+
+    /// Read a logical register as its raw 64-bit pattern.
+    pub fn read_raw(&self, reg: ArchReg) -> u64 {
+        match reg.class() {
+            RegClass::Int => self.int_regs[reg.index()] as u64,
+            RegClass::Fp => self.fp_regs[reg.index()].to_bits(),
+        }
+    }
+
+    /// Read an integer register.
+    #[inline]
+    pub fn read_int(&self, reg: ArchReg) -> i64 {
+        debug_assert_eq!(reg.class(), RegClass::Int);
+        self.int_regs[reg.index()]
+    }
+
+    /// Read an FP register.
+    #[inline]
+    pub fn read_fp(&self, reg: ArchReg) -> f64 {
+        debug_assert_eq!(reg.class(), RegClass::Fp);
+        self.fp_regs[reg.index()]
+    }
+
+    /// Write a register from a raw 64-bit pattern (class taken from `reg`).
+    pub fn write_raw(&mut self, reg: ArchReg, bits: u64) {
+        match reg.class() {
+            RegClass::Int => self.int_regs[reg.index()] = bits as i64,
+            RegClass::Fp => self.fp_regs[reg.index()] = f64::from_bits(bits),
+        }
+    }
+
+    /// A cheap order-sensitive fingerprint of the whole state, used by tests
+    /// to compare simulator and emulator outcomes quickly.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for &r in &self.int_regs {
+            mix(r as u64);
+        }
+        for &r in &self.fp_regs {
+            mix(r.to_bits());
+        }
+        for &w in &self.memory {
+            mix(w);
+        }
+        h
+    }
+}
+
+/// What a single emulation step did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// PC (instruction index) of the executed instruction.
+    pub pc: usize,
+    /// PC of the next instruction to execute.
+    pub next_pc: usize,
+    /// Whether the instruction was a conditional branch and, if so, whether it
+    /// was taken.
+    pub branch_taken: Option<bool>,
+    /// Effective word address for memory operations.
+    pub mem_addr: Option<usize>,
+    /// True if this instruction halted the program.
+    pub halted: bool,
+}
+
+/// Aggregate result of an emulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EmulationResult {
+    /// Dynamic instructions executed (including the halt).
+    pub instructions: u64,
+    /// Whether the program reached `Halt` (false = the instruction budget ran
+    /// out first).
+    pub halted: bool,
+    /// Dynamic conditional branches executed.
+    pub branches: u64,
+    /// How many of those were taken.
+    pub taken_branches: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+}
+
+impl EmulationResult {
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The architectural emulator.
+#[derive(Debug, Clone)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    /// Architectural state (public so tests can inspect/seed it).
+    pub state: ArchState,
+    pc: usize,
+    halted: bool,
+    result: EmulationResult,
+}
+
+impl<'p> Emulator<'p> {
+    /// Create an emulator positioned at the program entry point.
+    pub fn new(program: &'p Program) -> Self {
+        Emulator {
+            state: ArchState::for_program(program),
+            program,
+            pc: 0,
+            halted: false,
+            result: EmulationResult::default(),
+        }
+    }
+
+    /// Current program counter.
+    #[inline]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// True once a `Halt` has executed.
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn result(&self) -> EmulationResult {
+        self.result
+    }
+
+    fn operand_int(&self, reg: Option<ArchReg>) -> i64 {
+        match reg {
+            Some(r) if r.class() == RegClass::Int => self.state.read_int(r),
+            _ => 0,
+        }
+    }
+
+    fn operand_fp(&self, reg: Option<ArchReg>) -> f64 {
+        match reg {
+            Some(r) if r.class() == RegClass::Fp => self.state.read_fp(r),
+            _ => 0.0,
+        }
+    }
+
+    /// Execute one instruction.  Returns `None` once the program has halted
+    /// (or if the PC ran off the end of the program, which validated programs
+    /// cannot do).
+    pub fn step(&mut self) -> Option<StepOutcome> {
+        if self.halted {
+            return None;
+        }
+        let instr: Instruction = *self.program.fetch(self.pc)?;
+        let pc = self.pc;
+        let mut next_pc = pc + 1;
+        let mut branch_taken = None;
+        let mut mem_addr = None;
+
+        match instr.op {
+            Opcode::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Opcode::Nop => {}
+            Opcode::Jump => {
+                next_pc = instr.imm as usize;
+            }
+            Opcode::Branch(cond) => {
+                let a = self.operand_int(instr.src1);
+                let b = self.operand_int(instr.src2);
+                let taken = semantics::branch_taken(cond, a, b);
+                branch_taken = Some(taken);
+                self.result.branches += 1;
+                if taken {
+                    self.result.taken_branches += 1;
+                    next_pc = instr.imm as usize;
+                }
+            }
+            Opcode::LoadInt | Opcode::LoadFp => {
+                let base = self.operand_int(instr.src1);
+                let addr = semantics::effective_addr(base, instr.imm, self.state.memory.len());
+                mem_addr = Some(addr);
+                self.result.loads += 1;
+                let bits = self.state.memory[addr];
+                let dst = instr.dst.expect("loads have a destination");
+                match instr.op {
+                    Opcode::LoadInt => self.state.int_regs[dst.index()] = semantics::word_to_int(bits),
+                    Opcode::LoadFp => self.state.fp_regs[dst.index()] = semantics::word_to_fp(bits),
+                    _ => unreachable!(),
+                }
+            }
+            Opcode::StoreInt | Opcode::StoreFp => {
+                let base = self.operand_int(instr.src1);
+                let addr = semantics::effective_addr(base, instr.imm, self.state.memory.len());
+                mem_addr = Some(addr);
+                self.result.stores += 1;
+                let bits = match instr.op {
+                    Opcode::StoreInt => semantics::int_to_word(self.operand_int(instr.src2)),
+                    Opcode::StoreFp => semantics::fp_to_word(self.operand_fp(instr.src2)),
+                    _ => unreachable!(),
+                };
+                self.state.memory[addr] = bits;
+            }
+            _ => {
+                // Register-to-register computation.
+                let a_int = self.operand_int(instr.src1);
+                let b_int = self.operand_int(instr.src2);
+                let a_fp = self.operand_fp(instr.src1);
+                let b_fp = self.operand_fp(instr.src2);
+                match semantics::compute(instr.op, a_int, b_int, a_fp, b_fp, instr.imm) {
+                    semantics::ExecValue::Int(v) => {
+                        let dst = instr.dst.expect("int-result op has a destination");
+                        self.state.int_regs[dst.index()] = v;
+                    }
+                    semantics::ExecValue::Fp(v) => {
+                        let dst = instr.dst.expect("fp-result op has a destination");
+                        self.state.fp_regs[dst.index()] = v;
+                    }
+                    semantics::ExecValue::None => {}
+                }
+            }
+        }
+
+        self.result.instructions += 1;
+        self.result.halted = self.halted;
+        self.pc = next_pc;
+        Some(StepOutcome {
+            pc,
+            next_pc,
+            branch_taken,
+            mem_addr,
+            halted: self.halted,
+        })
+    }
+
+    /// Run until halt or until `max_instructions` have executed.
+    pub fn run(&mut self, max_instructions: u64) -> EmulationResult {
+        while !self.halted && self.result.instructions < max_instructions {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::BranchCond;
+
+    fn sum_program(n: i64) -> Program {
+        // r2 = sum of 1..=n computed with a loop; result stored to memory[0].
+        let mut b = ProgramBuilder::new("sum");
+        let i = ArchReg::int(1);
+        let acc = ArchReg::int(2);
+        let base = ArchReg::int(3);
+        b.li(i, n);
+        b.li(acc, 0);
+        b.li(base, 0);
+        let top = b.here();
+        b.add(acc, acc, i);
+        b.addi(i, i, -1);
+        b.branch(BranchCond::Gt, i, None, top);
+        b.store_int(base, 0, acc);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sum_loop_produces_expected_value() {
+        let p = sum_program(10);
+        let mut e = Emulator::new(&p);
+        let r = e.run(10_000);
+        assert!(r.halted);
+        assert_eq!(e.state.read_int(ArchReg::int(2)), 55);
+        assert_eq!(e.state.memory[0], 55);
+        assert_eq!(r.branches, 10);
+        assert_eq!(r.taken_branches, 9);
+        assert_eq!(r.stores, 1);
+    }
+
+    #[test]
+    fn instruction_budget_stops_execution() {
+        let p = sum_program(1_000_000);
+        let mut e = Emulator::new(&p);
+        let r = e.run(100);
+        assert!(!r.halted);
+        assert_eq!(r.instructions, 100);
+    }
+
+    #[test]
+    fn fp_dataflow_works() {
+        let mut b = ProgramBuilder::new("fp");
+        let f0 = ArchReg::fp(0);
+        let f1 = ArchReg::fp(1);
+        let f2 = ArchReg::fp(2);
+        let base = ArchReg::int(1);
+        b.li(base, 100);
+        b.fli(f0, 1.5);
+        b.fli(f1, 2.0);
+        b.fmul(f2, f0, f1);
+        b.fadd(f2, f2, f0);
+        b.store_fp(base, 0, f2);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Emulator::new(&p);
+        let r = e.run(100);
+        assert!(r.halted);
+        assert_eq!(e.state.read_fp(ArchReg::fp(2)), 4.5);
+        assert_eq!(f64::from_bits(e.state.memory[100]), 4.5);
+    }
+
+    #[test]
+    fn loads_see_initial_data_and_later_stores() {
+        let mut b = ProgramBuilder::new("mem");
+        let addr = b.data_i64(&[7, 8, 9]);
+        let base = ArchReg::int(1);
+        let v = ArchReg::int(2);
+        b.li(base, addr);
+        b.load_int(v, base, 2);
+        b.addi(v, v, 1);
+        b.store_int(base, 0, v);
+        b.load_int(v, base, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Emulator::new(&p);
+        e.run(100);
+        assert_eq!(e.state.read_int(ArchReg::int(2)), 10);
+        assert_eq!(e.state.memory[addr as usize], 10);
+    }
+
+    #[test]
+    fn step_outcome_reports_branches_and_memory() {
+        let p = sum_program(2);
+        let mut e = Emulator::new(&p);
+        // li, li, li
+        for _ in 0..3 {
+            let o = e.step().unwrap();
+            assert_eq!(o.branch_taken, None);
+        }
+        // add, addi
+        e.step().unwrap();
+        e.step().unwrap();
+        // branch (taken, i = 1 > 0)
+        let o = e.step().unwrap();
+        assert_eq!(o.branch_taken, Some(true));
+        assert_eq!(o.next_pc, 3);
+    }
+
+    #[test]
+    fn halt_stops_stepping() {
+        let p = sum_program(1);
+        let mut e = Emulator::new(&p);
+        e.run(1000);
+        assert!(e.halted());
+        assert!(e.step().is_none());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_state() {
+        let p = sum_program(3);
+        let mut e1 = Emulator::new(&p);
+        let mut e2 = Emulator::new(&p);
+        assert_eq!(e1.state.fingerprint(), e2.state.fingerprint());
+        e1.run(1000);
+        e2.run(2);
+        assert_ne!(e1.state.fingerprint(), e2.state.fingerprint());
+    }
+
+    #[test]
+    fn raw_register_accessors_round_trip() {
+        let p = sum_program(1);
+        let mut e = Emulator::new(&p);
+        e.state.write_raw(ArchReg::int(5), 42);
+        assert_eq!(e.state.read_raw(ArchReg::int(5)), 42);
+        e.state.write_raw(ArchReg::fp(5), 2.5f64.to_bits());
+        assert_eq!(e.state.read_fp(ArchReg::fp(5)), 2.5);
+    }
+}

@@ -1,0 +1,660 @@
+//! Instruction set definition.
+//!
+//! The opcode set is chosen so that every operation maps directly onto one of
+//! the functional-unit classes of the paper's Table 2:
+//!
+//! | Table 2 entry              | latency | [`FuClass`]      | opcodes |
+//! |----------------------------|---------|------------------|---------|
+//! | 8 × simple int             | 1       | [`FuClass::IntAlu`] | ALU, shifts, compares, moves, branches, jumps |
+//! | 4 × int mult               | 7       | [`FuClass::IntMul`] | `IMul`, `IDiv` |
+//! | 6 × simple FP              | 4       | [`FuClass::FpAdd`]  | `FAdd`, `FSub`, FP compares, conversions |
+//! | 4 × FP mult                | 4       | [`FuClass::FpMul`]  | `FMul` |
+//! | 4 × FP div                 | 16      | [`FuClass::FpDiv`]  | `FDiv`, `FSqrt` |
+//! | 4 × load/store             | cache   | [`FuClass::Mem`]    | loads and stores |
+//!
+//! Every instruction has at most two register sources, at most one register
+//! destination and one immediate, which is all the renaming machinery of the
+//! paper needs (the ROS fields in Figure 5 are exactly `r1, r2, rd`).
+
+use crate::reg::{ArchReg, RegClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Condition used by conditional branches.  The comparison is always between
+/// two *integer* values (the second operand defaults to zero when `src2` is
+/// absent), mirroring classic RISC ISAs where FP comparisons first produce an
+/// integer flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Taken when `a == b`.
+    Eq,
+    /// Taken when `a != b`.
+    Ne,
+    /// Taken when `a < b` (signed).
+    Lt,
+    /// Taken when `a >= b` (signed).
+    Ge,
+    /// Taken when `a <= b` (signed).
+    Le,
+    /// Taken when `a > b` (signed).
+    Gt,
+}
+
+impl BranchCond {
+    /// Evaluate the condition on two integer operands.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+        }
+    }
+
+    /// All conditions (used by generators and property tests).
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Le,
+        BranchCond::Gt,
+    ];
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "eq",
+            BranchCond::Ne => "ne",
+            BranchCond::Lt => "lt",
+            BranchCond::Ge => "ge",
+            BranchCond::Le => "le",
+            BranchCond::Gt => "gt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit class an instruction executes on (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Simple integer operations, branches, jumps (1-cycle latency).
+    IntAlu,
+    /// Integer multiply / divide (7-cycle latency).
+    IntMul,
+    /// Simple FP: add/sub/compare/convert (4-cycle latency).
+    FpAdd,
+    /// FP multiply (4-cycle latency).
+    FpMul,
+    /// FP divide / square root (16-cycle latency).
+    FpDiv,
+    /// Load/store port (latency determined by the memory hierarchy).
+    Mem,
+}
+
+impl FuClass {
+    /// All classes, for iteration.
+    pub const ALL: [FuClass; 6] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::FpAdd,
+        FuClass::FpMul,
+        FuClass::FpDiv,
+        FuClass::Mem,
+    ];
+
+    /// Dense index for per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuClass::IntAlu => 0,
+            FuClass::IntMul => 1,
+            FuClass::FpAdd => 2,
+            FuClass::FpMul => 3,
+            FuClass::FpDiv => 4,
+            FuClass::Mem => 5,
+        }
+    }
+
+    /// Execution latency in cycles used by the paper's Table 2 (memory
+    /// operations return 0 here: their latency comes from the cache model).
+    #[inline]
+    pub fn table2_latency(self) -> u32 {
+        match self {
+            FuClass::IntAlu => 1,
+            FuClass::IntMul => 7,
+            FuClass::FpAdd => 4,
+            FuClass::FpMul => 4,
+            FuClass::FpDiv => 16,
+            FuClass::Mem => 0,
+        }
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMul => "int-mul",
+            FuClass::FpAdd => "fp-add",
+            FuClass::FpMul => "fp-mul",
+            FuClass::FpDiv => "fp-div",
+            FuClass::Mem => "mem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation performed by an instruction.
+///
+/// Operand conventions (enforced by [`Instruction::validate`]):
+///
+/// * integer ALU / multiply ops read int sources and write an int dest;
+/// * `IAddImm` / `ILoadImm` use the immediate;
+/// * FP arithmetic reads FP sources and writes an FP dest;
+/// * `FCmpLt` / `FCmpEq` read FP sources and write an **int** dest;
+/// * `ItoF` reads an int source, writes an FP dest; `FtoI` the opposite;
+/// * loads compute the address as `int(src1) + imm` and write `dst` of the
+///   opcode's class; stores read the address from `src1` (int) and the data
+///   from `src2` (class per opcode);
+/// * branches compare `int(src1)` against `int(src2)` (or zero) and jump to
+///   the absolute instruction index `imm`; `Jump` is unconditional;
+/// * `Halt` stops the program; `Nop` does nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // ---- integer ALU (1 cycle) ----
+    /// `dst = src1 + src2`
+    IAdd,
+    /// `dst = src1 - src2`
+    ISub,
+    /// `dst = src1 & src2`
+    IAnd,
+    /// `dst = src1 | src2`
+    IOr,
+    /// `dst = src1 ^ src2`
+    IXor,
+    /// `dst = src1 << (src2 & 63)`
+    IShl,
+    /// `dst = src1 >> (src2 & 63)` (arithmetic)
+    IShr,
+    /// `dst = (src1 < src2) ? 1 : 0`
+    ISlt,
+    /// `dst = (src1 == src2) ? 1 : 0`
+    ISeq,
+    /// `dst = src1 + imm`
+    IAddImm,
+    /// `dst = src1 & imm`
+    IAndImm,
+    /// `dst = src1 ^ imm` (also used as "move/copy" with imm = 0)
+    IXorImm,
+    /// `dst = src1 << (imm & 63)`
+    IShlImm,
+    /// `dst = src1 >> (imm & 63)` (arithmetic)
+    IShrImm,
+    /// `dst = imm`
+    ILoadImm,
+
+    // ---- integer multiply/divide (7 cycles) ----
+    /// `dst = src1 * src2` (wrapping)
+    IMul,
+    /// `dst = src1 / src2` (wrapping; x/0 = 0)
+    IDiv,
+
+    // ---- simple FP (4 cycles) ----
+    /// `dst = src1 + src2`
+    FAdd,
+    /// `dst = src1 - src2`
+    FSub,
+    /// `dst = |src1|`
+    FAbs,
+    /// `dst = -src1`
+    FNeg,
+    /// `dst(int) = (src1 < src2) ? 1 : 0`
+    FCmpLt,
+    /// `dst(int) = (src1 == src2) ? 1 : 0`
+    FCmpEq,
+    /// `dst(fp) = src1(int) as f64`
+    ItoF,
+    /// `dst(int) = src1(fp) as i64` (saturating)
+    FtoI,
+    /// `dst(fp) = imm interpreted as an f64 bit pattern`
+    FLoadImm,
+
+    // ---- FP multiply (4 cycles) ----
+    /// `dst = src1 * src2`
+    FMul,
+
+    // ---- FP divide (16 cycles) ----
+    /// `dst = src1 / src2` (x/0 = 0.0)
+    FDiv,
+    /// `dst = sqrt(|src1|)`
+    FSqrt,
+
+    // ---- memory ----
+    /// `dst(int) = memory[src1 + imm]`
+    LoadInt,
+    /// `dst(fp) = memory[src1 + imm]`
+    LoadFp,
+    /// `memory[src1 + imm] = src2(int)`
+    StoreInt,
+    /// `memory[src1 + imm] = src2(fp)`
+    StoreFp,
+
+    // ---- control ----
+    /// Conditional branch to instruction index `imm`.
+    Branch(BranchCond),
+    /// Unconditional direct jump to instruction index `imm`.
+    Jump,
+    /// Stop the program.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Opcode {
+    /// Functional-unit class of the opcode.
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            IAdd | ISub | IAnd | IOr | IXor | IShl | IShr | ISlt | ISeq | IAddImm | IAndImm
+            | IXorImm | IShlImm | IShrImm | ILoadImm | Branch(_) | Jump | Halt | Nop => {
+                FuClass::IntAlu
+            }
+            IMul | IDiv => FuClass::IntMul,
+            FAdd | FSub | FAbs | FNeg | FCmpLt | FCmpEq | ItoF | FtoI | FLoadImm => FuClass::FpAdd,
+            FMul => FuClass::FpMul,
+            FDiv | FSqrt => FuClass::FpDiv,
+            LoadInt | LoadFp | StoreInt | StoreFp => FuClass::Mem,
+        }
+    }
+
+    /// Class of the destination register, if the opcode writes one.
+    pub fn dst_class(self) -> Option<RegClass> {
+        use Opcode::*;
+        match self {
+            IAdd | ISub | IAnd | IOr | IXor | IShl | IShr | ISlt | ISeq | IAddImm | IAndImm
+            | IXorImm | IShlImm | IShrImm | ILoadImm | IMul | IDiv | FCmpLt | FCmpEq | FtoI
+            | LoadInt => Some(RegClass::Int),
+            FAdd | FSub | FAbs | FNeg | ItoF | FLoadImm | FMul | FDiv | FSqrt | LoadFp => {
+                Some(RegClass::Fp)
+            }
+            StoreInt | StoreFp | Branch(_) | Jump | Halt | Nop => None,
+        }
+    }
+
+    /// Classes expected for `src1` and `src2` (None = the operand is unused).
+    pub fn src_classes(self) -> (Option<RegClass>, Option<RegClass>) {
+        use Opcode::*;
+        match self {
+            IAdd | ISub | IAnd | IOr | IXor | IShl | IShr | ISlt | ISeq | IMul | IDiv => {
+                (Some(RegClass::Int), Some(RegClass::Int))
+            }
+            IAddImm | IAndImm | IXorImm | IShlImm | IShrImm => (Some(RegClass::Int), None),
+            ILoadImm => (None, None),
+            FAdd | FSub | FMul | FDiv | FCmpLt | FCmpEq => (Some(RegClass::Fp), Some(RegClass::Fp)),
+            FAbs | FNeg | FSqrt | FtoI => (Some(RegClass::Fp), None),
+            ItoF => (Some(RegClass::Int), None),
+            FLoadImm => (None, None),
+            LoadInt | LoadFp => (Some(RegClass::Int), None),
+            StoreInt => (Some(RegClass::Int), Some(RegClass::Int)),
+            StoreFp => (Some(RegClass::Int), Some(RegClass::Fp)),
+            // A branch may compare against zero, in which case src2 is absent;
+            // validation treats src2 as optional for branches.
+            Branch(_) => (Some(RegClass::Int), Some(RegClass::Int)),
+            Jump | Halt | Nop => (None, None),
+        }
+    }
+
+    /// True for conditional branches.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Branch(_))
+    }
+
+    /// True for any control transfer (conditional branch or jump).
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(self, Opcode::Branch(_) | Opcode::Jump)
+    }
+
+    /// True for loads.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::LoadInt | Opcode::LoadFp)
+    }
+
+    /// True for stores.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::StoreInt | Opcode::StoreFp)
+    }
+
+    /// True for memory operations.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Short mnemonic.
+    pub fn mnemonic(self) -> String {
+        use Opcode::*;
+        match self {
+            IAdd => "add".into(),
+            ISub => "sub".into(),
+            IAnd => "and".into(),
+            IOr => "or".into(),
+            IXor => "xor".into(),
+            IShl => "shl".into(),
+            IShr => "shr".into(),
+            ISlt => "slt".into(),
+            ISeq => "seq".into(),
+            IAddImm => "addi".into(),
+            IAndImm => "andi".into(),
+            IXorImm => "xori".into(),
+            IShlImm => "shli".into(),
+            IShrImm => "shri".into(),
+            ILoadImm => "li".into(),
+            IMul => "mul".into(),
+            IDiv => "div".into(),
+            FAdd => "fadd".into(),
+            FSub => "fsub".into(),
+            FAbs => "fabs".into(),
+            FNeg => "fneg".into(),
+            FCmpLt => "fclt".into(),
+            FCmpEq => "fceq".into(),
+            ItoF => "itof".into(),
+            FtoI => "ftoi".into(),
+            FLoadImm => "fli".into(),
+            FMul => "fmul".into(),
+            FDiv => "fdiv".into(),
+            FSqrt => "fsqrt".into(),
+            LoadInt => "ld".into(),
+            LoadFp => "fld".into(),
+            StoreInt => "st".into(),
+            StoreFp => "fst".into(),
+            Branch(c) => format!("b{c}"),
+            Jump => "j".into(),
+            Halt => "halt".into(),
+            Nop => "nop".into(),
+        }
+    }
+}
+
+/// A single machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// First source register, if any.
+    pub src1: Option<ArchReg>,
+    /// Second source register, if any.
+    pub src2: Option<ArchReg>,
+    /// Immediate: ALU constant, memory offset, branch/jump target (absolute
+    /// instruction index) or raw f64 bits for `FLoadImm`.
+    pub imm: i64,
+}
+
+impl Instruction {
+    /// A no-op instruction.
+    pub fn nop() -> Self {
+        Instruction {
+            op: Opcode::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// A halt instruction.
+    pub fn halt() -> Self {
+        Instruction {
+            op: Opcode::Halt,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// Iterate over the source registers that are present.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+
+    /// Check operand classes and presence against the opcode contract.
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let (c1, c2) = self.op.src_classes();
+        // Destination.
+        match (self.op.dst_class(), self.dst) {
+            (Some(c), Some(r)) if r.class() != c => {
+                return Err(format!(
+                    "{}: destination {r} has class {} but the opcode writes {}",
+                    self.op.mnemonic(),
+                    r.class(),
+                    c
+                ));
+            }
+            (Some(_), None) => {
+                return Err(format!("{}: missing destination register", self.op.mnemonic()))
+            }
+            (None, Some(r)) => {
+                return Err(format!(
+                    "{}: unexpected destination register {r}",
+                    self.op.mnemonic()
+                ))
+            }
+            _ => {}
+        }
+        // Source 1.
+        match (c1, self.src1) {
+            (Some(c), Some(r)) if r.class() != c => {
+                return Err(format!(
+                    "{}: source 1 {r} has class {} but the opcode reads {}",
+                    self.op.mnemonic(),
+                    r.class(),
+                    c
+                ));
+            }
+            (Some(_), None) => {
+                return Err(format!("{}: missing source register 1", self.op.mnemonic()))
+            }
+            (None, Some(r)) => {
+                return Err(format!("{}: unexpected source register 1 {r}", self.op.mnemonic()))
+            }
+            _ => {}
+        }
+        // Source 2 — optional for branches (compare against zero).
+        match (c2, self.src2) {
+            (Some(c), Some(r)) if r.class() != c => {
+                return Err(format!(
+                    "{}: source 2 {r} has class {} but the opcode reads {}",
+                    self.op.mnemonic(),
+                    r.class(),
+                    c
+                ));
+            }
+            (Some(_), None) if !self.op.is_cond_branch() && !self.op.is_store() => {
+                return Err(format!("{}: missing source register 2", self.op.mnemonic()))
+            }
+            (Some(_), None) if self.op.is_store() => {
+                return Err(format!("{}: store is missing its data register", self.op.mnemonic()))
+            }
+            (None, Some(r)) => {
+                return Err(format!("{}: unexpected source register 2 {r}", self.op.mnemonic()))
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op.mnemonic())?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src1 {
+            write!(f, ", {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, ", {s}")?;
+        }
+        if self.imm != 0 || self.op.is_control() || matches!(self.op, Opcode::ILoadImm | Opcode::FLoadImm)
+        {
+            write!(f, ", #{}", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_class_latencies_match_table2() {
+        assert_eq!(FuClass::IntAlu.table2_latency(), 1);
+        assert_eq!(FuClass::IntMul.table2_latency(), 7);
+        assert_eq!(FuClass::FpAdd.table2_latency(), 4);
+        assert_eq!(FuClass::FpMul.table2_latency(), 4);
+        assert_eq!(FuClass::FpDiv.table2_latency(), 16);
+        assert_eq!(FuClass::Mem.table2_latency(), 0);
+    }
+
+    #[test]
+    fn opcode_fu_classes() {
+        assert_eq!(Opcode::IAdd.fu_class(), FuClass::IntAlu);
+        assert_eq!(Opcode::IMul.fu_class(), FuClass::IntMul);
+        assert_eq!(Opcode::FAdd.fu_class(), FuClass::FpAdd);
+        assert_eq!(Opcode::FMul.fu_class(), FuClass::FpMul);
+        assert_eq!(Opcode::FDiv.fu_class(), FuClass::FpDiv);
+        assert_eq!(Opcode::LoadFp.fu_class(), FuClass::Mem);
+        assert_eq!(Opcode::Branch(BranchCond::Eq).fu_class(), FuClass::IntAlu);
+    }
+
+    #[test]
+    fn dst_classes() {
+        assert_eq!(Opcode::IAdd.dst_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::FAdd.dst_class(), Some(RegClass::Fp));
+        assert_eq!(Opcode::FCmpLt.dst_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::ItoF.dst_class(), Some(RegClass::Fp));
+        assert_eq!(Opcode::StoreInt.dst_class(), None);
+        assert_eq!(Opcode::Branch(BranchCond::Lt).dst_class(), None);
+    }
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(!BranchCond::Eq.eval(3, 4));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(-1, 0));
+        assert!(BranchCond::Ge.eval(0, 0));
+        assert!(BranchCond::Le.eval(-5, -5));
+        assert!(BranchCond::Gt.eval(7, 2));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_instruction() {
+        let i = Instruction {
+            op: Opcode::IAdd,
+            dst: Some(ArchReg::int(1)),
+            src1: Some(ArchReg::int(2)),
+            src2: Some(ArchReg::int(3)),
+            imm: 0,
+        };
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_class_mismatch() {
+        let i = Instruction {
+            op: Opcode::IAdd,
+            dst: Some(ArchReg::fp(1)),
+            src1: Some(ArchReg::int(2)),
+            src2: Some(ArchReg::int(3)),
+            imm: 0,
+        };
+        assert!(i.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_dest() {
+        let i = Instruction {
+            op: Opcode::IAdd,
+            dst: None,
+            src1: Some(ArchReg::int(2)),
+            src2: Some(ArchReg::int(3)),
+            imm: 0,
+        };
+        assert!(i.validate().is_err());
+    }
+
+    #[test]
+    fn validate_allows_branch_against_zero() {
+        let i = Instruction {
+            op: Opcode::Branch(BranchCond::Ne),
+            dst: None,
+            src1: Some(ArchReg::int(4)),
+            src2: None,
+            imm: 10,
+        };
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_store_without_data() {
+        let i = Instruction {
+            op: Opcode::StoreInt,
+            dst: None,
+            src1: Some(ArchReg::int(4)),
+            src2: None,
+            imm: 10,
+        };
+        assert!(i.validate().is_err());
+    }
+
+    #[test]
+    fn validate_mixed_class_store() {
+        let i = Instruction {
+            op: Opcode::StoreFp,
+            dst: None,
+            src1: Some(ArchReg::int(4)),
+            src2: Some(ArchReg::fp(9)),
+            imm: 8,
+        };
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let i = Instruction {
+            op: Opcode::IAddImm,
+            dst: Some(ArchReg::int(1)),
+            src1: Some(ArchReg::int(2)),
+            src2: None,
+            imm: 42,
+        };
+        assert_eq!(i.to_string(), "addi r1, r2, #42");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Opcode::Branch(BranchCond::Eq).is_cond_branch());
+        assert!(Opcode::Jump.is_control());
+        assert!(!Opcode::Jump.is_cond_branch());
+        assert!(Opcode::LoadInt.is_load());
+        assert!(Opcode::StoreFp.is_store());
+        assert!(Opcode::StoreFp.is_mem());
+        assert!(!Opcode::IAdd.is_mem());
+    }
+}

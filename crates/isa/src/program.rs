@@ -1,0 +1,325 @@
+//! Program container.
+//!
+//! A [`Program`] is a flat list of instructions (the "text" segment, addressed
+//! by instruction index) plus an initial data-memory image (word addressed).
+//! Programs are fully static — there is no loader, no relocation and no
+//! self-modifying code — which keeps both the emulator and the cycle-level
+//! simulator's fetch stage simple and deterministic.
+
+use crate::instr::{Instruction, Opcode};
+use crate::reg::RegClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default data-memory size in 64-bit words (1 MiW = 8 MiB), large enough for
+/// every synthetic workload in `earlyreg-workloads`.
+pub const DEFAULT_MEMORY_WORDS: usize = 1 << 20;
+
+/// Errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// An instruction failed operand validation.
+    BadInstruction {
+        /// Instruction index.
+        index: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A control-flow target points outside the program.
+    BadTarget {
+        /// Instruction index of the branch/jump.
+        index: usize,
+        /// The out-of-range target.
+        target: i64,
+    },
+    /// The program has no `Halt` instruction (it could never terminate).
+    NoHalt,
+    /// The initial data image is larger than the requested memory size.
+    DataTooLarge {
+        /// Words in the initial image.
+        data_words: usize,
+        /// Total memory words.
+        memory_words: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program is empty"),
+            ProgramError::BadInstruction { index, reason } => {
+                write!(f, "instruction {index} is malformed: {reason}")
+            }
+            ProgramError::BadTarget { index, target } => {
+                write!(f, "instruction {index} has an out-of-range target {target}")
+            }
+            ProgramError::NoHalt => write!(f, "program has no halt instruction"),
+            ProgramError::DataTooLarge {
+                data_words,
+                memory_words,
+            } => write!(
+                f,
+                "initial data image ({data_words} words) exceeds memory size ({memory_words} words)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Static footprint statistics of a program (used by workload metadata and
+/// reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StaticMix {
+    /// Total static instructions.
+    pub total: usize,
+    /// Conditional branches.
+    pub branches: usize,
+    /// Unconditional jumps.
+    pub jumps: usize,
+    /// Loads.
+    pub loads: usize,
+    /// Stores.
+    pub stores: usize,
+    /// Instructions writing an integer register.
+    pub int_writers: usize,
+    /// Instructions writing an FP register.
+    pub fp_writers: usize,
+}
+
+/// A complete program: instructions plus initial data memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable name (e.g. the synthetic workload name).
+    pub name: String,
+    /// The instruction stream; the entry point is index 0.
+    pub instrs: Vec<Instruction>,
+    /// Initial contents of data memory (word 0 upwards); the remainder of
+    /// memory is zero-filled.
+    pub data: Vec<u64>,
+    /// Total data-memory size in 64-bit words.
+    pub memory_words: usize,
+}
+
+impl Program {
+    /// Create a program with the default memory size.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instruction>) -> Self {
+        Program {
+            name: name.into(),
+            instrs,
+            data: Vec::new(),
+            memory_words: DEFAULT_MEMORY_WORDS,
+        }
+    }
+
+    /// Create a program with an explicit initial data image and memory size.
+    pub fn with_data(
+        name: impl Into<String>,
+        instrs: Vec<Instruction>,
+        data: Vec<u64>,
+        memory_words: usize,
+    ) -> Self {
+        Program {
+            name: name.into(),
+            instrs,
+            data,
+            memory_words,
+        }
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Fetch the instruction at `pc`, if it exists.
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> Option<&Instruction> {
+        self.instrs.get(pc)
+    }
+
+    /// Validate the whole program: operand classes, control-flow targets,
+    /// presence of a halt, data image size.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.data.len() > self.memory_words {
+            return Err(ProgramError::DataTooLarge {
+                data_words: self.data.len(),
+                memory_words: self.memory_words,
+            });
+        }
+        let mut has_halt = false;
+        for (index, instr) in self.instrs.iter().enumerate() {
+            if let Err(reason) = instr.validate() {
+                return Err(ProgramError::BadInstruction { index, reason });
+            }
+            if instr.op.is_control() {
+                let target = instr.imm;
+                if target < 0 || target as usize >= self.instrs.len() {
+                    return Err(ProgramError::BadTarget { index, target });
+                }
+            }
+            if instr.op == Opcode::Halt {
+                has_halt = true;
+            }
+        }
+        if !has_halt {
+            return Err(ProgramError::NoHalt);
+        }
+        Ok(())
+    }
+
+    /// Compute the static instruction mix.
+    pub fn static_mix(&self) -> StaticMix {
+        let mut mix = StaticMix {
+            total: self.instrs.len(),
+            ..StaticMix::default()
+        };
+        for instr in &self.instrs {
+            if instr.op.is_cond_branch() {
+                mix.branches += 1;
+            }
+            if instr.op == Opcode::Jump {
+                mix.jumps += 1;
+            }
+            if instr.op.is_load() {
+                mix.loads += 1;
+            }
+            if instr.op.is_store() {
+                mix.stores += 1;
+            }
+            match instr.op.dst_class() {
+                Some(RegClass::Int) => mix.int_writers += 1,
+                Some(RegClass::Fp) => mix.fp_writers += 1,
+                None => {}
+            }
+        }
+        mix
+    }
+
+    /// Render a human-readable disassembly listing (used by examples and
+    /// debugging).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::with_capacity(self.instrs.len() * 24);
+        out.push_str(&format!("; program: {} ({} instructions)\n", self.name, self.len()));
+        for (i, instr) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{i:6}:  {instr}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BranchCond;
+    use crate::reg::ArchReg;
+
+    fn tiny_program() -> Program {
+        Program::new(
+            "tiny",
+            vec![
+                Instruction {
+                    op: Opcode::ILoadImm,
+                    dst: Some(ArchReg::int(1)),
+                    src1: None,
+                    src2: None,
+                    imm: 10,
+                },
+                Instruction {
+                    op: Opcode::IAddImm,
+                    dst: Some(ArchReg::int(1)),
+                    src1: Some(ArchReg::int(1)),
+                    src2: None,
+                    imm: -1,
+                },
+                Instruction {
+                    op: Opcode::Branch(BranchCond::Gt),
+                    dst: None,
+                    src1: Some(ArchReg::int(1)),
+                    src2: None,
+                    imm: 1,
+                },
+                Instruction::halt(),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_program_passes_validation() {
+        assert!(tiny_program().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = Program::new("empty", vec![]);
+        assert_eq!(p.validate(), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn missing_halt_rejected() {
+        let mut p = tiny_program();
+        p.instrs.pop();
+        p.instrs.push(Instruction::nop());
+        assert_eq!(p.validate(), Err(ProgramError::NoHalt));
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut p = tiny_program();
+        p.instrs[2].imm = 100;
+        assert!(matches!(p.validate(), Err(ProgramError::BadTarget { index: 2, target: 100 })));
+    }
+
+    #[test]
+    fn malformed_instruction_rejected() {
+        let mut p = tiny_program();
+        p.instrs[0].dst = Some(ArchReg::fp(0));
+        assert!(matches!(p.validate(), Err(ProgramError::BadInstruction { index: 0, .. })));
+    }
+
+    #[test]
+    fn oversized_data_rejected() {
+        let mut p = tiny_program();
+        p.memory_words = 4;
+        p.data = vec![0; 8];
+        assert!(matches!(p.validate(), Err(ProgramError::DataTooLarge { .. })));
+    }
+
+    #[test]
+    fn static_mix_counts() {
+        let mix = tiny_program().static_mix();
+        assert_eq!(mix.total, 4);
+        assert_eq!(mix.branches, 1);
+        assert_eq!(mix.jumps, 0);
+        assert_eq!(mix.int_writers, 2);
+        assert_eq!(mix.fp_writers, 0);
+    }
+
+    #[test]
+    fn disassembly_mentions_every_instruction() {
+        let p = tiny_program();
+        let d = p.disassemble();
+        assert!(d.contains("li r1"));
+        assert!(d.contains("halt"));
+        assert_eq!(d.lines().count(), p.len() + 1);
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = tiny_program();
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(p.len()).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Architectural (logical) registers.
+//!
+//! The paper assumes the MIPS/Alpha-style split of **L = 32 integer** and
+//! **32 floating-point** logical registers (Section 2: "MIPS ISA has L=32
+//! logical integer registers").  Physical registers are a separate concept
+//! and live in `earlyreg-core`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer logical registers (the paper's `L` for the integer file).
+pub const NUM_LOGICAL_INT: usize = 32;
+/// Number of floating-point logical registers.
+pub const NUM_LOGICAL_FP: usize = 32;
+
+/// The two register classes of the machine.
+///
+/// The paper keeps two independent merged register files (integer and FP),
+/// each with its own free list, map table and — for the proposed mechanisms —
+/// its own Last-Uses Table.  Everything in this workspace that is keyed by a
+/// register therefore also carries its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer registers (`r0..r31`).
+    Int,
+    /// Floating-point registers (`f0..f31`).
+    Fp,
+}
+
+impl RegClass {
+    /// Both classes, in a fixed order (useful for iterating per-class state).
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// Number of logical registers in this class.
+    #[inline]
+    pub fn num_logical(self) -> usize {
+        match self {
+            RegClass::Int => NUM_LOGICAL_INT,
+            RegClass::Fp => NUM_LOGICAL_FP,
+        }
+    }
+
+    /// Short lowercase name used in reports ("int" / "fp").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RegClass::Int => "int",
+            RegClass::Fp => "fp",
+        }
+    }
+
+    /// Index (0 = int, 1 = fp) for dense per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// An architectural ("logical") register: a class plus an index inside the
+/// class.
+///
+/// The paper calls these *logical registers* (`rd`, `rs1`, `rs2` in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Create an integer register `r<index>`.
+    ///
+    /// # Panics
+    /// Panics if `index >= NUM_LOGICAL_INT`.
+    #[inline]
+    pub fn int(index: usize) -> Self {
+        assert!(
+            index < NUM_LOGICAL_INT,
+            "integer register index {index} out of range (max {NUM_LOGICAL_INT})"
+        );
+        ArchReg {
+            class: RegClass::Int,
+            index: index as u8,
+        }
+    }
+
+    /// Create a floating-point register `f<index>`.
+    ///
+    /// # Panics
+    /// Panics if `index >= NUM_LOGICAL_FP`.
+    #[inline]
+    pub fn fp(index: usize) -> Self {
+        assert!(
+            index < NUM_LOGICAL_FP,
+            "fp register index {index} out of range (max {NUM_LOGICAL_FP})"
+        );
+        ArchReg {
+            class: RegClass::Fp,
+            index: index as u8,
+        }
+    }
+
+    /// Create a register of the given class.
+    #[inline]
+    pub fn new(class: RegClass, index: usize) -> Self {
+        match class {
+            RegClass::Int => ArchReg::int(index),
+            RegClass::Fp => ArchReg::fp(index),
+        }
+    }
+
+    /// The register class.
+    #[inline]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index of the register within its class.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Iterate over all logical registers of a class.
+    pub fn all(class: RegClass) -> impl Iterator<Item = ArchReg> {
+        (0..class.num_logical()).map(move |i| ArchReg::new(class, i))
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_class_counts() {
+        assert_eq!(RegClass::Int.num_logical(), 32);
+        assert_eq!(RegClass::Fp.num_logical(), 32);
+        assert_eq!(RegClass::ALL.len(), 2);
+    }
+
+    #[test]
+    fn construct_and_display() {
+        let r = ArchReg::int(5);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.index(), 5);
+        assert_eq!(r.to_string(), "r5");
+
+        let f = ArchReg::fp(31);
+        assert_eq!(f.class(), RegClass::Fp);
+        assert_eq!(f.index(), 31);
+        assert_eq!(f.to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_index_out_of_range_panics() {
+        let _ = ArchReg::fp(200);
+    }
+
+    #[test]
+    fn all_iterates_every_register_once() {
+        let ints: Vec<_> = ArchReg::all(RegClass::Int).collect();
+        assert_eq!(ints.len(), NUM_LOGICAL_INT);
+        assert_eq!(ints[0], ArchReg::int(0));
+        assert_eq!(ints[31], ArchReg::int(31));
+        let fps: Vec<_> = ArchReg::all(RegClass::Fp).collect();
+        assert_eq!(fps.len(), NUM_LOGICAL_FP);
+    }
+
+    #[test]
+    fn ordering_groups_by_class_then_index() {
+        assert!(ArchReg::int(31) < ArchReg::fp(0));
+        assert!(ArchReg::int(3) < ArchReg::int(4));
+    }
+
+    #[test]
+    fn class_index_is_dense() {
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Fp.index(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Shared operational semantics.
+//!
+//! Both the architectural emulator (the golden model) and the execute stage of
+//! the cycle-level simulator call into these functions, so functional
+//! behaviour can never diverge between them.  All operations are fully
+//! deterministic: integer arithmetic wraps, division by zero yields zero, and
+//! memory addresses wrap around the (word-addressed) data memory.
+
+use crate::instr::{BranchCond, Opcode};
+
+/// Result of executing one instruction's dataflow (no architectural side
+/// effects applied yet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecValue {
+    /// An integer result destined for an integer register.
+    Int(i64),
+    /// A floating-point result destined for an FP register.
+    Fp(f64),
+    /// No register result (stores, branches, nop, halt).
+    None,
+}
+
+impl ExecValue {
+    /// Extract the integer value (panics if this is not an integer result).
+    pub fn unwrap_int(self) -> i64 {
+        match self {
+            ExecValue::Int(v) => v,
+            other => panic!("expected an integer result, got {other:?}"),
+        }
+    }
+
+    /// Extract the FP value (panics if this is not an FP result).
+    pub fn unwrap_fp(self) -> f64 {
+        match self {
+            ExecValue::Fp(v) => v,
+            other => panic!("expected an FP result, got {other:?}"),
+        }
+    }
+}
+
+/// Compute the register result of a non-memory, non-control opcode.
+///
+/// `a_int`/`b_int` are the integer source operands (zero when the operand is
+/// absent), `a_fp`/`b_fp` the FP source operands, `imm` the immediate.
+/// Memory operations must not be passed here (their value comes from the
+/// memory system); control instructions return [`ExecValue::None`].
+pub fn compute(op: Opcode, a_int: i64, b_int: i64, a_fp: f64, b_fp: f64, imm: i64) -> ExecValue {
+    use Opcode::*;
+    match op {
+        IAdd => ExecValue::Int(a_int.wrapping_add(b_int)),
+        ISub => ExecValue::Int(a_int.wrapping_sub(b_int)),
+        IAnd => ExecValue::Int(a_int & b_int),
+        IOr => ExecValue::Int(a_int | b_int),
+        IXor => ExecValue::Int(a_int ^ b_int),
+        IShl => ExecValue::Int(a_int.wrapping_shl((b_int & 63) as u32)),
+        IShr => ExecValue::Int(a_int.wrapping_shr((b_int & 63) as u32)),
+        ISlt => ExecValue::Int((a_int < b_int) as i64),
+        ISeq => ExecValue::Int((a_int == b_int) as i64),
+        IAddImm => ExecValue::Int(a_int.wrapping_add(imm)),
+        IAndImm => ExecValue::Int(a_int & imm),
+        IXorImm => ExecValue::Int(a_int ^ imm),
+        IShlImm => ExecValue::Int(a_int.wrapping_shl((imm & 63) as u32)),
+        IShrImm => ExecValue::Int(a_int.wrapping_shr((imm & 63) as u32)),
+        ILoadImm => ExecValue::Int(imm),
+        IMul => ExecValue::Int(a_int.wrapping_mul(b_int)),
+        IDiv => ExecValue::Int(if b_int == 0 { 0 } else { a_int.wrapping_div(b_int) }),
+        FAdd => ExecValue::Fp(a_fp + b_fp),
+        FSub => ExecValue::Fp(a_fp - b_fp),
+        FAbs => ExecValue::Fp(a_fp.abs()),
+        FNeg => ExecValue::Fp(-a_fp),
+        FCmpLt => ExecValue::Int((a_fp < b_fp) as i64),
+        FCmpEq => ExecValue::Int((a_fp == b_fp) as i64),
+        ItoF => ExecValue::Fp(a_int as f64),
+        FtoI => ExecValue::Int(saturating_f64_to_i64(a_fp)),
+        FLoadImm => ExecValue::Fp(f64::from_bits(imm as u64)),
+        FMul => ExecValue::Fp(a_fp * b_fp),
+        FDiv => ExecValue::Fp(if b_fp == 0.0 { 0.0 } else { a_fp / b_fp }),
+        FSqrt => ExecValue::Fp(a_fp.abs().sqrt()),
+        Branch(_) | Jump | Halt | Nop => ExecValue::None,
+        LoadInt | LoadFp | StoreInt | StoreFp => {
+            panic!("memory operations are executed by the memory system, not compute()")
+        }
+    }
+}
+
+/// Saturating conversion from `f64` to `i64` (NaN maps to 0), mirroring the
+/// behaviour of Rust's `as` cast so the emulator and simulator agree.
+#[inline]
+pub fn saturating_f64_to_i64(v: f64) -> i64 {
+    v as i64
+}
+
+/// Effective word address of a memory operation: `base + imm`, wrapped into
+/// `[0, mem_words)`.
+#[inline]
+pub fn effective_addr(base: i64, imm: i64, mem_words: usize) -> usize {
+    debug_assert!(mem_words > 0, "data memory must not be empty");
+    let raw = base.wrapping_add(imm);
+    (raw.rem_euclid(mem_words as i64)) as usize
+}
+
+/// Whether a conditional branch is taken given its (integer) operands.
+#[inline]
+pub fn branch_taken(cond: BranchCond, a: i64, b: i64) -> bool {
+    cond.eval(a, b)
+}
+
+/// Convert a raw 64-bit memory word to an integer register value.
+#[inline]
+pub fn word_to_int(bits: u64) -> i64 {
+    bits as i64
+}
+
+/// Convert a raw 64-bit memory word to an FP register value.
+#[inline]
+pub fn word_to_fp(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// Convert an integer register value to a raw memory word.
+#[inline]
+pub fn int_to_word(v: i64) -> u64 {
+    v as u64
+}
+
+/// Convert an FP register value to a raw memory word.
+#[inline]
+pub fn fp_to_word(v: f64) -> u64 {
+    v.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c_int(op: Opcode, a: i64, b: i64) -> i64 {
+        compute(op, a, b, 0.0, 0.0, 0).unwrap_int()
+    }
+
+    fn c_fp(op: Opcode, a: f64, b: f64) -> f64 {
+        compute(op, 0, 0, a, b, 0).unwrap_fp()
+    }
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(c_int(Opcode::IAdd, 2, 3), 5);
+        assert_eq!(c_int(Opcode::ISub, 2, 3), -1);
+        assert_eq!(c_int(Opcode::IAnd, 0b1100, 0b1010), 0b1000);
+        assert_eq!(c_int(Opcode::IOr, 0b1100, 0b1010), 0b1110);
+        assert_eq!(c_int(Opcode::IXor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(c_int(Opcode::IShl, 1, 4), 16);
+        assert_eq!(c_int(Opcode::IShr, -16, 2), -4);
+        assert_eq!(c_int(Opcode::ISlt, 1, 2), 1);
+        assert_eq!(c_int(Opcode::ISlt, 2, 1), 0);
+        assert_eq!(c_int(Opcode::ISeq, 7, 7), 1);
+        assert_eq!(c_int(Opcode::IMul, 7, 6), 42);
+        assert_eq!(c_int(Opcode::IDiv, 42, 6), 7);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(c_int(Opcode::IDiv, 42, 0), 0);
+        assert_eq!(c_fp(Opcode::FDiv, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        assert_eq!(c_int(Opcode::IAdd, i64::MAX, 1), i64::MIN);
+        assert_eq!(c_int(Opcode::IMul, i64::MAX, 2), -2);
+        // i64::MIN / -1 would overflow with a plain division.
+        assert_eq!(c_int(Opcode::IDiv, i64::MIN, -1), i64::MIN);
+    }
+
+    #[test]
+    fn immediate_ops() {
+        assert_eq!(compute(Opcode::IAddImm, 10, 0, 0.0, 0.0, 32).unwrap_int(), 42);
+        assert_eq!(compute(Opcode::ILoadImm, 0, 0, 0.0, 0.0, -7).unwrap_int(), -7);
+        assert_eq!(compute(Opcode::IShlImm, 3, 0, 0.0, 0.0, 2).unwrap_int(), 12);
+        assert_eq!(compute(Opcode::IShrImm, -8, 0, 0.0, 0.0, 1).unwrap_int(), -4);
+        assert_eq!(compute(Opcode::IAndImm, 0xff, 0, 0.0, 0.0, 0x0f).unwrap_int(), 0x0f);
+        assert_eq!(compute(Opcode::IXorImm, 5, 0, 0.0, 0.0, 0).unwrap_int(), 5);
+    }
+
+    #[test]
+    fn fp_ops() {
+        assert_eq!(c_fp(Opcode::FAdd, 1.5, 2.5), 4.0);
+        assert_eq!(c_fp(Opcode::FSub, 1.5, 2.5), -1.0);
+        assert_eq!(c_fp(Opcode::FMul, 3.0, 4.0), 12.0);
+        assert_eq!(c_fp(Opcode::FDiv, 12.0, 4.0), 3.0);
+        assert_eq!(c_fp(Opcode::FAbs, -2.0, 0.0), 2.0);
+        assert_eq!(c_fp(Opcode::FNeg, -2.0, 0.0), 2.0);
+        assert_eq!(c_fp(Opcode::FSqrt, -9.0, 0.0), 3.0);
+        assert_eq!(compute(Opcode::FCmpLt, 0, 0, 1.0, 2.0, 0).unwrap_int(), 1);
+        assert_eq!(compute(Opcode::FCmpEq, 0, 0, 2.0, 2.0, 0).unwrap_int(), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(compute(Opcode::ItoF, 5, 0, 0.0, 0.0, 0).unwrap_fp(), 5.0);
+        assert_eq!(compute(Opcode::FtoI, 0, 0, 5.9, 0.0, 0).unwrap_int(), 5);
+        assert_eq!(compute(Opcode::FtoI, 0, 0, f64::NAN, 0.0, 0).unwrap_int(), 0);
+        let bits = 3.25f64.to_bits() as i64;
+        assert_eq!(compute(Opcode::FLoadImm, 0, 0, 0.0, 0.0, bits).unwrap_fp(), 3.25);
+    }
+
+    #[test]
+    fn control_ops_produce_no_value() {
+        assert_eq!(
+            compute(Opcode::Branch(BranchCond::Eq), 1, 1, 0.0, 0.0, 0),
+            ExecValue::None
+        );
+        assert_eq!(compute(Opcode::Jump, 0, 0, 0.0, 0.0, 0), ExecValue::None);
+        assert_eq!(compute(Opcode::Nop, 0, 0, 0.0, 0.0, 0), ExecValue::None);
+        assert_eq!(compute(Opcode::Halt, 0, 0, 0.0, 0.0, 0), ExecValue::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory operations")]
+    fn memory_ops_panic_in_compute() {
+        let _ = compute(Opcode::LoadInt, 0, 0, 0.0, 0.0, 0);
+    }
+
+    #[test]
+    fn effective_addresses_wrap() {
+        assert_eq!(effective_addr(10, 5, 1024), 15);
+        assert_eq!(effective_addr(1020, 10, 1024), 6);
+        assert_eq!(effective_addr(-3, 0, 1024), 1021);
+        assert_eq!(effective_addr(i64::MAX, 1, 1024), (i64::MIN).rem_euclid(1024) as usize);
+    }
+
+    #[test]
+    fn word_conversions_round_trip() {
+        for v in [-1i64, 0, 1, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(word_to_int(int_to_word(v)), v);
+        }
+        for v in [0.0f64, -1.5, 3.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(word_to_fp(fp_to_word(v)), v);
+        }
+    }
+
+    #[test]
+    fn branch_taken_matches_cond_eval() {
+        assert!(branch_taken(BranchCond::Lt, 1, 2));
+        assert!(!branch_taken(BranchCond::Gt, 1, 2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Committed-instruction trace records.
+//!
+//! The integration tests compare the out-of-order simulator against the
+//! architectural emulator.  For most tests comparing the *final* state is
+//! enough, but for debugging divergences it is far more useful to compare the
+//! committed instruction streams record-by-record; this module provides the
+//! record type and a bounded collector for that purpose.
+
+use crate::instr::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// One committed (architecturally executed) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Dynamic instruction number (0-based, committed order).
+    pub seq: u64,
+    /// Static instruction index (program counter).
+    pub pc: usize,
+    /// Destination register value written, as a raw 64-bit pattern
+    /// (`None` when the instruction writes no register).
+    pub dst_value: Option<u64>,
+    /// For conditional branches: whether the branch was taken.
+    pub branch_taken: Option<bool>,
+    /// For memory operations: the effective word address.
+    pub mem_addr: Option<usize>,
+}
+
+/// A bounded collector of [`TraceRecord`]s.
+///
+/// Collection stops silently once `capacity` records have been gathered so
+/// that long runs do not exhaust memory; `truncated()` reports whether that
+/// happened.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl TraceCollector {
+    /// Create a collector that keeps at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceCollector {
+            records: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Record one committed instruction.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.seen += 1;
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        }
+    }
+
+    /// Records collected so far (up to the capacity).
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Total records offered (collected or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// True if records were dropped because the capacity was reached.
+    pub fn truncated(&self) -> bool {
+        self.seen > self.records.len() as u64
+    }
+
+    /// Find the first position where two traces differ, if any.
+    pub fn first_divergence(a: &[TraceRecord], b: &[TraceRecord]) -> Option<usize> {
+        let n = a.len().min(b.len());
+        (0..n).find(|&i| a[i] != b[i]).or({
+            if a.len() != b.len() {
+                Some(n)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Helper to build a [`TraceRecord`] from an instruction plus its outcome.
+pub fn record_for(
+    seq: u64,
+    pc: usize,
+    instr: &Instruction,
+    dst_value: Option<u64>,
+    branch_taken: Option<bool>,
+    mem_addr: Option<usize>,
+) -> TraceRecord {
+    debug_assert_eq!(instr.dst.is_some(), dst_value.is_some() || instr.dst.is_none());
+    TraceRecord {
+        seq,
+        pc,
+        dst_value,
+        branch_taken,
+        mem_addr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, pc: usize) -> TraceRecord {
+        TraceRecord {
+            seq,
+            pc,
+            dst_value: Some(seq),
+            branch_taken: None,
+            mem_addr: None,
+        }
+    }
+
+    #[test]
+    fn collector_respects_capacity() {
+        let mut c = TraceCollector::new(3);
+        for i in 0..10 {
+            c.push(rec(i, i as usize));
+        }
+        assert_eq!(c.records().len(), 3);
+        assert_eq!(c.seen(), 10);
+        assert!(c.truncated());
+    }
+
+    #[test]
+    fn collector_without_overflow_is_not_truncated() {
+        let mut c = TraceCollector::new(16);
+        for i in 0..5 {
+            c.push(rec(i, i as usize));
+        }
+        assert!(!c.truncated());
+        assert_eq!(c.records().len(), 5);
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let a: Vec<_> = (0..5).map(|i| rec(i, i as usize)).collect();
+        let mut b = a.clone();
+        assert_eq!(TraceCollector::first_divergence(&a, &b), None);
+        b[3].dst_value = Some(999);
+        assert_eq!(TraceCollector::first_divergence(&a, &b), Some(3));
+        let shorter = &a[..2];
+        assert_eq!(TraceCollector::first_divergence(&a, shorter), Some(2));
+    }
+}

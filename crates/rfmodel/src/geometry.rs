@@ -1,0 +1,82 @@
+//! Register-file geometries used by the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one multiported SRAM array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RfGeometry {
+    /// Number of entries (registers).
+    pub registers: usize,
+    /// Read ports.
+    pub read_ports: usize,
+    /// Write ports.
+    pub write_ports: usize,
+    /// Word width in bits.
+    pub bits: usize,
+}
+
+impl RfGeometry {
+    /// Total ports.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.read_ports + self.write_ports
+    }
+
+    /// The integer register file of the paper's aggressive 8-way machine:
+    /// `Tint = 44` ports (Section 4.4), 64-bit words.
+    pub fn int_file(registers: usize) -> Self {
+        RfGeometry {
+            registers,
+            read_ports: 32,
+            write_ports: 12,
+            bits: 64,
+        }
+    }
+
+    /// The FP register file: `Tfp = 50` ports, 64-bit words.
+    pub fn fp_file(registers: usize) -> Self {
+        RfGeometry {
+            registers,
+            read_ports: 36,
+            write_ports: 14,
+            bits: 64,
+        }
+    }
+
+    /// The Last-Uses Table of Section 4.4: 32 entries, 32 read + 24 write
+    /// ports (8-way superscalar), 9-bit words.
+    pub fn lus_table() -> Self {
+        RfGeometry {
+            registers: 32,
+            read_ports: 32,
+            write_ports: 24,
+            bits: 9,
+        }
+    }
+
+    /// Total storage bits of the array.
+    pub fn storage_bits(&self) -> usize {
+        self.registers * self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_port_counts() {
+        assert_eq!(RfGeometry::int_file(64).ports(), 44);
+        assert_eq!(RfGeometry::fp_file(72).ports(), 50);
+        let lus = RfGeometry::lus_table();
+        assert_eq!(lus.ports(), 56);
+        assert_eq!(lus.registers, 32);
+        assert_eq!(lus.bits, 9);
+    }
+
+    #[test]
+    fn storage_bits() {
+        assert_eq!(RfGeometry::int_file(64).storage_bits(), 64 * 64);
+        assert_eq!(RfGeometry::lus_table().storage_bits(), 32 * 9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Front-end structures: fetched instructions and the fetch buffer that sits
+//! between the fetch and rename stages.
+//!
+//! The fetch *logic* (I-cache access, prediction, redirects) lives in
+//! [`pipeline`](crate::pipeline) because it needs the predictor, the memory
+//! hierarchy and the program at once; this module only holds the data types.
+
+use crate::branch::Prediction;
+use earlyreg_isa::Instruction;
+use std::collections::VecDeque;
+
+/// One instruction delivered by the fetch stage.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchedInstr {
+    /// Static instruction index.
+    pub pc: usize,
+    /// The instruction.
+    pub instr: Instruction,
+    /// Direction prediction, for conditional branches.
+    pub prediction: Option<Prediction>,
+    /// Whether the fetch unit treated this instruction as a taken control
+    /// transfer (true for predicted-taken branches and for jumps).
+    pub predicted_taken: bool,
+    /// PC the fetch unit continued at after this instruction.
+    pub predicted_next: usize,
+    /// Cycle the instruction was fetched.
+    pub fetched_at: u64,
+}
+
+/// Bounded FIFO between fetch and rename.
+#[derive(Debug, Clone)]
+pub struct FetchBuffer {
+    queue: VecDeque<FetchedInstr>,
+    capacity: usize,
+}
+
+impl FetchBuffer {
+    /// Create an empty buffer holding at most `capacity` instructions.
+    pub fn new(capacity: usize) -> Self {
+        FetchBuffer {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of instructions waiting to be renamed.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when the fetch stage must stop delivering.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Free slots available this cycle.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Append a fetched instruction.
+    pub fn push(&mut self, instr: FetchedInstr) {
+        debug_assert!(!self.is_full(), "fetch buffer overflow");
+        self.queue.push_back(instr);
+    }
+
+    /// Oldest fetched instruction, if any.
+    pub fn front(&self) -> Option<&FetchedInstr> {
+        self.queue.front()
+    }
+
+    /// Remove and return the oldest fetched instruction.
+    pub fn pop(&mut self) -> Option<FetchedInstr> {
+        self.queue.pop_front()
+    }
+
+    /// Drop everything (recovery).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetched(pc: usize) -> FetchedInstr {
+        FetchedInstr {
+            pc,
+            instr: Instruction::nop(),
+            prediction: None,
+            predicted_taken: false,
+            predicted_next: pc + 1,
+            fetched_at: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = FetchBuffer::new(4);
+        b.push(fetched(10));
+        b.push(fetched(11));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.front().unwrap().pc, 10);
+        assert_eq!(b.pop().unwrap().pc, 10);
+        assert_eq!(b.pop().unwrap().pc, 11);
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut b = FetchBuffer::new(2);
+        assert_eq!(b.free_slots(), 2);
+        b.push(fetched(0));
+        assert_eq!(b.free_slots(), 1);
+        b.push(fetched(1));
+        assert!(b.is_full());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.free_slots(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Functional-unit pool (the paper's Table 2 mix).
+//!
+//! Units are fully pipelined: each unit can start one operation per cycle and
+//! an operation occupies the issue slot of its class only in the cycle it
+//! starts.  Latencies come from [`MachineConfig`](crate::config::MachineConfig).
+
+use earlyreg_isa::FuClass;
+use serde::{Deserialize, Serialize};
+
+/// Per-class issue counters for the current cycle plus lifetime statistics.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    counts: [usize; 6],
+    used_this_cycle: [usize; 6],
+    issued_total: [u64; 6],
+    structural_stalls: [u64; 6],
+}
+
+/// Lifetime utilisation statistics of the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuStats {
+    /// Operations issued per class.
+    pub issued: [u64; 6],
+    /// Issue attempts rejected per class because every unit was busy.
+    pub structural_stalls: [u64; 6],
+}
+
+impl FuPool {
+    /// Create a pool with `counts[FuClass::index()]` units per class.
+    pub fn new(counts: [usize; 6]) -> Self {
+        FuPool {
+            counts,
+            used_this_cycle: [0; 6],
+            issued_total: [0; 6],
+            structural_stalls: [0; 6],
+        }
+    }
+
+    /// Number of units of a class.
+    pub fn count(&self, class: FuClass) -> usize {
+        self.counts[class.index()]
+    }
+
+    /// Try to claim an issue slot on a unit of `class` for this cycle.
+    pub fn try_issue(&mut self, class: FuClass) -> bool {
+        let i = class.index();
+        if self.used_this_cycle[i] < self.counts[i] {
+            self.used_this_cycle[i] += 1;
+            self.issued_total[i] += 1;
+            true
+        } else {
+            self.structural_stalls[i] += 1;
+            false
+        }
+    }
+
+    /// Release all per-cycle issue slots (call once per simulated cycle).
+    pub fn next_cycle(&mut self) {
+        self.used_this_cycle = [0; 6];
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> FuStats {
+        FuStats {
+            issued: self.issued_total,
+            structural_stalls: self.structural_stalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_slots_are_bounded_per_cycle() {
+        let mut pool = FuPool::new([2, 1, 1, 1, 1, 1]);
+        assert!(pool.try_issue(FuClass::IntAlu));
+        assert!(pool.try_issue(FuClass::IntAlu));
+        assert!(!pool.try_issue(FuClass::IntAlu));
+        assert!(pool.try_issue(FuClass::Mem));
+        pool.next_cycle();
+        assert!(pool.try_issue(FuClass::IntAlu));
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut pool = FuPool::new([1, 1, 1, 1, 1, 1]);
+        assert!(pool.try_issue(FuClass::FpMul));
+        assert!(pool.try_issue(FuClass::FpDiv));
+        assert!(!pool.try_issue(FuClass::FpMul));
+    }
+
+    #[test]
+    fn statistics_count_issues_and_stalls() {
+        let mut pool = FuPool::new([1, 0, 0, 0, 0, 0]);
+        assert!(pool.try_issue(FuClass::IntAlu));
+        assert!(!pool.try_issue(FuClass::IntAlu));
+        assert!(!pool.try_issue(FuClass::IntMul)); // zero units: always a stall
+        let s = pool.stats();
+        assert_eq!(s.issued[FuClass::IntAlu.index()], 1);
+        assert_eq!(s.structural_stalls[FuClass::IntAlu.index()], 1);
+        assert_eq!(s.structural_stalls[FuClass::IntMul.index()], 1);
+    }
+
+    #[test]
+    fn table2_counts_are_reported() {
+        let pool = FuPool::new([8, 4, 6, 4, 4, 4]);
+        assert_eq!(pool.count(FuClass::IntAlu), 8);
+        assert_eq!(pool.count(FuClass::Mem), 4);
+    }
+}

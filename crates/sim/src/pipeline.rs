@@ -1,0 +1,726 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! The machine model follows the paper's Table 2 and SimpleScalar's
+//! register-update-unit organisation: an 8-wide front end with an 18-bit
+//! gshare predictor, a 128-entry reorder structure that doubles as the issue
+//! window, a 64-entry load/store queue with forwarding and conservative load
+//! scheduling, the Table 2 functional-unit mix, split 32 KB L1 caches backed
+//! by a 1 MB L2 and 50-cycle memory, and 8-wide in-order commit.
+//!
+//! Register renaming and physical-register release are delegated entirely to
+//! [`earlyreg_core::RenameUnit`], so the same pipeline runs under the
+//! conventional, basic and extended policies — which is exactly the
+//! experiment the paper performs.
+//!
+//! Wrong-path instructions are fetched, renamed and executed (consuming
+//! physical registers, issue slots and cache bandwidth) and are squashed when
+//! the mispredicted branch resolves, as in `sim-outorder`.  Wrong-path stores
+//! never modify architectural memory because stores write at commit.
+
+use crate::branch::GsharePredictor;
+use crate::cache::MemoryHierarchy;
+use crate::config::MachineConfig;
+use crate::frontend::{FetchBuffer, FetchedInstr};
+use crate::fu::FuPool;
+use crate::lsq::{ForwardResult, LoadStoreQueue};
+use crate::rob::{InstrState, ReorderBuffer, RobEntry};
+use crate::stats::SimStats;
+use earlyreg_core::{InstrId, PhysReg, RenameStall, RenameUnit, RenamedInstr};
+use earlyreg_isa::{semantics, ArchReg, Opcode, Program, RegClass};
+
+/// Bytes per instruction (used to form I-cache addresses).
+const INSTR_BYTES: u64 = 4;
+/// Bytes per data word (used to form D-cache addresses).
+const WORD_BYTES: u64 = 8;
+
+/// Run limits for [`Simulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Stop after this many committed instructions (even if the program has
+    /// not halted).
+    pub max_instructions: u64,
+    /// Hard cycle limit (guards against pathological configurations).
+    pub max_cycles: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_instructions: u64::MAX,
+            max_cycles: u64::MAX,
+        }
+    }
+}
+
+impl RunLimits {
+    /// Limit only the number of committed instructions.
+    pub fn instructions(n: u64) -> Self {
+        RunLimits {
+            max_instructions: n,
+            max_cycles: n.saturating_mul(64).max(1_000_000),
+        }
+    }
+}
+
+/// The cycle-level simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MachineConfig,
+    program: Program,
+    rename: RenameUnit,
+    rob: ReorderBuffer,
+    lsq: LoadStoreQueue,
+    predictor: GsharePredictor,
+    mem_hierarchy: MemoryHierarchy,
+    fus: FuPool,
+
+    // Physical register value files and ready bits, per class.
+    int_values: Vec<u64>,
+    fp_values: Vec<u64>,
+    int_ready: Vec<bool>,
+    fp_ready: Vec<bool>,
+
+    /// Committed data memory (raw 64-bit words).
+    memory: Vec<u64>,
+
+    fetch_buffer: FetchBuffer,
+    fetch_pc: usize,
+    fetch_halted: bool,
+    fetch_stalled_until: u64,
+
+    cycle: u64,
+    halted: bool,
+    stats: SimStats,
+    last_exception_at: Option<u64>,
+}
+
+impl Simulator {
+    /// Build a simulator for `program` under `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration or the program is invalid.
+    pub fn new(config: MachineConfig, program: &Program) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid program: {e}"));
+
+        let mut memory = vec![0u64; program.memory_words];
+        memory[..program.data.len()].copy_from_slice(&program.data);
+
+        let phys_int = config.rename.phys_int;
+        let phys_fp = config.rename.phys_fp;
+
+        Simulator {
+            rename: RenameUnit::new(config.rename),
+            rob: ReorderBuffer::new(config.ros_size),
+            lsq: LoadStoreQueue::new(config.lsq_size),
+            predictor: GsharePredictor::new(config.predictor.gshare_bits),
+            mem_hierarchy: MemoryHierarchy::new(
+                config.icache,
+                config.dcache,
+                config.l2,
+                config.memory_latency,
+            ),
+            fus: FuPool::new(config.fu_counts),
+            int_values: vec![0; phys_int],
+            fp_values: vec![0; phys_fp],
+            int_ready: vec![true; phys_int],
+            fp_ready: vec![true; phys_fp],
+            memory,
+            fetch_buffer: FetchBuffer::new(config.fetch_buffer),
+            fetch_pc: 0,
+            fetch_halted: false,
+            fetch_stalled_until: 0,
+            cycle: 0,
+            halted: false,
+            stats: SimStats::default(),
+            last_exception_at: None,
+            program: program.clone(),
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True once the program's `Halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics gathered so far (occupancy/release fields are refreshed by
+    /// [`Simulator::run`] when it returns).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The rename/release engine (for tests that want to inspect it).
+    pub fn rename_unit(&self) -> &RenameUnit {
+        &self.rename
+    }
+
+    /// Committed data memory.
+    pub fn committed_memory(&self) -> &[u64] {
+        &self.memory
+    }
+
+    /// Architectural value of a logical register as a raw 64-bit pattern.
+    pub fn arch_reg_bits(&self, reg: ArchReg) -> u64 {
+        let phys = self.rename.arch_mapping(reg);
+        match reg.class() {
+            RegClass::Int => self.int_values[phys.index()],
+            RegClass::Fp => self.fp_values[phys.index()],
+        }
+    }
+
+    /// True when the architectural value of `reg` is a dead value discarded
+    /// by early release (see `RenameUnit::arch_value_unreliable`).
+    pub fn arch_value_unreliable(&self, reg: ArchReg) -> bool {
+        self.rename.arch_value_unreliable(reg)
+    }
+
+    // ------------------------------------------------------------------
+    // Register value helpers
+    // ------------------------------------------------------------------
+
+    fn phys_ready(&self, reg: ArchReg, phys: PhysReg) -> bool {
+        match reg.class() {
+            RegClass::Int => self.int_ready[phys.index()],
+            RegClass::Fp => self.fp_ready[phys.index()],
+        }
+    }
+
+    fn set_phys_ready(&mut self, class: RegClass, phys: PhysReg, ready: bool) {
+        match class {
+            RegClass::Int => self.int_ready[phys.index()] = ready,
+            RegClass::Fp => self.fp_ready[phys.index()] = ready,
+        }
+    }
+
+    fn write_phys(&mut self, class: RegClass, phys: PhysReg, bits: u64) {
+        match class {
+            RegClass::Int => self.int_values[phys.index()] = bits,
+            RegClass::Fp => self.fp_values[phys.index()] = bits,
+        }
+    }
+
+    fn operand_int(&self, operand: Option<(ArchReg, PhysReg)>) -> i64 {
+        match operand {
+            Some((arch, phys)) if arch.class() == RegClass::Int => {
+                self.int_values[phys.index()] as i64
+            }
+            _ => 0,
+        }
+    }
+
+    fn operand_fp(&self, operand: Option<(ArchReg, PhysReg)>) -> f64 {
+        match operand {
+            Some((arch, phys)) if arch.class() == RegClass::Fp => {
+                f64::from_bits(self.fp_values[phys.index()])
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn sources_ready(&self, renamed: &RenamedInstr) -> bool {
+        let ok1 = renamed.src1.map_or(true, |(a, p)| self.phys_ready(a, p));
+        let ok2 = renamed.src2.map_or(true, |(a, p)| self.phys_ready(a, p));
+        ok1 && ok2
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Run until the program halts or a limit is reached.  Returns the final
+    /// statistics (also available through [`Simulator::stats`]).
+    pub fn run(&mut self, limits: RunLimits) -> SimStats {
+        while !self.halted
+            && self.stats.committed < limits.max_instructions
+            && self.cycle < limits.max_cycles
+        {
+            self.step();
+        }
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    /// Simulate a single cycle.
+    pub fn step(&mut self) {
+        self.fus.next_cycle();
+        self.stage_commit();
+        if !self.halted {
+            self.stage_writeback();
+            self.stage_issue();
+            self.stage_rename();
+            self.stage_fetch();
+        }
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.predictor = self.predictor.stats();
+        self.stats.memory = self.mem_hierarchy.stats();
+        self.stats.fu = self.fus.stats();
+        self.stats.release = *self.rename.stats();
+        self.stats.occupancy_int = self.rename.occupancy_totals(RegClass::Int, self.cycle);
+        self.stats.occupancy_fp = self.rename.occupancy_totals(RegClass::Fp, self.cycle);
+        self.stats.halted = self.halted;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn stage_commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if head.state != InstrState::Completed {
+                break;
+            }
+            let head = *head;
+
+            // Injected precise exception at the commit point.
+            if let Some(interval) = self.config.exceptions.interval {
+                let count = self.stats.committed;
+                if count > 0
+                    && count % interval == 0
+                    && self.last_exception_at != Some(count)
+                    && head.instr.op != Opcode::Halt
+                {
+                    self.last_exception_at = Some(count);
+                    self.stats.exceptions += 1;
+                    self.recover_exception(head.pc);
+                    return;
+                }
+            }
+
+            // Oracle check (paper Section 4.3): no committed instruction may
+            // read a logical register whose architectural value was discarded
+            // by early release.
+            for reg in head.instr.sources() {
+                if self.rename.arch_value_unreliable(reg) {
+                    self.stats.oracle_violations += 1;
+                }
+            }
+
+            // Memory side effects.
+            if head.instr.op.is_store() {
+                let addr = head.mem_addr.expect("completed store has an address");
+                let data = head.store_data.expect("completed store has data");
+                self.memory[addr] = data;
+                self.lsq.remove(head.id);
+                self.stats.committed_stores += 1;
+            } else if head.instr.op.is_load() {
+                self.lsq.remove(head.id);
+                self.stats.committed_loads += 1;
+            }
+            if head.instr.op.is_cond_branch() {
+                self.stats.committed_branches += 1;
+            }
+
+            self.rename.commit(head.id, self.cycle);
+            self.rob.pop_head(head.id);
+            self.stats.committed += 1;
+
+            if head.instr.op == Opcode::Halt {
+                self.halted = true;
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback / branch resolution
+    // ------------------------------------------------------------------
+
+    fn stage_writeback(&mut self) {
+        let completing: Vec<InstrId> = self
+            .rob
+            .iter()
+            .filter(|e| matches!(e.state, InstrState::Issued { complete_at } if complete_at <= self.cycle))
+            .map(|e| e.id)
+            .collect();
+
+        for id in completing {
+            // The entry may have been squashed by an older branch that
+            // completed earlier in this loop.
+            let Some(entry) = self.rob.get(id) else { continue };
+            let entry = *entry;
+
+            // Write the result and wake up consumers.
+            if let Some(dst) = entry.renamed.dst {
+                let bits = entry.result.unwrap_or(0);
+                self.write_phys(dst.arch.class(), dst.phys, bits);
+                self.set_phys_ready(dst.arch.class(), dst.phys, true);
+                self.rename
+                    .mark_value_written(dst.arch.class(), dst.phys, self.cycle);
+            }
+            if let Some(e) = self.rob.get_mut(id) {
+                e.state = InstrState::Completed;
+            }
+
+            // Conditional branch resolution.
+            if entry.instr.op.is_cond_branch() && !entry.resolved {
+                let prediction = entry.prediction.expect("conditional branches carry a prediction");
+                let actual_taken = entry.actual_taken.expect("resolved branch has an outcome");
+                self.predictor.resolve(&prediction, actual_taken);
+                if let Some(e) = self.rob.get_mut(id) {
+                    e.resolved = true;
+                }
+                if actual_taken != entry.predicted_taken {
+                    self.stats.mispredicted_branches += 1;
+                    self.predictor.repair(&prediction, actual_taken);
+                    self.recover_mispredict(id, entry.actual_next);
+                    // Everything younger was squashed; later completions in
+                    // this cycle's list are handled next cycle if they
+                    // survived.
+                    break;
+                } else {
+                    self.rename.resolve_branch_correct(id, self.cycle);
+                }
+            }
+        }
+    }
+
+    fn recover_mispredict(&mut self, branch_id: InstrId, correct_next: usize) {
+        let recovery = self.rename.recover_branch_mispredict(branch_id, self.cycle);
+        let squashed_rob = self.rob.squash_after(branch_id);
+        debug_assert_eq!(recovery.squashed, squashed_rob);
+        self.lsq.squash_after(branch_id);
+        self.fetch_buffer.clear();
+        self.stats.squashed += squashed_rob as u64;
+
+        self.fetch_pc = correct_next;
+        self.fetch_halted = false;
+        self.fetch_stalled_until = self
+            .cycle
+            .saturating_add(1 + self.config.predictor.mispredict_redirect_penalty as u64);
+    }
+
+    fn recover_exception(&mut self, restart_pc: usize) {
+        self.rename.recover_exception(self.cycle);
+        let squashed = self.rob.clear();
+        self.lsq.clear();
+        self.fetch_buffer.clear();
+        self.stats.squashed += squashed as u64;
+
+        self.fetch_pc = restart_pc;
+        self.fetch_halted = false;
+        self.fetch_stalled_until = self.cycle.saturating_add(self.config.exceptions.handler_cycles);
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn stage_issue(&mut self) {
+        let candidates: Vec<InstrId> = self
+            .rob
+            .iter()
+            .filter(|e| e.state == InstrState::Dispatched)
+            .map(|e| e.id)
+            .collect();
+
+        let mut issued = 0;
+        for id in candidates {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            let entry = *self.rob.get(id).expect("candidate still present");
+
+            // Store address generation is decoupled from the data: as soon as
+            // the base register is ready the effective address is published
+            // to the LSQ so that younger loads can apply the conservative
+            // "all previous store addresses known" rule (Table 2) without
+            // waiting for the store data to be produced.
+            if entry.instr.op.is_store() && entry.mem_addr.is_none() {
+                let base_ready = entry
+                    .renamed
+                    .src1
+                    .map_or(true, |(a, p)| self.phys_ready(a, p));
+                if base_ready {
+                    let base = self.operand_int(entry.renamed.src1);
+                    let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
+                    self.lsq.set_address(id, addr);
+                    if let Some(e) = self.rob.get_mut(id) {
+                        e.mem_addr = Some(addr);
+                    }
+                }
+            }
+
+            if !self.sources_ready(&entry.renamed) {
+                continue;
+            }
+            let class = entry.instr.op.fu_class();
+
+            if entry.instr.op.is_mem() {
+                if self.try_issue_mem(&entry) {
+                    issued += 1;
+                }
+            } else {
+                if !self.fus.try_issue(class) {
+                    continue;
+                }
+                let latency = self.config.latency(class).max(1);
+                self.execute_alu(&entry, latency);
+                issued += 1;
+            }
+        }
+    }
+
+    /// Execute a non-memory instruction and schedule its completion.
+    fn execute_alu(&mut self, entry: &RobEntry, latency: u32) {
+        let a_int = self.operand_int(entry.renamed.src1);
+        let b_int = self.operand_int(entry.renamed.src2);
+        let a_fp = self.operand_fp(entry.renamed.src1);
+        let b_fp = self.operand_fp(entry.renamed.src2);
+
+        let mut result = None;
+        let mut actual_taken = None;
+        let mut actual_next = entry.pc + 1;
+
+        match entry.instr.op {
+            Opcode::Branch(cond) => {
+                let taken = semantics::branch_taken(cond, a_int, b_int);
+                actual_taken = Some(taken);
+                actual_next = if taken {
+                    entry.instr.imm as usize
+                } else {
+                    entry.pc + 1
+                };
+            }
+            Opcode::Jump => {
+                actual_next = entry.instr.imm as usize;
+            }
+            Opcode::Halt | Opcode::Nop => {}
+            op => {
+                let value = semantics::compute(op, a_int, b_int, a_fp, b_fp, entry.instr.imm);
+                result = match value {
+                    semantics::ExecValue::Int(v) => Some(v as u64),
+                    semantics::ExecValue::Fp(v) => Some(v.to_bits()),
+                    semantics::ExecValue::None => None,
+                };
+            }
+        }
+
+        let complete_at = self.cycle + latency as u64;
+        let e = self.rob.get_mut(entry.id).expect("entry present");
+        e.state = InstrState::Issued { complete_at };
+        e.result = result;
+        e.actual_taken = actual_taken;
+        e.actual_next = actual_next;
+    }
+
+    /// Try to issue a load or store; returns true if it issued.
+    fn try_issue_mem(&mut self, entry: &RobEntry) -> bool {
+        let base = self.operand_int(entry.renamed.src1);
+        let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
+
+        if entry.instr.op.is_store() {
+            if !self.fus.try_issue(earlyreg_isa::FuClass::Mem) {
+                return false;
+            }
+            let data = match entry.instr.op {
+                Opcode::StoreInt => semantics::int_to_word(self.operand_int(entry.renamed.src2)),
+                Opcode::StoreFp => semantics::fp_to_word(self.operand_fp(entry.renamed.src2)),
+                _ => unreachable!(),
+            };
+            self.lsq.set_address(entry.id, addr);
+            self.lsq.set_store_data(entry.id, data);
+            let e = self.rob.get_mut(entry.id).expect("entry present");
+            e.state = InstrState::Issued {
+                complete_at: self.cycle + 1,
+            };
+            e.mem_addr = Some(addr);
+            e.store_data = Some(data);
+            return true;
+        }
+
+        // Loads: conservative scheduling — wait until every older store
+        // address is known (Table 2).
+        if !self.lsq.prior_store_addresses_known(entry.id) {
+            return false;
+        }
+        let forward = self.lsq.forward(entry.id, addr);
+        if forward == ForwardResult::MustWait {
+            return false;
+        }
+        if !self.fus.try_issue(earlyreg_isa::FuClass::Mem) {
+            return false;
+        }
+        let (bits, latency) = match forward {
+            ForwardResult::Forwarded(bits) => (bits, self.config.dcache.hit_latency),
+            ForwardResult::NoMatch => {
+                let latency = self.mem_hierarchy.access_data(addr as u64 * WORD_BYTES);
+                (self.memory[addr], latency)
+            }
+            ForwardResult::MustWait => unreachable!(),
+        };
+        self.lsq.set_address(entry.id, addr);
+        let e = self.rob.get_mut(entry.id).expect("entry present");
+        e.state = InstrState::Issued {
+            complete_at: self.cycle + latency.max(1) as u64,
+        };
+        e.mem_addr = Some(addr);
+        e.result = Some(bits);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn stage_rename(&mut self) {
+        let mut renamed = 0;
+        while renamed < self.config.decode_width {
+            let Some(fetched) = self.fetch_buffer.front().copied() else { break };
+
+            if self.rob.is_full() {
+                self.stats.rename_stalls.ros_full += 1;
+                break;
+            }
+            if fetched.instr.op.is_mem() && self.lsq.is_full() {
+                self.stats.rename_stalls.lsq_full += 1;
+                break;
+            }
+            let renamed_instr = match self.rename.rename(&fetched.instr, self.cycle) {
+                Ok(r) => r,
+                Err(RenameStall::NoFreePhysReg(_)) => {
+                    self.stats.rename_stalls.free_list += 1;
+                    break;
+                }
+                Err(RenameStall::TooManyPendingBranches) => {
+                    self.stats.rename_stalls.pending_branches += 1;
+                    break;
+                }
+            };
+            self.fetch_buffer.pop();
+
+            if let Some(dst) = renamed_instr.dst {
+                self.set_phys_ready(dst.arch.class(), dst.phys, false);
+            }
+            if fetched.instr.op.is_mem() {
+                self.lsq.insert(renamed_instr.id, fetched.instr.op.is_store());
+            }
+
+            self.rob.push(RobEntry {
+                id: renamed_instr.id,
+                pc: fetched.pc,
+                instr: fetched.instr,
+                renamed: renamed_instr,
+                state: InstrState::Dispatched,
+                prediction: fetched.prediction,
+                predicted_taken: fetched.predicted_taken,
+                predicted_next: fetched.predicted_next,
+                actual_taken: None,
+                actual_next: fetched.pc + 1,
+                resolved: false,
+                result: None,
+                mem_addr: None,
+                store_data: None,
+                dispatched_at: self.cycle,
+            });
+            self.stats.renamed += 1;
+            renamed += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn stage_fetch(&mut self) {
+        if self.fetch_halted || self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        let mut pc = self.fetch_pc;
+        let mut taken = 0;
+        let mut current_line = u64::MAX;
+
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_buffer.is_full() {
+                break;
+            }
+            if pc >= self.program.len() {
+                // Wrong-path fall-through past the end of the program; stop
+                // fetching until a recovery redirects us.
+                self.fetch_halted = true;
+                break;
+            }
+
+            // I-cache: access once per line touched; a miss ends the fetch
+            // group and stalls the front end for the miss latency.
+            let byte_addr = pc as u64 * INSTR_BYTES;
+            let line = byte_addr / self.config.icache.line_bytes as u64;
+            if line != current_line {
+                let latency = self.mem_hierarchy.access_instruction(byte_addr);
+                current_line = line;
+                if latency > self.config.icache.hit_latency {
+                    self.fetch_stalled_until = self.cycle + latency as u64;
+                    break;
+                }
+            }
+
+            let instr = self.program.instrs[pc];
+            let mut prediction = None;
+            let mut predicted_taken = false;
+            let mut next_pc = pc + 1;
+
+            match instr.op {
+                Opcode::Branch(_) => {
+                    let p = self.predictor.predict(pc);
+                    predicted_taken = p.taken;
+                    if p.taken {
+                        next_pc = instr.imm as usize;
+                    }
+                    prediction = Some(p);
+                }
+                Opcode::Jump => {
+                    predicted_taken = true;
+                    next_pc = instr.imm as usize;
+                }
+                Opcode::Halt => {
+                    next_pc = pc;
+                }
+                _ => {}
+            }
+
+            self.fetch_buffer.push(FetchedInstr {
+                pc,
+                instr,
+                prediction,
+                predicted_taken,
+                predicted_next: next_pc,
+                fetched_at: self.cycle,
+            });
+            self.stats.fetched += 1;
+
+            if instr.op == Opcode::Halt {
+                self.fetch_halted = true;
+                break;
+            }
+            if predicted_taken {
+                taken += 1;
+                if taken >= self.config.max_taken_per_fetch {
+                    pc = next_pc;
+                    break;
+                }
+            }
+            pc = next_pc;
+        }
+        self.fetch_pc = pc;
+    }
+}

@@ -1,0 +1,250 @@
+//! Pipeline view of the reorder structure.
+//!
+//! `earlyreg-core` keeps the *rename-side* bookkeeping of in-flight
+//! instructions (physical identifiers, release bits).  This module keeps the
+//! *pipeline-side* state: execution status, computed results, branch outcomes
+//! and memory addresses.  Both are indexed by the same [`InstrId`] and sized
+//! by the same Table 2 entry (128), mirroring how the paper treats the ROS as
+//! one structure with several fields.
+
+use crate::branch::Prediction;
+use earlyreg_core::{InstrId, RenamedInstr};
+use earlyreg_isa::Instruction;
+use std::collections::VecDeque;
+
+/// Execution status of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrState {
+    /// Renamed and waiting for operands / a functional unit.
+    Dispatched,
+    /// Executing; the result is available at `complete_at`.
+    Issued {
+        /// Cycle at which the result becomes available.
+        complete_at: u64,
+    },
+    /// Finished execution; eligible to commit when it reaches the head.
+    Completed,
+}
+
+/// One reorder-structure entry (pipeline view).
+#[derive(Debug, Clone, Copy)]
+pub struct RobEntry {
+    /// Dynamic instruction identifier (shared with the rename unit).
+    pub id: InstrId,
+    /// Static instruction index.
+    pub pc: usize,
+    /// The instruction itself.
+    pub instr: Instruction,
+    /// Operand physical registers.
+    pub renamed: RenamedInstr,
+    /// Execution status.
+    pub state: InstrState,
+    /// Direction prediction, for conditional branches.
+    pub prediction: Option<Prediction>,
+    /// Predicted direction (true also for unconditional jumps).
+    pub predicted_taken: bool,
+    /// PC the fetch unit continued at after this instruction.
+    pub predicted_next: usize,
+    /// Resolved direction of a conditional branch.
+    pub actual_taken: Option<bool>,
+    /// Correct next PC once resolved.
+    pub actual_next: usize,
+    /// Whether a conditional branch has been resolved (trained + recovered).
+    pub resolved: bool,
+    /// Destination result as a raw 64-bit pattern.
+    pub result: Option<u64>,
+    /// Effective word address of a memory operation.
+    pub mem_addr: Option<usize>,
+    /// Store data (raw bits).
+    pub store_data: Option<u64>,
+    /// Cycle the instruction entered the reorder structure.
+    pub dispatched_at: u64,
+}
+
+/// The reorder structure (pipeline view), ordered oldest → youngest.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl ReorderBuffer {
+    /// Create an empty buffer with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ReorderBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further instruction can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Append a newly dispatched instruction.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "reorder structure overflow");
+        if let Some(back) = self.entries.back() {
+            assert!(back.id < entry.id, "entries must be dispatched in program order");
+        }
+        self.entries.push_back(entry);
+    }
+
+    fn position(&self, id: InstrId) -> Option<usize> {
+        let idx = self.entries.partition_point(|e| e.id < id);
+        (idx < self.entries.len() && self.entries[idx].id == id).then_some(idx)
+    }
+
+    /// Shared access by id.
+    pub fn get(&self, id: InstrId) -> Option<&RobEntry> {
+        self.position(id).map(|i| &self.entries[i])
+    }
+
+    /// Mutable access by id.
+    pub fn get_mut(&mut self, id: InstrId) -> Option<&mut RobEntry> {
+        self.position(id).map(move |i| &mut self.entries[i])
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Remove the oldest entry, which must be `id`.
+    pub fn pop_head(&mut self, id: InstrId) -> RobEntry {
+        let head = self.entries.pop_front().expect("pop from empty reorder structure");
+        assert_eq!(head.id, id, "commit must proceed in program order");
+        head
+    }
+
+    /// Remove every entry strictly younger than `id`, returning how many were
+    /// removed.
+    pub fn squash_after(&mut self, id: InstrId) -> usize {
+        let mut squashed = 0;
+        while let Some(back) = self.entries.back() {
+            if back.id > id {
+                self.entries.pop_back();
+                squashed += 1;
+            } else {
+                break;
+            }
+        }
+        squashed
+    }
+
+    /// Remove everything, returning how many entries were removed.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Iterate oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_isa::Instruction;
+
+    fn entry(id: u64) -> RobEntry {
+        RobEntry {
+            id: InstrId(id),
+            pc: id as usize,
+            instr: Instruction::nop(),
+            renamed: RenamedInstr {
+                id: InstrId(id),
+                src1: None,
+                src2: None,
+                dst: None,
+            },
+            state: InstrState::Dispatched,
+            prediction: None,
+            predicted_taken: false,
+            predicted_next: id as usize + 1,
+            actual_taken: None,
+            actual_next: 0,
+            resolved: false,
+            result: None,
+            mem_addr: None,
+            store_data: None,
+            dispatched_at: 0,
+        }
+    }
+
+    #[test]
+    fn push_lookup_pop() {
+        let mut rob = ReorderBuffer::new(4);
+        rob.push(entry(1));
+        rob.push(entry(3));
+        assert_eq!(rob.len(), 2);
+        assert!(rob.get(InstrId(3)).is_some());
+        assert!(rob.get(InstrId(2)).is_none());
+        assert_eq!(rob.head().unwrap().id, InstrId(1));
+        let popped = rob.pop_head(InstrId(1));
+        assert_eq!(popped.id, InstrId(1));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut rob = ReorderBuffer::new(2);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert!(rob.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut rob = ReorderBuffer::new(1);
+        rob.push(entry(1));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    fn squash_after_removes_younger_entries() {
+        let mut rob = ReorderBuffer::new(8);
+        for i in 1..=5 {
+            rob.push(entry(i));
+        }
+        assert_eq!(rob.squash_after(InstrId(2)), 3);
+        assert_eq!(rob.len(), 2);
+        assert!(rob.get(InstrId(2)).is_some());
+    }
+
+    #[test]
+    fn clear_reports_count() {
+        let mut rob = ReorderBuffer::new(8);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert_eq!(rob.clear(), 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn state_transitions_are_representable() {
+        let mut rob = ReorderBuffer::new(2);
+        rob.push(entry(1));
+        rob.get_mut(InstrId(1)).unwrap().state = InstrState::Issued { complete_at: 7 };
+        assert_eq!(
+            rob.get(InstrId(1)).unwrap().state,
+            InstrState::Issued { complete_at: 7 }
+        );
+        rob.get_mut(InstrId(1)).unwrap().state = InstrState::Completed;
+        assert_eq!(rob.get(InstrId(1)).unwrap().state, InstrState::Completed);
+    }
+}

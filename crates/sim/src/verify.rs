@@ -1,0 +1,132 @@
+//! Golden-model verification.
+//!
+//! The cycle-level simulator must commit exactly the instruction stream an
+//! in-order architectural emulator executes and produce the same final state.
+//! The only permitted divergence is the one the paper's Section 4.3
+//! explicitly allows: a logical register whose architectural value was
+//! discarded by an early release (or clobbered by a register reuse) before
+//! its redefinition committed may hold a different — provably dead — value.
+//! Those registers are identified by
+//! [`Simulator::arch_value_unreliable`](crate::pipeline::Simulator::arch_value_unreliable)
+//! and skipped.
+
+use crate::pipeline::Simulator;
+use earlyreg_isa::{ArchReg, Emulator, Program, RegClass};
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Simulator and emulator agree on every compared item.
+    Match {
+        /// Instructions compared.
+        instructions: u64,
+        /// Registers skipped because their value was legitimately dead.
+        skipped_registers: usize,
+    },
+    /// A divergence was found.
+    Mismatch {
+        /// Human-readable description of the first difference.
+        description: String,
+    },
+}
+
+impl VerifyOutcome {
+    /// True if the verification passed.
+    pub fn is_match(&self) -> bool {
+        matches!(self, VerifyOutcome::Match { .. })
+    }
+}
+
+/// Compare the simulator's committed architectural state against the
+/// emulator after executing the same number of instructions.
+pub fn verify_against_emulator(sim: &Simulator, program: &Program) -> VerifyOutcome {
+    let committed = sim.stats().committed;
+    let mut emu = Emulator::new(program);
+    let result = emu.run(committed);
+    if result.instructions != committed {
+        return VerifyOutcome::Mismatch {
+            description: format!(
+                "emulator executed {} instructions but the simulator committed {committed} \
+                 (the committed path diverged)",
+                result.instructions
+            ),
+        };
+    }
+
+    // Memory must match exactly: stores are never dead-value-optimised.
+    let sim_mem = sim.committed_memory();
+    let emu_mem = &emu.state.memory;
+    if sim_mem.len() != emu_mem.len() {
+        return VerifyOutcome::Mismatch {
+            description: format!(
+                "memory sizes differ: simulator {} words, emulator {} words",
+                sim_mem.len(),
+                emu_mem.len()
+            ),
+        };
+    }
+    for (addr, (&s, &e)) in sim_mem.iter().zip(emu_mem.iter()).enumerate() {
+        if s != e {
+            return VerifyOutcome::Mismatch {
+                description: format!(
+                    "memory word {addr} differs: simulator {s:#x}, emulator {e:#x}"
+                ),
+            };
+        }
+    }
+
+    // Registers: compare raw bit patterns, skipping dead values.
+    let mut skipped = 0;
+    for class in RegClass::ALL {
+        for reg in ArchReg::all(class) {
+            if sim.arch_value_unreliable(reg) {
+                skipped += 1;
+                continue;
+            }
+            let sim_bits = sim.arch_reg_bits(reg);
+            let emu_bits = emu.state.read_raw(reg);
+            if sim_bits != emu_bits {
+                return VerifyOutcome::Mismatch {
+                    description: format!(
+                        "register {reg} differs: simulator {sim_bits:#x}, emulator {emu_bits:#x}"
+                    ),
+                };
+            }
+        }
+    }
+
+    // The release mechanisms must never have discarded a value that a
+    // committed instruction later read.
+    if sim.stats().oracle_violations > 0 {
+        return VerifyOutcome::Mismatch {
+            description: format!(
+                "{} committed instruction(s) read a logical register whose value had been \
+                 discarded by early release",
+                sim.stats().oracle_violations
+            ),
+        };
+    }
+
+    VerifyOutcome::Match {
+        instructions: committed,
+        skipped_registers: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        let ok = VerifyOutcome::Match {
+            instructions: 10,
+            skipped_registers: 0,
+        };
+        let bad = VerifyOutcome::Mismatch {
+            description: "x".into(),
+        };
+        assert!(ok.is_match());
+        assert!(!bad.is_match());
+    }
+}

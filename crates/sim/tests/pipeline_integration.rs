@@ -1,0 +1,232 @@
+//! End-to-end pipeline tests: small hand-written programs run to completion
+//! under every release policy, and the committed state must match the
+//! architectural emulator (the golden model).
+
+use earlyreg_core::ReleasePolicy;
+use earlyreg_isa::{ArchReg, BranchCond, Opcode, Program, ProgramBuilder};
+use earlyreg_sim::{verify_against_emulator, MachineConfig, RunLimits, Simulator};
+
+/// Sum of 1..=n with the result stored to memory.
+fn sum_program(n: i64) -> Program {
+    let mut b = ProgramBuilder::new("sum");
+    let i = ArchReg::int(1);
+    let acc = ArchReg::int(2);
+    let base = ArchReg::int(3);
+    b.li(i, n);
+    b.li(acc, 0);
+    b.li(base, 0);
+    let top = b.here();
+    b.add(acc, acc, i);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+    b.store_int(base, 0, acc);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// A branchy program with data-dependent directions (hard to predict) and
+/// frequent redefinitions — exercises mispredict recovery plus early release.
+fn branchy_program(iterations: i64) -> Program {
+    let mut b = ProgramBuilder::new("branchy");
+    b.set_memory_words(1 << 12);
+    let i = ArchReg::int(1);
+    let x = ArchReg::int(2);
+    let acc = ArchReg::int(3);
+    let tmp = ArchReg::int(4);
+    let base = ArchReg::int(5);
+    let bit = ArchReg::int(6);
+    b.li(i, iterations);
+    b.li(x, 0x9e37_79b9);
+    b.li(acc, 0);
+    b.li(base, 16);
+    let top = b.here();
+    // x = x * 1103515245 + 12345 (LCG), bit = (x >> 16) & 1
+    b.li(tmp, 1103515245);
+    b.mul(x, x, tmp);
+    b.addi(x, x, 12345);
+    b.iopi(Opcode::IShrImm, bit, x, 16);
+    b.iopi(Opcode::IAndImm, bit, bit, 1);
+    let odd = b.new_label();
+    let join = b.new_label();
+    b.branch(BranchCond::Ne, bit, None, odd);
+    b.addi(acc, acc, 3);
+    b.jump(join);
+    b.bind(odd);
+    b.iopi(Opcode::IShlImm, tmp, acc, 1);
+    b.sub(acc, tmp, acc);
+    b.addi(acc, acc, -1);
+    b.bind(join);
+    // store and reload the accumulator to exercise the LSQ
+    b.store_int(base, 0, acc);
+    b.load_int(acc, base, 0);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+    b.store_int(base, 1, acc);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// An FP kernel with long dependence chains, many live values and loads and
+/// stores — exercises FP latencies and register pressure.
+fn fp_program(iterations: i64) -> Program {
+    let mut b = ProgramBuilder::new("fpkernel");
+    b.set_memory_words(1 << 12);
+    let data: Vec<f64> = (0..64).map(|k| 1.0 + k as f64 * 0.25).collect();
+    let base_addr = b.data_f64(&data);
+    let i = ArchReg::int(1);
+    let base = ArchReg::int(2);
+    let idx = ArchReg::int(3);
+    let f: Vec<ArchReg> = (0..10).map(ArchReg::fp).collect();
+    b.li(i, iterations);
+    b.li(base, base_addr);
+    b.li(idx, 0);
+    b.fli(f[0], 0.0);
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, 63);
+    let addr = ArchReg::int(4);
+    b.add(addr, base, idx);
+    b.load_fp(f[1], addr, 0);
+    b.load_fp(f[2], addr, 1);
+    b.fmul(f[3], f[1], f[2]);
+    b.fadd(f[4], f[1], f[2]);
+    b.fdiv(f[5], f[3], f[4]);
+    b.fsub(f[6], f[3], f[5]);
+    b.fmul(f[7], f[6], f[1]);
+    b.fadd(f[8], f[7], f[5]);
+    b.fadd(f[0], f[0], f[8]);
+    b.store_fp(addr, 64, f[0]);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn run_and_verify(program: &Program, policy: ReleasePolicy, phys: usize) -> earlyreg_sim::SimStats {
+    let config = MachineConfig::icpp02(policy, phys, phys);
+    let mut sim = Simulator::new(config, program);
+    let stats = sim.run(RunLimits::default());
+    assert!(stats.halted, "{} did not halt under {policy:?}", program.name);
+    let outcome = verify_against_emulator(&sim, program);
+    assert!(
+        outcome.is_match(),
+        "{} diverged from the emulator under {policy:?} with {phys} registers: {outcome:?}",
+        program.name
+    );
+    assert_eq!(stats.oracle_violations, 0);
+    stats
+}
+
+#[test]
+fn sum_program_matches_emulator_under_all_policies() {
+    let p = sum_program(200);
+    for policy in ReleasePolicy::ALL {
+        let stats = run_and_verify(&p, policy, 64);
+        assert!(stats.ipc() > 0.5, "IPC unexpectedly low: {}", stats.ipc());
+    }
+}
+
+#[test]
+fn branchy_program_matches_emulator_under_all_policies() {
+    let p = branchy_program(300);
+    for policy in ReleasePolicy::ALL {
+        let stats = run_and_verify(&p, policy, 48);
+        assert!(stats.mispredicted_branches > 0, "the LCG branch should mispredict sometimes");
+        assert!(stats.committed_branches > 0);
+    }
+}
+
+#[test]
+fn fp_program_matches_emulator_under_all_policies() {
+    let p = fp_program(300);
+    for policy in ReleasePolicy::ALL {
+        let stats = run_and_verify(&p, policy, 48);
+        assert!(stats.committed_loads > 0);
+        assert!(stats.committed_stores > 0);
+    }
+}
+
+#[test]
+fn very_tight_register_files_still_produce_correct_results() {
+    // 34 physical registers = 32 architectural + 2 rename buffers: maximum
+    // pressure, lots of rename stalls, still correct.
+    let p = fp_program(100);
+    for policy in ReleasePolicy::ALL {
+        let stats = run_and_verify(&p, policy, 34);
+        assert!(stats.rename_stalls.free_list > 0, "tight file must cause free-list stalls");
+    }
+}
+
+#[test]
+fn early_release_does_not_hurt_and_usually_helps_ipc() {
+    let p = fp_program(400);
+    let conv = run_and_verify(&p, ReleasePolicy::Conventional, 40).ipc();
+    let basic = run_and_verify(&p, ReleasePolicy::Basic, 40).ipc();
+    let extended = run_and_verify(&p, ReleasePolicy::Extended, 40).ipc();
+    // Allow a sliver of noise, but the ordering conv <= basic <= extended
+    // must hold in the tight-register regime.
+    assert!(basic >= conv * 0.98, "basic {basic} vs conv {conv}");
+    assert!(extended >= basic * 0.98, "extended {extended} vs basic {basic}");
+    assert!(extended > conv, "extended {extended} should beat conventional {conv}");
+}
+
+#[test]
+fn idle_registers_shrink_with_early_release() {
+    let p = fp_program(400);
+    let config = MachineConfig::icpp02(ReleasePolicy::Conventional, 96, 96);
+    let mut conv = Simulator::new(config, &p);
+    let conv_stats = conv.run(RunLimits::default());
+
+    let config = MachineConfig::icpp02(ReleasePolicy::Extended, 96, 96);
+    let mut ext = Simulator::new(config, &p);
+    let ext_stats = ext.run(RunLimits::default());
+
+    assert!(
+        ext_stats.occupancy_fp.avg_idle() < conv_stats.occupancy_fp.avg_idle(),
+        "extended idle {} must be below conventional idle {}",
+        ext_stats.occupancy_fp.avg_idle(),
+        conv_stats.occupancy_fp.avg_idle()
+    );
+}
+
+#[test]
+fn exception_injection_recovers_precisely() {
+    let p = branchy_program(200);
+    for policy in ReleasePolicy::ALL {
+        let mut config = MachineConfig::icpp02(policy, 48, 48);
+        config.exceptions.interval = Some(97);
+        config.exceptions.handler_cycles = 20;
+        let mut sim = Simulator::new(config, &p);
+        let stats = sim.run(RunLimits::default());
+        assert!(stats.halted);
+        assert!(stats.exceptions > 0, "exceptions should have been injected");
+        let outcome = verify_against_emulator(&sim, &p);
+        assert!(
+            outcome.is_match(),
+            "{policy:?} diverged after exception recovery: {outcome:?}"
+        );
+        assert_eq!(stats.oracle_violations, 0);
+    }
+}
+
+#[test]
+fn committed_instruction_count_is_policy_independent() {
+    // The release policy must never change *what* commits, only how fast.
+    let p = branchy_program(150);
+    let counts: Vec<u64> = ReleasePolicy::ALL
+        .iter()
+        .map(|&policy| run_and_verify(&p, policy, 48).committed)
+        .collect();
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}
+
+#[test]
+fn run_limits_stop_the_simulation() {
+    let p = sum_program(100_000);
+    let config = MachineConfig::icpp02(ReleasePolicy::Extended, 64, 64);
+    let mut sim = Simulator::new(config, &p);
+    let stats = sim.run(RunLimits::instructions(5_000));
+    assert!(!stats.halted);
+    assert!(stats.committed >= 5_000);
+    assert!(stats.committed < 6_000);
+}

@@ -1,0 +1,34 @@
+//! # earlyreg-workloads
+//!
+//! Synthetic stand-ins for the SPEC95 subset used by *"Hardware Schemes for
+//! Early Register Release"* (ICPP 2002), Table 3: five integer programs
+//! (compress, gcc, go, li, perl) and five floating-point programs (mgrid,
+//! tomcatv, applu, swim, hydro2d).
+//!
+//! The original binaries/inputs (Compaq Alpha, `-O5`/`-O4`) are not available
+//! in this environment, so each program is replaced by a kernel written
+//! against the `earlyreg-isa` mini ISA that reproduces the *properties the
+//! paper's result depends on*:
+//!
+//! * integer codes are **branch-intensive** with moderate register pressure
+//!   and a mix of well- and poorly-predictable branches (dictionary lookups,
+//!   decision trees, pointer chasing, string/hash scanning);
+//! * floating-point codes are **loop-dominated** with long-latency dependence
+//!   chains (multiplies, divides) and a large number of simultaneously live
+//!   FP values, i.e. high FP register pressure (stencils, mesh smoothing,
+//!   SSOR sweeps, shallow-water updates, hydrodynamics sweeps);
+//! * every kernel streams through memory so loads/stores and the LSQ are
+//!   exercised, and every kernel writes its results back to memory so the
+//!   golden-model comparison covers its output.
+//!
+//! Dynamic run lengths are scaled down from the paper's 47M–472M instructions
+//! so the full register-size sweep finishes quickly; [`Scale`] controls the
+//! per-workload iteration counts.
+
+pub mod generic;
+pub mod spec_fp;
+pub mod spec_int;
+pub mod suite;
+
+pub use generic::{generic_workload, GenericWorkloadConfig};
+pub use suite::{suite, workload_by_name, Scale, Workload, WorkloadClass, WorkloadSpec, SPECS};

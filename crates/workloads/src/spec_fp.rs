@@ -1,0 +1,567 @@
+//! Floating-point SPEC95 analogues: mgrid, tomcatv, applu, swim, hydro2d.
+//!
+//! The paper's FP codes are loop-dominated, dominated by long-latency FP
+//! operations and — crucially for the early-release result — keep a large
+//! number of FP values live at once, which is what creates FP register
+//! pressure.  Every kernel below keeps 20+ FP logical registers live in its
+//! inner loop, mixes multiplies and divides (4- and 16-cycle latencies) and
+//! streams through word-addressed arrays.
+
+use earlyreg_isa::{ArchReg, BranchCond, Opcode, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn random_grid(r: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| r.gen_range(0.5..2.0)).collect()
+}
+
+/// `107.mgrid`-like kernel: a 27-point-ish relaxation sweep over a 3-D grid,
+/// expressed as strided neighbour accesses over a flat array.
+pub fn mgrid_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("mgrid");
+    b.set_memory_words(1 << 16);
+    let mut r = rng(0xF9_1001);
+
+    const N: usize = 4096; // 16 x 16 x 16
+    let grid = random_grid(&mut r, N);
+    let grid_base = b.data_f64(&grid);
+    let out_base = b.data_zeroed(N);
+    let sum_base = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let gb = ArchReg::int(2);
+    let ob = ArchReg::int(3);
+    let idx = ArchReg::int(4);
+    let addr = ArchReg::int(5);
+    let oaddr = ArchReg::int(6);
+    let sumb = ArchReg::int(7);
+
+    // FP registers: 4 stencil coefficients, 7 loaded neighbours per point,
+    // unrolled twice, plus partial sums — ~26 live FP values.
+    let c0 = ArchReg::fp(0);
+    let c1 = ArchReg::fp(1);
+    let c2 = ArchReg::fp(2);
+    let c3 = ArchReg::fp(3);
+    let acc = ArchReg::fp(4);
+
+    b.li(i, iterations as i64);
+    b.li(gb, grid_base);
+    b.li(ob, out_base);
+    b.li(sumb, sum_base);
+    b.fli(c0, 0.5);
+    b.fli(c1, 0.25);
+    b.fli(c2, 0.125);
+    b.fli(c3, 0.0625);
+    b.fli(acc, 0.0);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (N - 1) as i64);
+    b.add(addr, gb, idx);
+    b.add(oaddr, ob, idx);
+
+    // Two unrolled stencil points; each keeps its 7 neighbours live while the
+    // weighted sum is formed.
+    for u in 0..2i64 {
+        let base_f = 5 + (u as usize) * 12;
+        let center = ArchReg::fp(base_f);
+        let xl = ArchReg::fp(base_f + 1);
+        let xr = ArchReg::fp(base_f + 2);
+        let yl = ArchReg::fp(base_f + 3);
+        let yr = ArchReg::fp(base_f + 4);
+        let zl = ArchReg::fp(base_f + 5);
+        let zr = ArchReg::fp(base_f + 6);
+        let t0 = ArchReg::fp(base_f + 7);
+        let t1 = ArchReg::fp(base_f + 8);
+        let t2 = ArchReg::fp(base_f + 9);
+        let t3 = ArchReg::fp(base_f + 10);
+        let resid = ArchReg::fp(base_f + 11);
+        let off = u * 64;
+        b.load_fp(center, addr, off);
+        b.load_fp(xl, addr, off - 1);
+        b.load_fp(xr, addr, off + 1);
+        b.load_fp(yl, addr, off - 16);
+        b.load_fp(yr, addr, off + 16);
+        b.load_fp(zl, addr, off - 256);
+        b.load_fp(zr, addr, off + 256);
+        b.fadd(t0, xl, xr);
+        b.fadd(t1, yl, yr);
+        b.fadd(t2, zl, zr);
+        b.fmul(t0, t0, c1);
+        b.fmul(t1, t1, c2);
+        b.fmul(t2, t2, c3);
+        b.fmul(t3, center, c0);
+        b.fadd(t0, t0, t1);
+        b.fadd(t2, t2, t3);
+        b.fadd(resid, t0, t2);
+        b.fsub(resid, resid, center);
+        b.store_fp(oaddr, off, resid);
+        b.fadd(acc, acc, resid);
+    }
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_fp(sumb, 0, acc);
+    b.halt();
+    b.build().expect("mgrid kernel must be valid")
+}
+
+/// `101.tomcatv`-like kernel: mesh-generation smoothing — neighbour loads,
+/// cross products and two divides per point.
+pub fn tomcatv_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("tomcatv");
+    b.set_memory_words(1 << 16);
+    let mut r = rng(0x70_1002);
+
+    const N: usize = 4096; // 64 x 64 mesh
+    let x = random_grid(&mut r, N);
+    let y = random_grid(&mut r, N);
+    let xb = b.data_f64(&x);
+    let yb = b.data_f64(&y);
+    let rxb = b.data_zeroed(N);
+    let ryb = b.data_zeroed(N);
+    let sum_base = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let xba = ArchReg::int(2);
+    let yba = ArchReg::int(3);
+    let rxa = ArchReg::int(4);
+    let rya = ArchReg::int(5);
+    let idx = ArchReg::int(6);
+    let ax = ArchReg::int(7);
+    let ay = ArchReg::int(8);
+    let arx = ArchReg::int(9);
+    let ary = ArchReg::int(10);
+    let sumb = ArchReg::int(11);
+
+    let f: Vec<ArchReg> = (0..28).map(ArchReg::fp).collect();
+
+    b.li(i, iterations as i64);
+    b.li(xba, xb);
+    b.li(yba, yb);
+    b.li(rxa, rxb);
+    b.li(rya, ryb);
+    b.li(sumb, sum_base);
+    b.fli(f[0], 0.0); // accumulator
+    b.fli(f[1], 2.0);
+    b.fli(f[2], 0.25);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (N - 1) as i64);
+    b.add(ax, xba, idx);
+    b.add(ay, yba, idx);
+    b.add(arx, rxa, idx);
+    b.add(ary, rya, idx);
+    // Load x/y at the point and its 4 mesh neighbours (stride 1 and 64).
+    b.load_fp(f[3], ax, 0);
+    b.load_fp(f[4], ax, 1);
+    b.load_fp(f[5], ax, -1);
+    b.load_fp(f[6], ax, 64);
+    b.load_fp(f[7], ax, -64);
+    b.load_fp(f[8], ay, 0);
+    b.load_fp(f[9], ay, 1);
+    b.load_fp(f[10], ay, -1);
+    b.load_fp(f[11], ay, 64);
+    b.load_fp(f[12], ay, -64);
+    // xx, yx: central differences along the two directions.
+    b.fsub(f[13], f[4], f[5]);
+    b.fsub(f[14], f[6], f[7]);
+    b.fsub(f[15], f[9], f[10]);
+    b.fsub(f[16], f[11], f[12]);
+    // a = xx^2 + yx^2 ; bcoef = xx*xy + yx*yy ; c = xy^2 + yy^2
+    b.fmul(f[17], f[13], f[13]);
+    b.fmul(f[18], f[15], f[15]);
+    b.fadd(f[17], f[17], f[18]);
+    b.fmul(f[19], f[14], f[14]);
+    b.fmul(f[20], f[16], f[16]);
+    b.fadd(f[19], f[19], f[20]);
+    b.fmul(f[21], f[13], f[14]);
+    b.fmul(f[22], f[15], f[16]);
+    b.fadd(f[21], f[21], f[22]);
+    // rx = (a*xll + c*xmm - 2*b*xlm) / (a + c) — two divides per point.
+    b.fadd(f[23], f[17], f[19]);
+    b.fmul(f[24], f[17], f[3]);
+    b.fmul(f[25], f[19], f[8]);
+    b.fmul(f[26], f[21], f[1]);
+    b.fadd(f[24], f[24], f[25]);
+    b.fsub(f[24], f[24], f[26]);
+    b.fdiv(f[24], f[24], f[23]);
+    b.fdiv(f[25], f[21], f[23]);
+    b.store_fp(arx, 0, f[24]);
+    b.store_fp(ary, 0, f[25]);
+    // residual accumulation
+    b.fsub(f[26], f[24], f[3]);
+    b.fop1(Opcode::FAbs, f[26], f[26]);
+    b.fmul(f[26], f[26], f[2]);
+    b.fadd(f[0], f[0], f[26]);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_fp(sumb, 0, f[0]);
+    b.halt();
+    b.build().expect("tomcatv kernel must be valid")
+}
+
+/// `110.applu`-like kernel: SSOR-style block solve — dense little dependence
+/// chains with several divides, high FP register pressure.
+pub fn applu_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("applu");
+    b.set_memory_words(1 << 16);
+    let mut r = rng(0xAA_1003);
+
+    const N: usize = 8192;
+    let u = random_grid(&mut r, N);
+    let rsd = random_grid(&mut r, N);
+    let ub = b.data_f64(&u);
+    let rb = b.data_f64(&rsd);
+    let outb = b.data_zeroed(N);
+    let sums = b.data_zeroed(8);
+
+    let i = ArchReg::int(1);
+    let ua = ArchReg::int(2);
+    let ra = ArchReg::int(3);
+    let oa = ArchReg::int(4);
+    let idx = ArchReg::int(5);
+    let a1 = ArchReg::int(6);
+    let a2 = ArchReg::int(7);
+    let a3 = ArchReg::int(8);
+    let sb = ArchReg::int(9);
+
+    let f: Vec<ArchReg> = (0..30).map(ArchReg::fp).collect();
+
+    b.li(i, iterations as i64);
+    b.li(ua, ub);
+    b.li(ra, rb);
+    b.li(oa, outb);
+    b.li(sb, sums);
+    b.fli(f[0], 0.0);
+    b.fli(f[1], 0.0);
+    b.fli(f[2], 1.5);
+    b.fli(f[3], 0.1);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (N - 5) as i64 & !3);
+    b.add(a1, ua, idx);
+    b.add(a2, ra, idx);
+    b.add(a3, oa, idx);
+    // Load a 5-vector of u and rsd (the five PDE variables).
+    for k in 0..5i64 {
+        b.load_fp(f[4 + k as usize], a1, k);
+        b.load_fp(f[9 + k as usize], a2, k);
+    }
+    // Diagonal "inversion": d = 1 / (c + u0), then back-substitute through
+    // the five variables, keeping everything live.
+    b.fadd(f[14], f[2], f[4]);
+    b.fdiv(f[15], f[3], f[14]); // 16-cycle divide on the critical path
+    for k in 0..5usize {
+        b.fmul(f[16 + k], f[9 + k], f[15]);
+    }
+    b.fadd(f[21], f[16], f[17]);
+    b.fadd(f[22], f[18], f[19]);
+    b.fadd(f[23], f[21], f[22]);
+    b.fadd(f[23], f[23], f[20]);
+    b.fmul(f[24], f[23], f[2]);
+    b.fsub(f[25], f[24], f[4]);
+    b.fdiv(f[26], f[25], f[14]);
+    for k in 0..5i64 {
+        b.store_fp(a3, k, f[(16 + k) as usize]);
+    }
+    b.fadd(f[0], f[0], f[26]);
+    b.fmul(f[1], f[1], f[3]);
+    b.fadd(f[1], f[1], f[23]);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_fp(sb, 0, f[0]);
+    b.store_fp(sb, 1, f[1]);
+    b.halt();
+    b.build().expect("applu kernel must be valid")
+}
+
+/// `102.swim`-like kernel: shallow-water finite differences — three grids
+/// updated from neighbour differences, mostly adds and multiplies.
+pub fn swim_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("swim");
+    b.set_memory_words(1 << 16);
+    let mut r = rng(0x59_1004);
+
+    const N: usize = 4096; // 64 x 64
+    let ug = random_grid(&mut r, N);
+    let vg = random_grid(&mut r, N);
+    let pg = random_grid(&mut r, N);
+    let ub = b.data_f64(&ug);
+    let vb = b.data_f64(&vg);
+    let pb = b.data_f64(&pg);
+    let cu = b.data_zeroed(N);
+    let cv = b.data_zeroed(N);
+    let zb = b.data_zeroed(N);
+    let sums = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let ua = ArchReg::int(2);
+    let va = ArchReg::int(3);
+    let pa = ArchReg::int(4);
+    let cua = ArchReg::int(5);
+    let cva = ArchReg::int(6);
+    let za = ArchReg::int(7);
+    let idx = ArchReg::int(8);
+    let t1 = ArchReg::int(9);
+    let t2 = ArchReg::int(10);
+    let t3 = ArchReg::int(11);
+    let t4 = ArchReg::int(12);
+    let t5 = ArchReg::int(13);
+    let t6 = ArchReg::int(14);
+    let sb = ArchReg::int(15);
+
+    let f: Vec<ArchReg> = (0..26).map(ArchReg::fp).collect();
+
+    b.li(i, iterations as i64);
+    b.li(ua, ub);
+    b.li(va, vb);
+    b.li(pa, pb);
+    b.li(cua, cu);
+    b.li(cva, cv);
+    b.li(za, zb);
+    b.li(sb, sums);
+    b.fli(f[0], 0.5);
+    b.fli(f[1], 0.0); // checksum
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (N - 1) as i64);
+    b.add(t1, ua, idx);
+    b.add(t2, va, idx);
+    b.add(t3, pa, idx);
+    b.add(t4, cua, idx);
+    b.add(t5, cva, idx);
+    b.add(t6, za, idx);
+    // u, v, p at the point and at +1 / +64 neighbours.
+    b.load_fp(f[2], t1, 0);
+    b.load_fp(f[3], t1, 1);
+    b.load_fp(f[4], t1, 64);
+    b.load_fp(f[5], t2, 0);
+    b.load_fp(f[6], t2, 1);
+    b.load_fp(f[7], t2, 64);
+    b.load_fp(f[8], t3, 0);
+    b.load_fp(f[9], t3, 1);
+    b.load_fp(f[10], t3, 64);
+    // cu = 0.5*(p + p_x)*u ; cv = 0.5*(p + p_y)*v
+    b.fadd(f[11], f[8], f[9]);
+    b.fmul(f[11], f[11], f[0]);
+    b.fmul(f[12], f[11], f[2]);
+    b.fadd(f[13], f[8], f[10]);
+    b.fmul(f[13], f[13], f[0]);
+    b.fmul(f[14], f[13], f[5]);
+    // z = (v_x - u_y) / (p + p_x + p_y)  (vorticity-like, one divide)
+    b.fsub(f[15], f[6], f[4]);
+    b.fadd(f[16], f[8], f[9]);
+    b.fadd(f[16], f[16], f[10]);
+    b.fdiv(f[17], f[15], f[16]);
+    // h = p + 0.25*(u^2 + v^2) keeps more values live
+    b.fmul(f[18], f[2], f[2]);
+    b.fmul(f[19], f[5], f[5]);
+    b.fadd(f[20], f[18], f[19]);
+    b.fmul(f[21], f[20], f[0]);
+    b.fmul(f[21], f[21], f[0]);
+    b.fadd(f[22], f[8], f[21]);
+    b.store_fp(t4, 0, f[12]);
+    b.store_fp(t5, 0, f[14]);
+    b.store_fp(t6, 0, f[17]);
+    b.fadd(f[1], f[1], f[22]);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_fp(sb, 0, f[1]);
+    b.halt();
+    b.build().expect("swim kernel must be valid")
+}
+
+/// `104.hydro2d`-like kernel: hydrodynamics flux computation with divides and
+/// a square root per cell and an occasional data-dependent limiter branch.
+pub fn hydro2d_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("hydro2d");
+    b.set_memory_words(1 << 16);
+    let mut r = rng(0x4D_1005);
+
+    const N: usize = 4096;
+    let ro = random_grid(&mut r, N);
+    let uu = random_grid(&mut r, N);
+    let vv = random_grid(&mut r, N);
+    let pp = random_grid(&mut r, N);
+    let rob = b.data_f64(&ro);
+    let uub = b.data_f64(&uu);
+    let vvb = b.data_f64(&vv);
+    let ppb = b.data_f64(&pp);
+    let fluxb = b.data_zeroed(N);
+    let sums = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let roa = ArchReg::int(2);
+    let uua = ArchReg::int(3);
+    let vva = ArchReg::int(4);
+    let ppa = ArchReg::int(5);
+    let fla = ArchReg::int(6);
+    let idx = ArchReg::int(7);
+    let a1 = ArchReg::int(8);
+    let a2 = ArchReg::int(9);
+    let a3 = ArchReg::int(10);
+    let a4 = ArchReg::int(11);
+    let a5 = ArchReg::int(12);
+    let sb = ArchReg::int(13);
+    let cmp = ArchReg::int(14);
+
+    let f: Vec<ArchReg> = (0..24).map(ArchReg::fp).collect();
+
+    b.li(i, iterations as i64);
+    b.li(roa, rob);
+    b.li(uua, uub);
+    b.li(vva, vvb);
+    b.li(ppa, ppb);
+    b.li(fla, fluxb);
+    b.li(sb, sums);
+    b.fli(f[0], 1.4); // gamma
+    b.fli(f[1], 0.0); // checksum
+    b.fli(f[2], 2.0);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (N - 2) as i64);
+    b.add(a1, roa, idx);
+    b.add(a2, uua, idx);
+    b.add(a3, vva, idx);
+    b.add(a4, ppa, idx);
+    b.add(a5, fla, idx);
+    b.load_fp(f[3], a1, 0);
+    b.load_fp(f[4], a2, 0);
+    b.load_fp(f[5], a3, 0);
+    b.load_fp(f[6], a4, 0);
+    b.load_fp(f[7], a1, 1);
+    b.load_fp(f[8], a4, 1);
+    // sound speed c = sqrt(gamma * p / ro); kinetic energy; momentum fluxes
+    b.fmul(f[9], f[0], f[6]);
+    b.fdiv(f[10], f[9], f[3]);
+    b.fop1(Opcode::FSqrt, f[11], f[10]);
+    b.fmul(f[12], f[4], f[4]);
+    b.fmul(f[13], f[5], f[5]);
+    b.fadd(f[14], f[12], f[13]);
+    b.fmul(f[15], f[14], f[3]);
+    b.fmul(f[16], f[3], f[4]);
+    b.fmul(f[17], f[16], f[4]);
+    b.fadd(f[17], f[17], f[6]);
+    // limiter: if the neighbouring pressure jump is large, damp the flux
+    // (a data-dependent FP-driven branch).
+    b.fsub(f[18], f[8], f[6]);
+    b.fop1(Opcode::FAbs, f[18], f[18]);
+    b.fmul(f[19], f[6], f[2]);
+    b.fop(Opcode::FCmpLt, cmp, f[19], f[18]);
+    let no_damp = b.new_label();
+    b.branch(BranchCond::Eq, cmp, None, no_damp);
+    b.fdiv(f[17], f[17], f[2]);
+    b.bind(no_damp);
+    // flux = (e + p) * u / c with e = 0.5*ro*(u^2+v^2) + p/(gamma-1)
+    b.fmul(f[20], f[15], f[11]);
+    b.fadd(f[21], f[20], f[17]);
+    b.fdiv(f[22], f[21], f[11]);
+    b.fmul(f[23], f[22], f[7]);
+    b.store_fp(a5, 0, f[23]);
+    b.fadd(f[1], f[1], f[23]);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_fp(sb, 0, f[1]);
+    b.halt();
+    b.build().expect("hydro2d kernel must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_isa::{Emulator, Program, RegClass};
+
+    fn check(program: &Program, max: u64) -> earlyreg_isa::EmulationResult {
+        program.validate().expect("program validates");
+        let mut emu = Emulator::new(program);
+        let result = emu.run(max);
+        assert!(result.halted, "{} did not halt within {max} instructions", program.name);
+        result
+    }
+
+    #[test]
+    fn all_fp_kernels_terminate_with_low_branch_fraction() {
+        for program in [
+            mgrid_like(300),
+            tomcatv_like(300),
+            applu_like(300),
+            swim_like(300),
+            hydro2d_like(300),
+        ] {
+            let result = check(&program, 2_000_000);
+            assert!(
+                result.branch_fraction() < 0.12,
+                "{} branch fraction {:.3} too high for an FP SPEC analogue",
+                program.name,
+                result.branch_fraction()
+            );
+            assert!(result.loads > 0 && result.stores > 0);
+        }
+    }
+
+    #[test]
+    fn fp_kernels_write_many_fp_destinations() {
+        for program in [
+            mgrid_like(10),
+            tomcatv_like(10),
+            applu_like(10),
+            swim_like(10),
+            hydro2d_like(10),
+        ] {
+            let mix = program.static_mix();
+            assert!(
+                mix.fp_writers > mix.int_writers,
+                "{}: FP SPEC analogues must be dominated by FP register writes \
+                 ({} fp vs {} int)",
+                program.name,
+                mix.fp_writers,
+                mix.int_writers
+            );
+        }
+    }
+
+    #[test]
+    fn fp_kernels_use_a_wide_fp_register_working_set() {
+        for program in [mgrid_like(10), tomcatv_like(10), applu_like(10), swim_like(10)] {
+            let mut used = std::collections::HashSet::new();
+            for instr in &program.instrs {
+                if let Some(d) = instr.dst {
+                    if d.class() == RegClass::Fp {
+                        used.insert(d.index());
+                    }
+                }
+            }
+            assert!(
+                used.len() >= 16,
+                "{} writes only {} distinct FP registers",
+                program.name,
+                used.len()
+            );
+        }
+    }
+
+    #[test]
+    fn fp_results_are_finite_and_deterministic() {
+        let p = hydro2d_like(200);
+        let mut e1 = Emulator::new(&p);
+        let mut e2 = Emulator::new(&p);
+        e1.run(2_000_000);
+        e2.run(2_000_000);
+        assert_eq!(e1.state.fingerprint(), e2.state.fingerprint());
+        let checksum = e1.state.read_fp(earlyreg_isa::ArchReg::fp(1));
+        assert!(checksum.is_finite(), "checksum diverged: {checksum}");
+    }
+}

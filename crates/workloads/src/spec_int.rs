@@ -1,0 +1,500 @@
+//! Integer SPEC95 analogues: compress, gcc, go, li, perl.
+//!
+//! The paper's integer codes are branch-intensive with moderate register
+//! pressure; their branches mix well-predictable loop control with
+//! data-dependent decisions.  Each generator here produces a self-contained
+//! program (data image included) whose dynamic behaviour follows that
+//! profile.  The `iterations` parameter scales the dynamic instruction count
+//! roughly linearly.
+
+use earlyreg_isa::{ArchReg, BranchCond, Opcode, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `129.compress`-like kernel: a dictionary/hash-table compressor loop.
+///
+/// Per "input symbol": hash the symbol, probe a table, branch on hit/miss,
+/// update the table on a miss and counters on a hit.  The hit/miss branch is
+/// data-dependent and only partially predictable.
+pub fn compress_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("compress");
+    b.set_memory_words(1 << 15);
+    let mut r = rng(0xC0_0001);
+
+    const INPUT: usize = 4096;
+    const TABLE: usize = 1024;
+    let input: Vec<i64> = (0..INPUT).map(|_| r.gen_range(0..5000)).collect();
+    let input_base = b.data_i64(&input);
+    let table_base = b.data_zeroed(TABLE);
+    let out_base = b.data_zeroed(8);
+
+    let i = ArchReg::int(1);
+    let idx = ArchReg::int(2);
+    let inp = ArchReg::int(3);
+    let tab = ArchReg::int(4);
+    let val = ArchReg::int(5);
+    let hash = ArchReg::int(6);
+    let entry = ArchReg::int(7);
+    let hits = ArchReg::int(8);
+    let misses = ArchReg::int(9);
+    let acc = ArchReg::int(10);
+    let tmp = ArchReg::int(11);
+    let mult = ArchReg::int(12);
+    let out = ArchReg::int(13);
+    let slot = ArchReg::int(14);
+
+    b.li(i, iterations as i64);
+    b.li(inp, input_base);
+    b.li(tab, table_base);
+    b.li(out, out_base);
+    b.li(hits, 0);
+    b.li(misses, 0);
+    b.li(acc, 0);
+    b.li(mult, 2654435761);
+
+    let top = b.here();
+    // idx = i & (INPUT-1); val = input[idx]
+    b.iopi(Opcode::IAndImm, idx, i, (INPUT - 1) as i64);
+    b.add(tmp, inp, idx);
+    b.load_int(val, tmp, 0);
+    // hash = ((val * K) >> 7) & (TABLE-1)
+    b.mul(hash, val, mult);
+    b.iopi(Opcode::IShrImm, hash, hash, 7);
+    b.iopi(Opcode::IAndImm, hash, hash, (TABLE - 1) as i64);
+    // entry = table[hash]
+    b.add(slot, tab, hash);
+    b.load_int(entry, slot, 0);
+    let miss = b.new_label();
+    let cont = b.new_label();
+    b.branch(BranchCond::Ne, entry, Some(val), miss);
+    // hit path
+    b.addi(hits, hits, 1);
+    b.add(acc, acc, val);
+    b.jump(cont);
+    // miss path: install and count
+    b.bind(miss);
+    b.store_int(slot, 0, val);
+    b.addi(misses, misses, 1);
+    b.iop(Opcode::IXor, acc, acc, val);
+    b.bind(cont);
+    // occasional extra work: if (val & 3) == 0, fold acc
+    let skip = b.new_label();
+    b.iopi(Opcode::IAndImm, tmp, val, 3);
+    b.branch(BranchCond::Ne, tmp, None, skip);
+    b.iopi(Opcode::IShlImm, tmp, acc, 1);
+    b.iop(Opcode::IXor, acc, acc, tmp);
+    b.bind(skip);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_int(out, 0, hits);
+    b.store_int(out, 1, misses);
+    b.store_int(out, 2, acc);
+    b.halt();
+    b.build().expect("compress kernel must be valid")
+}
+
+/// `126.gcc`-like kernel: an irregular decision cascade over token values,
+/// emulating the branchy, short-basic-block behaviour of a compiler.
+pub fn gcc_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("gcc");
+    b.set_memory_words(1 << 15);
+    let mut r = rng(0x6CC_0002);
+
+    const TOKENS: usize = 8192;
+    let tokens: Vec<i64> = (0..TOKENS).map(|_| r.gen_range(0..256)).collect();
+    let tok_base = b.data_i64(&tokens);
+    let out_base = b.data_zeroed(8);
+
+    let i = ArchReg::int(1);
+    let base = ArchReg::int(2);
+    let v = ArchReg::int(3);
+    let t = ArchReg::int(4);
+    let a0 = ArchReg::int(5);
+    let a1 = ArchReg::int(6);
+    let a2 = ArchReg::int(7);
+    let a3 = ArchReg::int(8);
+    let tmp = ArchReg::int(9);
+    let idx = ArchReg::int(10);
+    let out = ArchReg::int(11);
+    let k = ArchReg::int(12);
+
+    b.li(i, iterations as i64);
+    b.li(base, tok_base);
+    b.li(out, out_base);
+    b.li(a0, 0);
+    b.li(a1, 0);
+    b.li(a2, 0);
+    b.li(a3, 1);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (TOKENS - 1) as i64);
+    b.add(tmp, base, idx);
+    b.load_int(v, tmp, 0);
+    b.iopi(Opcode::IAndImm, t, v, 7);
+
+    let case1 = b.new_label();
+    let case2 = b.new_label();
+    let case3 = b.new_label();
+    let join = b.new_label();
+    // switch (t)
+    b.branch(BranchCond::Eq, t, None, case1);
+    b.li(tmp, 1);
+    b.branch(BranchCond::Eq, t, Some(tmp), case2);
+    b.li(tmp, 4);
+    b.branch(BranchCond::Lt, t, Some(tmp), case3);
+    // default: a3-heavy path with a multiply
+    b.mul(a3, a3, v);
+    b.addi(a3, a3, 13);
+    b.jump(join);
+    b.bind(case1);
+    b.add(a0, a0, v);
+    b.iopi(Opcode::IShrImm, tmp, v, 2);
+    b.iop(Opcode::IXor, a0, a0, tmp);
+    b.jump(join);
+    b.bind(case2);
+    b.sub(a1, a1, v);
+    b.iopi(Opcode::IShlImm, tmp, v, 1);
+    b.add(a1, a1, tmp);
+    b.jump(join);
+    b.bind(case3);
+    b.iop(Opcode::IOr, a2, a2, v);
+    b.addi(a2, a2, 3);
+    b.jump(join);
+    b.bind(join);
+    // nested mini-loop (constant trip count of 3): well-predicted branches
+    b.li(k, 3);
+    let inner = b.here();
+    b.iopi(Opcode::IShrImm, tmp, a0, 1);
+    b.add(a2, a2, tmp);
+    b.addi(k, k, -1);
+    b.branch(BranchCond::Gt, k, None, inner);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_int(out, 0, a0);
+    b.store_int(out, 1, a1);
+    b.store_int(out, 2, a2);
+    b.store_int(out, 3, a3);
+    b.halt();
+    b.build().expect("gcc kernel must be valid")
+}
+
+/// `099.go`-like kernel: board scanning with neighbour comparisons and
+/// data-dependent move decisions.
+pub fn go_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("go");
+    b.set_memory_words(1 << 15);
+    let mut r = rng(0x60_0003);
+
+    const BOARD: usize = 1024; // 32x32
+    let board: Vec<i64> = (0..BOARD).map(|_| r.gen_range(0..3)).collect();
+    let board_base = b.data_i64(&board);
+    let out_base = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let base = ArchReg::int(2);
+    let pos = ArchReg::int(3);
+    let cell = ArchReg::int(4);
+    let n1 = ArchReg::int(5);
+    let n2 = ArchReg::int(6);
+    let n3 = ArchReg::int(7);
+    let n4 = ArchReg::int(8);
+    let score = ArchReg::int(9);
+    let captures = ArchReg::int(10);
+    let tmp = ArchReg::int(11);
+    let lcg = ArchReg::int(12);
+    let out = ArchReg::int(13);
+    let addr = ArchReg::int(14);
+
+    b.li(i, iterations as i64);
+    b.li(base, board_base);
+    b.li(out, out_base);
+    b.li(score, 0);
+    b.li(captures, 0);
+    b.li(lcg, 88172645463325252u64 as i64);
+
+    let top = b.here();
+    // xorshift-ish position selection (data dependent)
+    b.iopi(Opcode::IShlImm, tmp, lcg, 13);
+    b.iop(Opcode::IXor, lcg, lcg, tmp);
+    b.iopi(Opcode::IShrImm, tmp, lcg, 7);
+    b.iop(Opcode::IXor, lcg, lcg, tmp);
+    b.iopi(Opcode::IAndImm, pos, lcg, (BOARD - 1) as i64);
+    // load cell and 4 neighbours (wrapped)
+    b.add(addr, base, pos);
+    b.load_int(cell, addr, 0);
+    b.load_int(n1, addr, 1);
+    b.load_int(n2, addr, -1);
+    b.load_int(n3, addr, 32);
+    b.load_int(n4, addr, -32);
+    // count matching neighbours with data-dependent branches
+    let skip1 = b.new_label();
+    b.branch(BranchCond::Ne, cell, Some(n1), skip1);
+    b.addi(score, score, 1);
+    b.bind(skip1);
+    let skip2 = b.new_label();
+    b.branch(BranchCond::Ne, cell, Some(n2), skip2);
+    b.addi(score, score, 1);
+    b.bind(skip2);
+    let skip3 = b.new_label();
+    b.branch(BranchCond::Ne, cell, Some(n3), skip3);
+    b.addi(score, score, 1);
+    b.bind(skip3);
+    let skip4 = b.new_label();
+    b.branch(BranchCond::Ne, cell, Some(n4), skip4);
+    b.addi(score, score, 1);
+    b.bind(skip4);
+    // "capture": if the cell is empty (0) and score is high, place a stone
+    let no_capture = b.new_label();
+    b.branch(BranchCond::Ne, cell, None, no_capture);
+    b.li(tmp, 2);
+    b.branch(BranchCond::Lt, score, Some(tmp), no_capture);
+    b.li(tmp, 1);
+    b.store_int(addr, 0, tmp);
+    b.addi(captures, captures, 1);
+    b.bind(no_capture);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_int(out, 0, score);
+    b.store_int(out, 1, captures);
+    b.halt();
+    b.build().expect("go kernel must be valid")
+}
+
+/// `130.li`-like kernel: cons-cell list traversal with tag dispatch
+/// (pointer chasing — loads on the critical path plus data-dependent
+/// branches).
+pub fn li_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("li");
+    b.set_memory_words(1 << 15);
+    let mut r = rng(0x11_0004);
+
+    // Cons cells: [car, cdr] pairs at indices 2k, 2k+1.  cdr points to
+    // another cell index (word address of the car), 0 terminates.
+    const CELLS: usize = 2048;
+    let mut heap = vec![0i64; CELLS * 2];
+    for k in 0..CELLS {
+        heap[2 * k] = r.gen_range(-100..100);
+        let next = r.gen_range(0..CELLS) as i64;
+        heap[2 * k + 1] = if r.gen_range(0..16) == 0 { 0 } else { 2 * next };
+    }
+    let heap_base = b.data_i64(&heap);
+    let out_base = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let heapb = ArchReg::int(2);
+    let ptr = ArchReg::int(3);
+    let car = ArchReg::int(4);
+    let cdr = ArchReg::int(5);
+    let sum = ArchReg::int(6);
+    let xormix = ArchReg::int(7);
+    let depth = ArchReg::int(8);
+    let tmp = ArchReg::int(9);
+    let out = ArchReg::int(10);
+    let addr = ArchReg::int(11);
+    let start = ArchReg::int(12);
+
+    b.li(i, iterations as i64);
+    b.li(heapb, heap_base);
+    b.li(out, out_base);
+    b.li(sum, 0);
+    b.li(xormix, 0);
+
+    let top = b.here();
+    // start cell = (i * 2) & (2*CELLS - 1)
+    b.iopi(Opcode::IShlImm, start, i, 1);
+    b.iopi(Opcode::IAndImm, start, start, (CELLS * 2 - 1) as i64);
+    b.iopi(Opcode::IAndImm, start, start, !1);
+    b.mov(ptr, start);
+    b.li(depth, 12);
+    let walk = b.here();
+    b.add(addr, heapb, ptr);
+    b.load_int(car, addr, 0);
+    b.load_int(cdr, addr, 1);
+    // tag dispatch: odd car values are "numbers" (sum), even are "symbols"
+    let even = b.new_label();
+    let next = b.new_label();
+    b.iopi(Opcode::IAndImm, tmp, car, 1);
+    b.branch(BranchCond::Eq, tmp, None, even);
+    b.add(sum, sum, car);
+    b.jump(next);
+    b.bind(even);
+    b.iop(Opcode::IXor, xormix, xormix, car);
+    b.bind(next);
+    // follow cdr; nil (0) ends the walk
+    let done = b.new_label();
+    b.branch(BranchCond::Eq, cdr, None, done);
+    b.mov(ptr, cdr);
+    b.addi(depth, depth, -1);
+    b.branch(BranchCond::Gt, depth, None, walk);
+    b.bind(done);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_int(out, 0, sum);
+    b.store_int(out, 1, xormix);
+    b.halt();
+    b.build().expect("li kernel must be valid")
+}
+
+/// `134.perl`-like kernel: string scanning with rolling hashes, character
+/// class dispatch and hash-bucket updates.
+pub fn perl_like(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("perl");
+    b.set_memory_words(1 << 15);
+    let mut r = rng(0x9E_0005);
+
+    const TEXT: usize = 8192;
+    const BUCKETS: usize = 256;
+    let text: Vec<i64> = (0..TEXT)
+        .map(|_| {
+            // Mostly letters, some digits and separators.
+            match r.gen_range(0..10) {
+                0 => r.gen_range(48..58),
+                1 => 32,
+                _ => r.gen_range(97..123),
+            }
+        })
+        .collect();
+    let text_base = b.data_i64(&text);
+    let bucket_base = b.data_zeroed(BUCKETS);
+    let out_base = b.data_zeroed(4);
+
+    let i = ArchReg::int(1);
+    let txt = ArchReg::int(2);
+    let buckets = ArchReg::int(3);
+    let c = ArchReg::int(4);
+    let hash = ArchReg::int(5);
+    let words = ArchReg::int(6);
+    let digits = ArchReg::int(7);
+    let tmp = ArchReg::int(8);
+    let idx = ArchReg::int(9);
+    let out = ArchReg::int(10);
+    let slot = ArchReg::int(11);
+    let old = ArchReg::int(12);
+    let thirty_one = ArchReg::int(13);
+
+    b.li(i, iterations as i64);
+    b.li(txt, text_base);
+    b.li(buckets, bucket_base);
+    b.li(out, out_base);
+    b.li(hash, 5381);
+    b.li(words, 0);
+    b.li(digits, 0);
+    b.li(thirty_one, 31);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (TEXT - 1) as i64);
+    b.add(tmp, txt, idx);
+    b.load_int(c, tmp, 0);
+    // hash = hash*31 + c
+    b.mul(hash, hash, thirty_one);
+    b.add(hash, hash, c);
+    // character class dispatch
+    let not_space = b.new_label();
+    let not_digit = b.new_label();
+    let classified = b.new_label();
+    b.li(tmp, 33);
+    b.branch(BranchCond::Ge, c, Some(tmp), not_space);
+    // separator: finish the current "word" — update a bucket and reset hash
+    b.iopi(Opcode::IAndImm, tmp, hash, (BUCKETS - 1) as i64);
+    b.add(slot, buckets, tmp);
+    b.load_int(old, slot, 0);
+    b.addi(old, old, 1);
+    b.store_int(slot, 0, old);
+    b.li(hash, 5381);
+    b.addi(words, words, 1);
+    b.jump(classified);
+    b.bind(not_space);
+    b.li(tmp, 58);
+    b.branch(BranchCond::Ge, c, Some(tmp), not_digit);
+    b.addi(digits, digits, 1);
+    b.jump(classified);
+    b.bind(not_digit);
+    // letters: extra mixing
+    b.iopi(Opcode::IShrImm, tmp, hash, 3);
+    b.iop(Opcode::IXor, hash, hash, tmp);
+    b.bind(classified);
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    b.store_int(out, 0, words);
+    b.store_int(out, 1, digits);
+    b.store_int(out, 2, hash);
+    b.halt();
+    b.build().expect("perl kernel must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_isa::Emulator;
+
+    fn check(program: &Program, max: u64) -> earlyreg_isa::EmulationResult {
+        program.validate().expect("program validates");
+        let mut emu = Emulator::new(program);
+        let result = emu.run(max);
+        assert!(result.halted, "{} did not halt within {max} instructions", program.name);
+        result
+    }
+
+    #[test]
+    fn all_int_kernels_terminate_and_are_branchy() {
+        for (program, min_branch_fraction) in [
+            (compress_like(400), 0.10),
+            (gcc_like(400), 0.15),
+            (go_like(400), 0.15),
+            (li_like(400), 0.15),
+            (perl_like(400), 0.10),
+        ] {
+            let result = check(&program, 2_000_000);
+            assert!(
+                result.branch_fraction() >= min_branch_fraction,
+                "{} branch fraction {:.3} too low for an integer SPEC analogue",
+                program.name,
+                result.branch_fraction()
+            );
+            assert!(result.loads > 0 && result.stores > 0);
+        }
+    }
+
+    #[test]
+    fn iteration_count_scales_dynamic_length() {
+        let short = check(&compress_like(100), 1_000_000).instructions;
+        let long = check(&compress_like(400), 4_000_000).instructions;
+        assert!(long > short * 3, "dynamic length must scale with iterations");
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = compress_like(200);
+        let b = compress_like(200);
+        assert_eq!(a.instrs, b.instrs);
+        assert_eq!(a.data, b.data);
+        let mut ea = Emulator::new(&a);
+        let mut eb = Emulator::new(&b);
+        ea.run(1_000_000);
+        eb.run(1_000_000);
+        assert_eq!(ea.state.fingerprint(), eb.state.fingerprint());
+    }
+
+    #[test]
+    fn branches_are_not_fully_predictable() {
+        // The taken ratio of the data-dependent branches should be away from
+        // 0 and 1 overall (a rough proxy for "hard to predict" behaviour).
+        let p = go_like(500);
+        let r = check(&p, 2_000_000);
+        let ratio = r.taken_branches as f64 / r.branches as f64;
+        assert!(ratio > 0.1 && ratio < 0.95, "taken ratio {ratio:.3}");
+    }
+}

@@ -1,0 +1,267 @@
+//! The benchmark suite (the paper's Table 3 analogue).
+
+use crate::{spec_fp, spec_int};
+use earlyreg_isa::Program;
+use serde::{Deserialize, Serialize};
+
+/// Integer or floating-point benchmark (the paper reports the two groups
+/// separately in every figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Integer code (branch-intensive, moderate register pressure).
+    Int,
+    /// Floating-point code (loop-dominated, high FP register pressure).
+    Fp,
+}
+
+impl WorkloadClass {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::Int => "integer",
+            WorkloadClass::Fp => "floating point",
+        }
+    }
+}
+
+/// How much dynamic work to generate.  The paper ran 47M–472M instructions
+/// per program (Table 3); this reproduction scales the runs down so the full
+/// sweep of Figure 11 finishes in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// A few thousand dynamic instructions — CI / unit tests.
+    Smoke,
+    /// Tens of thousands of dynamic instructions — Criterion benchmarks.
+    Bench,
+    /// A few hundred thousand dynamic instructions — the experiment binaries
+    /// that regenerate the paper's figures.
+    Full,
+}
+
+impl Scale {
+    fn iterations(self, per_iteration_cost: u64) -> u64 {
+        let target = match self {
+            Scale::Smoke => 4_000,
+            Scale::Bench => 40_000,
+            Scale::Full => 400_000,
+        };
+        (target / per_iteration_cost).max(16)
+    }
+}
+
+/// Static description of one suite member.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Short name matching the SPEC95 program it stands in for.
+    pub name: &'static str,
+    /// Integer or FP group.
+    pub class: WorkloadClass,
+    /// What the synthetic kernel models.
+    pub description: &'static str,
+    /// The SPEC95 input listed in the paper's Table 3.
+    pub paper_input: &'static str,
+    /// Dynamic instructions (millions) the paper executed (Table 3).
+    pub paper_minsts: u64,
+    /// Approximate dynamic instructions per outer-loop iteration of the
+    /// synthetic kernel (used to hit the per-scale instruction targets).
+    per_iteration_cost: u64,
+    build: fn(u64) -> Program,
+}
+
+/// One instantiated workload: metadata plus the generated program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Static description.
+    pub spec: WorkloadSpec,
+    /// The generated program.
+    pub program: Program,
+}
+
+impl Workload {
+    /// Short name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// Integer or FP group.
+    pub fn class(&self) -> WorkloadClass {
+        self.spec.class
+    }
+}
+
+/// Static descriptions of the ten suite members (Table 3).
+pub const SPECS: [WorkloadSpec; 10] = [
+    WorkloadSpec {
+        name: "compress",
+        class: WorkloadClass::Int,
+        description: "dictionary/hash-table compression loop (hit/miss branches)",
+        paper_input: "40000 e 2231",
+        paper_minsts: 170,
+        per_iteration_cost: 22,
+        build: spec_int::compress_like,
+    },
+    WorkloadSpec {
+        name: "gcc",
+        class: WorkloadClass::Int,
+        description: "irregular decision cascade over token values",
+        paper_input: "genrecog.i",
+        paper_minsts: 145,
+        per_iteration_cost: 30,
+        build: spec_int::gcc_like,
+    },
+    WorkloadSpec {
+        name: "go",
+        class: WorkloadClass::Int,
+        description: "board scanning with neighbour comparisons",
+        paper_input: "9 9",
+        paper_minsts: 146,
+        per_iteration_cost: 24,
+        build: spec_int::go_like,
+    },
+    WorkloadSpec {
+        name: "li",
+        class: WorkloadClass::Int,
+        description: "cons-cell list traversal with tag dispatch",
+        paper_input: "7 queens",
+        paper_minsts: 243,
+        per_iteration_cost: 110,
+        build: spec_int::li_like,
+    },
+    WorkloadSpec {
+        name: "perl",
+        class: WorkloadClass::Int,
+        description: "string scanning with rolling hashes and buckets",
+        paper_input: "scrabbl.in",
+        paper_minsts: 47,
+        per_iteration_cost: 16,
+        build: spec_int::perl_like,
+    },
+    WorkloadSpec {
+        name: "mgrid",
+        class: WorkloadClass::Fp,
+        description: "3-D stencil relaxation sweep",
+        paper_input: "test (lines 2/3 -> 5 and 18)",
+        paper_minsts: 169,
+        per_iteration_cost: 48,
+        build: spec_fp::mgrid_like,
+    },
+    WorkloadSpec {
+        name: "tomcatv",
+        class: WorkloadClass::Fp,
+        description: "mesh-generation smoothing with divides",
+        paper_input: "test",
+        paper_minsts: 191,
+        per_iteration_cost: 45,
+        build: spec_fp::tomcatv_like,
+    },
+    WorkloadSpec {
+        name: "applu",
+        class: WorkloadClass::Fp,
+        description: "SSOR-style block solve",
+        paper_input: "train (dt=1.5e-03, nx=ny=nz=13)",
+        paper_minsts: 398,
+        per_iteration_cost: 40,
+        build: spec_fp::applu_like,
+    },
+    WorkloadSpec {
+        name: "swim",
+        class: WorkloadClass::Fp,
+        description: "shallow-water finite differences",
+        paper_input: "train",
+        paper_minsts: 431,
+        per_iteration_cost: 42,
+        build: spec_fp::swim_like,
+    },
+    WorkloadSpec {
+        name: "hydro2d",
+        class: WorkloadClass::Fp,
+        description: "hydrodynamics flux computation with limiter branches",
+        paper_input: "test (ISTEP=1)",
+        paper_minsts: 472,
+        per_iteration_cost: 40,
+        build: spec_fp::hydro2d_like,
+    },
+];
+
+/// Build the full ten-program suite at the requested scale.
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    SPECS
+        .iter()
+        .map(|spec| Workload {
+            spec: *spec,
+            program: (spec.build)(scale.iterations(spec.per_iteration_cost)),
+        })
+        .collect()
+}
+
+/// Build a single named workload at the requested scale.
+pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
+    SPECS.iter().find(|s| s.name == name).map(|spec| Workload {
+        spec: *spec,
+        program: (spec.build)(scale.iterations(spec.per_iteration_cost)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_isa::Emulator;
+
+    #[test]
+    fn suite_has_five_int_and_five_fp_members() {
+        let suite = suite(Scale::Smoke);
+        assert_eq!(suite.len(), 10);
+        let ints = suite.iter().filter(|w| w.class() == WorkloadClass::Int).count();
+        let fps = suite.iter().filter(|w| w.class() == WorkloadClass::Fp).count();
+        assert_eq!(ints, 5);
+        assert_eq!(fps, 5);
+    }
+
+    #[test]
+    fn suite_names_match_table3() {
+        let names: Vec<_> = SPECS.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["compress", "gcc", "go", "li", "perl", "mgrid", "tomcatv", "applu", "swim", "hydro2d"]
+        );
+    }
+
+    #[test]
+    fn smoke_scale_runs_every_member_quickly() {
+        for w in suite(Scale::Smoke) {
+            let mut e = Emulator::new(&w.program);
+            let r = e.run(200_000);
+            assert!(r.halted, "{} did not halt at smoke scale", w.name());
+            assert!(
+                r.instructions >= 1_000,
+                "{} is too short ({} instructions) to be meaningful",
+                w.name(),
+                r.instructions
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let smoke = workload_by_name("swim", Scale::Smoke).unwrap();
+        let full = workload_by_name("swim", Scale::Full).unwrap();
+        let run = |p: &earlyreg_isa::Program| {
+            let mut e = Emulator::new(p);
+            e.run(100_000_000).instructions
+        };
+        assert!(run(&full.program) > run(&smoke.program) * 20);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("gcc", Scale::Smoke).is_some());
+        assert!(workload_by_name("nonexistent", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn paper_metadata_is_recorded() {
+        let hydro = SPECS.iter().find(|s| s.name == "hydro2d").unwrap();
+        assert_eq!(hydro.paper_minsts, 472);
+        assert_eq!(hydro.class, WorkloadClass::Fp);
+    }
+}

@@ -1,0 +1,66 @@
+//! Build custom workloads with the parameterised generator and explore which
+//! program properties make early register release pay off: FP register
+//! pressure and branch predictability (the two axes the paper's discussion
+//! revolves around).
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use earlyreg::core::ReleasePolicy;
+use earlyreg::sim::{MachineConfig, RunLimits, Simulator};
+use earlyreg::workloads::{generic_workload, GenericWorkloadConfig};
+
+fn measure(config: GenericWorkloadConfig, registers: usize) -> (f64, f64) {
+    let program = generic_workload(config);
+    let mut ipc = [0.0f64; 2];
+    for (slot, policy) in [ReleasePolicy::Conventional, ReleasePolicy::Extended].iter().enumerate() {
+        let machine = MachineConfig::icpp02(*policy, registers, registers);
+        let mut sim = Simulator::new(machine, &program);
+        let stats = sim.run(RunLimits {
+            max_instructions: 40_000,
+            max_cycles: 6_000_000,
+        });
+        ipc[slot] = stats.ipc();
+    }
+    (ipc[0], ipc[1])
+}
+
+fn main() {
+    let registers = 48;
+    println!("extended-release benefit as a function of workload properties ({registers}+{registers} registers)\n");
+
+    println!("FP working set sweep (higher pressure -> larger benefit):");
+    println!("{:>14}  {:>8}  {:>9}  {:>9}", "fp working set", "conv IPC", "ext IPC", "speedup");
+    for fp_ws in [4usize, 12, 20, 28] {
+        let config = GenericWorkloadConfig {
+            iterations: 1_500,
+            fp_working_set: fp_ws,
+            fp_divides_per_iteration: 1,
+            branches_per_iteration: 1,
+            branch_entropy: 0.1,
+            ..GenericWorkloadConfig::default()
+        };
+        let (conv, ext) = measure(config, registers);
+        println!("{:>14}  {:>8.3}  {:>9.3}  {:>8.1}%", fp_ws, conv, ext, (ext / conv - 1.0) * 100.0);
+    }
+
+    println!("\nBranch entropy sweep (harder-to-predict branches limit the benefit,");
+    println!("because redefinitions decoded under unresolved branches must stay conditional):");
+    println!("{:>14}  {:>8}  {:>9}  {:>9}", "branch entropy", "conv IPC", "ext IPC", "speedup");
+    for entropy in [0.0f64, 0.2, 0.5] {
+        let config = GenericWorkloadConfig {
+            iterations: 1_500,
+            fp_working_set: 20,
+            branches_per_iteration: 4,
+            branch_entropy: entropy,
+            ..GenericWorkloadConfig::default()
+        };
+        let (conv, ext) = measure(config, registers);
+        println!("{:>14.1}  {:>8.3}  {:>9.3}  {:>8.1}%", entropy, conv, ext, (ext / conv - 1.0) * 100.0);
+    }
+
+    println!(
+        "\nThese are the two effects the paper reports: numerical codes (high FP pressure, \n\
+         predictable branches) gain the most, while branch-intensive integer codes gain \n\
+         only when the register file is very tight."
+    );
+}

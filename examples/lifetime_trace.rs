@@ -1,0 +1,57 @@
+//! Figure 2 / Figure 3 in miniature: measure how long physical registers
+//! spend in the Empty, Ready and Idle states for one workload under each
+//! release policy.  The Idle component is the waste the paper's mechanisms
+//! reclaim.
+//!
+//! Run with: `cargo run --release --example lifetime_trace [workload]`
+
+use earlyreg::core::ReleasePolicy;
+use earlyreg::sim::{MachineConfig, RunLimits, Simulator};
+use earlyreg::workloads::{workload_by_name, Scale, WorkloadClass};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".to_string());
+    let workload = workload_by_name(&name, Scale::Bench).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(2);
+    });
+    let registers = 96;
+    println!(
+        "register lifetime breakdown for '{}' with {registers}+{registers} physical registers\n",
+        workload.name()
+    );
+    println!(
+        "{:>12}  {:>7}  {:>7}  {:>7}  {:>10}  {:>12}",
+        "policy", "empty", "ready", "idle", "allocated", "idle/(e+r)"
+    );
+    println!("{}", "-".repeat(66));
+
+    for policy in ReleasePolicy::ALL {
+        let config = MachineConfig::icpp02(policy, registers, registers);
+        let mut sim = Simulator::new(config, &workload.program);
+        let stats = sim.run(RunLimits {
+            max_instructions: 60_000,
+            max_cycles: 8_000_000,
+        });
+        let occ = match workload.class() {
+            WorkloadClass::Int => &stats.occupancy_int,
+            WorkloadClass::Fp => &stats.occupancy_fp,
+        };
+        println!(
+            "{:>12}  {:>7.1}  {:>7.1}  {:>7.1}  {:>10.1}  {:>11.1}%",
+            policy.label(),
+            occ.avg_empty(),
+            occ.avg_ready(),
+            occ.avg_idle(),
+            occ.avg_allocated(),
+            occ.idle_overhead() * 100.0
+        );
+    }
+
+    println!(
+        "\nPaper, Figure 2: a register is Empty from allocation to writeback, Ready until the\n\
+         commit of its last use, and Idle (pure waste) until the redefinition commits.\n\
+         Early release removes most of the Idle component; the conventional row shows how much\n\
+         of the file the waste occupies."
+    );
+}

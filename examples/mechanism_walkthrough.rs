@@ -1,0 +1,136 @@
+//! Walk through the paper's worked examples (Figures 4, 6 and 8) by driving
+//! the rename/release engine directly, printing what each mechanism does at
+//! every step: last-use identification, early-release bit scheduling,
+//! immediate reuse, and the Release Queue's conditional releases.
+//!
+//! Run with: `cargo run --example mechanism_walkthrough`
+
+use earlyreg::core::{ReleasePolicy, RenameConfig, RenameUnit};
+use earlyreg::isa::{ArchReg, BranchCond, Instruction, Opcode};
+
+fn define(reg: usize) -> Instruction {
+    Instruction {
+        op: Opcode::ILoadImm,
+        dst: Some(ArchReg::int(reg)),
+        src1: None,
+        src2: None,
+        imm: 7,
+    }
+}
+
+fn add(dst: usize, a: usize, b: usize) -> Instruction {
+    Instruction {
+        op: Opcode::IAdd,
+        dst: Some(ArchReg::int(dst)),
+        src1: Some(ArchReg::int(a)),
+        src2: Some(ArchReg::int(b)),
+        imm: 0,
+    }
+}
+
+fn branch(on: usize) -> Instruction {
+    Instruction {
+        op: Opcode::Branch(BranchCond::Ne),
+        dst: None,
+        src1: Some(ArchReg::int(on)),
+        src2: None,
+        imm: 0,
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Figure 4.a with the BASIC mechanism: i defines r1, LU reads it for the
+    // last time, NV redefines it.  The release of the old version is retimed
+    // to LU's commit.
+    // ------------------------------------------------------------------
+    banner("Figure 4.a — basic mechanism retimes the release to the last-use commit");
+    let mut ru = RenameUnit::new(RenameConfig::icpp02(ReleasePolicy::Basic, 48, 48));
+    let i = ru.rename(&define(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    println!("i : r1 = ...          r1 -> {p7}");
+    let lu = ru.rename(&add(3, 2, 1), 1).unwrap();
+    println!("LU: r3 = r2 + r1      reads {p7}");
+    let nv = ru.rename(&define(1), 2).unwrap();
+    println!("NV: r1 = ...          r1 -> {} (previous version {p7})", nv.dst.unwrap().phys);
+    ru.commit(i.id, 10);
+    let released = ru.commit(lu.id, 11).released;
+    println!("LU commits            released: {:?}", released.iter().map(|e| e.phys).collect::<Vec<_>>());
+    let released = ru.commit(nv.id, 12).released;
+    println!("NV commits            released: {:?} (nothing — rel_old was cleared)", released);
+
+    // ------------------------------------------------------------------
+    // Figure 6-style immediate reuse: the last use has already committed when
+    // NV is decoded, so the same physical register is reused.
+    // ------------------------------------------------------------------
+    banner("Section 3.2 — immediate reuse when the last use has already committed");
+    let mut ru = RenameUnit::new(RenameConfig::icpp02(ReleasePolicy::Basic, 48, 48));
+    let i = ru.rename(&define(1), 0).unwrap();
+    let lu = ru.rename(&add(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 5);
+    ru.commit(lu.id, 6);
+    let free_before = ru.free_count(earlyreg::isa::RegClass::Int);
+    let nv = ru.rename(&define(1), 10).unwrap();
+    let d = nv.dst.unwrap();
+    println!(
+        "NV decoded after LU committed: reused = {}, register = {}, free list unchanged ({} -> {})",
+        d.reused,
+        d.phys,
+        free_before,
+        ru.free_count(earlyreg::isa::RegClass::Int)
+    );
+    ru.commit(nv.id, 11);
+
+    // ------------------------------------------------------------------
+    // Figure 8 — EXTENDED mechanism: a redefinition decoded under a pending
+    // branch schedules a *conditional* release in the Release Queue.
+    // ------------------------------------------------------------------
+    banner("Figure 8 — extended mechanism: conditional releases in the Release Queue");
+    let mut ru = RenameUnit::new(RenameConfig::icpp02(ReleasePolicy::Extended, 48, 48));
+    let i = ru.rename(&define(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&add(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 2);
+    ru.commit(lu.id, 3);
+    println!("i and LU committed; r1 is held in {p7}");
+    let br = ru.rename(&branch(3), 4).unwrap();
+    let _nv = ru.rename(&define(1), 5).unwrap();
+    println!(
+        "branch pending, NV decoded: {} conditional release(s) scheduled (RwNS form)",
+        ru.release_queue_marks()
+    );
+    let released = ru.resolve_branch_correct(br.id, 6);
+    println!(
+        "branch confirmed: branch-confirm release of {:?}",
+        released.iter().map(|e| e.phys).collect::<Vec<_>>()
+    );
+
+    // The misprediction path: the same setup, but the branch was wrong.
+    let mut ru = RenameUnit::new(RenameConfig::icpp02(ReleasePolicy::Extended, 48, 48));
+    let i = ru.rename(&define(1), 0).unwrap();
+    let p7 = i.dst.unwrap().phys;
+    let lu = ru.rename(&add(3, 2, 1), 1).unwrap();
+    ru.commit(i.id, 2);
+    ru.commit(lu.id, 3);
+    let br = ru.rename(&branch(3), 4).unwrap();
+    let _nv = ru.rename(&define(1), 5).unwrap();
+    println!(
+        "\nsame again, but the branch mispredicts: {} mark(s) before recovery",
+        ru.release_queue_marks()
+    );
+    let recovery = ru.recover_branch_mispredict(br.id, 6);
+    println!(
+        "misprediction recovery: {} squashed, {} mark(s) left, r1 still mapped to {} = {}",
+        recovery.squashed,
+        ru.release_queue_marks(),
+        ru.mapping(ArchReg::int(1)),
+        p7
+    );
+    ru.commit(br.id, 7);
+    ru.check_invariants().expect("the rename state is consistent after recovery");
+    println!("\ninvariants hold after every scenario — see crates/core tests for the full matrix");
+}

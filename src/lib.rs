@@ -1,0 +1,28 @@
+//! # earlyreg — Hardware Schemes for Early Register Release (ICPP 2002)
+//!
+//! Umbrella crate for the reproduction of Monreal, Viñals, González and
+//! Valero, *"Hardware Schemes for Early Register Release"*, ICPP 2002.
+//!
+//! The workspace is organised as one crate per subsystem; this crate simply
+//! re-exports them under stable module names so examples and downstream users
+//! can depend on a single package:
+//!
+//! * [`isa`] — mini RISC ISA, program builder and architectural emulator.
+//! * [`core`] — the paper's contribution: register renaming with the
+//!   conventional, *basic* and *extended* early-release mechanisms.
+//! * [`sim`] — cycle-level out-of-order simulator (SimpleScalar-style machine
+//!   model from the paper's Table 2).
+//! * [`rfmodel`] — analytic register-file delay/energy model (Figure 9,
+//!   Section 4.4).
+//! * [`workloads`] — SPEC95-like synthetic workloads (Table 3 analogue).
+//! * [`experiments`] — harness regenerating every table and figure.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use earlyreg_core as core;
+pub use earlyreg_experiments as experiments;
+pub use earlyreg_isa as isa;
+pub use earlyreg_rfmodel as rfmodel;
+pub use earlyreg_sim as sim;
+pub use earlyreg_workloads as workloads;

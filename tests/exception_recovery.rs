@@ -1,0 +1,96 @@
+//! Precise-exception recovery across the suite (the paper's Section 4.3):
+//! with exceptions injected periodically at the commit point, every policy
+//! must still match the architectural emulator — the only permitted
+//! difference being provably dead register values.
+
+use earlyreg::core::ReleasePolicy;
+use earlyreg::sim::{verify_against_emulator, MachineConfig, RunLimits, Simulator};
+use earlyreg::workloads::{suite, Scale};
+
+fn run_with_exceptions(name: &str, policy: ReleasePolicy, interval: u64) {
+    let workloads = suite(Scale::Smoke);
+    let workload = workloads.iter().find(|w| w.name() == name).expect("workload exists");
+    let mut config = MachineConfig::icpp02(policy, 48, 48);
+    config.exceptions.interval = Some(interval);
+    config.exceptions.handler_cycles = 25;
+    let mut sim = Simulator::new(config, &workload.program);
+    let stats = sim.run(RunLimits {
+        max_instructions: 30_000,
+        max_cycles: 4_000_000,
+    });
+    assert!(
+        stats.exceptions > 0,
+        "{name}/{policy:?}: no exceptions were injected (interval {interval})"
+    );
+    assert_eq!(stats.oracle_violations, 0, "{name}/{policy:?}: dead value read after recovery");
+    let outcome = verify_against_emulator(&sim, &workload.program);
+    assert!(
+        outcome.is_match(),
+        "{name} under {policy:?} diverged after {} exceptions: {outcome:?}",
+        stats.exceptions
+    );
+}
+
+#[test]
+fn conventional_survives_exception_storms() {
+    for name in ["compress", "swim"] {
+        run_with_exceptions(name, ReleasePolicy::Conventional, 211);
+    }
+}
+
+#[test]
+fn basic_survives_exception_storms() {
+    for name in ["gcc", "tomcatv", "li"] {
+        run_with_exceptions(name, ReleasePolicy::Basic, 173);
+    }
+}
+
+#[test]
+fn extended_survives_exception_storms() {
+    for name in ["go", "perl", "mgrid", "hydro2d", "applu"] {
+        run_with_exceptions(name, ReleasePolicy::Extended, 149);
+    }
+}
+
+#[test]
+fn extended_survives_very_frequent_exceptions_on_tiny_files() {
+    // Maximum stress: exceptions every ~60 committed instructions on a
+    // 36-register file, which continuously exercises the stale-mapping logic
+    // of Section 4.3.
+    let workloads = suite(Scale::Smoke);
+    let workload = workloads.iter().find(|w| w.name() == "tomcatv").unwrap();
+    let mut config = MachineConfig::icpp02(ReleasePolicy::Extended, 36, 36);
+    config.exceptions.interval = Some(61);
+    config.exceptions.handler_cycles = 10;
+    let mut sim = Simulator::new(config, &workload.program);
+    let stats = sim.run(RunLimits {
+        max_instructions: 20_000,
+        max_cycles: 4_000_000,
+    });
+    assert!(stats.exceptions >= 30, "expected a storm of exceptions, got {}", stats.exceptions);
+    let outcome = verify_against_emulator(&sim, &workload.program);
+    assert!(outcome.is_match(), "{outcome:?}");
+}
+
+#[test]
+fn exceptions_cost_cycles_but_not_correct_results() {
+    let workloads = suite(Scale::Smoke);
+    let workload = workloads.iter().find(|w| w.name() == "perl").unwrap();
+    let clean_config = MachineConfig::icpp02(ReleasePolicy::Extended, 64, 64);
+    let mut clean = Simulator::new(clean_config, &workload.program);
+    let clean_stats = clean.run(RunLimits {
+        max_instructions: 20_000,
+        max_cycles: 4_000_000,
+    });
+
+    let mut stormy_config = MachineConfig::icpp02(ReleasePolicy::Extended, 64, 64);
+    stormy_config.exceptions.interval = Some(97);
+    let mut stormy = Simulator::new(stormy_config, &workload.program);
+    let stormy_stats = stormy.run(RunLimits {
+        max_instructions: 20_000,
+        max_cycles: 4_000_000,
+    });
+
+    assert_eq!(clean_stats.committed, stormy_stats.committed);
+    assert!(stormy_stats.cycles > clean_stats.cycles, "exceptions must cost cycles");
+}

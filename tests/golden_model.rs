@@ -1,0 +1,75 @@
+//! Workspace-level golden-model tests: every workload in the suite, under
+//! every release policy, must commit exactly the architectural emulator's
+//! instruction stream and produce the same final state (memory plus all
+//! non-dead registers), and must never read a value discarded by early
+//! release.
+
+use earlyreg::core::ReleasePolicy;
+use earlyreg::sim::{verify_against_emulator, MachineConfig, RunLimits, Simulator};
+use earlyreg::workloads::{suite, Scale};
+
+fn check_workload(name: &str, policy: ReleasePolicy, phys: usize) {
+    let workloads = suite(Scale::Smoke);
+    let workload = workloads.iter().find(|w| w.name() == name).expect("workload exists");
+    let config = MachineConfig::icpp02(policy, phys, phys);
+    let mut sim = Simulator::new(config, &workload.program);
+    let stats = sim.run(RunLimits {
+        max_instructions: 40_000,
+        max_cycles: 4_000_000,
+    });
+    assert!(stats.committed > 1_000, "{name}/{policy:?}: too few instructions committed");
+    assert_eq!(stats.oracle_violations, 0, "{name}/{policy:?}: dead value read");
+    let outcome = verify_against_emulator(&sim, &workload.program);
+    assert!(
+        outcome.is_match(),
+        "{name} under {policy:?} with {phys} registers diverged: {outcome:?}"
+    );
+}
+
+macro_rules! golden_tests {
+    ($($test_name:ident => $workload:literal),+ $(,)?) => {
+        $(
+            mod $test_name {
+                use super::*;
+
+                #[test]
+                fn conventional_tight() {
+                    check_workload($workload, ReleasePolicy::Conventional, 48);
+                }
+
+                #[test]
+                fn basic_tight() {
+                    check_workload($workload, ReleasePolicy::Basic, 48);
+                }
+
+                #[test]
+                fn extended_tight() {
+                    check_workload($workload, ReleasePolicy::Extended, 48);
+                }
+
+                #[test]
+                fn extended_very_tight() {
+                    check_workload($workload, ReleasePolicy::Extended, 36);
+                }
+
+                #[test]
+                fn extended_loose() {
+                    check_workload($workload, ReleasePolicy::Extended, 160);
+                }
+            }
+        )+
+    };
+}
+
+golden_tests!(
+    compress => "compress",
+    gcc => "gcc",
+    go => "go",
+    li => "li",
+    perl => "perl",
+    mgrid => "mgrid",
+    tomcatv => "tomcatv",
+    applu => "applu",
+    swim => "swim",
+    hydro2d => "hydro2d",
+);

@@ -1,0 +1,142 @@
+//! Cross-policy invariants over the whole suite: the release policy may only
+//! change *when* registers are freed — never what the program computes — and
+//! the early-release mechanisms must behave as the paper describes
+//! (no conventional releases under the extended scheme, less idle occupancy,
+//! IPC never worse than conventional beyond noise).
+
+use earlyreg::core::ReleasePolicy;
+use earlyreg::sim::{MachineConfig, RunLimits, SimStats, Simulator};
+use earlyreg::workloads::{suite, Scale, Workload, WorkloadClass};
+
+fn run(workload: &Workload, policy: ReleasePolicy, phys: usize) -> SimStats {
+    let config = MachineConfig::icpp02(policy, phys, phys);
+    let mut sim = Simulator::new(config, &workload.program);
+    sim.run(RunLimits {
+        max_instructions: 25_000,
+        max_cycles: 3_000_000,
+    })
+}
+
+#[test]
+fn committed_work_is_identical_across_policies() {
+    for workload in suite(Scale::Smoke) {
+        let conv = run(&workload, ReleasePolicy::Conventional, 48);
+        let basic = run(&workload, ReleasePolicy::Basic, 48);
+        let ext = run(&workload, ReleasePolicy::Extended, 48);
+        assert_eq!(conv.committed, basic.committed, "{}", workload.name());
+        assert_eq!(conv.committed, ext.committed, "{}", workload.name());
+        assert_eq!(conv.committed_branches, ext.committed_branches, "{}", workload.name());
+        assert_eq!(conv.committed_stores, ext.committed_stores, "{}", workload.name());
+    }
+}
+
+#[test]
+fn early_release_never_hurts_ipc_beyond_noise() {
+    for workload in suite(Scale::Smoke) {
+        let conv = run(&workload, ReleasePolicy::Conventional, 48).ipc();
+        let basic = run(&workload, ReleasePolicy::Basic, 48).ipc();
+        let ext = run(&workload, ReleasePolicy::Extended, 48).ipc();
+        assert!(basic >= conv * 0.97, "{}: basic {basic} vs conv {conv}", workload.name());
+        assert!(ext >= conv * 0.97, "{}: extended {ext} vs conv {conv}", workload.name());
+        assert!(ext >= basic * 0.97, "{}: extended {ext} vs basic {basic}", workload.name());
+    }
+}
+
+#[test]
+fn fp_codes_gain_more_than_integer_codes_at_48_registers() {
+    let mut fp_gain = Vec::new();
+    let mut int_gain = Vec::new();
+    for workload in suite(Scale::Smoke) {
+        let conv = run(&workload, ReleasePolicy::Conventional, 48).ipc();
+        let ext = run(&workload, ReleasePolicy::Extended, 48).ipc();
+        let gain = ext / conv - 1.0;
+        match workload.class() {
+            WorkloadClass::Fp => fp_gain.push(gain),
+            WorkloadClass::Int => int_gain.push(gain),
+        }
+    }
+    let fp_avg = fp_gain.iter().sum::<f64>() / fp_gain.len() as f64;
+    let int_avg = int_gain.iter().sum::<f64>() / int_gain.len() as f64;
+    assert!(
+        fp_avg > int_avg,
+        "FP codes must benefit more from early release (fp {fp_avg:.3} vs int {int_avg:.3})"
+    );
+    assert!(fp_avg > 0.02, "FP codes must show a visible speedup at 48 registers, got {fp_avg:.3}");
+}
+
+#[test]
+fn extended_mechanism_never_uses_the_conventional_release_path() {
+    for workload in suite(Scale::Smoke).into_iter().take(4) {
+        let stats = run(&workload, ReleasePolicy::Extended, 48);
+        assert_eq!(stats.release.int.conventional_releases, 0, "{}", workload.name());
+        assert_eq!(stats.release.fp.conventional_releases, 0, "{}", workload.name());
+        assert!(
+            stats.release.int.total_early() + stats.release.fp.total_early() > 0,
+            "{}: the extended mechanism released nothing early",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn basic_mechanism_falls_back_under_speculation_but_extended_does_not() {
+    // Branch-intensive integer code: the basic mechanism should be forced to
+    // fall back to the conventional path often, which is exactly the gap the
+    // extended mechanism closes (paper Section 4).
+    let workloads = suite(Scale::Smoke);
+    let gcc = workloads.iter().find(|w| w.name() == "gcc").unwrap();
+    let basic = run(gcc, ReleasePolicy::Basic, 48);
+    let ext = run(gcc, ReleasePolicy::Extended, 48);
+    assert!(
+        basic.release.int.fallback_to_conventional > 0,
+        "basic must hit Case 2 fallbacks on a branchy workload"
+    );
+    assert!(
+        ext.release.int.conditional_schedulings > 0,
+        "extended must schedule conditional releases on a branchy workload"
+    );
+}
+
+#[test]
+fn idle_occupancy_shrinks_with_early_release() {
+    for workload in suite(Scale::Smoke) {
+        let conv = run(&workload, ReleasePolicy::Conventional, 96);
+        let ext = run(&workload, ReleasePolicy::Extended, 96);
+        let (conv_idle, ext_idle) = match workload.class() {
+            WorkloadClass::Int => (conv.occupancy_int.avg_idle(), ext.occupancy_int.avg_idle()),
+            WorkloadClass::Fp => (conv.occupancy_fp.avg_idle(), ext.occupancy_fp.avg_idle()),
+        };
+        assert!(
+            ext_idle <= conv_idle,
+            "{}: idle occupancy grew under early release ({conv_idle:.2} -> {ext_idle:.2})",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn loose_register_files_make_the_policies_equivalent() {
+    // With P >= L + N the processor never stalls for registers, so the
+    // policies must converge (paper Section 2 / Figure 11 right-hand side).
+    let workloads = suite(Scale::Smoke);
+    let swim = workloads.iter().find(|w| w.name() == "swim").unwrap();
+    let conv = run(swim, ReleasePolicy::Conventional, 160).ipc();
+    let ext = run(swim, ReleasePolicy::Extended, 160).ipc();
+    let diff = (ext / conv - 1.0).abs();
+    assert!(diff < 0.02, "policies should converge for a loose file, difference {diff:.3}");
+}
+
+#[test]
+fn more_registers_never_reduce_ipc() {
+    let workloads = suite(Scale::Smoke);
+    for name in ["swim", "gcc"] {
+        let w = workloads.iter().find(|w| w.name() == name).unwrap();
+        for policy in ReleasePolicy::ALL {
+            let tight = run(w, policy, 40).ipc();
+            let medium = run(w, policy, 72).ipc();
+            let loose = run(w, policy, 160).ipc();
+            assert!(medium >= tight * 0.98, "{name}/{policy:?}: {tight} -> {medium}");
+            assert!(loose >= medium * 0.98, "{name}/{policy:?}: {medium} -> {loose}");
+        }
+    }
+}
