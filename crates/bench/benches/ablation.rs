@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! Ablation benchmarks for the reproduction's design choices:
 //!
 //! * register **reuse** on a committed last use (Section 3.2 optimisation)
 //!   versus releasing and reallocating;
@@ -37,7 +37,10 @@ fn bench_reuse_ablation(c: &mut Criterion) {
     let workload = smoke_workload("tomcatv");
     for reuse in [true, false] {
         group.bench_with_input(
-            BenchmarkId::new("extended_48", if reuse { "reuse" } else { "release_realloc" }),
+            BenchmarkId::new(
+                "extended_48",
+                if reuse { "reuse" } else { "release_realloc" },
+            ),
             &reuse,
             |b, &reuse| {
                 b.iter(|| black_box(run_with(&workload, ReleasePolicy::Extended, 48, reuse, 20)))
@@ -56,7 +59,15 @@ fn bench_speculation_depth(c: &mut Criterion) {
             BenchmarkId::new("extended_48", format!("depth_{depth}")),
             &depth,
             |b, &depth| {
-                b.iter(|| black_box(run_with(&workload, ReleasePolicy::Extended, 48, true, depth)))
+                b.iter(|| {
+                    black_box(run_with(
+                        &workload,
+                        ReleasePolicy::Extended,
+                        48,
+                        true,
+                        depth,
+                    ))
+                })
             },
         );
     }

@@ -10,14 +10,18 @@ fn bench_fig03(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["gcc", "swim"] {
         let workload = smoke_workload(name);
-        group.bench_with_input(BenchmarkId::new("conventional_96", name), &workload, |b, w| {
-            b.iter(|| {
-                let stats = run_sim(w, ReleasePolicy::Conventional, 96);
-                // The figure's metric: average idle registers (the waste the
-                // early-release mechanisms reclaim).
-                black_box(stats.occupancy_int.avg_idle() + stats.occupancy_fp.avg_idle())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conventional_96", name),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let stats = run_sim(w, ReleasePolicy::Conventional, 96);
+                    // The figure's metric: average idle registers (the waste the
+                    // early-release mechanisms reclaim).
+                    black_box(stats.occupancy_int.avg_idle() + stats.occupancy_fp.avg_idle())
+                })
+            },
+        );
     }
     group.finish();
 }

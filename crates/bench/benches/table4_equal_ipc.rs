@@ -16,7 +16,12 @@ fn bench_table4(c: &mut Criterion) {
             let target = run_sim(&workload, ReleasePolicy::Conventional, 69).ipc();
             let curve: Vec<(usize, f64)> = [48usize, 56, 64, 72]
                 .iter()
-                .map(|&size| (size, run_sim(&workload, ReleasePolicy::Extended, size).ipc()))
+                .map(|&size| {
+                    (
+                        size,
+                        run_sim(&workload, ReleasePolicy::Extended, size).ipc(),
+                    )
+                })
                 .collect();
             black_box(interpolate_equal_ipc(&curve, target))
         })

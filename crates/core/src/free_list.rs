@@ -74,7 +74,10 @@ impl FreeList {
     /// Allocate a register, or `None` if the list is empty (a rename stall).
     pub fn allocate(&mut self) -> Option<PhysReg> {
         let p = self.stack.pop()?;
-        debug_assert!(self.in_list[p.index()], "free list corrupted: popped a non-free register");
+        debug_assert!(
+            self.in_list[p.index()],
+            "free list corrupted: popped a non-free register"
+        );
         self.in_list[p.index()] = false;
         Some(p)
     }

@@ -23,7 +23,9 @@ impl MapTable {
     pub fn identity(class: RegClass) -> Self {
         MapTable {
             class,
-            map: (0..class.num_logical()).map(|i| PhysReg(i as u16)).collect(),
+            map: (0..class.num_logical())
+                .map(|i| PhysReg(i as u16))
+                .collect(),
         }
     }
 

@@ -177,10 +177,7 @@ impl OccupancyTracker {
         // With no committed use observed (yet), the register cannot be called
         // Idle: idle time only exists in hindsight, after the last use's
         // commit.  Classify the tail as Ready.
-        let last_use = ep
-            .last_use_commit_cycle
-            .unwrap_or(end)
-            .clamp(write, end);
+        let last_use = ep.last_use_commit_cycle.unwrap_or(end).clamp(write, end);
         let empty = write - ep.alloc_cycle;
         let ready = last_use - write;
         let idle = end - last_use;

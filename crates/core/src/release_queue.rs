@@ -51,7 +51,11 @@ impl RelQueLevel {
 
     /// Number of conditional releases recorded in this level.
     pub fn mark_count(&self) -> usize {
-        let rwns: usize = self.rwns.iter().map(|v| v.iter().filter(|&&b| b).count()).sum();
+        let rwns: usize = self
+            .rwns
+            .iter()
+            .map(|v| v.iter().filter(|&&b| b).count())
+            .sum();
         let rwc: usize = self.rwc.values().map(|m| m.count_ones() as usize).sum();
         rwns + rwc
     }
@@ -198,7 +202,9 @@ impl ReleaseQueue {
                 for kind in UseKind::ALL {
                     if mask & kind.mask() != 0 {
                         let (class, phys) = resolve(kind).unwrap_or_else(|| {
-                            panic!("RwC mark references operand {kind:?} of {id} which does not exist")
+                            panic!(
+                                "RwC mark references operand {kind:?} of {id} which does not exist"
+                            )
                         });
                         level.rwns[class.index()][phys.index()] = true;
                     }
@@ -233,9 +239,9 @@ impl ReleaseQueue {
     /// Step 3 — the prediction of `branch_id` was wrong: clear its level and
     /// every younger one (their schedulings belong to squashed instructions).
     pub fn mispredict(&mut self, branch_id: InstrId) {
-        let pos = self
-            .position_of(branch_id)
-            .unwrap_or_else(|| panic!("mispredict of branch {branch_id} which owns no RelQue level"));
+        let pos = self.position_of(branch_id).unwrap_or_else(|| {
+            panic!("mispredict of branch {branch_id} which owns no RelQue level")
+        });
         self.levels.truncate(pos);
     }
 
@@ -280,7 +286,10 @@ mod tests {
         q.mark_inflight_lu(InstrId(15), UseKind::Src2);
         assert!(q.level(1).unwrap().has_rwns(RegClass::Int, PhysReg(5)));
         assert!(!q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(5)));
-        assert_eq!(q.level(1).unwrap().rwc_mask(InstrId(15)), Some(UseKind::Src2.mask()));
+        assert_eq!(
+            q.level(1).unwrap().rwc_mask(InstrId(15)),
+            Some(UseKind::Src2.mask())
+        );
         assert_eq!(q.total_marks(), 2);
     }
 
@@ -309,7 +318,10 @@ mod tests {
         assert_eq!(out, ConfirmOutcome::default());
         assert_eq!(q.depth(), 1);
         assert!(q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(33)));
-        assert_eq!(q.level(0).unwrap().rwc_mask(InstrId(12)), Some(UseKind::Src1.mask()));
+        assert_eq!(
+            q.level(0).unwrap().rwc_mask(InstrId(12)),
+            Some(UseKind::Src1.mask())
+        );
     }
 
     #[test]
@@ -319,6 +331,7 @@ mod tests {
         q.push_level(InstrId(20));
         q.push_level(InstrId(30));
         q.mark_committed_lu(RegClass::Int, PhysReg(40)); // conditional on all three
+
         // Branch 30 verifies first: merge into level of 20.
         assert_eq!(q.confirm(InstrId(30)), ConfirmOutcome::default());
         // Branch 20 verifies: merge into level of 10.

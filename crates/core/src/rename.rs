@@ -285,9 +285,7 @@ impl RenameUnit {
     /// wrapper used by the fetch/decode stage; [`RenameUnit::rename`] performs
     /// the same checks atomically.)
     pub fn can_rename(&self, instr: &Instruction) -> bool {
-        if instr.op.is_cond_branch()
-            && self.checkpoints.len() >= self.config.max_pending_branches
-        {
+        if instr.op.is_cond_branch() && self.checkpoints.len() >= self.config.max_pending_branches {
             return false;
         }
         if let Some(dst) = instr.dst {
@@ -399,11 +397,7 @@ impl RenameUnit {
     /// and the returned [`RenamedInstr`] carries its operand physical
     /// registers.  On failure nothing is modified and the caller should stall
     /// and retry next cycle.
-    pub fn rename(
-        &mut self,
-        instr: &Instruction,
-        cycle: u64,
-    ) -> Result<RenamedInstr, RenameStall> {
+    pub fn rename(&mut self, instr: &Instruction, cycle: u64) -> Result<RenamedInstr, RenameStall> {
         let is_branch = instr.op.is_cond_branch();
         if is_branch && self.checkpoints.len() >= self.config.max_pending_branches {
             return Err(RenameStall::TooManyPendingBranches);
@@ -426,10 +420,14 @@ impl RenameUnit {
         // Renaming 1 (sources): record the source uses in the LUs table.
         if self.config.policy.uses_lus_table() {
             if let Some(r) = instr.src1 {
-                self.bank_mut(r.class()).lus.record_use(r, id, UseKind::Src1);
+                self.bank_mut(r.class())
+                    .lus
+                    .record_use(r, id, UseKind::Src1);
             }
             if let Some(r) = instr.src2 {
-                self.bank_mut(r.class()).lus.record_use(r, id, UseKind::Src2);
+                self.bank_mut(r.class())
+                    .lus
+                    .record_use(r, id, UseKind::Src2);
             }
         }
 
@@ -505,7 +503,8 @@ impl RenameUnit {
                     let bank = self.bank_mut(class);
                     // End the previous version's lifetime and start the new
                     // one in the same register.
-                    bank.occupancy.on_release(old_pd, cycle, ReleaseReason::Reused);
+                    bank.occupancy
+                        .on_release(old_pd, cycle, ReleaseReason::Reused);
                     bank.occupancy.on_allocate(old_pd, cycle);
                     // The architectural value of `dst` will be overwritten by
                     // this (still uncommitted) instruction — the Section 4.3
@@ -513,7 +512,9 @@ impl RenameUnit {
                     if bank.maps.retire.get(dst) == old_pd {
                         bank.arch_clobbered[dst.index()] = true;
                     }
-                    self.stats.class_mut(class).record_release(ReleaseReason::Reused);
+                    self.stats
+                        .class_mut(class)
+                        .record_release(ReleaseReason::Reused);
                     DstRename {
                         arch: dst,
                         phys: old_pd,
@@ -628,7 +629,9 @@ impl RenameUnit {
         bank.free.release(phys);
         bank.occupancy.on_release(phys, cycle, reason);
         self.stats.class_mut(class).record_release(reason);
-        self.trace(&format!("cycle {cycle} FREE {class} {phys} reason {reason:?}"));
+        self.trace(&format!(
+            "cycle {cycle} FREE {class} {phys} reason {reason:?}"
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -649,16 +652,23 @@ impl RenameUnit {
     /// call panics otherwise — commits are in program order by construction).
     pub fn commit(&mut self, id: InstrId, cycle: u64) -> CommitOutcome {
         let entry = self.book.pop_head(id);
-        self.trace(&format!("cycle {cycle} COMMIT {id} rel {:?} rel_old {} dst {:?}", entry.rel, entry.rel_old, entry.dst));
+        self.trace(&format!(
+            "cycle {cycle} COMMIT {id} rel {:?} rel_old {} dst {:?}",
+            entry.rel, entry.rel_old, entry.dst
+        ));
         let mut released = Vec::new();
 
         // Occupancy: every operand of a committing instruction counts as a
         // committed use of its physical register.
         for &(arch, phys) in entry.srcs.iter().flatten() {
-            self.bank_mut(arch.class()).occupancy.on_committed_use(phys, cycle);
+            self.bank_mut(arch.class())
+                .occupancy
+                .on_committed_use(phys, cycle);
         }
         if let Some(d) = entry.dst {
-            self.bank_mut(d.arch.class()).occupancy.on_committed_use(d.phys, cycle);
+            self.bank_mut(d.arch.class())
+                .occupancy
+                .on_committed_use(d.phys, cycle);
         }
 
         // Architectural map update (and clearing of the "architectural
@@ -673,14 +683,15 @@ impl RenameUnit {
         // Last-Uses Table C-bit update, applied to the working table and to
         // every checkpoint copy (Section 3.2).
         if self.config.policy.uses_lus_table() {
-            let mark = |reg: ArchReg, banks: &mut [Bank; 2], checkpoints: &mut VecDeque<Checkpoint>| {
-                banks[reg.class().index()].lus.mark_committed(reg, id);
-                for cp in checkpoints.iter_mut() {
-                    if let Some(lus) = cp.lus.as_mut() {
-                        lus[reg.class().index()].mark_committed(reg, id);
+            let mark =
+                |reg: ArchReg, banks: &mut [Bank; 2], checkpoints: &mut VecDeque<Checkpoint>| {
+                    banks[reg.class().index()].lus.mark_committed(reg, id);
+                    for cp in checkpoints.iter_mut() {
+                        if let Some(lus) = cp.lus.as_mut() {
+                            lus[reg.class().index()].mark_committed(reg, id);
+                        }
                     }
-                }
-            };
+                };
             for &(arch, _) in entry.srcs.iter().flatten() {
                 mark(arch, &mut self.banks, &mut self.checkpoints);
             }
@@ -719,12 +730,7 @@ impl RenameUnit {
         if entry.rel_old {
             if let Some(d) = entry.dst {
                 if !d.reused && d.prev != d.phys {
-                    self.free_register(
-                        d.arch.class(),
-                        d.prev,
-                        cycle,
-                        ReleaseReason::Conventional,
-                    );
+                    self.free_register(d.arch.class(), d.prev, cycle, ReleaseReason::Conventional);
                     released.push(ReleaseEvent {
                         class: d.arch.class(),
                         phys: d.prev,
@@ -817,7 +823,8 @@ impl RenameUnit {
             if let Some(lus) = cp.lus.as_ref() {
                 bank.lus.restore_from(&lus[class.index()]);
             }
-            bank.skip_release.copy_from_slice(&cp.skip_release[class.index()]);
+            bank.skip_release
+                .copy_from_slice(&cp.skip_release[class.index()]);
         }
 
         if self.config.policy.uses_release_queue() {

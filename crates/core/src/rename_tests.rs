@@ -3,9 +3,7 @@
 //! cases.
 
 use crate::rename::RenameUnit;
-use crate::types::{
-    InstrId, PhysReg, ReleasePolicy, ReleaseReason, RenameConfig, RenameStall,
-};
+use crate::types::{InstrId, PhysReg, ReleasePolicy, ReleaseReason, RenameConfig, RenameStall};
 use earlyreg_isa::{ArchReg, BranchCond, Instruction, Opcode, RegClass};
 
 // ---------------------------------------------------------------------------
@@ -251,7 +249,10 @@ fn basic_falls_back_to_conventional_under_pending_branch() {
 
     ru.commit(i.id, 10);
     let out_lu = ru.commit(lu.id, 11);
-    assert!(out_lu.released.iter().all(|e| e.phys != p7), "no early release in Case 2");
+    assert!(
+        out_lu.released.iter().all(|e| e.phys != p7),
+        "no early release in Case 2"
+    );
     ru.resolve_branch_correct(br.id, 12);
     ru.commit(br.id, 12);
     let out_nv = ru.commit(nv.id, 13);

@@ -146,7 +146,11 @@ impl RosBook {
     pub fn squash_after(&mut self, id: InstrId, inclusive: bool) -> Vec<RosEntry> {
         let mut squashed = Vec::new();
         while let Some(back) = self.entries.back() {
-            let kill = if inclusive { back.id >= id } else { back.id > id };
+            let kill = if inclusive {
+                back.id >= id
+            } else {
+                back.id > id
+            };
             if kill {
                 squashed.push(self.entries.pop_back().expect("back exists"));
             } else {
@@ -279,8 +283,14 @@ mod tests {
     #[test]
     fn operand_phys_selects_the_right_slot() {
         let e = entry(1);
-        assert_eq!(e.operand_phys(UseKind::Src1), Some((ArchReg::int(1), PhysReg(1))));
+        assert_eq!(
+            e.operand_phys(UseKind::Src1),
+            Some((ArchReg::int(1), PhysReg(1)))
+        );
         assert_eq!(e.operand_phys(UseKind::Src2), None);
-        assert_eq!(e.operand_phys(UseKind::Dst), Some((ArchReg::int(2), PhysReg(40))));
+        assert_eq!(
+            e.operand_phys(UseKind::Dst),
+            Some((ArchReg::int(2), PhysReg(40)))
+        );
     }
 }

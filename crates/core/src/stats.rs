@@ -57,7 +57,10 @@ impl ClassReleaseStats {
     /// Total releases attributable to the early-release mechanisms
     /// (including reuses, which end the previous version's lifetime early).
     pub fn total_early(&self) -> u64 {
-        self.early_at_lu_commit + self.immediate_at_decode + self.branch_confirm_releases + self.reuses
+        self.early_at_lu_commit
+            + self.immediate_at_decode
+            + self.branch_confirm_releases
+            + self.reuses
     }
 
     /// Record a release by reason.

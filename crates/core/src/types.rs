@@ -189,7 +189,9 @@ impl RenameConfig {
                 ));
             }
             if p > u16::MAX as usize {
-                return Err(format!("{class} register file size {p} exceeds the PhysReg range"));
+                return Err(format!(
+                    "{class} register file size {p} exceeds the PhysReg range"
+                ));
             }
         }
         if self.max_pending_branches == 0 {

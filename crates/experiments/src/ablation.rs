@@ -1,4 +1,4 @@
-//! Ablation study of the design choices DESIGN.md calls out:
+//! Ablation study of the reproduction's design choices:
 //!
 //! 1. **Register reuse** (Section 3.2): when the last use has already
 //!    committed, the mechanisms may either release-and-reallocate or keep the
@@ -122,7 +122,13 @@ pub fn render(result: &AblationResult) -> String {
     out.push_str(&format!(
         "Ablation — design choices at {ABLATION_REGISTERS}int+{ABLATION_REGISTERS}fp registers\n\n"
     ));
-    let mut table = TextTable::new(["variant", "int Hm IPC", "fp Hm IPC", "int vs conv", "fp vs conv"]);
+    let mut table = TextTable::new([
+        "variant",
+        "int Hm IPC",
+        "fp Hm IPC",
+        "int vs conv",
+        "fp vs conv",
+    ]);
     for &(variant, int_ipc, fp_ipc) in &result.rows {
         table.row([
             variant.name.to_string(),

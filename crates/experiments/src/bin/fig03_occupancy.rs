@@ -11,7 +11,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    print!("{}", context::render_table2(fig03::FIG03_REGISTERS, fig03::FIG03_REGISTERS));
+    print!(
+        "{}",
+        context::render_table2(fig03::FIG03_REGISTERS, fig03::FIG03_REGISTERS)
+    );
     println!();
     let result = fig03::run(&options);
     print!("{}", fig03::render(&result));

@@ -11,7 +11,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    print!("{}", context::render_table2(fig10::FIG10_REGISTERS, fig10::FIG10_REGISTERS));
+    print!(
+        "{}",
+        context::render_table2(fig10::FIG10_REGISTERS, fig10::FIG10_REGISTERS)
+    );
     println!();
     let result = fig10::run(&options);
     print!("{}", fig10::render(&result));

@@ -113,13 +113,26 @@ fn main() {
     println!("IPC                       {:>12.3}", stats.ipc());
     println!("halted                    {:>12}", stats.halted);
     println!("committed branches        {:>12}", stats.committed_branches);
-    println!("branch mispredictions     {:>12}", stats.mispredicted_branches);
-    println!("prediction accuracy       {:>11.1}%", stats.predictor.accuracy() * 100.0);
-    println!("committed loads / stores  {:>6} / {:<6}", stats.committed_loads, stats.committed_stores);
-    println!("L1D miss ratio            {:>11.1}%", stats.memory.l1d.miss_ratio() * 100.0);
+    println!(
+        "branch mispredictions     {:>12}",
+        stats.mispredicted_branches
+    );
+    println!(
+        "prediction accuracy       {:>11.1}%",
+        stats.predictor.accuracy() * 100.0
+    );
+    println!(
+        "committed loads / stores  {:>6} / {:<6}",
+        stats.committed_loads, stats.committed_stores
+    );
+    println!(
+        "L1D miss ratio            {:>11.1}%",
+        stats.memory.l1d.miss_ratio() * 100.0
+    );
     println!("exceptions taken          {:>12}", stats.exceptions);
     println!();
-    println!("rename stalls (cycles)    free-list {}  ros {}  lsq {}  branches {}",
+    println!(
+        "rename stalls (cycles)    free-list {}  ros {}  lsq {}  branches {}",
         stats.rename_stalls.free_list,
         stats.rename_stalls.ros_full,
         stats.rename_stalls.lsq_full,
@@ -151,7 +164,9 @@ fn main() {
     if args.verify {
         println!();
         match verify_against_emulator(&sim, &workload.program) {
-            outcome if outcome.is_match() => println!("golden-model verification: MATCH ({outcome:?})"),
+            outcome if outcome.is_match() => {
+                println!("golden-model verification: MATCH ({outcome:?})")
+            }
             outcome => {
                 println!("golden-model verification FAILED: {outcome:?}");
                 std::process::exit(1);

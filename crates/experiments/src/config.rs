@@ -76,7 +76,9 @@ impl ExperimentOptions {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -98,7 +100,8 @@ mod tests {
 
     #[test]
     fn parses_scale_and_threads() {
-        let o = ExperimentOptions::from_args(args(&["--scale", "smoke", "--threads", "3"])).unwrap();
+        let o =
+            ExperimentOptions::from_args(args(&["--scale", "smoke", "--threads", "3"])).unwrap();
         assert_eq!(o.scale, Scale::Smoke);
         assert_eq!(o.threads, 3);
         assert_eq!(o.effective_threads(), 3);

@@ -11,16 +11,31 @@ use earlyreg_workloads::SPECS;
 /// simulated from it).
 pub fn render_table1() -> String {
     let mut out = String::new();
-    out.push_str("Table 1 — out-of-order processors with merged register files (paper context)\n\n");
-    let mut table = TextTable::new(["processor", "int phys regs", "fp phys regs", "reorder structure"]);
-    table.row(["MIPS R10K", "64 (7R 3W)", "64 (5R 3W)", "32-entry Active List"]);
+    out.push_str(
+        "Table 1 — out-of-order processors with merged register files (paper context)\n\n",
+    );
+    let mut table = TextTable::new([
+        "processor",
+        "int phys regs",
+        "fp phys regs",
+        "reorder structure",
+    ]);
+    table.row([
+        "MIPS R10K",
+        "64 (7R 3W)",
+        "64 (5R 3W)",
+        "32-entry Active List",
+    ]);
     table.row(["MIPS R12K", "64", "64", "48-entry Active List"]);
-    table.row(["Alpha 21264", "2 x 80 (4R 6W each)", "72 (6R 4W)", "80-entry In-Flight Window"]);
+    table.row([
+        "Alpha 21264",
+        "2 x 80 (4R 6W each)",
+        "72 (6R 4W)",
+        "80-entry In-Flight Window",
+    ]);
     table.row(["Intel P4", "128", "128", "126-op Reorder Buffer"]);
     out.push_str(&table.render());
-    out.push_str(
-        "\nloose file: P >= L + N (never stalls for registers); tight file: P < L + N\n",
-    );
+    out.push_str("\nloose file: P >= L + N (never stalls for registers); tight file: P < L + N\n");
     out
 }
 
@@ -28,25 +43,70 @@ pub fn render_table1() -> String {
 pub fn render_table2(phys_int: usize, phys_fp: usize) -> String {
     let cfg = MachineConfig::icpp02(ReleasePolicy::Extended, phys_int, phys_fp);
     let mut table = TextTable::new(["parameter", "value"]);
-    table.row(["fetch width".to_string(), format!("{} (up to {} taken branches)", cfg.fetch_width, cfg.max_taken_per_fetch)]);
-    table.row(["branch predictor".to_string(), format!("{}-bit gshare, {} pending branches", cfg.predictor.gshare_bits, cfg.rename.max_pending_branches)]);
-    table.row(["reorder structure".to_string(), format!("{} entries", cfg.ros_size)]);
-    table.row(["load/store queue".to_string(), format!("{} entries", cfg.lsq_size)]);
-    table.row(["functional units".to_string(), "8 int ALU, 4 int mul, 6 FP add, 4 FP mul, 4 FP div, 4 ld/st".to_string()]);
-    table.row(["L1 I-cache".to_string(), "32 KB, 2-way, 32 B lines, 1 cycle".to_string()]);
-    table.row(["L1 D-cache".to_string(), "32 KB, 2-way, 64 B lines, 1 cycle".to_string()]);
-    table.row(["L2".to_string(), "1 MB, 2-way, 64 B lines, 12 cycles".to_string()]);
-    table.row(["memory".to_string(), format!("{} cycles", cfg.memory_latency)]);
-    table.row(["physical registers".to_string(), format!("{phys_int} int + {phys_fp} fp (32 + 32 logical)")]);
+    table.row([
+        "fetch width".to_string(),
+        format!(
+            "{} (up to {} taken branches)",
+            cfg.fetch_width, cfg.max_taken_per_fetch
+        ),
+    ]);
+    table.row([
+        "branch predictor".to_string(),
+        format!(
+            "{}-bit gshare, {} pending branches",
+            cfg.predictor.gshare_bits, cfg.rename.max_pending_branches
+        ),
+    ]);
+    table.row([
+        "reorder structure".to_string(),
+        format!("{} entries", cfg.ros_size),
+    ]);
+    table.row([
+        "load/store queue".to_string(),
+        format!("{} entries", cfg.lsq_size),
+    ]);
+    table.row([
+        "functional units".to_string(),
+        "8 int ALU, 4 int mul, 6 FP add, 4 FP mul, 4 FP div, 4 ld/st".to_string(),
+    ]);
+    table.row([
+        "L1 I-cache".to_string(),
+        "32 KB, 2-way, 32 B lines, 1 cycle".to_string(),
+    ]);
+    table.row([
+        "L1 D-cache".to_string(),
+        "32 KB, 2-way, 64 B lines, 1 cycle".to_string(),
+    ]);
+    table.row([
+        "L2".to_string(),
+        "1 MB, 2-way, 64 B lines, 12 cycles".to_string(),
+    ]);
+    table.row([
+        "memory".to_string(),
+        format!("{} cycles", cfg.memory_latency),
+    ]);
+    table.row([
+        "physical registers".to_string(),
+        format!("{phys_int} int + {phys_fp} fp (32 + 32 logical)"),
+    ]);
     table.row(["commit width".to_string(), cfg.commit_width.to_string()]);
-    format!("Table 2 — simulated processor parameters\n\n{}", table.render())
+    format!(
+        "Table 2 — simulated processor parameters\n\n{}",
+        table.render()
+    )
 }
 
 /// Render the paper's Table 3 together with this reproduction's substitutes.
 pub fn render_table3() -> String {
     let mut out = String::new();
     out.push_str("Table 3 — benchmarks (paper inputs vs synthetic substitutes)\n\n");
-    let mut table = TextTable::new(["benchmark", "group", "paper input", "paper Minst", "synthetic kernel"]);
+    let mut table = TextTable::new([
+        "benchmark",
+        "group",
+        "paper input",
+        "paper Minst",
+        "synthetic kernel",
+    ]);
     for spec in &SPECS {
         table.row([
             spec.name.to_string(),

@@ -78,7 +78,11 @@ impl Fig03Result {
 /// Run the Figure 3 experiment.
 pub fn run(options: &ExperimentOptions) -> Fig03Result {
     let workloads = suite(options.scale);
-    let points = cross_points(&workloads, &[ReleasePolicy::Conventional], &[FIG03_REGISTERS]);
+    let points = cross_points(
+        &workloads,
+        &[ReleasePolicy::Conventional],
+        &[FIG03_REGISTERS],
+    );
     let results = run_sweep(options, points);
 
     let rows: Vec<Fig03Row> = results
@@ -121,7 +125,14 @@ pub fn render(result: &Fig03Result) -> String {
         "Figure 3 — allocated registers by state (conventional renaming, {FIG03_REGISTERS}int+{FIG03_REGISTERS}fp)\n\n"
     ));
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        let mut table = TextTable::new(["benchmark", "empty", "ready", "idle", "allocated", "idle/(e+r)"]);
+        let mut table = TextTable::new([
+            "benchmark",
+            "empty",
+            "ready",
+            "idle",
+            "allocated",
+            "idle/(e+r)",
+        ]);
         for row in result.rows.iter().filter(|r| r.class == class) {
             table.row([
                 row.workload.clone(),
@@ -141,7 +152,11 @@ pub fn render(result: &Fig03Result) -> String {
             fmt(amean.allocated(), 1),
             fmt_pct(amean.idle_overhead()),
         ]);
-        out.push_str(&format!("{} registers ({} programs)\n", class.label(), class.label()));
+        out.push_str(&format!(
+            "{} registers ({} programs)\n",
+            class.label(),
+            class.label()
+        ));
         out.push_str(&table.render());
         out.push('\n');
     }
@@ -169,7 +184,12 @@ mod tests {
         let result = run(&options);
         assert_eq!(result.rows.len(), 10);
         for row in &result.rows {
-            assert!(row.allocated() >= 31.0, "{}: allocated {}", row.workload, row.allocated());
+            assert!(
+                row.allocated() >= 31.0,
+                "{}: allocated {}",
+                row.workload,
+                row.allocated()
+            );
             assert!(row.allocated() <= FIG03_REGISTERS as f64 + 0.5);
             assert!(row.idle >= 0.0);
         }

@@ -54,7 +54,9 @@ pub fn run() -> Fig09Result {
 /// Render both panels of Figure 9.
 pub fn render(result: &Fig09Result) -> String {
     let mut out = String::new();
-    out.push_str("Figure 9 — LUs Table vs register file access time and energy (0.18 um model)\n\n");
+    out.push_str(
+        "Figure 9 — LUs Table vs register file access time and energy (0.18 um model)\n\n",
+    );
     let mut table = TextTable::new([
         "registers",
         "int time (ns)",

@@ -57,7 +57,10 @@ impl Fig10Result {
 
     /// Speedup of a policy over conventional for a group (harmonic means).
     pub fn group_speedup(&self, class: WorkloadClass, policy: ReleasePolicy) -> f64 {
-        speedup(self.hmean(class, policy), self.hmean(class, ReleasePolicy::Conventional))
+        speedup(
+            self.hmean(class, policy),
+            self.hmean(class, ReleasePolicy::Conventional),
+        )
     }
 }
 
@@ -94,7 +97,14 @@ pub fn render(result: &Fig10Result) -> String {
         "Figure 10 — IPC with a {FIG10_REGISTERS}int+{FIG10_REGISTERS}fp register file\n\n"
     ));
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        let mut table = TextTable::new(["benchmark", "conv", "basic", "extended", "basic/conv", "ext/conv"]);
+        let mut table = TextTable::new([
+            "benchmark",
+            "conv",
+            "basic",
+            "extended",
+            "basic/conv",
+            "ext/conv",
+        ]);
         for row in result.rows.iter().filter(|r| r.class == class) {
             table.row([
                 row.workload.clone(),
@@ -141,8 +151,20 @@ mod tests {
         for row in &result.rows {
             assert!(row.conv > 0.0, "{} has zero conventional IPC", row.workload);
             // Early release must never hurt by more than simulation noise.
-            assert!(row.basic >= row.conv * 0.97, "{}: basic {} vs conv {}", row.workload, row.basic, row.conv);
-            assert!(row.extended >= row.conv * 0.97, "{}: ext {} vs conv {}", row.workload, row.extended, row.conv);
+            assert!(
+                row.basic >= row.conv * 0.97,
+                "{}: basic {} vs conv {}",
+                row.workload,
+                row.basic,
+                row.conv
+            );
+            assert!(
+                row.extended >= row.conv * 0.97,
+                "{}: ext {} vs conv {}",
+                row.workload,
+                row.extended,
+                row.conv
+            );
         }
         // At 48 registers the FP group must benefit from the extended scheme.
         assert!(result.group_speedup(WorkloadClass::Fp, ReleasePolicy::Extended) > 0.0);

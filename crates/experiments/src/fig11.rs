@@ -50,7 +50,12 @@ impl Fig11Result {
     }
 
     /// Harmonic-mean IPC of a group under a policy at one size.
-    pub fn hmean_at(&self, class: WorkloadClass, policy: ReleasePolicy, size: usize) -> Option<f64> {
+    pub fn hmean_at(
+        &self,
+        class: WorkloadClass,
+        policy: ReleasePolicy,
+        size: usize,
+    ) -> Option<f64> {
         self.points
             .iter()
             .find(|p| p.class == class && p.policy == policy && p.size == size)
@@ -110,11 +115,24 @@ pub fn render(result: &Fig11Result) -> String {
     let mut out = String::new();
     out.push_str("Figure 11 — harmonic-mean IPC vs number of physical registers per class\n\n");
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        let mut table = TextTable::new(["registers", "conv", "basic", "extended", "basic/conv", "ext/conv"]);
+        let mut table = TextTable::new([
+            "registers",
+            "conv",
+            "basic",
+            "extended",
+            "basic/conv",
+            "ext/conv",
+        ]);
         for &size in &result.sizes {
-            let conv = result.hmean_at(class, ReleasePolicy::Conventional, size).unwrap_or(0.0);
-            let basic = result.hmean_at(class, ReleasePolicy::Basic, size).unwrap_or(0.0);
-            let extended = result.hmean_at(class, ReleasePolicy::Extended, size).unwrap_or(0.0);
+            let conv = result
+                .hmean_at(class, ReleasePolicy::Conventional, size)
+                .unwrap_or(0.0);
+            let basic = result
+                .hmean_at(class, ReleasePolicy::Basic, size)
+                .unwrap_or(0.0);
+            let extended = result
+                .hmean_at(class, ReleasePolicy::Extended, size)
+                .unwrap_or(0.0);
             table.row([
                 size.to_string(),
                 fmt(conv, 3),
@@ -158,7 +176,9 @@ mod tests {
                 assert!(large >= small * 0.98, "{class:?} {policy:?}: IPC must not drop with more registers ({small} -> {large})");
             }
             // Early release helps at the tight end (within noise it must not hurt).
-            let conv = result.hmean_at(class, ReleasePolicy::Conventional, 40).unwrap();
+            let conv = result
+                .hmean_at(class, ReleasePolicy::Conventional, 40)
+                .unwrap();
             let ext = result.hmean_at(class, ReleasePolicy::Extended, 40).unwrap();
             assert!(ext >= conv * 0.98);
         }

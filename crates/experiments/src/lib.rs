@@ -13,7 +13,7 @@
 //! | [`fig10`]   | Figure 10  | per-benchmark IPC at 48+48 registers |
 //! | [`fig11`]   | Figure 11  | harmonic-mean IPC vs register file size |
 //! | [`table4`]  | Table 4    | register file sizes giving equal IPC |
-//! | [`ablation`]| DESIGN.md  | design-choice ablation (reuse, speculation depth, Release Queue) |
+//! | [`ablation`]| —          | design-choice ablation (reuse, speculation depth, Release Queue) |
 //!
 //! Each module exposes a `run(...)` function returning a serialisable result
 //! plus a `render(...)` function producing the text table the corresponding

@@ -3,15 +3,16 @@
 //! Every experiment reduces to a set of *(workload, policy, register-file
 //! size)* points, each of which is an independent cycle-level simulation.
 //! [`run_sweep`] builds the workload suite once, distributes the points over
-//! a pool of worker threads through a crossbeam channel and collects the
-//! per-point statistics.
+//! a pool of scoped worker threads through a shared atomic work index and
+//! collects the per-point statistics.
 
 use crate::config::ExperimentOptions;
 use earlyreg_core::ReleasePolicy;
 use earlyreg_sim::{MachineConfig, RunLimits, SimStats, Simulator};
 use earlyreg_workloads::{suite, Workload, WorkloadClass};
-use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One simulation point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -89,33 +90,32 @@ pub fn cross_points(
 pub fn run_sweep(options: &ExperimentOptions, points: Vec<RunPoint>) -> Vec<RunResult> {
     let workloads = suite(options.scale);
     let results = Mutex::new(Vec::with_capacity(points.len()));
-    let (sender, receiver) = crossbeam::channel::unbounded::<RunPoint>();
-    for point in points {
-        sender.send(point).expect("channel is open");
-    }
-    drop(sender);
+    let next_point = AtomicUsize::new(0);
 
     let threads = options.effective_threads().max(1);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let receiver = receiver.clone();
+            let next_point = &next_point;
+            let points = &points;
             let results = &results;
             let workloads = &workloads;
             let max_instructions = options.max_instructions;
-            scope.spawn(move || {
-                while let Ok(point) = receiver.recv() {
-                    let workload = workloads
-                        .iter()
-                        .find(|w| w.name() == point.workload)
-                        .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload));
-                    let result = run_point(workload, point, max_instructions);
-                    results.lock().push(result);
-                }
+            scope.spawn(move || loop {
+                let index = next_point.fetch_add(1, Ordering::Relaxed);
+                let Some(&point) = points.get(index) else {
+                    break;
+                };
+                let workload = workloads
+                    .iter()
+                    .find(|w| w.name() == point.workload)
+                    .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload));
+                let result = run_point(workload, point, max_instructions);
+                results.lock().expect("worker panicked").push(result);
             });
         }
     });
 
-    let mut results = results.into_inner();
+    let mut results = results.into_inner().expect("worker panicked");
     results.sort_by_key(|r| {
         (
             r.point.workload,
@@ -151,7 +151,8 @@ mod tests {
     fn cross_points_covers_the_product() {
         let workloads = suite(Scale::Smoke);
         let points = cross_points(&workloads, &[ReleasePolicy::Conventional], &[48, 64]);
-        assert_eq!(points.len(), 10 * 1 * 2);
+        // 10 workloads x 1 policy x 2 sizes.
+        assert_eq!(points.len(), 20);
     }
 
     #[test]
@@ -166,7 +167,11 @@ mod tests {
             .into_iter()
             .filter(|w| w.name() == "perl" || w.name() == "swim")
             .collect();
-        let points = cross_points(&subset, &[ReleasePolicy::Conventional, ReleasePolicy::Extended], &[48]);
+        let points = cross_points(
+            &subset,
+            &[ReleasePolicy::Conventional, ReleasePolicy::Extended],
+            &[48],
+        );
         let results = run_sweep(&options, points);
         assert_eq!(results.len(), 4);
         assert!(results.iter().all(|r| r.stats.committed > 1_000));

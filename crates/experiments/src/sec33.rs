@@ -47,7 +47,9 @@ pub struct Sec33Result {
 impl Sec33Result {
     /// Look up a point.
     pub fn point(&self, class: WorkloadClass, size: usize) -> Option<&Sec33Point> {
-        self.points.iter().find(|p| p.class == class && p.size == size)
+        self.points
+            .iter()
+            .find(|p| p.class == class && p.size == size)
     }
 }
 

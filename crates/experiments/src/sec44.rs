@@ -4,7 +4,9 @@
 
 use crate::report::{fmt, TextTable};
 use earlyreg_rfmodel::storage::{alpha21264_example, lus_table_storage};
-use earlyreg_rfmodel::{access_energy_pj, energy_balance, EnergyBalance, RfGeometry, StorageEstimate};
+use earlyreg_rfmodel::{
+    access_energy_pj, energy_balance, EnergyBalance, RfGeometry, StorageEstimate,
+};
 use serde::{Deserialize, Serialize};
 
 /// Full Section 4.4 data.
@@ -37,7 +39,10 @@ pub fn render(result: &Sec44Result) -> String {
     out.push_str("Section 4.4 — implementation cost of the extended mechanism\n\n");
 
     let mut energy = TextTable::new(["configuration", "energy (pJ)"]);
-    energy.row(["conventional: 64int + 79fp".to_string(), fmt(result.balance.conventional_pj, 0)]);
+    energy.row([
+        "conventional: 64int + 79fp".to_string(),
+        fmt(result.balance.conventional_pj, 0),
+    ]);
     energy.row([
         "early release: 56int + 72fp + 2 x LUs Table".to_string(),
         fmt(result.balance.early_release_pj, 0),
@@ -68,7 +73,11 @@ pub fn render(result: &Sec44Result) -> String {
     storage.row([
         "total".to_string(),
         result.storage.total_bits().to_string(),
-        format!("{} ({:.2} KB)", fmt(result.storage.total_bytes(), 0), result.storage.total_kib()),
+        format!(
+            "{} ({:.2} KB)",
+            fmt(result.storage.total_bytes(), 0),
+            result.storage.total_kib()
+        ),
     ]);
     storage.row([
         "int+fp LUs Tables".to_string(),
@@ -76,7 +85,9 @@ pub fn render(result: &Sec44Result) -> String {
         fmt(result.lus_storage_bytes, 0),
     ]);
     out.push_str(&storage.render());
-    out.push_str("paper reference: about 1.22 KB for the extended mechanism plus ~128 B of LUs Tables\n");
+    out.push_str(
+        "paper reference: about 1.22 KB for the extended mechanism plus ~128 B of LUs Tables\n",
+    );
     out
 }
 

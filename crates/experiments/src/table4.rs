@@ -70,14 +70,38 @@ fn group_hmean(raw: &[RunResult], class: WorkloadClass, policy: ReleasePolicy, s
 /// Run the Table 4 experiment.
 pub fn run(options: &ExperimentOptions) -> Table4Result {
     let workloads = suite(options.scale);
-    let fp_workloads: Vec<Workload> = workloads.iter().filter(|w| w.class() == WorkloadClass::Fp).cloned().collect();
-    let int_workloads: Vec<Workload> = workloads.iter().filter(|w| w.class() == WorkloadClass::Int).cloned().collect();
+    let fp_workloads: Vec<Workload> = workloads
+        .iter()
+        .filter(|w| w.class() == WorkloadClass::Fp)
+        .cloned()
+        .collect();
+    let int_workloads: Vec<Workload> = workloads
+        .iter()
+        .filter(|w| w.class() == WorkloadClass::Int)
+        .cloned()
+        .collect();
 
     let mut points = Vec::new();
-    points.extend(cross_points(&fp_workloads, &[ReleasePolicy::Conventional], &CONV_SIZES_FP));
-    points.extend(cross_points(&int_workloads, &[ReleasePolicy::Conventional], &CONV_SIZES_INT));
-    points.extend(cross_points(&fp_workloads, &[ReleasePolicy::Extended], &EXTENDED_GRID));
-    points.extend(cross_points(&int_workloads, &[ReleasePolicy::Extended], &EXTENDED_GRID));
+    points.extend(cross_points(
+        &fp_workloads,
+        &[ReleasePolicy::Conventional],
+        &CONV_SIZES_FP,
+    ));
+    points.extend(cross_points(
+        &int_workloads,
+        &[ReleasePolicy::Conventional],
+        &CONV_SIZES_INT,
+    ));
+    points.extend(cross_points(
+        &fp_workloads,
+        &[ReleasePolicy::Extended],
+        &EXTENDED_GRID,
+    ));
+    points.extend(cross_points(
+        &int_workloads,
+        &[ReleasePolicy::Extended],
+        &EXTENDED_GRID,
+    ));
     let raw = run_sweep(options, points);
 
     let mut rows = Vec::new();
@@ -87,7 +111,12 @@ pub fn run(options: &ExperimentOptions) -> Table4Result {
     ] {
         let curve: Vec<(usize, f64)> = EXTENDED_GRID
             .iter()
-            .map(|&size| (size, group_hmean(&raw, class, ReleasePolicy::Extended, size)))
+            .map(|&size| {
+                (
+                    size,
+                    group_hmean(&raw, class, ReleasePolicy::Extended, size),
+                )
+            })
             .collect();
         for &conv_size in &conv_sizes {
             let conv_ipc = group_hmean(&raw, class, ReleasePolicy::Conventional, conv_size);

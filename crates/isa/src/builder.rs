@@ -69,7 +69,7 @@ impl ProgramBuilder {
     /// Reserve `words` zero-initialised words; returns the base address.
     pub fn data_zeroed(&mut self, words: usize) -> i64 {
         let base = self.data.len() as i64;
-        self.data.extend(std::iter::repeat(0).take(words));
+        self.data.extend(std::iter::repeat_n(0, words));
         base
     }
 

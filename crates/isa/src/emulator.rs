@@ -228,7 +228,9 @@ impl<'p> Emulator<'p> {
                 let bits = self.state.memory[addr];
                 let dst = instr.dst.expect("loads have a destination");
                 match instr.op {
-                    Opcode::LoadInt => self.state.int_regs[dst.index()] = semantics::word_to_int(bits),
+                    Opcode::LoadInt => {
+                        self.state.int_regs[dst.index()] = semantics::word_to_int(bits)
+                    }
                     Opcode::LoadFp => self.state.fp_regs[dst.index()] = semantics::word_to_fp(bits),
                     _ => unreachable!(),
                 }

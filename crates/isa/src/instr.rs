@@ -444,7 +444,10 @@ impl Instruction {
                 ));
             }
             (Some(_), None) => {
-                return Err(format!("{}: missing destination register", self.op.mnemonic()))
+                return Err(format!(
+                    "{}: missing destination register",
+                    self.op.mnemonic()
+                ))
             }
             (None, Some(r)) => {
                 return Err(format!(
@@ -468,7 +471,10 @@ impl Instruction {
                 return Err(format!("{}: missing source register 1", self.op.mnemonic()))
             }
             (None, Some(r)) => {
-                return Err(format!("{}: unexpected source register 1 {r}", self.op.mnemonic()))
+                return Err(format!(
+                    "{}: unexpected source register 1 {r}",
+                    self.op.mnemonic()
+                ))
             }
             _ => {}
         }
@@ -486,10 +492,16 @@ impl Instruction {
                 return Err(format!("{}: missing source register 2", self.op.mnemonic()))
             }
             (Some(_), None) if self.op.is_store() => {
-                return Err(format!("{}: store is missing its data register", self.op.mnemonic()))
+                return Err(format!(
+                    "{}: store is missing its data register",
+                    self.op.mnemonic()
+                ))
             }
             (None, Some(r)) => {
-                return Err(format!("{}: unexpected source register 2 {r}", self.op.mnemonic()))
+                return Err(format!(
+                    "{}: unexpected source register 2 {r}",
+                    self.op.mnemonic()
+                ))
             }
             _ => {}
         }
@@ -509,7 +521,9 @@ impl fmt::Display for Instruction {
         if let Some(s) = self.src2 {
             write!(f, ", {s}")?;
         }
-        if self.imm != 0 || self.op.is_control() || matches!(self.op, Opcode::ILoadImm | Opcode::FLoadImm)
+        if self.imm != 0
+            || self.op.is_control()
+            || matches!(self.op, Opcode::ILoadImm | Opcode::FLoadImm)
         {
             write!(f, ", #{}", self.imm)?;
         }

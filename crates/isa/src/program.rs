@@ -212,7 +212,11 @@ impl Program {
     /// debugging).
     pub fn disassemble(&self) -> String {
         let mut out = String::with_capacity(self.instrs.len() * 24);
-        out.push_str(&format!("; program: {} ({} instructions)\n", self.name, self.len()));
+        out.push_str(&format!(
+            "; program: {} ({} instructions)\n",
+            self.name,
+            self.len()
+        ));
         for (i, instr) in self.instrs.iter().enumerate() {
             out.push_str(&format!("{i:6}:  {instr}\n"));
         }
@@ -279,14 +283,23 @@ mod tests {
     fn bad_branch_target_rejected() {
         let mut p = tiny_program();
         p.instrs[2].imm = 100;
-        assert!(matches!(p.validate(), Err(ProgramError::BadTarget { index: 2, target: 100 })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BadTarget {
+                index: 2,
+                target: 100
+            })
+        ));
     }
 
     #[test]
     fn malformed_instruction_rejected() {
         let mut p = tiny_program();
         p.instrs[0].dst = Some(ArchReg::fp(0));
-        assert!(matches!(p.validate(), Err(ProgramError::BadInstruction { index: 0, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BadInstruction { index: 0, .. })
+        ));
     }
 
     #[test]
@@ -294,7 +307,10 @@ mod tests {
         let mut p = tiny_program();
         p.memory_words = 4;
         p.data = vec![0; 8];
-        assert!(matches!(p.validate(), Err(ProgramError::DataTooLarge { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::DataTooLarge { .. })
+        ));
     }
 
     #[test]

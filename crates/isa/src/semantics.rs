@@ -63,7 +63,11 @@ pub fn compute(op: Opcode, a_int: i64, b_int: i64, a_fp: f64, b_fp: f64, imm: i6
         IShrImm => ExecValue::Int(a_int.wrapping_shr((imm & 63) as u32)),
         ILoadImm => ExecValue::Int(imm),
         IMul => ExecValue::Int(a_int.wrapping_mul(b_int)),
-        IDiv => ExecValue::Int(if b_int == 0 { 0 } else { a_int.wrapping_div(b_int) }),
+        IDiv => ExecValue::Int(if b_int == 0 {
+            0
+        } else {
+            a_int.wrapping_div(b_int)
+        }),
         FAdd => ExecValue::Fp(a_fp + b_fp),
         FSub => ExecValue::Fp(a_fp - b_fp),
         FAbs => ExecValue::Fp(a_fp.abs()),
@@ -173,11 +177,23 @@ mod tests {
 
     #[test]
     fn immediate_ops() {
-        assert_eq!(compute(Opcode::IAddImm, 10, 0, 0.0, 0.0, 32).unwrap_int(), 42);
-        assert_eq!(compute(Opcode::ILoadImm, 0, 0, 0.0, 0.0, -7).unwrap_int(), -7);
+        assert_eq!(
+            compute(Opcode::IAddImm, 10, 0, 0.0, 0.0, 32).unwrap_int(),
+            42
+        );
+        assert_eq!(
+            compute(Opcode::ILoadImm, 0, 0, 0.0, 0.0, -7).unwrap_int(),
+            -7
+        );
         assert_eq!(compute(Opcode::IShlImm, 3, 0, 0.0, 0.0, 2).unwrap_int(), 12);
-        assert_eq!(compute(Opcode::IShrImm, -8, 0, 0.0, 0.0, 1).unwrap_int(), -4);
-        assert_eq!(compute(Opcode::IAndImm, 0xff, 0, 0.0, 0.0, 0x0f).unwrap_int(), 0x0f);
+        assert_eq!(
+            compute(Opcode::IShrImm, -8, 0, 0.0, 0.0, 1).unwrap_int(),
+            -4
+        );
+        assert_eq!(
+            compute(Opcode::IAndImm, 0xff, 0, 0.0, 0.0, 0x0f).unwrap_int(),
+            0x0f
+        );
         assert_eq!(compute(Opcode::IXorImm, 5, 0, 0.0, 0.0, 0).unwrap_int(), 5);
     }
 
@@ -198,9 +214,15 @@ mod tests {
     fn conversions() {
         assert_eq!(compute(Opcode::ItoF, 5, 0, 0.0, 0.0, 0).unwrap_fp(), 5.0);
         assert_eq!(compute(Opcode::FtoI, 0, 0, 5.9, 0.0, 0).unwrap_int(), 5);
-        assert_eq!(compute(Opcode::FtoI, 0, 0, f64::NAN, 0.0, 0).unwrap_int(), 0);
+        assert_eq!(
+            compute(Opcode::FtoI, 0, 0, f64::NAN, 0.0, 0).unwrap_int(),
+            0
+        );
         let bits = 3.25f64.to_bits() as i64;
-        assert_eq!(compute(Opcode::FLoadImm, 0, 0, 0.0, 0.0, bits).unwrap_fp(), 3.25);
+        assert_eq!(
+            compute(Opcode::FLoadImm, 0, 0, 0.0, 0.0, bits).unwrap_fp(),
+            3.25
+        );
     }
 
     #[test]
@@ -225,7 +247,10 @@ mod tests {
         assert_eq!(effective_addr(10, 5, 1024), 15);
         assert_eq!(effective_addr(1020, 10, 1024), 6);
         assert_eq!(effective_addr(-3, 0, 1024), 1021);
-        assert_eq!(effective_addr(i64::MAX, 1, 1024), (i64::MIN).rem_euclid(1024) as usize);
+        assert_eq!(
+            effective_addr(i64::MAX, 1, 1024),
+            (i64::MIN).rem_euclid(1024) as usize
+        );
     }
 
     #[test]

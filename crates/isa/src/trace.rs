@@ -92,7 +92,10 @@ pub fn record_for(
     branch_taken: Option<bool>,
     mem_addr: Option<usize>,
 ) -> TraceRecord {
-    debug_assert_eq!(instr.dst.is_some(), dst_value.is_some() || instr.dst.is_none());
+    debug_assert!(
+        instr.dst.is_none() || dst_value.is_some(),
+        "instruction with a destination must supply its result value"
+    );
     TraceRecord {
         seq,
         pc,

@@ -29,7 +29,9 @@ pub const PORT_GROWTH: f64 = 0.02;
 /// Access time of the array in nanoseconds.
 pub fn access_time_ns(geometry: RfGeometry) -> f64 {
     let growth = 1.0 + PORT_GROWTH * geometry.ports() as f64;
-    T0_NS + (KW_NS_PER_BIT * geometry.bits as f64 + KR_NS_PER_REG * geometry.registers as f64) * growth
+    T0_NS
+        + (KW_NS_PER_BIT * geometry.bits as f64 + KR_NS_PER_REG * geometry.registers as f64)
+            * growth
 }
 
 #[cfg(test)]
@@ -39,7 +41,10 @@ mod tests {
     #[test]
     fn lus_table_matches_the_paper_anchor() {
         let t = access_time_ns(RfGeometry::lus_table());
-        assert!((t - 0.98).abs() < 0.02, "LUs Table access time {t:.3} ns != 0.98 ns");
+        assert!(
+            (t - 0.98).abs() < 0.02,
+            "LUs Table access time {t:.3} ns != 0.98 ns"
+        );
     }
 
     #[test]
@@ -69,8 +74,14 @@ mod tests {
         // Figure 9.a spans roughly 1.3 ns (40 registers) to 2.0 ns (160).
         let small = access_time_ns(RfGeometry::int_file(40));
         let large = access_time_ns(RfGeometry::fp_file(160));
-        assert!((1.25..=1.45).contains(&small), "40-entry int file: {small:.3} ns");
-        assert!((1.8..=2.1).contains(&large), "160-entry fp file: {large:.3} ns");
+        assert!(
+            (1.25..=1.45).contains(&small),
+            "40-entry int file: {small:.3} ns"
+        );
+        assert!(
+            (1.8..=2.1).contains(&large),
+            "160-entry fp file: {large:.3} ns"
+        );
     }
 
     #[test]

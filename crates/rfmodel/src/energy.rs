@@ -24,7 +24,10 @@ pub const R_OVERHEAD: f64 = 12.58;
 
 /// Energy of one fully-active access cycle, in picojoules.
 pub fn access_energy_pj(geometry: RfGeometry) -> f64 {
-    KE_PJ * geometry.bits as f64 * geometry.ports() as f64 * (geometry.registers as f64 + R_OVERHEAD)
+    KE_PJ
+        * geometry.bits as f64
+        * geometry.ports() as f64
+        * (geometry.registers as f64 + R_OVERHEAD)
 }
 
 /// The Section 4.4 comparison: conventional renaming with larger files versus
@@ -54,8 +57,8 @@ pub fn energy_balance(
     early_int: usize,
     early_fp: usize,
 ) -> EnergyBalance {
-    let conventional_pj =
-        access_energy_pj(RfGeometry::int_file(conv_int)) + access_energy_pj(RfGeometry::fp_file(conv_fp));
+    let conventional_pj = access_energy_pj(RfGeometry::int_file(conv_int))
+        + access_energy_pj(RfGeometry::fp_file(conv_fp));
     let early_release_pj = access_energy_pj(RfGeometry::int_file(early_int))
         + access_energy_pj(RfGeometry::fp_file(early_fp))
         + 2.0 * access_energy_pj(RfGeometry::lus_table());
@@ -72,7 +75,10 @@ mod tests {
     #[test]
     fn lus_table_energy_matches_the_paper_anchor() {
         let e = access_energy_pj(RfGeometry::lus_table());
-        assert!((e - 193.2).abs() < 2.0, "LUs Table energy {e:.1} pJ != 193.2 pJ");
+        assert!(
+            (e - 193.2).abs() < 2.0,
+            "LUs Table energy {e:.1} pJ != 193.2 pJ"
+        );
     }
 
     #[test]
@@ -106,7 +112,10 @@ mod tests {
         let e160 = access_energy_pj(RfGeometry::fp_file(160));
         assert!(e80 > e40 && e160 > e80);
         // Figure 9.b tops out around 4.5–5 nJ at 160 registers.
-        assert!((4000.0..=5200.0).contains(&e160), "fp file at 160: {e160:.0} pJ");
+        assert!(
+            (4000.0..=5200.0).contains(&e160),
+            "fp file at 160: {e160:.0} pJ"
+        );
     }
 
     #[test]

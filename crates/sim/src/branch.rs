@@ -182,10 +182,14 @@ mod tests {
         let h0 = p.history();
         let pred = p.predict(42);
         assert_ne!(p.history() & 1, 2); // history shifted
+
         // Suppose the prediction was wrong: repair must rebuild the history
         // from the pre-branch value plus the actual outcome.
         p.repair(&pred, !pred.taken);
-        assert_eq!(p.history(), ((h0 << 1) | (!pred.taken) as u64) & ((1 << 8) - 1));
+        assert_eq!(
+            p.history(),
+            ((h0 << 1) | (!pred.taken) as u64) & ((1 << 8) - 1)
+        );
     }
 
     #[test]

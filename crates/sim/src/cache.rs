@@ -129,7 +129,12 @@ pub struct MemoryHierarchy {
 
 impl MemoryHierarchy {
     /// Build a cold hierarchy.
-    pub fn new(icache: CacheConfig, dcache: CacheConfig, l2: CacheConfig, memory_latency: u32) -> Self {
+    pub fn new(
+        icache: CacheConfig,
+        dcache: CacheConfig,
+        l2: CacheConfig,
+        memory_latency: u32,
+    ) -> Self {
         MemoryHierarchy {
             l1i: Cache::new(icache),
             l1d: Cache::new(dcache),

@@ -28,14 +28,20 @@ impl CacheConfig {
         if self.size_bytes == 0 || self.line_bytes == 0 || self.associativity == 0 {
             return Err("cache sizes must be non-zero".into());
         }
-        if self.size_bytes % (self.line_bytes * self.associativity) != 0 {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.associativity)
+        {
             return Err(format!(
                 "cache size {} is not divisible by line size {} x associativity {}",
                 self.size_bytes, self.line_bytes, self.associativity
             ));
         }
         if !self.sets().is_power_of_two() {
-            return Err(format!("number of sets ({}) must be a power of two", self.sets()));
+            return Err(format!(
+                "number of sets ({}) must be a power of two",
+                self.sets()
+            ));
         }
         if !self.line_bytes.is_power_of_two() {
             return Err("line size must be a power of two".into());

@@ -77,7 +77,10 @@ impl LoadStoreQueue {
     pub fn insert(&mut self, id: InstrId, is_store: bool) {
         assert!(!self.is_full(), "LSQ overflow");
         if let Some(back) = self.entries.back() {
-            assert!(back.id < id, "LSQ entries must be inserted in program order");
+            assert!(
+                back.id < id,
+                "LSQ entries must be inserted in program order"
+            );
         }
         self.entries.push_back(LsqEntry {
             id,

@@ -233,8 +233,8 @@ impl Simulator {
     }
 
     fn sources_ready(&self, renamed: &RenamedInstr) -> bool {
-        let ok1 = renamed.src1.map_or(true, |(a, p)| self.phys_ready(a, p));
-        let ok2 = renamed.src2.map_or(true, |(a, p)| self.phys_ready(a, p));
+        let ok1 = renamed.src1.is_none_or(|(a, p)| self.phys_ready(a, p));
+        let ok2 = renamed.src2.is_none_or(|(a, p)| self.phys_ready(a, p));
         ok1 && ok2
     }
 
@@ -296,7 +296,7 @@ impl Simulator {
             if let Some(interval) = self.config.exceptions.interval {
                 let count = self.stats.committed;
                 if count > 0
-                    && count % interval == 0
+                    && count.is_multiple_of(interval)
                     && self.last_exception_at != Some(count)
                     && head.instr.op != Opcode::Halt
                 {
@@ -357,7 +357,9 @@ impl Simulator {
         for id in completing {
             // The entry may have been squashed by an older branch that
             // completed earlier in this loop.
-            let Some(entry) = self.rob.get(id) else { continue };
+            let Some(entry) = self.rob.get(id) else {
+                continue;
+            };
             let entry = *entry;
 
             // Write the result and wake up consumers.
@@ -374,7 +376,9 @@ impl Simulator {
 
             // Conditional branch resolution.
             if entry.instr.op.is_cond_branch() && !entry.resolved {
-                let prediction = entry.prediction.expect("conditional branches carry a prediction");
+                let prediction = entry
+                    .prediction
+                    .expect("conditional branches carry a prediction");
                 let actual_taken = entry.actual_taken.expect("resolved branch has an outcome");
                 self.predictor.resolve(&prediction, actual_taken);
                 if let Some(e) = self.rob.get_mut(id) {
@@ -419,7 +423,9 @@ impl Simulator {
 
         self.fetch_pc = restart_pc;
         self.fetch_halted = false;
-        self.fetch_stalled_until = self.cycle.saturating_add(self.config.exceptions.handler_cycles);
+        self.fetch_stalled_until = self
+            .cycle
+            .saturating_add(self.config.exceptions.handler_cycles);
     }
 
     // ------------------------------------------------------------------
@@ -450,7 +456,7 @@ impl Simulator {
                 let base_ready = entry
                     .renamed
                     .src1
-                    .map_or(true, |(a, p)| self.phys_ready(a, p));
+                    .is_none_or(|(a, p)| self.phys_ready(a, p));
                 if base_ready {
                     let base = self.operand_int(entry.renamed.src1);
                     let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
@@ -586,7 +592,9 @@ impl Simulator {
     fn stage_rename(&mut self) {
         let mut renamed = 0;
         while renamed < self.config.decode_width {
-            let Some(fetched) = self.fetch_buffer.front().copied() else { break };
+            let Some(fetched) = self.fetch_buffer.front().copied() else {
+                break;
+            };
 
             if self.rob.is_full() {
                 self.stats.rename_stalls.ros_full += 1;
@@ -613,7 +621,8 @@ impl Simulator {
                 self.set_phys_ready(dst.arch.class(), dst.phys, false);
             }
             if fetched.instr.op.is_mem() {
-                self.lsq.insert(renamed_instr.id, fetched.instr.op.is_store());
+                self.lsq
+                    .insert(renamed_instr.id, fetched.instr.op.is_store());
             }
 
             self.rob.push(RobEntry {

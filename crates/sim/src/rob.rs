@@ -96,7 +96,10 @@ impl ReorderBuffer {
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "reorder structure overflow");
         if let Some(back) = self.entries.back() {
-            assert!(back.id < entry.id, "entries must be dispatched in program order");
+            assert!(
+                back.id < entry.id,
+                "entries must be dispatched in program order"
+            );
         }
         self.entries.push_back(entry);
     }
@@ -123,7 +126,10 @@ impl ReorderBuffer {
 
     /// Remove the oldest entry, which must be `id`.
     pub fn pop_head(&mut self, id: InstrId) -> RobEntry {
-        let head = self.entries.pop_front().expect("pop from empty reorder structure");
+        let head = self
+            .entries
+            .pop_front()
+            .expect("pop from empty reorder structure");
         assert_eq!(head.id, id, "commit must proceed in program order");
         head
     }

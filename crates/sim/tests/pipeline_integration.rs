@@ -105,7 +105,11 @@ fn run_and_verify(program: &Program, policy: ReleasePolicy, phys: usize) -> earl
     let config = MachineConfig::icpp02(policy, phys, phys);
     let mut sim = Simulator::new(config, program);
     let stats = sim.run(RunLimits::default());
-    assert!(stats.halted, "{} did not halt under {policy:?}", program.name);
+    assert!(
+        stats.halted,
+        "{} did not halt under {policy:?}",
+        program.name
+    );
     let outcome = verify_against_emulator(&sim, program);
     assert!(
         outcome.is_match(),
@@ -130,7 +134,10 @@ fn branchy_program_matches_emulator_under_all_policies() {
     let p = branchy_program(300);
     for policy in ReleasePolicy::ALL {
         let stats = run_and_verify(&p, policy, 48);
-        assert!(stats.mispredicted_branches > 0, "the LCG branch should mispredict sometimes");
+        assert!(
+            stats.mispredicted_branches > 0,
+            "the LCG branch should mispredict sometimes"
+        );
         assert!(stats.committed_branches > 0);
     }
 }
@@ -152,7 +159,10 @@ fn very_tight_register_files_still_produce_correct_results() {
     let p = fp_program(100);
     for policy in ReleasePolicy::ALL {
         let stats = run_and_verify(&p, policy, 34);
-        assert!(stats.rename_stalls.free_list > 0, "tight file must cause free-list stalls");
+        assert!(
+            stats.rename_stalls.free_list > 0,
+            "tight file must cause free-list stalls"
+        );
     }
 }
 
@@ -165,8 +175,14 @@ fn early_release_does_not_hurt_and_usually_helps_ipc() {
     // Allow a sliver of noise, but the ordering conv <= basic <= extended
     // must hold in the tight-register regime.
     assert!(basic >= conv * 0.98, "basic {basic} vs conv {conv}");
-    assert!(extended >= basic * 0.98, "extended {extended} vs basic {basic}");
-    assert!(extended > conv, "extended {extended} should beat conventional {conv}");
+    assert!(
+        extended >= basic * 0.98,
+        "extended {extended} vs basic {basic}"
+    );
+    assert!(
+        extended > conv,
+        "extended {extended} should beat conventional {conv}"
+    );
 }
 
 #[test]

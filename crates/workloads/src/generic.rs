@@ -265,7 +265,10 @@ mod tests {
         };
         let low = run(0.0);
         let high = run(0.9);
-        assert!((low - high).abs() > 0.02, "entropy had no effect: {low} vs {high}");
+        assert!(
+            (low - high).abs() > 0.02,
+            "entropy had no effect: {low} vs {high}"
+        );
     }
 
     #[test]

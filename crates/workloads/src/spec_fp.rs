@@ -488,7 +488,11 @@ mod tests {
         program.validate().expect("program validates");
         let mut emu = Emulator::new(program);
         let result = emu.run(max);
-        assert!(result.halted, "{} did not halt within {max} instructions", program.name);
+        assert!(
+            result.halted,
+            "{} did not halt within {max} instructions",
+            program.name
+        );
         result
     }
 
@@ -535,7 +539,12 @@ mod tests {
 
     #[test]
     fn fp_kernels_use_a_wide_fp_register_working_set() {
-        for program in [mgrid_like(10), tomcatv_like(10), applu_like(10), swim_like(10)] {
+        for program in [
+            mgrid_like(10),
+            tomcatv_like(10),
+            applu_like(10),
+            swim_like(10),
+        ] {
             let mut used = std::collections::HashSet::new();
             for instr in &program.instrs {
                 if let Some(d) = instr.dst {

@@ -444,7 +444,11 @@ mod tests {
         program.validate().expect("program validates");
         let mut emu = Emulator::new(program);
         let result = emu.run(max);
-        assert!(result.halted, "{} did not halt within {max} instructions", program.name);
+        assert!(
+            result.halted,
+            "{} did not halt within {max} instructions",
+            program.name
+        );
         result
     }
 
@@ -472,7 +476,10 @@ mod tests {
     fn iteration_count_scales_dynamic_length() {
         let short = check(&compress_like(100), 1_000_000).instructions;
         let long = check(&compress_like(400), 4_000_000).instructions;
-        assert!(long > short * 3, "dynamic length must scale with iterations");
+        assert!(
+            long > short * 3,
+            "dynamic length must scale with iterations"
+        );
     }
 
     #[test]

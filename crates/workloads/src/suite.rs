@@ -211,8 +211,14 @@ mod tests {
     fn suite_has_five_int_and_five_fp_members() {
         let suite = suite(Scale::Smoke);
         assert_eq!(suite.len(), 10);
-        let ints = suite.iter().filter(|w| w.class() == WorkloadClass::Int).count();
-        let fps = suite.iter().filter(|w| w.class() == WorkloadClass::Fp).count();
+        let ints = suite
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::Int)
+            .count();
+        let fps = suite
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::Fp)
+            .count();
         assert_eq!(ints, 5);
         assert_eq!(fps, 5);
     }
@@ -222,7 +228,10 @@ mod tests {
         let names: Vec<_> = SPECS.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            ["compress", "gcc", "go", "li", "perl", "mgrid", "tomcatv", "applu", "swim", "hydro2d"]
+            [
+                "compress", "gcc", "go", "li", "perl", "mgrid", "tomcatv", "applu", "swim",
+                "hydro2d"
+            ]
         );
     }
 

@@ -12,7 +12,10 @@ use earlyreg::workloads::{generic_workload, GenericWorkloadConfig};
 fn measure(config: GenericWorkloadConfig, registers: usize) -> (f64, f64) {
     let program = generic_workload(config);
     let mut ipc = [0.0f64; 2];
-    for (slot, policy) in [ReleasePolicy::Conventional, ReleasePolicy::Extended].iter().enumerate() {
+    for (slot, policy) in [ReleasePolicy::Conventional, ReleasePolicy::Extended]
+        .iter()
+        .enumerate()
+    {
         let machine = MachineConfig::icpp02(*policy, registers, registers);
         let mut sim = Simulator::new(machine, &program);
         let stats = sim.run(RunLimits {
@@ -29,7 +32,10 @@ fn main() {
     println!("extended-release benefit as a function of workload properties ({registers}+{registers} registers)\n");
 
     println!("FP working set sweep (higher pressure -> larger benefit):");
-    println!("{:>14}  {:>8}  {:>9}  {:>9}", "fp working set", "conv IPC", "ext IPC", "speedup");
+    println!(
+        "{:>14}  {:>8}  {:>9}  {:>9}",
+        "fp working set", "conv IPC", "ext IPC", "speedup"
+    );
     for fp_ws in [4usize, 12, 20, 28] {
         let config = GenericWorkloadConfig {
             iterations: 1_500,
@@ -40,12 +46,21 @@ fn main() {
             ..GenericWorkloadConfig::default()
         };
         let (conv, ext) = measure(config, registers);
-        println!("{:>14}  {:>8.3}  {:>9.3}  {:>8.1}%", fp_ws, conv, ext, (ext / conv - 1.0) * 100.0);
+        println!(
+            "{:>14}  {:>8.3}  {:>9.3}  {:>8.1}%",
+            fp_ws,
+            conv,
+            ext,
+            (ext / conv - 1.0) * 100.0
+        );
     }
 
     println!("\nBranch entropy sweep (harder-to-predict branches limit the benefit,");
     println!("because redefinitions decoded under unresolved branches must stay conditional):");
-    println!("{:>14}  {:>8}  {:>9}  {:>9}", "branch entropy", "conv IPC", "ext IPC", "speedup");
+    println!(
+        "{:>14}  {:>8}  {:>9}  {:>9}",
+        "branch entropy", "conv IPC", "ext IPC", "speedup"
+    );
     for entropy in [0.0f64, 0.2, 0.5] {
         let config = GenericWorkloadConfig {
             iterations: 1_500,
@@ -55,7 +70,13 @@ fn main() {
             ..GenericWorkloadConfig::default()
         };
         let (conv, ext) = measure(config, registers);
-        println!("{:>14.1}  {:>8.3}  {:>9.3}  {:>8.1}%", entropy, conv, ext, (ext / conv - 1.0) * 100.0);
+        println!(
+            "{:>14.1}  {:>8.3}  {:>9.3}  {:>8.1}%",
+            entropy,
+            conv,
+            ext,
+            (ext / conv - 1.0) * 100.0
+        );
     }
 
     println!(

@@ -10,7 +10,9 @@ use earlyreg::sim::{MachineConfig, RunLimits, Simulator};
 use earlyreg::workloads::{workload_by_name, Scale, WorkloadClass};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tomcatv".to_string());
     let workload = workload_by_name(&name, Scale::Bench).unwrap_or_else(|| {
         eprintln!("unknown workload '{name}'");
         std::process::exit(2);

@@ -56,12 +56,21 @@ fn main() {
     let lu = ru.rename(&add(3, 2, 1), 1).unwrap();
     println!("LU: r3 = r2 + r1      reads {p7}");
     let nv = ru.rename(&define(1), 2).unwrap();
-    println!("NV: r1 = ...          r1 -> {} (previous version {p7})", nv.dst.unwrap().phys);
+    println!(
+        "NV: r1 = ...          r1 -> {} (previous version {p7})",
+        nv.dst.unwrap().phys
+    );
     ru.commit(i.id, 10);
     let released = ru.commit(lu.id, 11).released;
-    println!("LU commits            released: {:?}", released.iter().map(|e| e.phys).collect::<Vec<_>>());
+    println!(
+        "LU commits            released: {:?}",
+        released.iter().map(|e| e.phys).collect::<Vec<_>>()
+    );
     let released = ru.commit(nv.id, 12).released;
-    println!("NV commits            released: {:?} (nothing — rel_old was cleared)", released);
+    println!(
+        "NV commits            released: {:?} (nothing — rel_old was cleared)",
+        released
+    );
 
     // ------------------------------------------------------------------
     // Figure 6-style immediate reuse: the last use has already committed when
@@ -131,6 +140,7 @@ fn main() {
         p7
     );
     ru.commit(br.id, 7);
-    ru.check_invariants().expect("the rename state is consistent after recovery");
+    ru.check_invariants()
+        .expect("the rename state is consistent after recovery");
     println!("\ninvariants hold after every scenario — see crates/core tests for the full matrix");
 }

@@ -47,7 +47,11 @@ fn main() {
     b.halt();
     let program = b.build().expect("the quickstart kernel is a valid program");
 
-    println!("program: {} ({} static instructions)\n", program.name, program.len());
+    println!(
+        "program: {} ({} static instructions)\n",
+        program.name,
+        program.len()
+    );
 
     // ------------------------------------------------------------------
     // 2. Run it on the paper's Table 2 machine with a *tight* register file
@@ -67,7 +71,10 @@ fn main() {
         println!("  cycles               {:>10}", stats.cycles);
         println!("  committed            {:>10}", stats.committed);
         println!("  IPC                  {:>10.3}", stats.ipc());
-        println!("  free-list stalls     {:>10}", stats.rename_stalls.free_list);
+        println!(
+            "  free-list stalls     {:>10}",
+            stats.rename_stalls.free_list
+        );
         println!(
             "  avg idle FP registers{:>10.2}",
             stats.occupancy_fp.avg_idle()

@@ -9,7 +9,9 @@ use earlyreg::sim::{MachineConfig, RunLimits, Simulator};
 use earlyreg::workloads::{workload_by_name, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "swim".to_string());
     let workload = workload_by_name(&name, Scale::Bench).unwrap_or_else(|| {
         eprintln!("unknown workload '{name}'; available: compress gcc go li perl mgrid tomcatv applu swim hydro2d");
         std::process::exit(2);
@@ -20,7 +22,10 @@ fn main() {
         workload.spec.description,
         workload.program.len()
     );
-    println!("{:>9}  {:>8}  {:>8}  {:>8}  {:>10}  {:>10}", "registers", "conv", "basic", "extended", "basic/conv", "ext/conv");
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>8}  {:>10}  {:>10}",
+        "registers", "conv", "basic", "extended", "basic/conv", "ext/conv"
+    );
     println!("{}", "-".repeat(64));
 
     for size in [40usize, 48, 56, 64, 72, 80, 96, 128] {

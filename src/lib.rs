@@ -17,8 +17,8 @@
 //! * [`workloads`] — SPEC95-like synthetic workloads (Table 3 analogue).
 //! * [`experiments`] — harness regenerating every table and figure.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the full system
-//! inventory and experiment index.
+//! See `README.md` for a quickstart, the workspace inventory and the
+//! experiment index.
 
 pub use earlyreg_core as core;
 pub use earlyreg_experiments as experiments;

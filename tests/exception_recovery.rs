@@ -9,7 +9,10 @@ use earlyreg::workloads::{suite, Scale};
 
 fn run_with_exceptions(name: &str, policy: ReleasePolicy, interval: u64) {
     let workloads = suite(Scale::Smoke);
-    let workload = workloads.iter().find(|w| w.name() == name).expect("workload exists");
+    let workload = workloads
+        .iter()
+        .find(|w| w.name() == name)
+        .expect("workload exists");
     let mut config = MachineConfig::icpp02(policy, 48, 48);
     config.exceptions.interval = Some(interval);
     config.exceptions.handler_cycles = 25;
@@ -22,7 +25,10 @@ fn run_with_exceptions(name: &str, policy: ReleasePolicy, interval: u64) {
         stats.exceptions > 0,
         "{name}/{policy:?}: no exceptions were injected (interval {interval})"
     );
-    assert_eq!(stats.oracle_violations, 0, "{name}/{policy:?}: dead value read after recovery");
+    assert_eq!(
+        stats.oracle_violations, 0,
+        "{name}/{policy:?}: dead value read after recovery"
+    );
     let outcome = verify_against_emulator(&sim, &workload.program);
     assert!(
         outcome.is_match(),
@@ -67,7 +73,11 @@ fn extended_survives_very_frequent_exceptions_on_tiny_files() {
         max_instructions: 20_000,
         max_cycles: 4_000_000,
     });
-    assert!(stats.exceptions >= 30, "expected a storm of exceptions, got {}", stats.exceptions);
+    assert!(
+        stats.exceptions >= 30,
+        "expected a storm of exceptions, got {}",
+        stats.exceptions
+    );
     let outcome = verify_against_emulator(&sim, &workload.program);
     assert!(outcome.is_match(), "{outcome:?}");
 }
@@ -92,5 +102,8 @@ fn exceptions_cost_cycles_but_not_correct_results() {
     });
 
     assert_eq!(clean_stats.committed, stormy_stats.committed);
-    assert!(stormy_stats.cycles > clean_stats.cycles, "exceptions must cost cycles");
+    assert!(
+        stormy_stats.cycles > clean_stats.cycles,
+        "exceptions must cost cycles"
+    );
 }

@@ -10,15 +10,24 @@ use earlyreg::workloads::{suite, Scale};
 
 fn check_workload(name: &str, policy: ReleasePolicy, phys: usize) {
     let workloads = suite(Scale::Smoke);
-    let workload = workloads.iter().find(|w| w.name() == name).expect("workload exists");
+    let workload = workloads
+        .iter()
+        .find(|w| w.name() == name)
+        .expect("workload exists");
     let config = MachineConfig::icpp02(policy, phys, phys);
     let mut sim = Simulator::new(config, &workload.program);
     let stats = sim.run(RunLimits {
         max_instructions: 40_000,
         max_cycles: 4_000_000,
     });
-    assert!(stats.committed > 1_000, "{name}/{policy:?}: too few instructions committed");
-    assert_eq!(stats.oracle_violations, 0, "{name}/{policy:?}: dead value read");
+    assert!(
+        stats.committed > 1_000,
+        "{name}/{policy:?}: too few instructions committed"
+    );
+    assert_eq!(
+        stats.oracle_violations, 0,
+        "{name}/{policy:?}: dead value read"
+    );
     let outcome = verify_against_emulator(&sim, &workload.program);
     assert!(
         outcome.is_match(),

@@ -25,8 +25,18 @@ fn committed_work_is_identical_across_policies() {
         let ext = run(&workload, ReleasePolicy::Extended, 48);
         assert_eq!(conv.committed, basic.committed, "{}", workload.name());
         assert_eq!(conv.committed, ext.committed, "{}", workload.name());
-        assert_eq!(conv.committed_branches, ext.committed_branches, "{}", workload.name());
-        assert_eq!(conv.committed_stores, ext.committed_stores, "{}", workload.name());
+        assert_eq!(
+            conv.committed_branches,
+            ext.committed_branches,
+            "{}",
+            workload.name()
+        );
+        assert_eq!(
+            conv.committed_stores,
+            ext.committed_stores,
+            "{}",
+            workload.name()
+        );
     }
 }
 
@@ -36,9 +46,21 @@ fn early_release_never_hurts_ipc_beyond_noise() {
         let conv = run(&workload, ReleasePolicy::Conventional, 48).ipc();
         let basic = run(&workload, ReleasePolicy::Basic, 48).ipc();
         let ext = run(&workload, ReleasePolicy::Extended, 48).ipc();
-        assert!(basic >= conv * 0.97, "{}: basic {basic} vs conv {conv}", workload.name());
-        assert!(ext >= conv * 0.97, "{}: extended {ext} vs conv {conv}", workload.name());
-        assert!(ext >= basic * 0.97, "{}: extended {ext} vs basic {basic}", workload.name());
+        assert!(
+            basic >= conv * 0.97,
+            "{}: basic {basic} vs conv {conv}",
+            workload.name()
+        );
+        assert!(
+            ext >= conv * 0.97,
+            "{}: extended {ext} vs conv {conv}",
+            workload.name()
+        );
+        assert!(
+            ext >= basic * 0.97,
+            "{}: extended {ext} vs basic {basic}",
+            workload.name()
+        );
     }
 }
 
@@ -61,15 +83,28 @@ fn fp_codes_gain_more_than_integer_codes_at_48_registers() {
         fp_avg > int_avg,
         "FP codes must benefit more from early release (fp {fp_avg:.3} vs int {int_avg:.3})"
     );
-    assert!(fp_avg > 0.02, "FP codes must show a visible speedup at 48 registers, got {fp_avg:.3}");
+    assert!(
+        fp_avg > 0.02,
+        "FP codes must show a visible speedup at 48 registers, got {fp_avg:.3}"
+    );
 }
 
 #[test]
 fn extended_mechanism_never_uses_the_conventional_release_path() {
     for workload in suite(Scale::Smoke).into_iter().take(4) {
         let stats = run(&workload, ReleasePolicy::Extended, 48);
-        assert_eq!(stats.release.int.conventional_releases, 0, "{}", workload.name());
-        assert_eq!(stats.release.fp.conventional_releases, 0, "{}", workload.name());
+        assert_eq!(
+            stats.release.int.conventional_releases,
+            0,
+            "{}",
+            workload.name()
+        );
+        assert_eq!(
+            stats.release.fp.conventional_releases,
+            0,
+            "{}",
+            workload.name()
+        );
         assert!(
             stats.release.int.total_early() + stats.release.fp.total_early() > 0,
             "{}: the extended mechanism released nothing early",
@@ -123,7 +158,10 @@ fn loose_register_files_make_the_policies_equivalent() {
     let conv = run(swim, ReleasePolicy::Conventional, 160).ipc();
     let ext = run(swim, ReleasePolicy::Extended, 160).ipc();
     let diff = (ext / conv - 1.0).abs();
-    assert!(diff < 0.02, "policies should converge for a loose file, difference {diff:.3}");
+    assert!(
+        diff < 0.02,
+        "policies should converge for a loose file, difference {diff:.3}"
+    );
 }
 
 #[test]
@@ -135,8 +173,14 @@ fn more_registers_never_reduce_ipc() {
             let tight = run(w, policy, 40).ipc();
             let medium = run(w, policy, 72).ipc();
             let loose = run(w, policy, 160).ipc();
-            assert!(medium >= tight * 0.98, "{name}/{policy:?}: {tight} -> {medium}");
-            assert!(loose >= medium * 0.98, "{name}/{policy:?}: {medium} -> {loose}");
+            assert!(
+                medium >= tight * 0.98,
+                "{name}/{policy:?}: {tight} -> {medium}"
+            );
+            assert!(
+                loose >= medium * 0.98,
+                "{name}/{policy:?}: {medium} -> {loose}"
+            );
         }
     }
 }

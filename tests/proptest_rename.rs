@@ -127,7 +127,10 @@ fn drive(policy: ReleasePolicy, phys: usize, ops: &[Op], seed: u64, exception_ra
                 .filter(|(_, (_, is_branch, resolved))| *is_branch && !resolved)
                 .map(|(i, _)| i)
                 .collect();
-            if let Some(&pick) = unresolved.get(rng.gen_range(0..unresolved.len().max(1)).min(unresolved.len().saturating_sub(1))) {
+            if let Some(&pick) = unresolved.get(
+                rng.gen_range(0..unresolved.len().max(1))
+                    .min(unresolved.len().saturating_sub(1)),
+            ) {
                 let (id, _, _) = in_flight[pick];
                 if rng.gen_bool(0.3) {
                     ru.recover_branch_mispredict(id, cycle);
@@ -144,7 +147,9 @@ fn drive(policy: ReleasePolicy, phys: usize, ops: &[Op], seed: u64, exception_ra
         } else if action < 95 {
             // Commit from the head; branches must be resolved first.
             for _ in 0..rng.gen_range(1..=4usize) {
-                let Some(&(id, is_branch, resolved)) = in_flight.first() else { break };
+                let Some(&(id, is_branch, resolved)) = in_flight.first() else {
+                    break;
+                };
                 if is_branch && !resolved {
                     ru.resolve_branch_correct(id, cycle);
                 }
@@ -156,7 +161,8 @@ fn drive(policy: ReleasePolicy, phys: usize, ops: &[Op], seed: u64, exception_ra
             in_flight.clear();
         }
 
-        ru.check_invariants().unwrap_or_else(|e| panic!("invariant violated at cycle {cycle}: {e}"));
+        ru.check_invariants()
+            .unwrap_or_else(|e| panic!("invariant violated at cycle {cycle}: {e}"));
         if cycle > 50_000 {
             panic!("driver failed to make progress");
         }

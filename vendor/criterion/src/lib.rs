@@ -1,0 +1,141 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! Supports the benchmark surface the workspace uses — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple timer instead of criterion's statistical engine: each benchmark is
+//! warmed up once, run for a fixed number of timed iterations, and the mean
+//! per-iteration wall time is printed. Good enough to spot order-of-magnitude
+//! regressions offline; swap in the real crate for publication-grade numbers.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Timed iterations per benchmark (after one warm-up batch).
+const MEASURE_ITERS: u32 = 10;
+
+/// Name of one benchmark within a group; mirrors `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        nanos_per_iter: 0.0,
+    };
+    f(&mut b);
+    let per_iter = b.nanos_per_iter;
+    if per_iter >= 1_000_000.0 {
+        println!("bench {name:<60} {:>12.3} ms/iter", per_iter / 1_000_000.0);
+    } else if per_iter >= 1_000.0 {
+        println!("bench {name:<60} {:>12.3} µs/iter", per_iter / 1_000.0);
+    } else {
+        println!("bench {name:<60} {:>12.1} ns/iter", per_iter);
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the stub's fixed iteration count
+    /// is not affected.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; ignored by the stub timer.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name.into()), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label()), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,292 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! Implements the surface the workspace's property tests use — `proptest!`,
+//! `Strategy`, `any`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::select`, tuple/range strategies, `ProptestConfig` and the
+//! `prop_assert*` macros — as plain random sampling without shrinking
+//! (`max_shrink_iters` is accepted and ignored). Case generation is
+//! deterministic: every run uses a fixed base seed, so a failing case
+//! reproduces on the next run. The case count honours the `PROPTEST_CASES`
+//! environment variable as an upper bound (default cap 64) to keep
+//! `cargo test -q` fast.
+
+pub mod strategy;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len)` — vectors of strategy-generated
+    /// elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(values)` — pick uniformly from a fixed set.
+    pub fn select<T: Clone + std::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires at least one item");
+        Select { items }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Default upper bound on cases per property when `PROPTEST_CASES` is
+    /// unset, keeping the full suite inside a `cargo test -q` budget.
+    pub const DEFAULT_MAX_CASES: u32 = 64;
+
+    /// RNG handed to strategies. Deterministically seeded so failures
+    /// reproduce run-to-run.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(salt: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(0x70726F70_74657374 ^ salt),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Subset of proptest's run configuration. `max_shrink_iters`, `fork`
+    /// and `timeout` are accepted for source compatibility; this
+    /// implementation never shrinks, forks or times out.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+        pub fork: bool,
+        pub timeout: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: DEFAULT_MAX_CASES,
+                max_shrink_iters: 0,
+                fork: false,
+                timeout: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Cases to actually run: the configured count, clamped by the
+        /// `PROPTEST_CASES` environment variable when it is set.
+        pub fn effective_cases(&self) -> u32 {
+            let env_cap = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok());
+            match env_cap {
+                Some(cap) => self.cases.min(cap.max(1)),
+                None => self.cases,
+            }
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assertion macros: plain asserts (no shrink machinery to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Union of same-valued strategies, each picked with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest!` test-definition macro: each `fn` becomes a `#[test]` that
+/// samples its strategies `config.effective_cases()` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                // Salt the RNG with the test name so sibling properties do
+                // not replay identical streams.
+                let salt = {
+                    let name = stringify!($name);
+                    name.bytes().fold(0u64, |h, b| {
+                        h.wrapping_mul(0x100000001b3).wrapping_add(b as u64)
+                    })
+                };
+                let mut rng = $crate::test_runner::TestRng::deterministic(salt);
+                $(let $arg = $strategy;)+
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut rng);)+
+                    let run = move || $body;
+                    if let Err(panic) = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest: property '{}' failed on case {}/{} (deterministic seed; rerun reproduces)",
+                            stringify!($name), case + 1, cases,
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

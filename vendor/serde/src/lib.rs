@@ -1,0 +1,16 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and (behind the
+//! `derive` feature) the derive macros, so workspace types can keep their
+//! `#[derive(Serialize, Deserialize)]` annotations while the container has no
+//! crates.io access. The derives expand to nothing; swap this stub for the
+//! real crate by deleting the `vendor/serde*` path deps once networked.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

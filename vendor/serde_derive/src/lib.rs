@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives.
+//!
+//! The container has no network access to crates.io, and nothing in this
+//! workspace actually serialises data yet — the derives only mark types as
+//! serialisable for future tooling. These macros accept the same attribute
+//! grammar (`#[serde(...)]`) and expand to nothing, so `#[derive(Serialize,
+//! Deserialize)]` compiles without pulling in the real implementation.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
