@@ -23,7 +23,7 @@ fn run_with(
     let mut config = MachineConfig::icpp02(policy, registers, registers);
     config.rename.reuse_on_committed_lu = reuse;
     config.rename.max_pending_branches = max_pending_branches;
-    let mut sim = Simulator::new(config, &workload.program);
+    let mut sim = Simulator::new(config, workload.program.clone());
     sim.run(RunLimits {
         max_instructions: 20_000,
         max_cycles: 2_000_000,

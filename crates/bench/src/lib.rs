@@ -33,11 +33,8 @@ pub fn run_sim_limited(
     max_instructions: u64,
 ) -> SimStats {
     let config = MachineConfig::icpp02(policy, registers, registers);
-    let mut sim = Simulator::new(config, &workload.program);
-    sim.run(RunLimits {
-        max_instructions,
-        max_cycles: max_instructions.saturating_mul(64).max(1_000_000),
-    })
+    let mut sim = Simulator::new(config, workload.program.clone());
+    sim.run(RunLimits::instructions(max_instructions))
 }
 
 #[cfg(test)]

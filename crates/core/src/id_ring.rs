@@ -1,0 +1,443 @@
+//! A program-ordered ring buffer of in-flight instructions with O(1)
+//! [`InstrId`] → slot resolution.
+//!
+//! Both views of the paper's Reorder Structure — the rename engine's
+//! [`RosBook`](crate::ros::RosBook) and the simulator's pipeline-side
+//! reorder buffer — store entries in program order, commit from the head,
+//! squash a suffix on mispredictions and look entries up by [`InstrId`]
+//! between those events.  The seed implementation kept a `VecDeque` and
+//! resolved ids with a binary search on every access; this module replaces
+//! that with the slot-indexed ring organisation SimpleScalar-style RUU
+//! simulators use:
+//!
+//! * Entries live in a power-of-two array of `slots`; `head`/`len` describe
+//!   the occupied window.  A slot's physical index is stable for the entire
+//!   lifetime of its entry (pushes append at the tail, commits advance the
+//!   head, squashes retreat the tail), so callers may cache `(id, slot)`
+//!   pairs in side structures (ready lists, completion event queues) and
+//!   revalidate them cheaply with [`IdRing::at`].
+//! * Ids are allocated monotonically but are *not* contiguous across
+//!   squashes (squashed ids are never reissued).  A dense `lookup` window
+//!   keyed by `id - base_id` maps every id in `[head id, tail id]` to its
+//!   slot, with squash gaps holding an invalid sentinel.  The window is
+//!   trimmed as the head advances, so its length tracks the id span of the
+//!   in-flight window, not the run length.
+//!
+//! All hot operations — push, id lookup, slot access, head pop — are O(1);
+//! squashes are O(entries removed).
+
+use crate::types::InstrId;
+use std::collections::VecDeque;
+
+/// Sentinel for ids inside the lookup window that no longer (or never) had
+/// an entry: squash gaps.
+const INVALID_SLOT: u32 = u32::MAX;
+
+/// Entries stored in an [`IdRing`] expose the id they were pushed under.
+pub trait HasInstrId {
+    /// The dynamic instruction id of this entry.
+    fn instr_id(&self) -> InstrId;
+}
+
+/// Fixed- or growable-capacity ring buffer with O(1) id→slot resolution.
+/// See the module documentation for the organisation.
+#[derive(Debug, Clone)]
+pub struct IdRing<T> {
+    /// Power-of-two slot array; `None` marks unoccupied slots.
+    slots: Vec<Option<T>>,
+    /// Physical index of the oldest entry (meaningful when `len > 0`).
+    head: usize,
+    /// Number of occupied slots.
+    len: usize,
+    /// Logical capacity (`None` = grow on demand).
+    capacity: Option<usize>,
+    /// Id corresponding to `lookup[0]` (meaningful when `lookup` is
+    /// non-empty).
+    base_id: u64,
+    /// `lookup[id - base_id]` = physical slot of `id`, or [`INVALID_SLOT`].
+    lookup: VecDeque<u32>,
+}
+
+impl<T: HasInstrId> IdRing<T> {
+    /// An empty ring that panics when pushed beyond `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = capacity.next_power_of_two().max(2);
+        IdRing {
+            slots: (0..slots).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            capacity: Some(capacity),
+            base_id: 0,
+            lookup: VecDeque::new(),
+        }
+    }
+
+    /// An empty ring that doubles its slot array when full.
+    pub fn growable(initial_slots: usize) -> Self {
+        let slots = initial_slots.next_power_of_two().max(2);
+        IdRing {
+            slots: (0..slots).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            capacity: None,
+            base_id: 0,
+            lookup: VecDeque::new(),
+        }
+    }
+
+    /// Number of in-flight entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when a fixed-capacity ring cannot accept another push.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.len >= c)
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    #[inline]
+    fn phys(&self, logical: usize) -> usize {
+        (self.head + logical) & self.mask()
+    }
+
+    /// Append `entry` as the youngest; returns its (stable) slot index.
+    ///
+    /// # Panics
+    /// Panics on program-order violations and, for fixed-capacity rings, on
+    /// overflow.
+    pub fn push(&mut self, entry: T) -> u32 {
+        let id = entry.instr_id();
+        if let Some(back) = self.back() {
+            assert!(
+                back.instr_id() < id,
+                "entries must be pushed in program order ({} then {})",
+                back.instr_id(),
+                id
+            );
+        }
+        assert!(!self.is_full(), "id ring overflow");
+        if self.len == self.slots.len() {
+            self.grow();
+        }
+        let slot = self.phys(self.len);
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(entry);
+        self.len += 1;
+
+        if self.lookup.is_empty() {
+            self.base_id = id.0;
+        }
+        // Pad squash gaps so the window stays dense in id space.
+        while self.base_id + (self.lookup.len() as u64) < id.0 {
+            self.lookup.push_back(INVALID_SLOT);
+        }
+        self.lookup.push_back(slot as u32);
+        slot as u32
+    }
+
+    /// Double the slot array, re-packing entries from physical index 0 and
+    /// rebuilding the id window (growable rings only; invalidates previously
+    /// returned slot indices).
+    fn grow(&mut self) {
+        let old_len = self.len;
+        let mut entries: Vec<T> = Vec::with_capacity(old_len);
+        for i in 0..old_len {
+            let p = self.phys(i);
+            entries.push(self.slots[p].take().expect("occupied window"));
+        }
+        self.slots = (0..self.slots.len() * 2).map(|_| None).collect();
+        self.head = 0;
+        self.lookup.clear();
+        for (i, entry) in entries.into_iter().enumerate() {
+            let id = entry.instr_id();
+            if i == 0 {
+                self.base_id = id.0;
+            }
+            while self.base_id + (self.lookup.len() as u64) < id.0 {
+                self.lookup.push_back(INVALID_SLOT);
+            }
+            self.lookup.push_back(i as u32);
+            self.slots[i] = Some(entry);
+        }
+    }
+
+    /// O(1) id → slot resolution.
+    #[inline]
+    pub fn slot_of(&self, id: InstrId) -> Option<u32> {
+        if self.lookup.is_empty() || id.0 < self.base_id {
+            return None;
+        }
+        let offset = (id.0 - self.base_id) as usize;
+        match self.lookup.get(offset) {
+            Some(&slot) if slot != INVALID_SLOT => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Entry occupying `slot`, if any.  Callers revalidating cached
+    /// `(id, slot)` pairs must compare the returned entry's id.
+    #[inline]
+    pub fn at(&self, slot: u32) -> Option<&T> {
+        self.slots[slot as usize & self.mask()].as_ref()
+    }
+
+    /// Mutable access to the entry occupying `slot`.
+    #[inline]
+    pub fn at_mut(&mut self, slot: u32) -> Option<&mut T> {
+        let mask = self.mask();
+        self.slots[slot as usize & mask].as_mut()
+    }
+
+    /// Shared access by id.
+    #[inline]
+    pub fn get(&self, id: InstrId) -> Option<&T> {
+        self.slot_of(id).and_then(|s| self.at(s))
+    }
+
+    /// Mutable access by id.
+    #[inline]
+    pub fn get_mut(&mut self, id: InstrId) -> Option<&mut T> {
+        self.slot_of(id).and_then(move |s| self.at_mut(s))
+    }
+
+    /// The oldest entry.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// The youngest entry.
+    #[inline]
+    pub fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.phys(self.len - 1)].as_ref()
+        }
+    }
+
+    /// Remove and return the oldest entry.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    pub fn pop_front(&mut self) -> T {
+        assert!(self.len > 0, "pop from an empty id ring");
+        let entry = self.slots[self.head].take().expect("head is occupied");
+        debug_assert_eq!(
+            entry.instr_id().0,
+            self.base_id,
+            "the head id is the lookup window base"
+        );
+        self.head = (self.head + 1) & self.mask();
+        self.len -= 1;
+        self.lookup.pop_front();
+        self.base_id += 1;
+        // Trim squash gaps so the window front stays aligned with the head.
+        while let Some(&INVALID_SLOT) = self.lookup.front() {
+            self.lookup.pop_front();
+            self.base_id += 1;
+        }
+        if self.len == 0 {
+            self.lookup.clear();
+        }
+        entry
+    }
+
+    /// Remove every entry younger than `id` (younger-or-equal with
+    /// `inclusive`), passing each to `consume` youngest-first.  Returns how
+    /// many entries were removed.
+    pub fn squash_after(
+        &mut self,
+        id: InstrId,
+        inclusive: bool,
+        mut consume: impl FnMut(T),
+    ) -> usize {
+        let mut removed = 0;
+        while self.len > 0 {
+            let tail = self.phys(self.len - 1);
+            let tail_id = self.slots[tail]
+                .as_ref()
+                .expect("tail is occupied")
+                .instr_id();
+            let kill = if inclusive {
+                tail_id >= id
+            } else {
+                tail_id > id
+            };
+            if !kill {
+                break;
+            }
+            consume(self.slots[tail].take().expect("tail is occupied"));
+            self.len -= 1;
+            removed += 1;
+        }
+        // Shrink the id window to end at the new youngest id.
+        if self.len == 0 {
+            self.lookup.clear();
+        } else if removed > 0 {
+            let bound = if inclusive { id.0 } else { id.0 + 1 };
+            let keep = (bound.saturating_sub(self.base_id)) as usize;
+            self.lookup.truncate(keep.min(self.lookup.len()));
+            while let Some(&INVALID_SLOT) = self.lookup.back() {
+                self.lookup.pop_back();
+            }
+        }
+        removed
+    }
+
+    /// Remove every entry, passing each to `consume` youngest-first.
+    /// Returns how many entries were removed.
+    pub fn drain_all(&mut self, mut consume: impl FnMut(T)) -> usize {
+        let removed = self.len;
+        while self.len > 0 {
+            let tail = self.phys(self.len - 1);
+            consume(self.slots[tail].take().expect("tail is occupied"));
+            self.len -= 1;
+        }
+        self.head = 0;
+        self.lookup.clear();
+        removed
+    }
+
+    /// Iterate oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(move |i| self.slots[self.phys(i)].as_ref().expect("occupied window"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct E(u64);
+    impl HasInstrId for E {
+        fn instr_id(&self) -> InstrId {
+            InstrId(self.0)
+        }
+    }
+
+    #[test]
+    fn push_lookup_pop_roundtrip() {
+        let mut r: IdRing<E> = IdRing::with_capacity(4);
+        let s1 = r.push(E(10));
+        let s2 = r.push(E(11));
+        assert_ne!(s1, s2);
+        assert_eq!(r.get(InstrId(10)), Some(&E(10)));
+        assert_eq!(r.get(InstrId(11)), Some(&E(11)));
+        assert_eq!(r.get(InstrId(12)), None);
+        assert_eq!(r.front(), Some(&E(10)));
+        assert_eq!(r.pop_front(), E(10));
+        assert_eq!(r.get(InstrId(10)), None);
+        assert_eq!(r.get(InstrId(11)), Some(&E(11)));
+    }
+
+    #[test]
+    fn id_gaps_resolve_to_none() {
+        let mut r: IdRing<E> = IdRing::with_capacity(8);
+        r.push(E(1));
+        r.push(E(100));
+        assert_eq!(r.get(InstrId(50)), None);
+        assert_eq!(r.get(InstrId(100)), Some(&E(100)));
+        assert_eq!(r.pop_front(), E(1));
+        // The window front realigns past the gap.
+        assert_eq!(r.front(), Some(&E(100)));
+        assert_eq!(r.get(InstrId(100)), Some(&E(100)));
+    }
+
+    #[test]
+    fn squash_trims_the_lookup_window() {
+        let mut r: IdRing<E> = IdRing::with_capacity(8);
+        for id in 1..=6 {
+            r.push(E(id));
+        }
+        let mut squashed = Vec::new();
+        assert_eq!(r.squash_after(InstrId(3), false, |e| squashed.push(e)), 3);
+        assert_eq!(squashed, vec![E(6), E(5), E(4)]);
+        assert_eq!(r.get(InstrId(4)), None);
+        assert_eq!(r.get(InstrId(3)), Some(&E(3)));
+        // Ids continue after the gap.
+        r.push(E(9));
+        assert_eq!(r.get(InstrId(9)), Some(&E(9)));
+        assert_eq!(r.get(InstrId(5)), None);
+    }
+
+    #[test]
+    fn wraparound_preserves_o1_lookup() {
+        let mut r: IdRing<E> = IdRing::with_capacity(4);
+        let mut next = 0u64;
+        for round in 0..10 {
+            while r.len() < 4 {
+                r.push(E(next));
+                next += 1;
+            }
+            // Squash the youngest two, commit one from the head.
+            r.squash_after(InstrId(next - 3), false, |_| {});
+            next += round; // leave a different gap each round
+            r.pop_front();
+            for e in r.iter() {
+                assert_eq!(r.get(e.instr_id()), Some(e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn fixed_capacity_overflow_panics() {
+        let mut r: IdRing<E> = IdRing::with_capacity(1);
+        r.push(E(1));
+        r.push(E(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_push_panics() {
+        let mut r: IdRing<E> = IdRing::growable(4);
+        r.push(E(5));
+        r.push(E(4));
+    }
+
+    #[test]
+    fn growable_ring_grows_and_relocates() {
+        let mut r: IdRing<E> = IdRing::growable(2);
+        for id in 0..40 {
+            r.push(E(id));
+        }
+        assert_eq!(r.len(), 40);
+        for id in 0..40 {
+            assert_eq!(r.get(InstrId(id)), Some(&E(id)));
+        }
+        let ids: Vec<u64> = r.iter().map(|e| e.0).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_all_empties_youngest_first() {
+        let mut r: IdRing<E> = IdRing::growable(4);
+        for id in 1..=3 {
+            r.push(E(id));
+        }
+        let mut drained = Vec::new();
+        assert_eq!(r.drain_all(|e| drained.push(e)), 3);
+        assert_eq!(drained, vec![E(3), E(2), E(1)]);
+        assert!(r.is_empty());
+        assert_eq!(r.get(InstrId(1)), None);
+    }
+}

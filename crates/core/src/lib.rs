@@ -24,6 +24,7 @@
 //! its pipeline and what the unit tests and property tests exercise directly.
 
 pub mod free_list;
+pub mod id_ring;
 pub mod lus_table;
 pub mod map_table;
 pub mod regstate;
@@ -37,6 +38,7 @@ pub mod types;
 mod rename_tests;
 
 pub use free_list::FreeList;
+pub use id_ring::{HasInstrId, IdRing};
 pub use lus_table::{LusEntry, LusTable};
 pub use map_table::{MapTable, MapTablePair};
 pub use regstate::{OccupancyTotals, OccupancyTracker};

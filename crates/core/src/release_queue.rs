@@ -20,12 +20,22 @@
 //! * speculative NV decode → [`ReleaseQueue::mark_committed_lu`] /
 //!   [`ReleaseQueue::mark_inflight_lu`] (Step 2)
 //! * branch misprediction → [`ReleaseQueue::mispredict`] (Step 3)
-//! * branch confirmation → [`ReleaseQueue::confirm`] (Steps 4 and 6)
+//! * branch confirmation → [`ReleaseQueue::confirm_into`] (Steps 4 and 6)
 //! * LU commit while still conditional → [`ReleaseQueue::on_commit`] (Step 5)
+//!
+//! ## Hot-path organisation
+//!
+//! The seed kept the `RwCx` marks in a per-level `BTreeMap<InstrId, u8>` and
+//! allocated fresh levels and result vectors on every branch decode and
+//! confirmation.  The simulator decodes a conditional branch every handful of
+//! instructions, so this module is now allocation-free in steady state:
+//! retired levels are pooled and reused, the `RwCx` marks live in a flat
+//! id-sorted array, the `RwNSx` bit-vectors carry a side list of set bits so
+//! draining them is O(marks) instead of O(register-file size), and
+//! confirmation writes into caller-provided scratch vectors.
 
 use crate::types::{InstrId, PhysReg, UseKind};
 use earlyreg_isa::RegClass;
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// One level of the Release Queue (all the conditional releases that depend
@@ -36,8 +46,11 @@ pub struct RelQueLevel {
     pub branch_id: InstrId,
     /// `RwNSx`: per-class decoded bit-vectors over physical registers.
     rwns: [Vec<bool>; 2],
-    /// `RwCx`: marks keyed by the last-use instruction, one 3-bit mask each.
-    rwc: BTreeMap<InstrId, u8>,
+    /// Set bits of `rwns` (no duplicates), for O(marks) drains and merges.
+    rwns_marked: Vec<(RegClass, PhysReg)>,
+    /// `RwCx`: marks keyed by the last-use instruction (sorted by id), one
+    /// 3-bit mask each.
+    rwc: Vec<(InstrId, u8)>,
 }
 
 impl RelQueLevel {
@@ -45,19 +58,24 @@ impl RelQueLevel {
         RelQueLevel {
             branch_id,
             rwns: [vec![false; phys_int], vec![false; phys_fp]],
-            rwc: BTreeMap::new(),
+            rwns_marked: Vec::new(),
+            rwc: Vec::new(),
         }
+    }
+
+    /// Reset a retired level for reuse under a new owning branch.
+    fn reset(&mut self, branch_id: InstrId) {
+        self.branch_id = branch_id;
+        for (class, phys) in self.rwns_marked.drain(..) {
+            self.rwns[class.index()][phys.index()] = false;
+        }
+        self.rwc.clear();
     }
 
     /// Number of conditional releases recorded in this level.
     pub fn mark_count(&self) -> usize {
-        let rwns: usize = self
-            .rwns
-            .iter()
-            .map(|v| v.iter().filter(|&&b| b).count())
-            .sum();
-        let rwc: usize = self.rwc.values().map(|m| m.count_ones() as usize).sum();
-        rwns + rwc
+        let rwc: usize = self.rwc.iter().map(|(_, m)| m.count_ones() as usize).sum();
+        self.rwns_marked.len() + rwc
     }
 
     /// True if the level holds a RwNS mark for `(class, phys)`.
@@ -67,31 +85,46 @@ impl RelQueLevel {
 
     /// The RwC mask recorded for `lu`, if any.
     pub fn rwc_mask(&self, lu: InstrId) -> Option<u8> {
-        self.rwc.get(&lu).copied()
+        self.rwc_position(lu).map(|i| self.rwc[i].1)
     }
 
-    fn or_into(&self, other: &mut RelQueLevel) {
-        for class in 0..2 {
-            for (dst, src) in other.rwns[class].iter_mut().zip(self.rwns[class].iter()) {
-                *dst |= *src;
-            }
-        }
-        for (&id, &mask) in &self.rwc {
-            *other.rwc.entry(id).or_insert(0) |= mask;
+    fn rwc_position(&self, lu: InstrId) -> Option<usize> {
+        self.rwc.binary_search_by_key(&lu, |&(id, _)| id).ok()
+    }
+
+    fn mark_rwns(&mut self, class: RegClass, phys: PhysReg) {
+        let bit = &mut self.rwns[class.index()][phys.index()];
+        if !*bit {
+            *bit = true;
+            self.rwns_marked.push((class, phys));
         }
     }
 
-    fn drain_rwns(&mut self) -> Vec<(RegClass, PhysReg)> {
-        let mut out = Vec::new();
-        for class in RegClass::ALL {
-            for (idx, bit) in self.rwns[class.index()].iter_mut().enumerate() {
-                if *bit {
-                    out.push((class, PhysReg(idx as u16)));
-                    *bit = false;
-                }
-            }
+    fn mark_rwc(&mut self, lu: InstrId, mask: u8) {
+        match self.rwc.binary_search_by_key(&lu, |&(id, _)| id) {
+            Ok(i) => self.rwc[i].1 |= mask,
+            Err(i) => self.rwc.insert(i, (lu, mask)),
         }
-        out
+    }
+
+    fn or_into(&mut self, other: &mut RelQueLevel) {
+        for &(class, phys) in &self.rwns_marked {
+            other.mark_rwns(class, phys);
+        }
+        for &(id, mask) in &self.rwc {
+            other.mark_rwc(id, mask);
+        }
+    }
+
+    /// Move every RwNS mark into `out`, sorted by (class, register) — the
+    /// order the seed's full bit-vector scan produced.
+    fn drain_rwns_into(&mut self, out: &mut Vec<(RegClass, PhysReg)>) {
+        self.rwns_marked
+            .sort_unstable_by_key(|&(class, phys)| (class.index(), phys.index()));
+        for (class, phys) in self.rwns_marked.drain(..) {
+            self.rwns[class.index()][phys.index()] = false;
+            out.push((class, phys));
+        }
     }
 }
 
@@ -110,6 +143,8 @@ pub struct ConfirmOutcome {
 #[derive(Debug, Clone)]
 pub struct ReleaseQueue {
     levels: VecDeque<RelQueLevel>,
+    /// Retired levels kept for reuse (their vectors retain capacity).
+    pool: Vec<RelQueLevel>,
     phys_int: usize,
     phys_fp: usize,
 }
@@ -119,6 +154,7 @@ impl ReleaseQueue {
     pub fn new(phys_int: usize, phys_fp: usize) -> Self {
         ReleaseQueue {
             levels: VecDeque::new(),
+            pool: Vec::new(),
             phys_int,
             phys_fp,
         }
@@ -153,6 +189,10 @@ impl ReleaseQueue {
         self.levels.iter().position(|l| l.branch_id == branch_id)
     }
 
+    fn retire(&mut self, level: RelQueLevel) {
+        self.pool.push(level);
+    }
+
     /// Step 1 — a conditional branch was decoded: stack a new, empty level.
     pub fn push_level(&mut self, branch_id: InstrId) {
         if let Some(back) = self.levels.back() {
@@ -161,8 +201,14 @@ impl ReleaseQueue {
                 "branches must enter the release queue in program order"
             );
         }
-        self.levels
-            .push_back(RelQueLevel::new(branch_id, self.phys_int, self.phys_fp));
+        let level = match self.pool.pop() {
+            Some(mut level) => {
+                level.reset(branch_id);
+                level
+            }
+            None => RelQueLevel::new(branch_id, self.phys_int, self.phys_fp),
+        };
+        self.levels.push_back(level);
     }
 
     /// Step 2 (last use already committed) — record a conditional release of
@@ -176,7 +222,7 @@ impl ReleaseQueue {
             .levels
             .back_mut()
             .expect("mark_committed_lu requires at least one pending branch");
-        level.rwns[class.index()][phys.index()] = true;
+        level.mark_rwns(class, phys);
     }
 
     /// Step 2 (last use still in flight) — record a conditional release tied
@@ -186,7 +232,7 @@ impl ReleaseQueue {
             .levels
             .back_mut()
             .expect("mark_inflight_lu requires at least one pending branch");
-        *level.rwc.entry(lu).or_insert(0) |= kind.mask();
+        level.mark_rwc(lu, kind.mask());
     }
 
     /// Step 5 — the last-use instruction `id` is committing while some of its
@@ -198,7 +244,8 @@ impl ReleaseQueue {
         F: FnMut(UseKind) -> Option<(RegClass, PhysReg)>,
     {
         for level in &mut self.levels {
-            if let Some(mask) = level.rwc.remove(&id) {
+            if let Some(i) = level.rwc_position(id) {
+                let (_, mask) = level.rwc.remove(i);
                 for kind in UseKind::ALL {
                     if mask & kind.mask() != 0 {
                         let (class, phys) = resolve(kind).unwrap_or_else(|| {
@@ -206,7 +253,7 @@ impl ReleaseQueue {
                                 "RwC mark references operand {kind:?} of {id} which does not exist"
                             )
                         });
-                        level.rwns[class.index()][phys.index()] = true;
+                        level.mark_rwns(class, phys);
                     }
                 }
             }
@@ -215,25 +262,37 @@ impl ReleaseQueue {
 
     /// Steps 4 and 6 — the prediction of `branch_id` was verified correct.
     ///
-    /// If it was the oldest pending branch, its `RwNS` registers are returned
-    /// for immediate release and its `RwC` marks are returned for merging
-    /// into `RwC0` (the reorder-structure early-release bits).  Otherwise the
-    /// level is OR-merged into the next older level.
-    pub fn confirm(&mut self, branch_id: InstrId) -> ConfirmOutcome {
+    /// If it was the oldest pending branch, its `RwNS` registers are appended
+    /// to `release_now` for immediate release and its `RwC` marks to
+    /// `to_rwc0` for merging into `RwC0` (the reorder-structure early-release
+    /// bits).  Otherwise the level is OR-merged into the next older level.
+    /// Neither vector is cleared, so callers can pass persistent scratch.
+    pub fn confirm_into(
+        &mut self,
+        branch_id: InstrId,
+        release_now: &mut Vec<(RegClass, PhysReg)>,
+        to_rwc0: &mut Vec<(InstrId, u8)>,
+    ) {
         let pos = self
             .position_of(branch_id)
             .unwrap_or_else(|| panic!("confirm of branch {branch_id} which owns no RelQue level"));
         let mut level = self.levels.remove(pos).expect("position is valid");
         if pos == 0 {
-            ConfirmOutcome {
-                release_now: level.drain_rwns(),
-                to_rwc0: level.rwc.into_iter().collect(),
-            }
+            level.drain_rwns_into(release_now);
+            to_rwc0.append(&mut level.rwc);
         } else {
             let older = &mut self.levels[pos - 1];
             level.or_into(older);
-            ConfirmOutcome::default()
         }
+        self.retire(level);
+    }
+
+    /// As [`ReleaseQueue::confirm_into`], returning a fresh
+    /// [`ConfirmOutcome`] (convenience for tests and benchmarks).
+    pub fn confirm(&mut self, branch_id: InstrId) -> ConfirmOutcome {
+        let mut outcome = ConfirmOutcome::default();
+        self.confirm_into(branch_id, &mut outcome.release_now, &mut outcome.to_rwc0);
+        outcome
     }
 
     /// Step 3 — the prediction of `branch_id` was wrong: clear its level and
@@ -242,12 +301,17 @@ impl ReleaseQueue {
         let pos = self.position_of(branch_id).unwrap_or_else(|| {
             panic!("mispredict of branch {branch_id} which owns no RelQue level")
         });
-        self.levels.truncate(pos);
+        while self.levels.len() > pos {
+            let level = self.levels.pop_back().expect("length checked");
+            self.retire(level);
+        }
     }
 
     /// Clear everything (exception recovery).
     pub fn clear(&mut self) {
-        self.levels.clear();
+        while let Some(level) = self.levels.pop_back() {
+            self.retire(level);
+        }
     }
 }
 
@@ -399,5 +463,20 @@ mod tests {
         assert_eq!(q.total_marks(), 1);
         let out = q.confirm(InstrId(1));
         assert_eq!(out.release_now.len(), 1);
+    }
+
+    #[test]
+    fn pooled_levels_are_reset_before_reuse() {
+        let mut q = queue();
+        q.push_level(InstrId(1));
+        q.mark_committed_lu(RegClass::Int, PhysReg(2));
+        q.mark_inflight_lu(InstrId(0), UseKind::Src1);
+        q.mispredict(InstrId(1));
+        // The retired level is reused for the next branch and must be clean.
+        q.push_level(InstrId(5));
+        assert_eq!(q.total_marks(), 0);
+        assert!(!q.level(0).unwrap().has_rwns(RegClass::Int, PhysReg(2)));
+        assert_eq!(q.level(0).unwrap().rwc_mask(InstrId(0)), None);
+        assert_eq!(q.level(0).unwrap().branch_id, InstrId(5));
     }
 }

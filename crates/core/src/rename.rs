@@ -174,6 +174,19 @@ pub struct RenameUnit {
     checkpoints: VecDeque<Checkpoint>,
     relque: ReleaseQueue,
     stats: ReleaseStats,
+    // Reused result/scratch buffers: the commit/resolve/recovery paths run
+    // every simulated cycle, so their outcomes are persistent members
+    // returned by reference instead of freshly allocated vectors.
+    commit_outcome: CommitOutcome,
+    recovery: RecoveryOutcome,
+    resolve_released: Vec<ReleaseEvent>,
+    squash_scratch: Vec<RosEntry>,
+    confirm_release_now: Vec<(RegClass, PhysReg)>,
+    confirm_to_rwc0: Vec<(InstrId, u8)>,
+    /// Retired checkpoints kept for reuse: a conditional branch is decoded
+    /// every handful of instructions, so checkpointing copies into pooled
+    /// buffers instead of allocating fresh tables.
+    checkpoint_pool: Vec<Checkpoint>,
 }
 
 impl RenameUnit {
@@ -198,6 +211,13 @@ impl RenameUnit {
             checkpoints: VecDeque::new(),
             relque: ReleaseQueue::new(config.phys_int, config.phys_fp),
             stats: ReleaseStats::default(),
+            commit_outcome: CommitOutcome::default(),
+            recovery: RecoveryOutcome::default(),
+            resolve_released: Vec::new(),
+            squash_scratch: Vec::new(),
+            confirm_release_now: Vec::new(),
+            confirm_to_rwc0: Vec::new(),
+            checkpoint_pool: Vec::new(),
             config,
         }
     }
@@ -214,10 +234,11 @@ impl RenameUnit {
 
     /// Emit a rename/release event when the `EARLYREG_TRACE` environment
     /// variable is set (a debugging aid; the flag is sampled once at
-    /// construction).
-    fn trace(&self, msg: &str) {
+    /// construction).  The message is built lazily so tracing costs nothing
+    /// when disabled.
+    fn trace(&self, msg: impl FnOnce() -> String) {
         if self.trace_enabled {
-            eprintln!("TRACE {msg}");
+            eprintln!("TRACE {}", msg());
         }
     }
 
@@ -543,10 +564,12 @@ impl RenameUnit {
                     }
                 }
             };
-            self.trace(&format!(
-                "cycle {cycle} RENAME {id} dst {dst} action {action:?} old {old_pd} new {} reused {}",
-                renamed.phys, renamed.reused
-            ));
+            self.trace(|| {
+                format!(
+                    "cycle {cycle} RENAME {id} dst {dst} action {action:?} old {old_pd} new {} reused {}",
+                    renamed.phys, renamed.reused
+                )
+            });
             // Redirect the map to the new version and record the destination
             // use in the LUs table (the new version's provisional last use is
             // its own producer — the Figure 4.b case).
@@ -558,23 +581,46 @@ impl RenameUnit {
         }
 
         // Branches: take a checkpoint of the speculative rename state and
-        // (extended) stack a new Release Queue level.
+        // (extended) stack a new Release Queue level.  A retired checkpoint
+        // is reused when available: the state is copied into its buffers.
         if is_branch {
-            let cp = Checkpoint {
-                branch_id: id,
-                maps: [
-                    self.banks[0].maps.front.clone(),
-                    self.banks[1].maps.front.clone(),
-                ],
-                lus: if self.config.policy.uses_lus_table() {
-                    Some([self.banks[0].lus.clone(), self.banks[1].lus.clone()])
-                } else {
-                    None
+            let cp = match self.checkpoint_pool.pop() {
+                Some(mut cp) => {
+                    cp.branch_id = id;
+                    for class in RegClass::ALL {
+                        let i = class.index();
+                        cp.maps[i].restore_from(&self.banks[i].maps.front);
+                        cp.skip_release[i].copy_from_slice(&self.banks[i].skip_release);
+                    }
+                    match (&mut cp.lus, self.config.policy.uses_lus_table()) {
+                        (Some(lus), true) => {
+                            for class in RegClass::ALL {
+                                lus[class.index()].restore_from(&self.banks[class.index()].lus);
+                            }
+                        }
+                        (slot @ None, true) => {
+                            *slot = Some([self.banks[0].lus.clone(), self.banks[1].lus.clone()]);
+                        }
+                        (slot, false) => *slot = None,
+                    }
+                    cp
+                }
+                None => Checkpoint {
+                    branch_id: id,
+                    maps: [
+                        self.banks[0].maps.front.clone(),
+                        self.banks[1].maps.front.clone(),
+                    ],
+                    lus: if self.config.policy.uses_lus_table() {
+                        Some([self.banks[0].lus.clone(), self.banks[1].lus.clone()])
+                    } else {
+                        None
+                    },
+                    skip_release: [
+                        self.banks[0].skip_release.clone(),
+                        self.banks[1].skip_release.clone(),
+                    ],
                 },
-                skip_release: [
-                    self.banks[0].skip_release.clone(),
-                    self.banks[1].skip_release.clone(),
-                ],
             };
             self.checkpoints.push_back(cp);
             if self.config.policy.uses_release_queue() {
@@ -607,7 +653,7 @@ impl RenameUnit {
             .expect("allocation availability was checked before side effects");
         bank.occupancy.on_allocate(phys, cycle);
         self.stats.class_mut(class).allocations += 1;
-        self.trace(&format!("cycle {cycle} ALLOC {class} {phys}"));
+        self.trace(|| format!("cycle {cycle} ALLOC {class} {phys}"));
         phys
     }
 
@@ -629,9 +675,7 @@ impl RenameUnit {
         bank.free.release(phys);
         bank.occupancy.on_release(phys, cycle, reason);
         self.stats.class_mut(class).record_release(reason);
-        self.trace(&format!(
-            "cycle {cycle} FREE {class} {phys} reason {reason:?}"
-        ));
+        self.trace(|| format!("cycle {cycle} FREE {class} {phys} reason {reason:?}"));
     }
 
     // ------------------------------------------------------------------
@@ -650,13 +694,19 @@ impl RenameUnit {
 
     /// Commit the oldest in-flight instruction.  `id` must identify it (the
     /// call panics otherwise — commits are in program order by construction).
-    pub fn commit(&mut self, id: InstrId, cycle: u64) -> CommitOutcome {
+    ///
+    /// The returned outcome borrows a buffer reused by the next `commit`
+    /// call; clone it to keep the events around.
+    pub fn commit(&mut self, id: InstrId, cycle: u64) -> &CommitOutcome {
         let entry = self.book.pop_head(id);
-        self.trace(&format!(
-            "cycle {cycle} COMMIT {id} rel {:?} rel_old {} dst {:?}",
-            entry.rel, entry.rel_old, entry.dst
-        ));
-        let mut released = Vec::new();
+        self.trace(|| {
+            format!(
+                "cycle {cycle} COMMIT {id} rel {:?} rel_old {} dst {:?}",
+                entry.rel, entry.rel_old, entry.dst
+            )
+        });
+        let mut released = std::mem::take(&mut self.commit_outcome.released);
+        released.clear();
 
         // Occupancy: every operand of a committing instruction counts as a
         // committed use of its physical register.
@@ -740,7 +790,8 @@ impl RenameUnit {
             }
         }
 
-        CommitOutcome { released }
+        self.commit_outcome.released = released;
+        &self.commit_outcome
     }
 
     // ------------------------------------------------------------------
@@ -748,19 +799,27 @@ impl RenameUnit {
     // ------------------------------------------------------------------
 
     /// The prediction of branch `id` was verified correct.  Returns the
-    /// branch-confirm releases (extended mechanism, Step 6).
-    pub fn resolve_branch_correct(&mut self, id: InstrId, cycle: u64) -> Vec<ReleaseEvent> {
+    /// branch-confirm releases (extended mechanism, Step 6); the slice
+    /// borrows a buffer reused by the next resolution.
+    pub fn resolve_branch_correct(&mut self, id: InstrId, cycle: u64) -> &[ReleaseEvent] {
         let pos = self
             .checkpoints
             .iter()
             .position(|c| c.branch_id == id)
             .unwrap_or_else(|| panic!("branch {id} has no checkpoint to confirm"));
-        self.checkpoints.remove(pos);
+        if let Some(cp) = self.checkpoints.remove(pos) {
+            self.checkpoint_pool.push(cp);
+        }
 
-        let mut released = Vec::new();
+        let mut released = std::mem::take(&mut self.resolve_released);
+        released.clear();
         if self.config.policy.uses_release_queue() {
-            let outcome = self.relque.confirm(id);
-            for (class, phys) in outcome.release_now {
+            let mut release_now = std::mem::take(&mut self.confirm_release_now);
+            let mut to_rwc0 = std::mem::take(&mut self.confirm_to_rwc0);
+            release_now.clear();
+            to_rwc0.clear();
+            self.relque.confirm_into(id, &mut release_now, &mut to_rwc0);
+            for &(class, phys) in &release_now {
                 self.free_register(class, phys, cycle, ReleaseReason::BranchConfirm);
                 released.push(ReleaseEvent {
                     class,
@@ -768,7 +827,7 @@ impl RenameUnit {
                     reason: ReleaseReason::BranchConfirm,
                 });
             }
-            for (lu, mask) in outcome.to_rwc0 {
+            for &(lu, mask) in &to_rwc0 {
                 let entry = self
                     .book
                     .get_mut(lu)
@@ -779,17 +838,23 @@ impl RenameUnit {
                     }
                 }
             }
+            self.confirm_release_now = release_now;
+            self.confirm_to_rwc0 = to_rwc0;
         }
-        released
+        self.resolve_released = released;
+        &self.resolve_released
     }
 
     /// The prediction of branch `id` was wrong: squash every younger
     /// instruction and restore the speculative rename state from the branch's
-    /// checkpoint.
-    pub fn recover_branch_mispredict(&mut self, id: InstrId, cycle: u64) -> RecoveryOutcome {
-        self.trace(&format!("cycle {cycle} MISPREDICT {id}"));
-        let squashed = self.book.squash_after(id, false);
-        let mut freed = Vec::new();
+    /// checkpoint.  The returned outcome borrows a buffer reused by the next
+    /// recovery.
+    pub fn recover_branch_mispredict(&mut self, id: InstrId, cycle: u64) -> &RecoveryOutcome {
+        self.trace(|| format!("cycle {cycle} MISPREDICT {id}"));
+        let mut squashed = std::mem::take(&mut self.squash_scratch);
+        self.book.squash_after_into(id, false, &mut squashed);
+        let mut freed = std::mem::take(&mut self.recovery.freed);
+        freed.clear();
         for entry in &squashed {
             if let Some(d) = entry.dst {
                 if !d.reused {
@@ -815,7 +880,10 @@ impl RenameUnit {
             .unwrap_or_else(|| panic!("mispredicted branch {id} has no checkpoint"));
         // Checkpoints of squashed (younger) branches disappear; the
         // mispredicted branch's own checkpoint is consumed by the recovery.
-        self.checkpoints.truncate(pos + 1);
+        while self.checkpoints.len() > pos + 1 {
+            let cp = self.checkpoints.pop_back().expect("length checked");
+            self.checkpoint_pool.push(cp);
+        }
         let cp = self.checkpoints.pop_back().expect("checkpoint exists");
         for class in RegClass::ALL {
             let bank = &mut self.banks[class.index()];
@@ -826,15 +894,16 @@ impl RenameUnit {
             bank.skip_release
                 .copy_from_slice(&cp.skip_release[class.index()]);
         }
+        self.checkpoint_pool.push(cp);
 
         if self.config.policy.uses_release_queue() {
             self.relque.mispredict(id);
         }
 
-        RecoveryOutcome {
-            squashed: squashed.len(),
-            freed,
-        }
+        self.recovery.squashed = squashed.len();
+        self.squash_scratch = squashed;
+        self.recovery.freed = freed;
+        &self.recovery
     }
 
     // ------------------------------------------------------------------
@@ -843,10 +912,13 @@ impl RenameUnit {
 
     /// Precise-exception recovery: every in-flight instruction (including the
     /// faulting one, which has not committed) is squashed and the speculative
-    /// map is restored from the In-Order Map Table.
-    pub fn recover_exception(&mut self, cycle: u64) -> RecoveryOutcome {
-        let squashed = self.book.drain_all();
-        let mut freed = Vec::new();
+    /// map is restored from the In-Order Map Table.  The returned outcome
+    /// borrows a buffer reused by the next recovery.
+    pub fn recover_exception(&mut self, cycle: u64) -> &RecoveryOutcome {
+        let mut squashed = std::mem::take(&mut self.squash_scratch);
+        self.book.drain_all_into(&mut squashed);
+        let mut freed = std::mem::take(&mut self.recovery.freed);
+        freed.clear();
         for entry in &squashed {
             if let Some(d) = entry.dst {
                 if !d.reused {
@@ -864,7 +936,9 @@ impl RenameUnit {
                 }
             }
         }
-        self.checkpoints.clear();
+        while let Some(cp) = self.checkpoints.pop_back() {
+            self.checkpoint_pool.push(cp);
+        }
         self.relque.clear();
         for class in RegClass::ALL {
             let bank = &mut self.banks[class.index()];
@@ -877,10 +951,10 @@ impl RenameUnit {
                 bank.skip_release[r] = bank.arch_released[r];
             }
         }
-        RecoveryOutcome {
-            squashed: squashed.len(),
-            freed,
-        }
+        self.recovery.squashed = squashed.len();
+        self.squash_scratch = squashed;
+        self.recovery.freed = freed;
+        &self.recovery
     }
 
     // ------------------------------------------------------------------

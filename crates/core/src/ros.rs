@@ -9,13 +9,14 @@
 //! the *rename engine's* view, which is what the release mechanisms operate
 //! on.
 //!
-//! Entries are stored in program order in a deque and looked up by
-//! [`InstrId`] with a binary search (identifiers are strictly increasing in
-//! program order, even across squashes).
+//! Entries are stored in program order in an [`IdRing`]: a slot-indexed ring
+//! buffer where an [`InstrId`] resolves to its entry in O(1) (identifiers are
+//! strictly increasing in program order, even across squashes — see the
+//! `id_ring` module documentation for how squash gaps are handled).
 
+use crate::id_ring::{HasInstrId, IdRing};
 use crate::types::{InstrId, PhysReg, UseKind};
 use earlyreg_isa::ArchReg;
-use std::collections::VecDeque;
 
 /// Destination-register rename information of one instruction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,17 +65,30 @@ impl RosEntry {
     }
 }
 
+impl HasInstrId for RosEntry {
+    fn instr_id(&self) -> InstrId {
+        self.id
+    }
+}
+
 /// Program-ordered collection of in-flight [`RosEntry`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RosBook {
-    entries: VecDeque<RosEntry>,
+    entries: IdRing<RosEntry>,
+}
+
+impl Default for RosBook {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RosBook {
-    /// Empty book.
+    /// Empty book (grows on demand; the pipeline bounds occupancy by the
+    /// reorder-structure size before renaming).
     pub fn new() -> Self {
         RosBook {
-            entries: VecDeque::new(),
+            entries: IdRing::growable(128),
         }
     }
 
@@ -93,31 +107,17 @@ impl RosBook {
     /// Append a newly renamed instruction (must be younger than everything
     /// already present).
     pub fn push(&mut self, entry: RosEntry) {
-        if let Some(back) = self.entries.back() {
-            assert!(
-                back.id < entry.id,
-                "instructions must be inserted in program order ({} then {})",
-                back.id,
-                entry.id
-            );
-        }
-        self.entries.push_back(entry);
+        self.entries.push(entry);
     }
 
-    /// Internal: position of `id`, if present.
-    fn position(&self, id: InstrId) -> Option<usize> {
-        let idx = self.entries.partition_point(|e| e.id < id);
-        (idx < self.entries.len() && self.entries[idx].id == id).then_some(idx)
-    }
-
-    /// Shared access to an entry by id.
+    /// Shared access to an entry by id (O(1)).
     pub fn get(&self, id: InstrId) -> Option<&RosEntry> {
-        self.position(id).map(|i| &self.entries[i])
+        self.entries.get(id)
     }
 
-    /// Mutable access to an entry by id.
+    /// Mutable access to an entry by id (O(1)).
     pub fn get_mut(&mut self, id: InstrId) -> Option<&mut RosEntry> {
-        self.position(id).map(move |i| &mut self.entries[i])
+        self.entries.get_mut(id)
     }
 
     /// The oldest in-flight entry.
@@ -128,10 +128,11 @@ impl RosBook {
     /// Remove and return the oldest entry; panics if it is not `id`
     /// (commit must proceed in program order).
     pub fn pop_head(&mut self, id: InstrId) -> RosEntry {
-        let head = self
-            .entries
-            .pop_front()
-            .unwrap_or_else(|| panic!("commit of {id} with an empty reorder structure"));
+        assert!(
+            !self.entries.is_empty(),
+            "commit of {id} with an empty reorder structure"
+        );
+        let head = self.entries.pop_front();
         assert_eq!(
             head.id, id,
             "commit must be in program order: expected {}, got {id}",
@@ -142,22 +143,19 @@ impl RosBook {
 
     /// Remove every entry strictly younger than `id` (branch misprediction
     /// recovery) or younger-or-equal (`inclusive = true`, exception
-    /// recovery), returning them youngest-first.
+    /// recovery), appending them youngest-first to `out` (which is cleared
+    /// first).  The allocation-free path used by the rename unit.
+    pub fn squash_after_into(&mut self, id: InstrId, inclusive: bool, out: &mut Vec<RosEntry>) {
+        out.clear();
+        self.entries.squash_after(id, inclusive, |e| out.push(e));
+    }
+
+    /// As [`RosBook::squash_after_into`], returning a fresh vector
+    /// (convenience for tests).
     pub fn squash_after(&mut self, id: InstrId, inclusive: bool) -> Vec<RosEntry> {
-        let mut squashed = Vec::new();
-        while let Some(back) = self.entries.back() {
-            let kill = if inclusive {
-                back.id >= id
-            } else {
-                back.id > id
-            };
-            if kill {
-                squashed.push(self.entries.pop_back().expect("back exists"));
-            } else {
-                break;
-            }
-        }
-        squashed
+        let mut out = Vec::new();
+        self.squash_after_into(id, inclusive, &mut out);
+        out
     }
 
     /// Iterate oldest → youngest.
@@ -165,11 +163,19 @@ impl RosBook {
         self.entries.iter()
     }
 
-    /// Drain every entry (exception recovery), youngest first.
+    /// Drain every entry (exception recovery), youngest first, into `out`
+    /// (which is cleared first).
+    pub fn drain_all_into(&mut self, out: &mut Vec<RosEntry>) {
+        out.clear();
+        self.entries.drain_all(|e| out.push(e));
+    }
+
+    /// As [`RosBook::drain_all_into`], returning a fresh vector (convenience
+    /// for tests).
     pub fn drain_all(&mut self) -> Vec<RosEntry> {
-        let mut all: Vec<RosEntry> = self.entries.drain(..).collect();
-        all.reverse();
-        all
+        let mut out = Vec::new();
+        self.drain_all_into(&mut out);
+        out
     }
 }
 

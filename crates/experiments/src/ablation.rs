@@ -95,11 +95,8 @@ pub fn run(options: &ExperimentOptions) -> AblationResult {
                 MachineConfig::icpp02(variant.policy, ABLATION_REGISTERS, ABLATION_REGISTERS);
             config.rename.reuse_on_committed_lu = variant.reuse;
             config.rename.max_pending_branches = variant.max_pending_branches;
-            let mut sim = Simulator::new(config, &workload.program);
-            let stats = sim.run(RunLimits {
-                max_instructions: options.max_instructions,
-                max_cycles: options.max_instructions.saturating_mul(64).max(10_000_000),
-            });
+            let mut sim = Simulator::new(config, workload.program.clone());
+            let stats = sim.run(RunLimits::instructions(options.max_instructions));
             match workload.class() {
                 WorkloadClass::Int => int_ipcs.push(stats.ipc()),
                 WorkloadClass::Fp => fp_ipcs.push(stats.ipc()),

@@ -1,0 +1,152 @@
+//! Simulator-throughput benchmark: host-side speed, not simulated IPC.
+//!
+//! Every experiment in the paper is a sweep of independent cycle-level
+//! simulations, so *simulated instructions per host-second* is the lever that
+//! decides how many (workload, policy, register-file-size) points a run can
+//! afford.  This binary runs a fixed-instruction-budget point per (workload,
+//! policy) pair and records the measured throughput in
+//! `BENCH_sim_throughput.json`, seeding the performance trajectory of the
+//! hot-path work tracked in the README ("Simulator performance").
+//!
+//! Usage:
+//!   bench_sim_throughput [--instructions N] [--workloads swim,gcc]
+//!                        [--out BENCH_sim_throughput.json]
+//!
+//! `--instructions` defaults to 1,000,000 committed instructions; CI's
+//! bench-smoke step runs with a tiny budget purely to keep this path
+//! compiling and executing.
+
+use earlyreg_core::ReleasePolicy;
+use earlyreg_sim::{MachineConfig, RunLimits, Simulator};
+use earlyreg_workloads::{workload_with_target_instructions, SPECS};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    instructions: u64,
+    workloads: Vec<String>,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_sim_throughput [--instructions N] [--workloads name,name,...] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        instructions: 1_000_000,
+        workloads: vec!["swim".into(), "gcc".into()],
+        out: "BENCH_sim_throughput.json".into(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--instructions" => args.instructions = value().parse().unwrap_or_else(|_| usage()),
+            "--workloads" => {
+                args.workloads = value().split(',').map(str::to_owned).collect();
+            }
+            "--out" => args.out = value(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+struct Measurement {
+    workload: String,
+    policy: ReleasePolicy,
+    committed: u64,
+    cycles: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    /// Simulated (committed) instructions per host-second.
+    fn mips(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.committed as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated cycles per host-second.
+    fn cps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.cycles as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    const POLICIES: [ReleasePolicy; 3] = [
+        ReleasePolicy::Conventional,
+        ReleasePolicy::Basic,
+        ReleasePolicy::Extended,
+    ];
+
+    let mut measurements = Vec::new();
+    for name in &args.workloads {
+        // Size the program a little above the budget so the run is limited by
+        // `max_instructions`, not by the program halting early.
+        let Some(workload) = workload_with_target_instructions(name, args.instructions * 2) else {
+            let available: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+            eprintln!(
+                "unknown workload '{name}'; available: {}",
+                available.join(" ")
+            );
+            std::process::exit(2);
+        };
+        for policy in POLICIES {
+            let config = MachineConfig::icpp02(policy, 80, 80);
+            let mut sim = Simulator::new(config, workload.program.clone());
+            let start = Instant::now();
+            let stats = sim.run(RunLimits::instructions(args.instructions));
+            let seconds = start.elapsed().as_secs_f64();
+            let m = Measurement {
+                workload: name.clone(),
+                policy,
+                committed: stats.committed,
+                cycles: stats.cycles,
+                seconds,
+            };
+            println!(
+                "{:<10} {:<12} {:>10} instructions in {:>7.3}s  ->  {:>10.0} sim-instr/s  \
+                 ({:>10.0} sim-cycles/s)",
+                m.workload,
+                policy.label(),
+                m.committed,
+                m.seconds,
+                m.mips(),
+                m.cps(),
+            );
+            measurements.push(m);
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n  \"unit\": \"simulated instructions per host-second\",\n  \"points\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"policy\": \"{}\", \"instructions\": {}, \"cycles\": {}, \"seconds\": {:.6}, \"sim_instr_per_host_sec\": {:.1}, \"sim_cycles_per_host_sec\": {:.1}}}{}",
+            m.workload,
+            m.policy.label(),
+            m.committed,
+            m.cycles,
+            m.seconds,
+            m.mips(),
+            m.cps(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+}

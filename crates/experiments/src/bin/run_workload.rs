@@ -93,11 +93,8 @@ fn main() {
 
     let mut config = MachineConfig::icpp02(args.policy, args.int_regs, args.fp_regs);
     config.exceptions.interval = args.exception_interval;
-    let mut sim = Simulator::new(config, &workload.program);
-    let stats = sim.run(RunLimits {
-        max_instructions: args.max_instructions,
-        max_cycles: args.max_instructions.saturating_mul(64).max(10_000_000),
-    });
+    let mut sim = Simulator::new(config, workload.program.clone());
+    let stats = sim.run(RunLimits::instructions(args.max_instructions));
 
     println!(
         "workload {} ({}) — policy {}, {} int + {} fp physical registers",

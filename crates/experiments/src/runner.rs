@@ -48,11 +48,8 @@ impl RunResult {
 /// Simulate a single point on the Table 2 machine.
 pub fn run_point(workload: &Workload, point: RunPoint, max_instructions: u64) -> RunResult {
     let config = MachineConfig::icpp02(point.policy, point.phys_int, point.phys_fp);
-    let mut sim = Simulator::new(config, &workload.program);
-    let stats = sim.run(RunLimits {
-        max_instructions,
-        max_cycles: max_instructions.saturating_mul(64).max(10_000_000),
-    });
+    let mut sim = Simulator::new(config, workload.program.clone());
+    let stats = sim.run(RunLimits::instructions(max_instructions));
     assert_eq!(
         stats.oracle_violations, 0,
         "{} under {:?} with {}int+{}fp registers read a discarded value",

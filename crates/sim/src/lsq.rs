@@ -34,10 +34,17 @@ pub struct LsqEntry {
 }
 
 /// The load/store queue, ordered oldest → youngest.
+///
+/// Next to the queue itself, an id-sorted side list tracks the stores whose
+/// effective address is still unknown, so the conservative load-scheduling
+/// check ("all previous store addresses known") is O(1) per issue attempt
+/// instead of a scan of the whole queue.
 #[derive(Debug, Clone)]
 pub struct LoadStoreQueue {
     entries: VecDeque<LsqEntry>,
     capacity: usize,
+    /// Ids of stores with `addr == None`, ascending (program order).
+    unknown_addr_stores: VecDeque<InstrId>,
 }
 
 impl LoadStoreQueue {
@@ -46,6 +53,7 @@ impl LoadStoreQueue {
         LoadStoreQueue {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            unknown_addr_stores: VecDeque::new(),
         }
     }
 
@@ -88,11 +96,25 @@ impl LoadStoreQueue {
             addr: None,
             data: None,
         });
+        if is_store {
+            self.unknown_addr_stores.push_back(id);
+        }
+    }
+
+    /// Drop `id` from the unknown-address store list, if present.
+    fn mark_store_addr_known(&mut self, id: InstrId) {
+        let idx = self.unknown_addr_stores.partition_point(|&s| s < id);
+        if self.unknown_addr_stores.get(idx) == Some(&id) {
+            self.unknown_addr_stores.remove(idx);
+        }
     }
 
     /// Record the effective address of an entry (loads and stores).
     pub fn set_address(&mut self, id: InstrId, addr: usize) {
         if let Some(i) = self.position(id) {
+            if self.entries[i].is_store && self.entries[i].addr.is_none() {
+                self.mark_store_addr_known(id);
+            }
             self.entries[i].addr = Some(addr);
         }
     }
@@ -111,12 +133,10 @@ impl LoadStoreQueue {
     }
 
     /// Conservative load scheduling check: every store *older* than `id` has
-    /// a known address.
+    /// a known address.  O(1): the oldest unknown-address store is the front
+    /// of the side list.
     pub fn prior_store_addresses_known(&self, id: InstrId) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.id < id)
-            .all(|e| !e.is_store || e.addr.is_some())
+        self.unknown_addr_stores.front().is_none_or(|&s| s >= id)
     }
 
     /// Forwarding lookup for the load `id` at `addr`.
@@ -136,6 +156,9 @@ impl LoadStoreQueue {
     /// Remove an entry (at commit).
     pub fn remove(&mut self, id: InstrId) {
         if let Some(i) = self.position(id) {
+            if self.entries[i].is_store && self.entries[i].addr.is_none() {
+                self.mark_store_addr_known(id);
+            }
             self.entries.remove(i);
         }
     }
@@ -149,11 +172,19 @@ impl LoadStoreQueue {
                 break;
             }
         }
+        while let Some(&back) = self.unknown_addr_stores.back() {
+            if back > id {
+                self.unknown_addr_stores.pop_back();
+            } else {
+                break;
+            }
+        }
     }
 
     /// Remove everything (exception recovery).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.unknown_addr_stores.clear();
     }
 }
 

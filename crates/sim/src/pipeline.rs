@@ -16,6 +16,31 @@
 //! physical registers, issue slots and cache bandwidth) and are squashed when
 //! the mispredicted branch resolves, as in `sim-outorder`.  Wrong-path stores
 //! never modify architectural memory because stores write at commit.
+//!
+//! ## Hot-loop organisation
+//!
+//! The per-cycle loop is event-driven rather than scan-based: instead of
+//! walking the whole 128-entry window every cycle for issue candidates and
+//! completions, the pipeline maintains three incremental structures keyed by
+//! `(InstrId, slot)` pairs into the ring-buffer reorder structure:
+//!
+//! * **wakeup lists** (`waiters`): per physical register, the dispatched
+//!   consumers still waiting for it.  Writeback drains the destination's
+//!   list and decrements each consumer's `waiting_srcs` count.
+//! * **attention list** (`attention`): dispatched instructions that the
+//!   issue stage must examine — fully source-ready candidates, plus stores
+//!   whose base register is ready but whose address is not yet published to
+//!   the LSQ.  The list is kept sorted by id so selection priority (oldest
+//!   first, bounded by the issue width) matches the program-order scan it
+//!   replaces.
+//! * **completion buckets** (`completions`): a cycle-indexed ring of
+//!   scheduled completion events, filled at issue time and drained at
+//!   writeback.
+//!
+//! Entries referencing squashed instructions are dropped lazily: every
+//! consumer revalidates the cached slot's id before acting.  All per-cycle
+//! collections are persistent members, so steady-state cycles perform no
+//! heap allocation.
 
 use crate::branch::GsharePredictor;
 use crate::cache::MemoryHierarchy;
@@ -27,6 +52,7 @@ use crate::rob::{InstrState, ReorderBuffer, RobEntry};
 use crate::stats::SimStats;
 use earlyreg_core::{InstrId, PhysReg, RenameStall, RenameUnit, RenamedInstr};
 use earlyreg_isa::{semantics, ArchReg, Opcode, Program, RegClass};
+use std::sync::Arc;
 
 /// Bytes per instruction (used to form I-cache addresses).
 const INSTR_BYTES: u64 = 4;
@@ -53,11 +79,24 @@ impl Default for RunLimits {
 }
 
 impl RunLimits {
-    /// Limit only the number of committed instructions.
+    /// Cycle budget granted per requested instruction by
+    /// [`RunLimits::instructions`]: even the most stall-bound configuration
+    /// the paper sweeps stays well under 64 CPI.
+    pub const MAX_CYCLES_PER_INSTRUCTION: u64 = 64;
+    /// Floor of the derived cycle limit, so tiny instruction budgets still
+    /// leave room for pathological-but-finite warm-up behaviour.
+    pub const MIN_MAX_CYCLES: u64 = 10_000_000;
+
+    /// Limit the number of committed instructions, deriving the guard cycle
+    /// limit from it.  This is the single place that policy lives; the
+    /// experiment runner, the throughput benchmark and the Criterion helpers
+    /// all use it.
     pub fn instructions(n: u64) -> Self {
         RunLimits {
             max_instructions: n,
-            max_cycles: n.saturating_mul(64).max(1_000_000),
+            max_cycles: n
+                .saturating_mul(Self::MAX_CYCLES_PER_INSTRUCTION)
+                .max(Self::MIN_MAX_CYCLES),
         }
     }
 }
@@ -66,7 +105,7 @@ impl RunLimits {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: MachineConfig,
-    program: Program,
+    program: Arc<Program>,
     rename: RenameUnit,
     rob: ReorderBuffer,
     lsq: LoadStoreQueue,
@@ -88,6 +127,16 @@ pub struct Simulator {
     fetch_halted: bool,
     fetch_stalled_until: u64,
 
+    // Event-driven scheduling state (see the module documentation).
+    /// Dispatched instructions the issue stage must examine.
+    attention: Vec<(InstrId, u32)>,
+    /// Per class and physical register: dispatched consumers waiting for it.
+    waiters: [Vec<Vec<(InstrId, u32)>>; 2],
+    /// Cycle-indexed (power-of-two) ring of scheduled completion events.
+    completions: Vec<Vec<(InstrId, u32)>>,
+    /// Scratch for the completion events drained in the current cycle.
+    completion_scratch: Vec<(InstrId, u32)>,
+
     cycle: u64,
     halted: bool,
     stats: SimStats,
@@ -95,11 +144,14 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Build a simulator for `program` under `config`.
+    /// Build a simulator for `program` under `config`.  The program is
+    /// reference-counted, so sweeps running one workload across many
+    /// configurations share a single copy.
     ///
     /// # Panics
     /// Panics if the configuration or the program is invalid.
-    pub fn new(config: MachineConfig, program: &Program) -> Self {
+    pub fn new(config: MachineConfig, program: impl Into<Arc<Program>>) -> Self {
+        let program: Arc<Program> = program.into();
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
@@ -134,11 +186,20 @@ impl Simulator {
             fetch_pc: 0,
             fetch_halted: false,
             fetch_stalled_until: 0,
+            attention: Vec::new(),
+            waiters: [
+                (0..phys_int).map(|_| Vec::new()).collect(),
+                (0..phys_fp).map(|_| Vec::new()).collect(),
+            ],
+            // Sized past the longest fixed latency (an L1 miss that falls
+            // through L2 to memory); grown on demand for exotic configs.
+            completions: (0..128).map(|_| Vec::new()).collect(),
+            completion_scratch: Vec::new(),
             cycle: 0,
             halted: false,
             stats: SimStats::default(),
             last_exception_at: None,
-            program: program.clone(),
+            program,
             config,
         }
     }
@@ -346,20 +407,63 @@ impl Simulator {
     // Writeback / branch resolution
     // ------------------------------------------------------------------
 
-    fn stage_writeback(&mut self) {
-        let completing: Vec<InstrId> = self
-            .rob
-            .iter()
-            .filter(|e| matches!(e.state, InstrState::Issued { complete_at } if complete_at <= self.cycle))
-            .map(|e| e.id)
-            .collect();
+    /// Wake up the dispatched consumers of a register whose value just
+    /// became available: each sees one fewer outstanding source, and joins
+    /// the issue attention list once fully ready — or immediately, for a
+    /// store whose base register is now ready and whose effective address is
+    /// still unpublished (store address generation is decoupled from the
+    /// data, so the LSQ learns addresses as early as possible).
+    fn wake_consumers(&mut self, class: RegClass, phys: PhysReg) {
+        if self.waiters[class.index()][phys.index()].is_empty() {
+            return;
+        }
+        let mut woken = std::mem::take(&mut self.waiters[class.index()][phys.index()]);
+        for &(id, slot) in &woken {
+            let Some(entry) = self.rob.at_slot(slot) else {
+                continue; // squashed, slot vacant
+            };
+            if entry.id != id || entry.state != InstrState::Dispatched {
+                continue; // squashed, slot reused
+            }
+            let waiting = entry.waiting_srcs.saturating_sub(1);
+            let store_addr_pending = entry.instr.op.is_store() && entry.mem_addr.is_none();
+            let in_attention = entry.in_attention;
+            let src1 = entry.renamed.src1;
+            let join = !in_attention
+                && (waiting == 0
+                    || (store_addr_pending && src1.is_none_or(|(a, p)| self.phys_ready(a, p))));
+            let entry = self.rob.at_slot_mut(slot).expect("validated above");
+            entry.waiting_srcs = waiting;
+            if join {
+                entry.in_attention = true;
+                self.attention.push((id, slot));
+            }
+        }
+        woken.clear();
+        self.waiters[class.index()][phys.index()] = woken;
+    }
 
-        for id in completing {
+    fn stage_writeback(&mut self) {
+        let mask = self.completions.len() - 1;
+        let mut completing = std::mem::take(&mut self.completion_scratch);
+        completing.clear();
+        completing.append(&mut self.completions[(self.cycle as usize) & mask]);
+        // Events scheduled in different cycles can share a bucket; process in
+        // program order, as the window scan this replaces did.
+        completing.sort_unstable_by_key(|&(id, _)| id);
+
+        for &(id, slot) in completing.iter() {
             // The entry may have been squashed by an older branch that
-            // completed earlier in this loop.
-            let Some(entry) = self.rob.get(id) else {
+            // completed earlier in this loop (or in an earlier cycle).
+            let Some(entry) = self.rob.at_slot(slot) else {
                 continue;
             };
+            if entry.id != id {
+                continue;
+            }
+            debug_assert!(
+                matches!(entry.state, InstrState::Issued { complete_at } if complete_at <= self.cycle)
+            );
             let entry = *entry;
 
             // Write the result and wake up consumers.
@@ -369,8 +473,9 @@ impl Simulator {
                 self.set_phys_ready(dst.arch.class(), dst.phys, true);
                 self.rename
                     .mark_value_written(dst.arch.class(), dst.phys, self.cycle);
+                self.wake_consumers(dst.arch.class(), dst.phys);
             }
-            if let Some(e) = self.rob.get_mut(id) {
+            if let Some(e) = self.rob.at_slot_mut(slot) {
                 e.state = InstrState::Completed;
             }
 
@@ -381,31 +486,39 @@ impl Simulator {
                     .expect("conditional branches carry a prediction");
                 let actual_taken = entry.actual_taken.expect("resolved branch has an outcome");
                 self.predictor.resolve(&prediction, actual_taken);
-                if let Some(e) = self.rob.get_mut(id) {
+                if let Some(e) = self.rob.at_slot_mut(slot) {
                     e.resolved = true;
                 }
                 if actual_taken != entry.predicted_taken {
                     self.stats.mispredicted_branches += 1;
                     self.predictor.repair(&prediction, actual_taken);
                     self.recover_mispredict(id, entry.actual_next);
-                    // Everything younger was squashed; later completions in
-                    // this cycle's list are handled next cycle if they
-                    // survived.
+                    // The rest of this cycle's list is strictly younger than
+                    // the branch (sorted by id), so every remaining event
+                    // refers to an instruction the recovery just squashed:
+                    // nothing to defer, stop here.
                     break;
                 } else {
                     self.rename.resolve_branch_correct(id, self.cycle);
                 }
             }
         }
+
+        completing.clear();
+        self.completion_scratch = completing;
     }
 
     fn recover_mispredict(&mut self, branch_id: InstrId, correct_next: usize) {
-        let recovery = self.rename.recover_branch_mispredict(branch_id, self.cycle);
+        let squashed_rename = self.rename.recover_branch_mispredict(branch_id, self.cycle);
+        let squashed = squashed_rename.squashed;
         let squashed_rob = self.rob.squash_after(branch_id);
-        debug_assert_eq!(recovery.squashed, squashed_rob);
+        debug_assert_eq!(squashed, squashed_rob);
         self.lsq.squash_after(branch_id);
         self.fetch_buffer.clear();
         self.stats.squashed += squashed_rob as u64;
+        // Attention, wakeup and completion entries of squashed instructions
+        // are dropped lazily: their slots are vacated (or reused under a new
+        // id), which every consumer revalidates.
 
         self.fetch_pc = correct_next;
         self.fetch_halted = false;
@@ -420,6 +533,16 @@ impl Simulator {
         self.lsq.clear();
         self.fetch_buffer.clear();
         self.stats.squashed += squashed as u64;
+        // Everything in flight is gone: drop the scheduling state wholesale.
+        self.attention.clear();
+        for class in &mut self.waiters {
+            for list in class.iter_mut() {
+                list.clear();
+            }
+        }
+        for bucket in &mut self.completions {
+            bucket.clear();
+        }
 
         self.fetch_pc = restart_pc;
         self.fetch_halted = false;
@@ -432,20 +555,72 @@ impl Simulator {
     // Issue / execute
     // ------------------------------------------------------------------
 
+    /// Record that `(id, slot)` will produce its result at `complete_at`.
+    fn schedule_completion(&mut self, id: InstrId, slot: u32, complete_at: u64) {
+        let horizon = (complete_at - self.cycle) as usize;
+        if horizon >= self.completions.len() {
+            self.grow_completions(horizon);
+        }
+        let mask = self.completions.len() - 1;
+        self.completions[(complete_at as usize) & mask].push((id, slot));
+    }
+
+    /// Resize the completion ring past `horizon` cycles and re-bucket the
+    /// pending events (rare: only configs with latencies beyond the ring).
+    fn grow_completions(&mut self, horizon: usize) {
+        let new_len = (horizon + 1).next_power_of_two() * 2;
+        let old: Vec<Vec<(InstrId, u32)>> = std::mem::take(&mut self.completions);
+        self.completions = (0..new_len).map(|_| Vec::new()).collect();
+        let mask = new_len - 1;
+        for bucket in old {
+            for (id, slot) in bucket {
+                // Recover the event time from the live entry; events for
+                // squashed instructions are dropped.
+                let Some(entry) = self.rob.at_slot(slot) else {
+                    continue;
+                };
+                if entry.id != id {
+                    continue;
+                }
+                if let InstrState::Issued { complete_at } = entry.state {
+                    // Every pending event is in the future: this cycle's
+                    // bucket was already drained by writeback, and events for
+                    // squashed instructions were filtered above.
+                    debug_assert!(complete_at > self.cycle);
+                    self.completions[(complete_at as usize) & mask].push((id, slot));
+                }
+            }
+        }
+    }
+
     fn stage_issue(&mut self) {
-        let candidates: Vec<InstrId> = self
-            .rob
-            .iter()
-            .filter(|e| e.state == InstrState::Dispatched)
-            .map(|e| e.id)
-            .collect();
+        if self.attention.is_empty() {
+            return;
+        }
+        let mut attention = std::mem::take(&mut self.attention);
+        // Entries join at dispatch (in order) and at wakeup (out of order);
+        // restore program order so selection priority matches a window scan.
+        attention.sort_unstable_by_key(|&(id, _)| id);
 
         let mut issued = 0;
-        for id in candidates {
-            if issued >= self.config.issue_width {
-                break;
+        let mut kept = 0;
+        for i in 0..attention.len() {
+            let (id, slot) = attention[i];
+
+            let Some(entry) = self.rob.at_slot(slot) else {
+                continue; // squashed: drop from the attention list
+            };
+            if entry.id != id || entry.state != InstrState::Dispatched {
+                continue;
             }
-            let entry = *self.rob.get(id).expect("candidate still present");
+            if issued >= self.config.issue_width {
+                // Out of issue slots: everything younger keeps its place for
+                // next cycle, untouched (as the scan's early break did).
+                attention[kept] = (id, slot);
+                kept += 1;
+                continue;
+            }
+            let entry = *entry;
 
             // Store address generation is decoupled from the data: as soon as
             // the base register is ready the effective address is published
@@ -461,34 +636,49 @@ impl Simulator {
                     let base = self.operand_int(entry.renamed.src1);
                     let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
                     self.lsq.set_address(id, addr);
-                    if let Some(e) = self.rob.get_mut(id) {
+                    if let Some(e) = self.rob.at_slot_mut(slot) {
                         e.mem_addr = Some(addr);
                     }
                 }
             }
 
             if !self.sources_ready(&entry.renamed) {
+                // Present only for address generation (store data pending):
+                // stays listed until the data wakeup completes it.
+                attention[kept] = (id, slot);
+                kept += 1;
                 continue;
             }
+            let entry = *self.rob.at_slot(slot).expect("entry validated above");
             let class = entry.instr.op.fu_class();
 
-            if entry.instr.op.is_mem() {
-                if self.try_issue_mem(&entry) {
-                    issued += 1;
+            let did_issue = if entry.instr.op.is_mem() {
+                self.try_issue_mem(&entry, slot)
+            } else if self.fus.try_issue(class) {
+                let latency = self.config.latency(class).max(1);
+                self.execute_alu(&entry, slot, latency);
+                true
+            } else {
+                false
+            };
+
+            if did_issue {
+                issued += 1;
+                if let Some(e) = self.rob.at_slot_mut(slot) {
+                    e.in_attention = false;
                 }
             } else {
-                if !self.fus.try_issue(class) {
-                    continue;
-                }
-                let latency = self.config.latency(class).max(1);
-                self.execute_alu(&entry, latency);
-                issued += 1;
+                // Structural hazard or LSQ ordering: retry next cycle.
+                attention[kept] = (id, slot);
+                kept += 1;
             }
         }
+        attention.truncate(kept);
+        self.attention = attention;
     }
 
     /// Execute a non-memory instruction and schedule its completion.
-    fn execute_alu(&mut self, entry: &RobEntry, latency: u32) {
+    fn execute_alu(&mut self, entry: &RobEntry, slot: u32, latency: u32) {
         let a_int = self.operand_int(entry.renamed.src1);
         let b_int = self.operand_int(entry.renamed.src2);
         let a_fp = self.operand_fp(entry.renamed.src1);
@@ -523,15 +713,16 @@ impl Simulator {
         }
 
         let complete_at = self.cycle + latency as u64;
-        let e = self.rob.get_mut(entry.id).expect("entry present");
+        let e = self.rob.at_slot_mut(slot).expect("entry present");
         e.state = InstrState::Issued { complete_at };
         e.result = result;
         e.actual_taken = actual_taken;
         e.actual_next = actual_next;
+        self.schedule_completion(entry.id, slot, complete_at);
     }
 
     /// Try to issue a load or store; returns true if it issued.
-    fn try_issue_mem(&mut self, entry: &RobEntry) -> bool {
+    fn try_issue_mem(&mut self, entry: &RobEntry, slot: u32) -> bool {
         let base = self.operand_int(entry.renamed.src1);
         let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
 
@@ -546,12 +737,12 @@ impl Simulator {
             };
             self.lsq.set_address(entry.id, addr);
             self.lsq.set_store_data(entry.id, data);
-            let e = self.rob.get_mut(entry.id).expect("entry present");
-            e.state = InstrState::Issued {
-                complete_at: self.cycle + 1,
-            };
+            let complete_at = self.cycle + 1;
+            let e = self.rob.at_slot_mut(slot).expect("entry present");
+            e.state = InstrState::Issued { complete_at };
             e.mem_addr = Some(addr);
             e.store_data = Some(data);
+            self.schedule_completion(entry.id, slot, complete_at);
             return true;
         }
 
@@ -576,12 +767,12 @@ impl Simulator {
             ForwardResult::MustWait => unreachable!(),
         };
         self.lsq.set_address(entry.id, addr);
-        let e = self.rob.get_mut(entry.id).expect("entry present");
-        e.state = InstrState::Issued {
-            complete_at: self.cycle + latency.max(1) as u64,
-        };
+        let complete_at = self.cycle + latency.max(1) as u64;
+        let e = self.rob.at_slot_mut(slot).expect("entry present");
+        e.state = InstrState::Issued { complete_at };
         e.mem_addr = Some(addr);
         e.result = Some(bits);
+        self.schedule_completion(entry.id, slot, complete_at);
         true
     }
 
@@ -625,8 +816,9 @@ impl Simulator {
                     .insert(renamed_instr.id, fetched.instr.op.is_store());
             }
 
-            self.rob.push(RobEntry {
-                id: renamed_instr.id,
+            let id = renamed_instr.id;
+            let slot = self.rob.push(RobEntry {
+                id,
                 pc: fetched.pc,
                 instr: fetched.instr,
                 renamed: renamed_instr,
@@ -641,7 +833,34 @@ impl Simulator {
                 mem_addr: None,
                 store_data: None,
                 dispatched_at: self.cycle,
+                waiting_srcs: 0,
+                in_attention: false,
             });
+
+            // Register in the wakeup lists; join the attention list when
+            // already issuable (all sources ready) or when a store can at
+            // least publish its address (base ready).
+            let mut waiting = 0u8;
+            for (arch, phys) in [renamed_instr.src1, renamed_instr.src2]
+                .into_iter()
+                .flatten()
+            {
+                if !self.phys_ready(arch, phys) {
+                    self.waiters[arch.class().index()][phys.index()].push((id, slot));
+                    waiting += 1;
+                }
+            }
+            let base_ready = renamed_instr
+                .src1
+                .is_none_or(|(a, p)| self.phys_ready(a, p));
+            let join = waiting == 0 || (fetched.instr.op.is_store() && base_ready);
+            let entry = self.rob.at_slot_mut(slot).expect("just pushed");
+            entry.waiting_srcs = waiting;
+            if join {
+                entry.in_attention = true;
+                self.attention.push((id, slot));
+            }
+
             self.stats.renamed += 1;
             renamed += 1;
         }

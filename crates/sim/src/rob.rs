@@ -6,11 +6,21 @@
 //! and memory addresses.  Both are indexed by the same [`InstrId`] and sized
 //! by the same Table 2 entry (128), mirroring how the paper treats the ROS as
 //! one structure with several fields.
+//!
+//! ## Organisation
+//!
+//! The buffer is a fixed-capacity, slot-indexed ring
+//! ([`earlyreg_core::IdRing`]): entries occupy stable physical slots for
+//! their whole lifetime, `InstrId → slot` resolves in O(1) through a dense
+//! id-window (ids are monotonically allocated; squash gaps map to an invalid
+//! sentinel), and commits/squashes move only the head/tail cursors.  The
+//! pipeline's event lists (ready instructions, scheduled completions) cache
+//! `(id, slot)` pairs and revalidate them against the ring with
+//! [`ReorderBuffer::at_slot`], so the per-cycle loops never scan the window.
 
 use crate::branch::Prediction;
-use earlyreg_core::{InstrId, RenamedInstr};
+use earlyreg_core::{HasInstrId, IdRing, InstrId, RenamedInstr};
 use earlyreg_isa::Instruction;
-use std::collections::VecDeque;
 
 /// Execution status of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,12 +69,25 @@ pub struct RobEntry {
     pub store_data: Option<u64>,
     /// Cycle the instruction entered the reorder structure.
     pub dispatched_at: u64,
+    /// Unready source registers still being waited on (maintained by the
+    /// pipeline's wakeup lists; duplicates count twice when both sources name
+    /// the same register).
+    pub waiting_srcs: u8,
+    /// True while the instruction is queued in the pipeline's issue
+    /// attention list (guards against double insertion).
+    pub in_attention: bool,
+}
+
+impl HasInstrId for RobEntry {
+    fn instr_id(&self) -> InstrId {
+        self.id
+    }
 }
 
 /// The reorder structure (pipeline view), ordered oldest → youngest.
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
-    entries: VecDeque<RobEntry>,
+    entries: IdRing<RobEntry>,
     capacity: usize,
 }
 
@@ -72,7 +95,7 @@ impl ReorderBuffer {
     /// Create an empty buffer with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         ReorderBuffer {
-            entries: VecDeque::with_capacity(capacity),
+            entries: IdRing::with_capacity(capacity),
             capacity,
         }
     }
@@ -92,31 +115,38 @@ impl ReorderBuffer {
         self.entries.len() >= self.capacity
     }
 
-    /// Append a newly dispatched instruction.
-    pub fn push(&mut self, entry: RobEntry) {
+    /// Append a newly dispatched instruction; returns its stable slot index.
+    pub fn push(&mut self, entry: RobEntry) -> u32 {
         assert!(!self.is_full(), "reorder structure overflow");
-        if let Some(back) = self.entries.back() {
-            assert!(
-                back.id < entry.id,
-                "entries must be dispatched in program order"
-            );
-        }
-        self.entries.push_back(entry);
+        self.entries.push(entry)
     }
 
-    fn position(&self, id: InstrId) -> Option<usize> {
-        let idx = self.entries.partition_point(|e| e.id < id);
-        (idx < self.entries.len() && self.entries[idx].id == id).then_some(idx)
+    /// O(1) id → slot resolution.
+    pub fn slot_of(&self, id: InstrId) -> Option<u32> {
+        self.entries.slot_of(id)
     }
 
-    /// Shared access by id.
+    /// Entry occupying `slot`, if any (callers revalidating cached
+    /// `(id, slot)` pairs must compare ids).
+    #[inline]
+    pub fn at_slot(&self, slot: u32) -> Option<&RobEntry> {
+        self.entries.at(slot)
+    }
+
+    /// Mutable access by slot.
+    #[inline]
+    pub fn at_slot_mut(&mut self, slot: u32) -> Option<&mut RobEntry> {
+        self.entries.at_mut(slot)
+    }
+
+    /// Shared access by id (O(1)).
     pub fn get(&self, id: InstrId) -> Option<&RobEntry> {
-        self.position(id).map(|i| &self.entries[i])
+        self.entries.get(id)
     }
 
-    /// Mutable access by id.
+    /// Mutable access by id (O(1)).
     pub fn get_mut(&mut self, id: InstrId) -> Option<&mut RobEntry> {
-        self.position(id).map(move |i| &mut self.entries[i])
+        self.entries.get_mut(id)
     }
 
     /// The oldest entry.
@@ -126,10 +156,8 @@ impl ReorderBuffer {
 
     /// Remove the oldest entry, which must be `id`.
     pub fn pop_head(&mut self, id: InstrId) -> RobEntry {
-        let head = self
-            .entries
-            .pop_front()
-            .expect("pop from empty reorder structure");
+        assert!(!self.is_empty(), "pop from empty reorder structure");
+        let head = self.entries.pop_front();
         assert_eq!(head.id, id, "commit must proceed in program order");
         head
     }
@@ -137,23 +165,12 @@ impl ReorderBuffer {
     /// Remove every entry strictly younger than `id`, returning how many were
     /// removed.
     pub fn squash_after(&mut self, id: InstrId) -> usize {
-        let mut squashed = 0;
-        while let Some(back) = self.entries.back() {
-            if back.id > id {
-                self.entries.pop_back();
-                squashed += 1;
-            } else {
-                break;
-            }
-        }
-        squashed
+        self.entries.squash_after(id, false, |_| {})
     }
 
     /// Remove everything, returning how many entries were removed.
     pub fn clear(&mut self) -> usize {
-        let n = self.entries.len();
-        self.entries.clear();
-        n
+        self.entries.drain_all(|_| {})
     }
 
     /// Iterate oldest → youngest.
@@ -189,6 +206,8 @@ mod tests {
             mem_addr: None,
             store_data: None,
             dispatched_at: 0,
+            waiting_srcs: 0,
+            in_attention: false,
         }
     }
 
@@ -252,5 +271,81 @@ mod tests {
         );
         rob.get_mut(InstrId(1)).unwrap().state = InstrState::Completed;
         assert_eq!(rob.get(InstrId(1)).unwrap().state, InstrState::Completed);
+    }
+
+    #[test]
+    fn slots_are_stable_and_validate_by_id() {
+        let mut rob = ReorderBuffer::new(4);
+        let s1 = rob.push(entry(1));
+        let s2 = rob.push(entry(2));
+        assert_eq!(rob.at_slot(s2).unwrap().id, InstrId(2));
+        rob.pop_head(InstrId(1));
+        // Slot 2 is unaffected by the head moving.
+        assert_eq!(rob.at_slot(s2).unwrap().id, InstrId(2));
+        // Slot 1 is vacated; a later push may reuse it, detected by id.
+        assert!(rob.at_slot(s1).is_none());
+        for id in 3..=5 {
+            rob.push(entry(id));
+        }
+        if let Some(e) = rob.at_slot(s1) {
+            assert_ne!(e.id, InstrId(1));
+        }
+    }
+
+    #[test]
+    fn wraparound_after_many_squashes_keeps_lookups_exact() {
+        // Drive the ring through many push/squash/commit rounds so the head
+        // and tail wrap repeatedly and the id space accumulates squash gaps;
+        // id lookups must stay exact throughout.
+        let mut rob = ReorderBuffer::new(8);
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for round in 0..50 {
+            while !rob.is_full() {
+                rob.push(entry(next_id));
+                live.push(next_id);
+                next_id += 1;
+            }
+            // Squash a round-dependent suffix (0..=6 entries).
+            let keep = live.len() - (round % 7);
+            let pivot = live[keep - 1];
+            assert_eq!(rob.squash_after(InstrId(pivot)), live.len() - keep);
+            live.truncate(keep);
+            // Simulate ids consumed elsewhere, then commit from the head.
+            next_id += (round % 5) as u64;
+            for _ in 0..2.min(live.len()) {
+                let id = live.remove(0);
+                assert_eq!(rob.pop_head(InstrId(id)).id, InstrId(id));
+            }
+            // Every live id resolves; squashed and unallocated ids do not.
+            for &id in &live {
+                assert_eq!(rob.get(InstrId(id)).unwrap().id, InstrId(id));
+            }
+            assert!(rob.get(InstrId(next_id + 1)).is_none());
+        }
+    }
+
+    #[test]
+    fn squash_after_at_every_offset() {
+        for offset in 0..8u64 {
+            let mut rob = ReorderBuffer::new(8);
+            for id in 0..8 {
+                rob.push(entry(id));
+            }
+            let removed = rob.squash_after(InstrId(offset));
+            assert_eq!(removed as u64, 7 - offset);
+            assert_eq!(rob.len() as u64, offset + 1);
+            for id in 0..8 {
+                assert_eq!(rob.get(InstrId(id)).is_some(), id <= offset);
+            }
+            // The buffer remains usable: refill to capacity and drain.
+            for id in 100..(100 + 7 - offset) {
+                rob.push(entry(id));
+            }
+            assert!(rob.is_full());
+            for id in 0..=offset {
+                rob.pop_head(InstrId(id));
+            }
+        }
     }
 }

@@ -103,7 +103,7 @@ fn fp_program(iterations: i64) -> Program {
 
 fn run_and_verify(program: &Program, policy: ReleasePolicy, phys: usize) -> earlyreg_sim::SimStats {
     let config = MachineConfig::icpp02(policy, phys, phys);
-    let mut sim = Simulator::new(config, program);
+    let mut sim = Simulator::new(config, program.clone());
     let stats = sim.run(RunLimits::default());
     assert!(
         stats.halted,
@@ -189,11 +189,11 @@ fn early_release_does_not_hurt_and_usually_helps_ipc() {
 fn idle_registers_shrink_with_early_release() {
     let p = fp_program(400);
     let config = MachineConfig::icpp02(ReleasePolicy::Conventional, 96, 96);
-    let mut conv = Simulator::new(config, &p);
+    let mut conv = Simulator::new(config, p.clone());
     let conv_stats = conv.run(RunLimits::default());
 
     let config = MachineConfig::icpp02(ReleasePolicy::Extended, 96, 96);
-    let mut ext = Simulator::new(config, &p);
+    let mut ext = Simulator::new(config, p.clone());
     let ext_stats = ext.run(RunLimits::default());
 
     assert!(
@@ -211,7 +211,7 @@ fn exception_injection_recovers_precisely() {
         let mut config = MachineConfig::icpp02(policy, 48, 48);
         config.exceptions.interval = Some(97);
         config.exceptions.handler_cycles = 20;
-        let mut sim = Simulator::new(config, &p);
+        let mut sim = Simulator::new(config, p.clone());
         let stats = sim.run(RunLimits::default());
         assert!(stats.halted);
         assert!(stats.exceptions > 0, "exceptions should have been injected");
@@ -240,7 +240,7 @@ fn committed_instruction_count_is_policy_independent() {
 fn run_limits_stop_the_simulation() {
     let p = sum_program(100_000);
     let config = MachineConfig::icpp02(ReleasePolicy::Extended, 64, 64);
-    let mut sim = Simulator::new(config, &p);
+    let mut sim = Simulator::new(config, p.clone());
     let stats = sim.run(RunLimits::instructions(5_000));
     assert!(!stats.halted);
     assert!(stats.committed >= 5_000);

@@ -31,4 +31,7 @@ pub mod spec_int;
 pub mod suite;
 
 pub use generic::{generic_workload, GenericWorkloadConfig};
-pub use suite::{suite, workload_by_name, Scale, Workload, WorkloadClass, WorkloadSpec, SPECS};
+pub use suite::{
+    suite, workload_by_name, workload_with_target_instructions, Scale, Workload, WorkloadClass,
+    WorkloadSpec, SPECS,
+};

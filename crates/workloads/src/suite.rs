@@ -3,6 +3,7 @@
 use crate::{spec_fp, spec_int};
 use earlyreg_isa::Program;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Integer or floating-point benchmark (the paper reports the two groups
 /// separately in every figure).
@@ -45,8 +46,15 @@ impl Scale {
             Scale::Bench => 40_000,
             Scale::Full => 400_000,
         };
-        (target / per_iteration_cost).max(16)
+        iterations_for_target(target, per_iteration_cost)
     }
+}
+
+/// Outer-loop iterations needed to generate about `target_instructions`
+/// dynamic instructions — the single sizing formula shared by the [`Scale`]
+/// presets and the explicit-budget path.
+fn iterations_for_target(target_instructions: u64, per_iteration_cost: u64) -> u64 {
+    (target_instructions / per_iteration_cost).max(16)
 }
 
 /// Static description of one suite member.
@@ -69,12 +77,16 @@ pub struct WorkloadSpec {
 }
 
 /// One instantiated workload: metadata plus the generated program.
+///
+/// The program is reference-counted so that sweeps can hand the same
+/// workload to many simulator instances without copying the instruction
+/// stream and data image.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Static description.
     pub spec: WorkloadSpec,
     /// The generated program.
-    pub program: Program,
+    pub program: Arc<Program>,
 }
 
 impl Workload {
@@ -189,7 +201,7 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
         .iter()
         .map(|spec| Workload {
             spec: *spec,
-            program: (spec.build)(scale.iterations(spec.per_iteration_cost)),
+            program: Arc::new((spec.build)(scale.iterations(spec.per_iteration_cost))),
         })
         .collect()
 }
@@ -198,7 +210,20 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
 pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
     SPECS.iter().find(|s| s.name == name).map(|spec| Workload {
         spec: *spec,
-        program: (spec.build)(scale.iterations(spec.per_iteration_cost)),
+        program: Arc::new((spec.build)(scale.iterations(spec.per_iteration_cost))),
+    })
+}
+
+/// Build a single named workload sized so that its dynamic instruction count
+/// is approximately `target_instructions` (instead of one of the three
+/// [`Scale`] presets).  Used by the simulator-throughput benchmark, which
+/// needs a fixed, large instruction budget independent of the preset scales.
+pub fn workload_with_target_instructions(name: &str, target_instructions: u64) -> Option<Workload> {
+    SPECS.iter().find(|s| s.name == name).map(|spec| Workload {
+        spec: *spec,
+        program: Arc::new((spec.build)(
+            (target_instructions / spec.per_iteration_cost).max(16),
+        )),
     })
 }
 

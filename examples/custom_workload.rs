@@ -17,7 +17,7 @@ fn measure(config: GenericWorkloadConfig, registers: usize) -> (f64, f64) {
         .enumerate()
     {
         let machine = MachineConfig::icpp02(*policy, registers, registers);
-        let mut sim = Simulator::new(machine, &program);
+        let mut sim = Simulator::new(machine, program.clone());
         let stats = sim.run(RunLimits {
             max_instructions: 40_000,
             max_cycles: 6_000_000,

@@ -30,7 +30,7 @@ fn main() {
 
     for policy in ReleasePolicy::ALL {
         let config = MachineConfig::icpp02(policy, registers, registers);
-        let mut sim = Simulator::new(config, &workload.program);
+        let mut sim = Simulator::new(config, workload.program.clone());
         let stats = sim.run(RunLimits {
             max_instructions: 60_000,
             max_cycles: 8_000_000,

@@ -61,12 +61,12 @@ fn main() {
         nv.dst.unwrap().phys
     );
     ru.commit(i.id, 10);
-    let released = ru.commit(lu.id, 11).released;
+    let released = ru.commit(lu.id, 11).released.clone();
     println!(
         "LU commits            released: {:?}",
         released.iter().map(|e| e.phys).collect::<Vec<_>>()
     );
-    let released = ru.commit(nv.id, 12).released;
+    let released = ru.commit(nv.id, 12).released.clone();
     println!(
         "NV commits            released: {:?} (nothing — rel_old was cleared)",
         released
@@ -131,10 +131,10 @@ fn main() {
         "\nsame again, but the branch mispredicts: {} mark(s) before recovery",
         ru.release_queue_marks()
     );
-    let recovery = ru.recover_branch_mispredict(br.id, 6);
+    let squashed = ru.recover_branch_mispredict(br.id, 6).squashed;
     println!(
         "misprediction recovery: {} squashed, {} mark(s) left, r1 still mapped to {} = {}",
-        recovery.squashed,
+        squashed,
         ru.release_queue_marks(),
         ru.mapping(ArchReg::int(1)),
         p7

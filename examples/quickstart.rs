@@ -60,7 +60,7 @@ fn main() {
     let mut results = Vec::new();
     for policy in [ReleasePolicy::Conventional, ReleasePolicy::Extended] {
         let config = MachineConfig::icpp02(policy, 48, 48);
-        let mut sim = Simulator::new(config, &program);
+        let mut sim = Simulator::new(config, program.clone());
         let stats = sim.run(RunLimits::default());
 
         // The committed state must match the architectural emulator.

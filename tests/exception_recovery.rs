@@ -16,7 +16,7 @@ fn run_with_exceptions(name: &str, policy: ReleasePolicy, interval: u64) {
     let mut config = MachineConfig::icpp02(policy, 48, 48);
     config.exceptions.interval = Some(interval);
     config.exceptions.handler_cycles = 25;
-    let mut sim = Simulator::new(config, &workload.program);
+    let mut sim = Simulator::new(config, workload.program.clone());
     let stats = sim.run(RunLimits {
         max_instructions: 30_000,
         max_cycles: 4_000_000,
@@ -68,7 +68,7 @@ fn extended_survives_very_frequent_exceptions_on_tiny_files() {
     let mut config = MachineConfig::icpp02(ReleasePolicy::Extended, 36, 36);
     config.exceptions.interval = Some(61);
     config.exceptions.handler_cycles = 10;
-    let mut sim = Simulator::new(config, &workload.program);
+    let mut sim = Simulator::new(config, workload.program.clone());
     let stats = sim.run(RunLimits {
         max_instructions: 20_000,
         max_cycles: 4_000_000,
@@ -87,7 +87,7 @@ fn exceptions_cost_cycles_but_not_correct_results() {
     let workloads = suite(Scale::Smoke);
     let workload = workloads.iter().find(|w| w.name() == "perl").unwrap();
     let clean_config = MachineConfig::icpp02(ReleasePolicy::Extended, 64, 64);
-    let mut clean = Simulator::new(clean_config, &workload.program);
+    let mut clean = Simulator::new(clean_config, workload.program.clone());
     let clean_stats = clean.run(RunLimits {
         max_instructions: 20_000,
         max_cycles: 4_000_000,
@@ -95,7 +95,7 @@ fn exceptions_cost_cycles_but_not_correct_results() {
 
     let mut stormy_config = MachineConfig::icpp02(ReleasePolicy::Extended, 64, 64);
     stormy_config.exceptions.interval = Some(97);
-    let mut stormy = Simulator::new(stormy_config, &workload.program);
+    let mut stormy = Simulator::new(stormy_config, workload.program.clone());
     let stormy_stats = stormy.run(RunLimits {
         max_instructions: 20_000,
         max_cycles: 4_000_000,

@@ -15,7 +15,7 @@ fn check_workload(name: &str, policy: ReleasePolicy, phys: usize) {
         .find(|w| w.name() == name)
         .expect("workload exists");
     let config = MachineConfig::icpp02(policy, phys, phys);
-    let mut sim = Simulator::new(config, &workload.program);
+    let mut sim = Simulator::new(config, workload.program.clone());
     let stats = sim.run(RunLimits {
         max_instructions: 40_000,
         max_cycles: 4_000_000,

@@ -15,7 +15,7 @@ const REGISTERS: usize = 48;
 
 fn ipc(workload: &Workload, policy: ReleasePolicy) -> f64 {
     let config = MachineConfig::icpp02(policy, REGISTERS, REGISTERS);
-    let mut sim = Simulator::new(config, &workload.program);
+    let mut sim = Simulator::new(config, workload.program.clone());
     let stats = sim.run(RunLimits {
         max_instructions: 25_000,
         max_cycles: 3_000_000,

@@ -10,7 +10,7 @@ use earlyreg::workloads::{suite, Scale, Workload, WorkloadClass};
 
 fn run(workload: &Workload, policy: ReleasePolicy, phys: usize) -> SimStats {
     let config = MachineConfig::icpp02(policy, phys, phys);
-    let mut sim = Simulator::new(config, &workload.program);
+    let mut sim = Simulator::new(config, workload.program.clone());
     sim.run(RunLimits {
         max_instructions: 25_000,
         max_cycles: 3_000_000,

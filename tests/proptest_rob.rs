@@ -1,0 +1,133 @@
+//! Property test for the ring-buffer reorder structure: under random
+//! push/commit/squash/clear sequences (with id gaps, wraparound and repeated
+//! squashes), the O(1) id-indexed lookups must agree with a naive
+//! linear-scan oracle at every step.
+
+use earlyreg::core::{InstrId, RenamedInstr};
+use earlyreg::isa::Instruction;
+use earlyreg::sim::{InstrState, ReorderBuffer, RobEntry};
+use proptest::prelude::*;
+
+fn entry(id: u64) -> RobEntry {
+    RobEntry {
+        id: InstrId(id),
+        pc: id as usize,
+        instr: Instruction::nop(),
+        renamed: RenamedInstr {
+            id: InstrId(id),
+            src1: None,
+            src2: None,
+            dst: None,
+        },
+        state: InstrState::Dispatched,
+        prediction: None,
+        predicted_taken: false,
+        predicted_next: id as usize + 1,
+        actual_taken: None,
+        actual_next: 0,
+        resolved: false,
+        result: None,
+        mem_addr: None,
+        store_data: None,
+        dispatched_at: 0,
+        waiting_srcs: 0,
+        in_attention: false,
+    }
+}
+
+/// One step of the random workload driven against both implementations.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push `count` new entries, advancing the id counter by `gap` first
+    /// (models ids consumed between squash and refill).
+    Push { count: u8, gap: u8 },
+    /// Commit up to `count` entries from the head.
+    Commit { count: u8 },
+    /// Squash after the live entry at relative position `pos` (mod len).
+    Squash { pos: u8 },
+    /// Exception-style clear.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..8u8, 0..4u8).prop_map(|(count, gap)| Op::Push { count, gap }),
+        (1..8u8, 0..4u8).prop_map(|(count, gap)| Op::Push { count, gap }),
+        (1..6u8).prop_map(|count| Op::Commit { count }),
+        (1..6u8).prop_map(|count| Op::Commit { count }),
+        any::<u8>().prop_map(|pos| Op::Squash { pos }),
+        (0..1u8).prop_map(|_| Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn ring_lookups_agree_with_linear_scan_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        capacity in 2..24usize,
+    ) {
+        let mut rob = ReorderBuffer::new(capacity);
+        // The oracle: a plain program-ordered list, searched linearly.
+        let mut oracle: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Push { count, gap } => {
+                    next_id += gap as u64;
+                    for _ in 0..count {
+                        if rob.is_full() {
+                            break;
+                        }
+                        rob.push(entry(next_id));
+                        oracle.push(next_id);
+                        next_id += 1;
+                    }
+                }
+                Op::Commit { count } => {
+                    for _ in 0..count {
+                        let Some(&head_id) = oracle.first() else { break };
+                        prop_assert_eq!(rob.head().unwrap().id, InstrId(head_id));
+                        let popped = rob.pop_head(InstrId(head_id));
+                        prop_assert_eq!(popped.id, InstrId(head_id));
+                        oracle.remove(0);
+                    }
+                }
+                Op::Squash { pos } => {
+                    if !oracle.is_empty() {
+                        let pivot = oracle[pos as usize % oracle.len()];
+                        let removed = rob.squash_after(InstrId(pivot));
+                        let keep = oracle.iter().position(|&i| i > pivot).unwrap_or(oracle.len());
+                        prop_assert_eq!(removed, oracle.len() - keep);
+                        oracle.truncate(keep);
+                    }
+                }
+                Op::Clear => {
+                    prop_assert_eq!(rob.clear(), oracle.len());
+                    oracle.clear();
+                }
+            }
+
+            // Invariants after every step: occupancy, order, and id lookups
+            // agree with the oracle (both hits and misses, probing the whole
+            // id space touched so far plus a few unallocated ids).
+            prop_assert_eq!(rob.len(), oracle.len());
+            prop_assert_eq!(rob.is_empty(), oracle.is_empty());
+            let ring_ids: Vec<u64> = rob.iter().map(|e| e.id.0).collect();
+            prop_assert_eq!(&ring_ids, &oracle);
+            for probe in 0..next_id + 3 {
+                let fast = rob.get(InstrId(probe)).map(|e| e.id.0);
+                let slow = oracle.iter().find(|&&i| i == probe).copied();
+                prop_assert_eq!(fast, slow, "id {} lookup diverged", probe);
+                if let Some(slot) = rob.slot_of(InstrId(probe)) {
+                    prop_assert_eq!(rob.at_slot(slot).map(|e| e.id.0), Some(probe));
+                }
+            }
+        }
+    }
+}

@@ -66,7 +66,7 @@ proptest! {
         let program = generic_workload(config);
         let policy = ReleasePolicy::ALL[policy_pick];
         let machine = MachineConfig::icpp02(policy, registers, registers);
-        let mut sim = Simulator::new(machine, &program);
+        let mut sim = Simulator::new(machine, program.clone());
         let stats = sim.run(RunLimits {
             max_instructions: 20_000,
             max_cycles: 3_000_000,

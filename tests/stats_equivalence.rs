@@ -1,0 +1,58 @@
+//! Pinned-statistics equivalence test.
+//!
+//! The per-cycle hot path of the simulator has been rewritten several times
+//! (ring-buffer reorder structure, event-driven wakeup, allocation-free
+//! release bookkeeping) under the contract that *simulated behaviour is
+//! bit-identical*: every such change must leave `SimStats` untouched.  This
+//! test pins the exact statistics of one golden (workload, policy, size)
+//! point so any future hot-path change that silently alters simulation
+//! behaviour fails loudly here instead of skewing experiment results.
+//!
+//! If a change *intentionally* alters simulated behaviour (a model fix, a
+//! new feature), update the pinned values in the same commit and say so.
+
+use earlyreg::core::ReleasePolicy;
+use earlyreg::sim::{MachineConfig, RunLimits, SimStats, Simulator};
+use earlyreg::workloads::{workload_by_name, Scale};
+
+fn golden_point() -> SimStats {
+    let workload = workload_by_name("swim", Scale::Smoke).expect("swim exists");
+    let config = MachineConfig::icpp02(ReleasePolicy::Extended, 48, 48);
+    let mut sim = Simulator::new(config, workload.program.clone());
+    sim.run(RunLimits::instructions(20_000))
+}
+
+#[test]
+fn golden_swim_extended_48_is_bit_identical() {
+    let stats = golden_point();
+    eprintln!("golden stats: {stats:#?}");
+
+    // Core progress counters.
+    assert_eq!(stats.cycles, 2876);
+    assert_eq!(stats.committed, 3622);
+    assert_eq!(stats.fetched, 3689);
+    assert_eq!(stats.renamed, 3673);
+    assert_eq!(stats.squashed, 51);
+    assert!(stats.halted);
+
+    // Instruction mix.
+    assert_eq!(stats.committed_branches, 95);
+    assert_eq!(stats.committed_loads, 855);
+    assert_eq!(stats.committed_stores, 286);
+    assert_eq!(stats.mispredicted_branches, 20);
+    assert_eq!(stats.exceptions, 0);
+    assert_eq!(stats.oracle_violations, 0);
+
+    // Stall accounting.
+    assert_eq!(stats.rename_stalls.free_list, 2202);
+
+    // Release accounting (the paper's subject): both classes, every reason.
+    assert_eq!(stats.release.int.early_at_lu_commit, 555);
+    assert_eq!(stats.release.int.reuses, 61);
+    assert_eq!(stats.release.int.branch_confirm_releases, 152);
+    assert_eq!(stats.release.fp.early_at_lu_commit, 2169);
+    assert_eq!(stats.release.fp.reuses, 227);
+    assert_eq!(stats.release.fp.branch_confirm_releases, 76);
+    assert_eq!(stats.release.int.conventional_releases, 0);
+    assert_eq!(stats.release.fp.conventional_releases, 0);
+}
