@@ -79,7 +79,11 @@ impl UseKind {
 }
 
 /// The register release policy under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived `Ord` follows the declaration order — the order the paper's
+/// figures plot the policies — and gives experiment sweeps a deterministic
+/// point ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ReleasePolicy {
     /// Conventional release: the previous version (`old_pd`) is released when
     /// the redefining (next-version) instruction commits (paper Section 2).

@@ -1,16 +1,10 @@
 //! Runs the design-choice ablation (register reuse, speculation depth,
 //! conditional releases) over the whole suite.
 //!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run ablation --no-cache`.
+//!
 //! Usage: ablation_design_choices [--scale smoke|bench|full] [--threads N]
-use earlyreg_experiments::{ablation, ExperimentOptions};
 fn main() {
-    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let result = ablation::run(&options);
-    print!("{}", ablation::render(&result));
+    earlyreg_experiments::engine::shim_main("ablation");
 }

@@ -1,21 +1,10 @@
 //! Regenerates Figure 3: average number of allocated registers in the Empty,
 //! Ready and Idle states under conventional renaming (96int + 96fp).
 //!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run fig03 --no-cache`.
+//!
 //! Usage: fig03_occupancy [--scale smoke|bench|full] [--threads N]
-use earlyreg_experiments::{context, fig03, ExperimentOptions};
 fn main() {
-    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    print!(
-        "{}",
-        context::render_table2(fig03::FIG03_REGISTERS, fig03::FIG03_REGISTERS)
-    );
-    println!();
-    let result = fig03::run(&options);
-    print!("{}", fig03::render(&result));
+    earlyreg_experiments::engine::shim_main("fig03");
 }

@@ -1,7 +1,8 @@
 //! Regenerates Figure 9: access time and energy of the LUs Table and of the
 //! integer/FP register files as a function of the number of registers.
-use earlyreg_experiments::fig09;
+//!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run fig09 --no-cache`.
 fn main() {
-    let result = fig09::run();
-    print!("{}", fig09::render(&result));
+    earlyreg_experiments::engine::shim_main("fig09");
 }

@@ -1,21 +1,10 @@
 //! Regenerates Figure 10: per-benchmark IPC for conventional, basic and
 //! extended release with a 48int + 48fp register file.
 //!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run fig10 --no-cache`.
+//!
 //! Usage: fig10_ipc48 [--scale smoke|bench|full] [--threads N]
-use earlyreg_experiments::{context, fig10, ExperimentOptions};
 fn main() {
-    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    print!(
-        "{}",
-        context::render_table2(fig10::FIG10_REGISTERS, fig10::FIG10_REGISTERS)
-    );
-    println!();
-    let result = fig10::run(&options);
-    print!("{}", fig10::render(&result));
+    earlyreg_experiments::engine::shim_main("fig10");
 }

@@ -1,16 +1,10 @@
 //! Regenerates Figure 11: harmonic-mean IPC versus register file size
 //! (40-160 per class) for the three release policies.
 //!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run fig11 --no-cache`.
+//!
 //! Usage: fig11_sweep [--scale smoke|bench|full] [--threads N]
-use earlyreg_experiments::{fig11, ExperimentOptions};
 fn main() {
-    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig11::run(&options);
-    print!("{}", fig11::render(&result));
+    earlyreg_experiments::engine::shim_main("fig11");
 }

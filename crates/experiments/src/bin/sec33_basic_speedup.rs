@@ -1,16 +1,10 @@
 //! Regenerates the Section 3.3 result: speedup of the basic mechanism alone
 //! over conventional release at 64, 48 and 40 registers per class.
 //!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run sec33 --no-cache`.
+//!
 //! Usage: sec33_basic_speedup [--scale smoke|bench|full] [--threads N]
-use earlyreg_experiments::{sec33, ExperimentOptions};
 fn main() {
-    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let result = sec33::run(&options);
-    print!("{}", sec33::render(&result));
+    earlyreg_experiments::engine::shim_main("sec33");
 }

@@ -1,7 +1,8 @@
 //! Regenerates the Section 4.4 cost analysis: the register-file energy
 //! balance and the storage cost of the extended mechanism.
-use earlyreg_experiments::sec44;
+//!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run sec44 --no-cache`.
 fn main() {
-    let result = sec44::run();
-    print!("{}", sec44::render(&result));
+    earlyreg_experiments::engine::shim_main("sec44");
 }

@@ -1,5 +1,8 @@
 //! Prints the paper's Table 1 (context: commercial processors with merged
 //! register files).  Nothing is simulated.
+//!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run table1 --no-cache`.
 fn main() {
-    print!("{}", earlyreg_experiments::context::render_table1());
+    earlyreg_experiments::engine::shim_main("table1");
 }

@@ -1,5 +1,8 @@
 //! Prints the paper's Table 3 together with the synthetic kernels this
 //! reproduction substitutes for the SPEC95 programs.
+//!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run table3 --no-cache`.
 fn main() {
-    print!("{}", earlyreg_experiments::context::render_table3());
+    earlyreg_experiments::engine::shim_main("table3");
 }

@@ -1,16 +1,10 @@
 //! Regenerates Table 4: register file sizes at which the extended mechanism
 //! matches the IPC of conventional release, and the storage saved.
 //!
+//! Shim over the experiment engine — equivalent to
+//! `earlyreg-exp run table4 --no-cache`.
+//!
 //! Usage: table4_equal_ipc [--scale smoke|bench|full] [--threads N]
-use earlyreg_experiments::{table4, ExperimentOptions};
 fn main() {
-    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let result = table4::run(&options);
-    print!("{}", table4::render(&result));
+    earlyreg_experiments::engine::shim_main("table4");
 }

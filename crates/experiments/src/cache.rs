@@ -1,0 +1,175 @@
+//! On-disk, content-addressed cache of simulated points.
+//!
+//! Every experiment point is a pure function of *(run point, machine
+//! configuration, workload program, instruction budget)* — the simulator is
+//! deterministic — so its [`SimStats`] can be cached across runs and across
+//! experiments.  The cache key is the canonical serialization of exactly
+//! those inputs:
+//!
+//! * the [`RunPoint`] coordinates,
+//! * the full [`MachineConfig`] (canonical JSON, so *any* config change —
+//!   scenario overrides, ablation knobs, Table 2 edits — changes the key),
+//! * a fingerprint of the generated workload program (which covers the
+//!   workload generator's seed, scale and code), and
+//! * the committed-instruction budget.
+//!
+//! Entries are stored as `<digest>.json` files containing both the canonical
+//! key (verified on load, so a digest collision degrades to a miss instead of
+//! returning wrong data) and the full statistics.  JSON integers round-trip
+//! bit-identically through the vendored serde, so a cache hit is
+//! indistinguishable from a cold simulation — `tests/experiment_engine.rs`
+//! asserts `SimStats` equality end to end.
+
+use crate::runner::RunPoint;
+use earlyreg_sim::SimStats;
+use serde::{json, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a — small, dependency-free and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The full identity of one simulation point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CacheKey {
+    /// Point coordinates.
+    pub point: RunPoint,
+    /// Canonical JSON of the machine configuration actually simulated.
+    pub machine: String,
+    /// FNV-1a fingerprint of the workload's generated program.
+    pub workload_fingerprint: u64,
+    /// Committed-instruction budget of the run.
+    pub max_instructions: u64,
+}
+
+impl CacheKey {
+    /// Canonical string form (the content that is addressed).
+    pub fn canonical(&self) -> String {
+        serde::Serialize::to_value(self).canonical()
+    }
+
+    /// Content digest: the cache file name.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+}
+
+/// A directory of `<digest>.json` point entries.
+#[derive(Debug, Clone)]
+pub struct PointCache {
+    dir: PathBuf,
+}
+
+impl PointCache {
+    /// Open (without creating) a cache directory.
+    pub fn new<P: Into<PathBuf>>(dir: P) -> Self {
+        PointCache { dir: dir.into() }
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File path of one entry.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", key.digest()))
+    }
+
+    /// Look up a point.  Any unreadable, unparsable or key-mismatched entry
+    /// is treated as a miss.
+    pub fn load(&self, key: &CacheKey) -> Option<SimStats> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let value = json::parse(&text).ok()?;
+        let stored_key = value.get("key")?.as_str()?;
+        if stored_key != key.canonical() {
+            return None;
+        }
+        serde::Deserialize::from_value(value.get("stats")?).ok()
+    }
+
+    /// Store a point (creates the cache directory on first use).
+    pub fn store(&self, key: &CacheKey, stats: &SimStats) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(key);
+        let entry = serde::value::Value::Map(vec![
+            ("key".to_string(), serde::value::Value::Str(key.canonical())),
+            ("stats".to_string(), serde::Serialize::to_value(stats)),
+        ]);
+        // Write via a temp file + rename so a crashed run never leaves a
+        // truncated entry behind (a torn entry would just miss, but why risk
+        // it).
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, entry.canonical())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_core::ReleasePolicy;
+    use earlyreg_workloads::WorkloadClass;
+
+    fn key(max_instructions: u64) -> CacheKey {
+        CacheKey {
+            point: RunPoint {
+                workload: "swim",
+                class: WorkloadClass::Fp,
+                policy: ReleasePolicy::Extended,
+                phys_int: 48,
+                phys_fp: 48,
+            },
+            machine: "{\"fetch_width\":8}".to_string(),
+            workload_fingerprint: 0xdead_beef,
+            max_instructions,
+        }
+    }
+
+    #[test]
+    fn digests_are_stable_and_input_sensitive() {
+        assert_eq!(key(100).digest(), key(100).digest());
+        assert_ne!(key(100).digest(), key(101).digest());
+        let mut other = key(100);
+        other.machine.push('x');
+        assert_ne!(other.digest(), key(100).digest());
+    }
+
+    #[test]
+    fn store_load_round_trip_and_mismatch_misses() {
+        let dir = std::env::temp_dir().join(format!("earlyreg-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PointCache::new(&dir);
+        let key = key(4242);
+        assert_eq!(cache.load(&key), None, "empty cache must miss");
+
+        let stats = SimStats {
+            cycles: 77,
+            committed: u64::MAX - 9,
+            halted: true,
+            ..Default::default()
+        };
+        cache.store(&key, &stats).unwrap();
+        assert_eq!(
+            cache.load(&key),
+            Some(stats.clone()),
+            "hit is bit-identical"
+        );
+
+        // Corrupt the entry: the load degrades to a miss.
+        std::fs::write(cache.entry_path(&key), "{not json").unwrap();
+        assert_eq!(cache.load(&key), None);
+
+        // A different key hashing to a different file also misses.
+        assert_eq!(cache.load(&self::key(1)), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

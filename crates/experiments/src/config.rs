@@ -1,5 +1,7 @@
-//! Experiment-wide options.
+//! Experiment-wide options and config-driven scenarios.
 
+use earlyreg_core::ReleasePolicy;
+use earlyreg_sim::MachineConfig;
 use earlyreg_workloads::Scale;
 use serde::{Deserialize, Serialize};
 
@@ -38,10 +40,35 @@ impl ExperimentOptions {
         }
     }
 
+    /// Parse one scale name.
+    pub fn parse_scale(value: &str) -> Result<Scale, String> {
+        match value {
+            "smoke" => Ok(Scale::Smoke),
+            "bench" => Ok(Scale::Bench),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (smoke|bench|full)")),
+        }
+    }
+
+    /// Parse a `--threads`/`--jobs` value.
+    pub fn parse_threads(value: &str) -> Result<usize, String> {
+        value
+            .parse()
+            .map_err(|_| format!("invalid thread count '{value}'"))
+    }
+
+    /// Parse a `--max-instructions` value.
+    pub fn parse_budget(value: &str) -> Result<u64, String> {
+        value
+            .parse()
+            .map_err(|_| format!("invalid instruction budget '{value}'"))
+    }
+
     /// Parse command-line arguments of the experiment binaries.
     ///
-    /// Recognised flags: `--scale smoke|bench|full`, `--threads N`.
-    /// Unknown flags produce an error message listing the supported ones.
+    /// Recognised flags: `--scale smoke|bench|full`, `--threads N`,
+    /// `--max-instructions N`.  Unknown flags produce an error message
+    /// listing the supported ones.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut options = Self::default();
         let mut iter = args.into_iter();
@@ -49,21 +76,21 @@ impl ExperimentOptions {
             match arg.as_str() {
                 "--scale" => {
                     let value = iter.next().ok_or("--scale requires a value")?;
-                    options.scale = match value.as_str() {
-                        "smoke" => Scale::Smoke,
-                        "bench" => Scale::Bench,
-                        "full" => Scale::Full,
-                        other => return Err(format!("unknown scale '{other}' (smoke|bench|full)")),
-                    };
+                    options.scale = Self::parse_scale(&value)?;
                 }
-                "--threads" => {
+                "--threads" | "--jobs" => {
                     let value = iter.next().ok_or("--threads requires a value")?;
-                    options.threads = value
-                        .parse()
-                        .map_err(|_| format!("invalid thread count '{value}'"))?;
+                    options.threads = Self::parse_threads(&value)?;
+                }
+                "--max-instructions" => {
+                    let value = iter.next().ok_or("--max-instructions requires a value")?;
+                    options.max_instructions = Self::parse_budget(&value)?;
                 }
                 "--help" | "-h" => {
-                    return Err("usage: [--scale smoke|bench|full] [--threads N]".to_string())
+                    return Err(
+                        "usage: [--scale smoke|bench|full] [--threads N] [--max-instructions N]"
+                            .to_string(),
+                    )
                 }
                 other => return Err(format!("unknown argument '{other}'; try --help")),
             }
@@ -80,6 +107,170 @@ impl ExperimentOptions {
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+}
+
+/// A *scenario*: machine and sweep overrides applied on top of the paper's
+/// Table 2 baseline.
+///
+/// Scenarios make new experiment configurations a config entry instead of a
+/// new crate module: every experiment plans its points through
+/// [`crate::engine::PlanContext`], which routes all machine construction
+/// through [`Scenario::machine`] and the Figure 11 sweep axis through
+/// [`Scenario::sweep_sizes`].  A scenario file is a list of `key = value`
+/// lines (`#` comments allowed):
+///
+/// ```text
+/// # A narrower machine with a short Release Queue.
+/// ros_size = 64
+/// lsq_size = 32
+/// memory_latency = 120
+/// max_pending_branches = 8
+/// sweep_sizes = 40,48,56,64,80
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (reports mention it; "table2" for the baseline).
+    pub name: String,
+    /// Override of the Figure 11 register-file sweep axis.
+    pub sweep_sizes: Option<Vec<usize>>,
+    /// Reorder structure size (Table 2: 128).
+    pub ros_size: Option<usize>,
+    /// Load/store queue entries (Table 2: 64).
+    pub lsq_size: Option<usize>,
+    /// Main memory latency in cycles (Table 2: 50).
+    pub memory_latency: Option<u32>,
+    /// Maximum unverified branches / Release Queue depth (Table 2: 20).
+    pub max_pending_branches: Option<usize>,
+    /// gshare history bits (Table 2: 18).
+    pub gshare_bits: Option<u32>,
+    /// Fetch width (Table 2: 8).
+    pub fetch_width: Option<usize>,
+    /// Commit width (Table 2: 8).
+    pub commit_width: Option<usize>,
+}
+
+impl Scenario {
+    /// The unmodified Table 2 baseline.
+    pub fn table2() -> Self {
+        Scenario {
+            name: "table2".to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// True when the scenario changes nothing relative to Table 2.
+    pub fn is_baseline(&self) -> bool {
+        let baseline = Scenario {
+            name: self.name.clone(),
+            ..Default::default()
+        };
+        *self == baseline
+    }
+
+    /// Build the machine for one point: Table 2, overridden by the scenario.
+    pub fn machine(&self, policy: ReleasePolicy, phys_int: usize, phys_fp: usize) -> MachineConfig {
+        let mut config = MachineConfig::icpp02(policy, phys_int, phys_fp);
+        if let Some(ros) = self.ros_size {
+            config.ros_size = ros;
+            config.rename.ros_size = ros;
+        }
+        if let Some(lsq) = self.lsq_size {
+            config.lsq_size = lsq;
+        }
+        if let Some(latency) = self.memory_latency {
+            config.memory_latency = latency;
+        }
+        if let Some(branches) = self.max_pending_branches {
+            config.rename.max_pending_branches = branches;
+        }
+        if let Some(bits) = self.gshare_bits {
+            config.predictor.gshare_bits = bits;
+        }
+        if let Some(width) = self.fetch_width {
+            config.fetch_width = width;
+        }
+        if let Some(width) = self.commit_width {
+            config.commit_width = width;
+        }
+        config
+    }
+
+    /// The register-file sweep axis (Figure 11 and friends).
+    pub fn sweep_sizes(&self) -> Vec<usize> {
+        self.sweep_sizes
+            .clone()
+            .unwrap_or_else(|| FIG11_SIZES.to_vec())
+    }
+
+    /// Parse a scenario from `key = value` lines (see the type docs).
+    pub fn parse(name: &str, text: &str) -> Result<Self, String> {
+        let mut scenario = Scenario {
+            name: name.to_string(),
+            ..Default::default()
+        };
+        for (number, raw_line) in text.lines().enumerate() {
+            let line = raw_line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected 'key = value'", number + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: invalid {what} '{value}'", number + 1);
+            match key {
+                "name" => scenario.name = value.to_string(),
+                "sweep_sizes" => {
+                    let sizes: Result<Vec<usize>, _> =
+                        value.split(',').map(|s| s.trim().parse()).collect();
+                    scenario.sweep_sizes = Some(sizes.map_err(|_| bad("size list"))?);
+                }
+                "ros_size" => scenario.ros_size = Some(value.parse().map_err(|_| bad("ros_size"))?),
+                "lsq_size" => scenario.lsq_size = Some(value.parse().map_err(|_| bad("lsq_size"))?),
+                "memory_latency" => {
+                    scenario.memory_latency =
+                        Some(value.parse().map_err(|_| bad("memory_latency"))?)
+                }
+                "max_pending_branches" => {
+                    scenario.max_pending_branches =
+                        Some(value.parse().map_err(|_| bad("max_pending_branches"))?)
+                }
+                "gshare_bits" => {
+                    scenario.gshare_bits = Some(value.parse().map_err(|_| bad("gshare_bits"))?)
+                }
+                "fetch_width" => {
+                    scenario.fetch_width = Some(value.parse().map_err(|_| bad("fetch_width"))?)
+                }
+                "commit_width" => {
+                    scenario.commit_width = Some(value.parse().map_err(|_| bad("commit_width"))?)
+                }
+                other => return Err(format!("line {}: unknown key '{other}'", number + 1)),
+            }
+        }
+        // Surface invalid combinations (e.g. a non-power-of-two gshare) now,
+        // with the file context, instead of deep inside a sweep.
+        scenario
+            .machine(ReleasePolicy::Extended, 64, 64)
+            .validate()
+            .map_err(|e| {
+                format!(
+                    "scenario '{}' builds an invalid machine: {e}",
+                    scenario.name
+                )
+            })?;
+        Ok(scenario)
+    }
+
+    /// Load a scenario from a file; the file stem becomes its default name.
+    pub fn from_file(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read scenario {}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("scenario");
+        Self::parse(name, &text)
     }
 }
 
@@ -108,6 +299,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_max_instructions_and_jobs_alias() {
+        let o = ExperimentOptions::from_args(args(&["--max-instructions", "1234", "--jobs", "2"]))
+            .unwrap();
+        assert_eq!(o.max_instructions, 1234);
+        assert_eq!(o.threads, 2);
+    }
+
+    #[test]
     fn rejects_unknown_arguments() {
         assert!(ExperimentOptions::from_args(args(&["--bogus"])).is_err());
         assert!(ExperimentOptions::from_args(args(&["--scale", "huge"])).is_err());
@@ -119,5 +318,44 @@ mod tests {
         assert_eq!(FIG11_SIZES.first(), Some(&40));
         assert_eq!(FIG11_SIZES.last(), Some(&160));
         assert_eq!(FIG11_SIZES.len(), 13);
+    }
+
+    #[test]
+    fn baseline_scenario_is_table2() {
+        let scenario = Scenario::table2();
+        assert!(scenario.is_baseline());
+        let config = scenario.machine(ReleasePolicy::Extended, 96, 96);
+        assert_eq!(
+            config,
+            MachineConfig::icpp02(ReleasePolicy::Extended, 96, 96)
+        );
+        assert_eq!(scenario.sweep_sizes(), FIG11_SIZES.to_vec());
+    }
+
+    #[test]
+    fn scenario_parse_applies_overrides() {
+        let text = "\
+            # tighter machine\n\
+            ros_size = 64\n\
+            memory_latency = 120  # slow DRAM\n\
+            sweep_sizes = 40, 48, 64\n";
+        let scenario = Scenario::parse("tight", text).unwrap();
+        assert!(!scenario.is_baseline());
+        assert_eq!(scenario.name, "tight");
+        assert_eq!(scenario.sweep_sizes(), vec![40, 48, 64]);
+        let config = scenario.machine(ReleasePolicy::Basic, 48, 48);
+        assert_eq!(config.ros_size, 64);
+        assert_eq!(config.rename.ros_size, 64);
+        assert_eq!(config.memory_latency, 120);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_parse_rejects_bad_input() {
+        assert!(Scenario::parse("x", "nonsense").is_err());
+        assert!(Scenario::parse("x", "bogus_key = 3").is_err());
+        assert!(Scenario::parse("x", "ros_size = lots").is_err());
+        // A machine that fails validation is rejected at parse time.
+        assert!(Scenario::parse("x", "gshare_bits = 60").is_err());
     }
 }

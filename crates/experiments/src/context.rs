@@ -2,18 +2,14 @@
 //! merged register files) and Table 3 (benchmarks), plus the Table 2 machine
 //! summary printed by the experiment binaries.
 
-use crate::report::TextTable;
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
+use crate::report::{NamedTable, Report, TextTable};
 use earlyreg_core::ReleasePolicy;
 use earlyreg_sim::MachineConfig;
 use earlyreg_workloads::SPECS;
 
-/// Render the paper's Table 1 (descriptive context only — nothing is
-/// simulated from it).
-pub fn render_table1() -> String {
-    let mut out = String::new();
-    out.push_str(
-        "Table 1 — out-of-order processors with merged register files (paper context)\n\n",
-    );
+/// The Table 1 data.
+pub fn table1() -> TextTable {
     let mut table = TextTable::new([
         "processor",
         "int phys regs",
@@ -34,7 +30,17 @@ pub fn render_table1() -> String {
         "80-entry In-Flight Window",
     ]);
     table.row(["Intel P4", "128", "128", "126-op Reorder Buffer"]);
-    out.push_str(&table.render());
+    table
+}
+
+/// Render the paper's Table 1 (descriptive context only — nothing is
+/// simulated from it).
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table 1 — out-of-order processors with merged register files (paper context)\n\n",
+    );
+    out.push_str(&table1().render());
     out.push_str("\nloose file: P >= L + N (never stalls for registers); tight file: P < L + N\n");
     out
 }
@@ -96,10 +102,8 @@ pub fn render_table2(phys_int: usize, phys_fp: usize) -> String {
     )
 }
 
-/// Render the paper's Table 3 together with this reproduction's substitutes.
-pub fn render_table3() -> String {
-    let mut out = String::new();
-    out.push_str("Table 3 — benchmarks (paper inputs vs synthetic substitutes)\n\n");
+/// The Table 3 data.
+pub fn table3() -> TextTable {
     let mut table = TextTable::new([
         "benchmark",
         "group",
@@ -119,8 +123,71 @@ pub fn render_table3() -> String {
             spec.description.to_string(),
         ]);
     }
-    out.push_str(&table.render());
+    table
+}
+
+/// Render the paper's Table 3 together with this reproduction's substitutes.
+pub fn render_table3() -> String {
+    let mut out = String::new();
+    out.push_str("Table 3 — benchmarks (paper inputs vs synthetic substitutes)\n\n");
+    out.push_str(&table3().render());
     out
+}
+
+/// The Table 1 context experiment (no simulation).
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 1 — commercial processors with merged register files (context)"
+    }
+
+    fn plan(&self, _ctx: &PlanContext) -> Vec<PlannedPoint> {
+        Vec::new()
+    }
+
+    fn render(&self, _ctx: &PlanContext, _results: &ResultSet) -> Report {
+        let table = NamedTable::new("processors", table1());
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render_table1(),
+            data: table.table.to_value(),
+            tables: vec![table],
+        }
+    }
+}
+
+/// The Table 3 context experiment (no simulation).
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 3 — benchmarks and their synthetic substitutes"
+    }
+
+    fn plan(&self, _ctx: &PlanContext) -> Vec<PlannedPoint> {
+        Vec::new()
+    }
+
+    fn render(&self, _ctx: &PlanContext, _results: &ResultSet) -> Report {
+        let table = NamedTable::new("benchmarks", table3());
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render_table3(),
+            data: table.table.to_value(),
+            tables: vec![table],
+        }
+    }
 }
 
 #[cfg(test)]

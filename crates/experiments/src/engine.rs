@@ -1,0 +1,509 @@
+//! The declarative experiment engine.
+//!
+//! Every table and figure of the paper is described by an [`Experiment`]:
+//! an id, a title, a *plan* (the simulation points it needs) and a *render*
+//! (the report it produces from the results).  The engine turns any set of
+//! experiments into one shared sweep:
+//!
+//! 1. **Plan** — each experiment contributes its points through a shared
+//!    [`PlanContext`] (one workload suite, one instruction budget, one
+//!    [`Scenario`] of machine/sweep overrides for all of them).
+//! 2. **Dedup** — the union of all plans is sorted by [`RunPoint`] and
+//!    deduplicated by content digest, so a point two experiments share (e.g.
+//!    Figure 10's 48-register points inside Figure 11's sweep) is simulated
+//!    exactly once.
+//! 3. **Cache** — each unique point is looked up in an optional on-disk
+//!    [`PointCache`] keyed by (point, machine config, workload program,
+//!    budget); only misses are simulated, on the parallel runner, and stored
+//!    back.
+//! 4. **Render** — every experiment renders its [`Report`] from the shared
+//!    [`ResultSet`]; the [`RunSummary`] reports planned / unique / cache-hit
+//!    / simulated point counts.
+//!
+//! The `earlyreg-exp` binary is a thin CLI over [`registry`] and [`run`];
+//! the historical per-experiment binaries are shims over [`shim_main`].
+
+use crate::cache::{fnv1a64, CacheKey, PointCache};
+use crate::config::{ExperimentOptions, Scenario};
+use crate::report::{emit, Format, Report};
+use crate::runner::{run_configured_point, run_parallel, RunPoint, RunResult};
+use crate::{ablation, context, fig03, fig09, fig10, fig11, sec33, sec44, table4};
+use earlyreg_core::ReleasePolicy;
+use earlyreg_sim::{MachineConfig, SimStats};
+use earlyreg_workloads::{suite, Workload, WorkloadClass};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One planned simulation point: coordinates plus the exact machine to
+/// simulate and its content-addressed identity.
+#[derive(Debug, Clone)]
+pub struct PlannedPoint {
+    /// Point coordinates.
+    pub point: RunPoint,
+    /// The machine configuration to simulate.
+    pub config: MachineConfig,
+    /// Full cache identity of the point.
+    pub key: CacheKey,
+    /// Digest of `key` (cached; file name in the point cache and dedup key).
+    pub digest: u64,
+}
+
+/// Shared planning state: options, scenario and the workload suite, built
+/// once per engine run and shared by every experiment.
+pub struct PlanContext {
+    /// Execution options (scale, threads, instruction budget).
+    pub options: ExperimentOptions,
+    /// Machine/sweep overrides.
+    pub scenario: Scenario,
+    workloads: Vec<Workload>,
+    fingerprints: HashMap<&'static str, u64>,
+}
+
+impl PlanContext {
+    /// Build the context: instantiate the workload suite at the requested
+    /// scale and fingerprint every generated program.
+    pub fn new(options: ExperimentOptions, scenario: Scenario) -> Self {
+        let workloads = suite(options.scale);
+        let fingerprints = workloads
+            .iter()
+            .map(|w| {
+                let canonical = serde::Serialize::to_value(&*w.program).canonical();
+                (w.name(), fnv1a64(canonical.as_bytes()))
+            })
+            .collect();
+        PlanContext {
+            options,
+            scenario,
+            workloads,
+            fingerprints,
+        }
+    }
+
+    /// The shared workload suite.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Find one workload by name.
+    pub fn workload(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.name() == name)
+    }
+
+    /// The machine for one point: Table 2 plus the scenario's overrides.
+    pub fn machine(&self, policy: ReleasePolicy, phys_int: usize, phys_fp: usize) -> MachineConfig {
+        self.scenario.machine(policy, phys_int, phys_fp)
+    }
+
+    /// Plan one point under an explicit machine configuration.
+    pub fn point_with_config(&self, point: RunPoint, config: MachineConfig) -> PlannedPoint {
+        let key = CacheKey {
+            point,
+            machine: serde::Serialize::to_value(&config).canonical(),
+            workload_fingerprint: self
+                .fingerprints
+                .get(point.workload)
+                .copied()
+                .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload)),
+            max_instructions: self.options.max_instructions,
+        };
+        let digest = key.digest();
+        PlannedPoint {
+            point,
+            config,
+            key,
+            digest,
+        }
+    }
+
+    /// Plan one point on the scenario machine.
+    pub fn point(
+        &self,
+        workload: &Workload,
+        policy: ReleasePolicy,
+        phys_int: usize,
+        phys_fp: usize,
+    ) -> PlannedPoint {
+        let point = RunPoint {
+            workload: workload.name(),
+            class: workload.class(),
+            policy,
+            phys_int,
+            phys_fp,
+        };
+        self.point_with_config(point, self.machine(policy, phys_int, phys_fp))
+    }
+
+    /// Plan the cross product of the whole suite x policies x (symmetric)
+    /// sizes on the scenario machine.
+    pub fn cross(&self, policies: &[ReleasePolicy], sizes: &[usize]) -> Vec<PlannedPoint> {
+        self.cross_class(None, policies, sizes)
+    }
+
+    /// Like [`Self::cross`], restricted to one benchmark group.
+    pub fn cross_class(
+        &self,
+        class: Option<WorkloadClass>,
+        policies: &[ReleasePolicy],
+        sizes: &[usize],
+    ) -> Vec<PlannedPoint> {
+        let mut points = Vec::new();
+        for workload in &self.workloads {
+            if class.is_some_and(|c| workload.class() != c) {
+                continue;
+            }
+            for &policy in policies {
+                for &size in sizes {
+                    points.push(self.point(workload, policy, size, size));
+                }
+            }
+        }
+        points
+    }
+}
+
+/// The simulated (or cache-loaded) results of a set of planned points,
+/// addressed by content digest.
+#[derive(Debug, Default)]
+pub struct ResultSet {
+    entries: HashMap<u64, RunResult>,
+}
+
+impl ResultSet {
+    /// Number of distinct points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no point has been resolved.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The result of one planned point.
+    pub fn get(&self, point: &PlannedPoint) -> Option<&RunResult> {
+        self.entries.get(&point.digest)
+    }
+
+    /// The statistics of one planned point.
+    pub fn stats(&self, point: &PlannedPoint) -> Option<&SimStats> {
+        self.get(point).map(|r| &r.stats)
+    }
+
+    /// Materialise the results of a plan, in plan order.  Panics if a point
+    /// was never resolved — experiments must render from the same plan they
+    /// submitted.
+    pub fn collect(&self, plan: &[PlannedPoint]) -> Vec<RunResult> {
+        plan.iter()
+            .map(|p| {
+                self.get(p)
+                    .unwrap_or_else(|| panic!("unresolved point {:?}", p.point))
+                    .clone()
+            })
+            .collect()
+    }
+}
+
+/// A declarative experiment: what to simulate and how to report it.
+pub trait Experiment: Sync {
+    /// Stable id used on the command line and in file names ("fig03").
+    fn id(&self) -> &'static str;
+    /// One-line description.
+    fn title(&self) -> &'static str;
+    /// The simulation points this experiment needs (empty for analytic or
+    /// context-only experiments).
+    fn plan(&self, ctx: &PlanContext) -> Vec<PlannedPoint>;
+    /// Render the report from resolved results.
+    fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report;
+}
+
+/// Every registered experiment, in the paper's presentation order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(context::Table1),
+        Box::new(context::Table3),
+        Box::new(fig03::Fig03),
+        Box::new(sec33::Sec33),
+        Box::new(fig09::Fig09),
+        Box::new(sec44::Sec44),
+        Box::new(fig10::Fig10),
+        Box::new(fig11::Fig11),
+        Box::new(table4::Table4),
+        Box::new(ablation::Ablation),
+    ]
+}
+
+/// Resolve experiment ids (or `all`) against the registry.
+pub fn select(ids: &[String]) -> Result<Vec<Box<dyn Experiment>>, String> {
+    let all = registry();
+    if ids.is_empty() || ids.iter().any(|id| id == "all") {
+        return Ok(all);
+    }
+    let mut selected = Vec::new();
+    for id in ids {
+        match all.iter().position(|e| e.id() == id) {
+            Some(_) => {}
+            None => {
+                let known: Vec<&str> = all.iter().map(|e| e.id()).collect();
+                return Err(format!(
+                    "unknown experiment '{id}'; known: {}",
+                    known.join(" ")
+                ));
+            }
+        }
+    }
+    // Preserve registry order and drop duplicates.
+    for experiment in all {
+        if ids.iter().any(|id| id == experiment.id()) {
+            selected.push(experiment);
+        }
+    }
+    Ok(selected)
+}
+
+/// Counters of one engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Ids of the experiments that ran.
+    pub experiments: Vec<&'static str>,
+    /// Points requested across all experiment plans.
+    pub planned: usize,
+    /// Distinct points after cross-experiment dedup.
+    pub unique: usize,
+    /// Points answered by the on-disk cache.
+    pub cache_hits: usize,
+    /// Points actually simulated.
+    pub simulated: usize,
+}
+
+impl RunSummary {
+    /// One-line human summary (the CLI prints it; CI greps it).
+    pub fn line(&self) -> String {
+        format!(
+            "points: planned={} unique={} cache_hits={} simulated={} (experiments: {})",
+            self.planned,
+            self.unique,
+            self.cache_hits,
+            self.simulated,
+            self.experiments.join(" ")
+        )
+    }
+}
+
+/// The reports and counters of one engine run.
+pub struct EngineOutcome {
+    /// One report per experiment, in the order they were selected.
+    pub reports: Vec<Report>,
+    /// Planner/cache counters.
+    pub summary: RunSummary,
+}
+
+/// Dedup a union of plans and resolve every unique point: cache first, then
+/// parallel simulation, storing fresh results back into the cache.
+fn resolve(
+    ctx: &PlanContext,
+    mut unique: Vec<PlannedPoint>,
+    cache: Option<&PointCache>,
+) -> (ResultSet, usize) {
+    unique.sort_by_key(|p| (p.point, p.digest));
+    unique.dedup_by_key(|p| p.digest);
+
+    let mut results = ResultSet::default();
+    let mut misses = Vec::new();
+    let mut cache_hits = 0usize;
+    for planned in unique {
+        match cache.and_then(|c| c.load(&planned.key)) {
+            Some(stats) => {
+                cache_hits += 1;
+                results.entries.insert(
+                    planned.digest,
+                    RunResult {
+                        point: planned.point,
+                        stats,
+                    },
+                );
+            }
+            None => misses.push(planned),
+        }
+    }
+
+    let simulated = run_parallel(ctx.options.effective_threads(), &misses, |planned| {
+        let workload = ctx
+            .workload(planned.point.workload)
+            .unwrap_or_else(|| panic!("unknown workload '{}'", planned.point.workload));
+        run_configured_point(
+            workload,
+            planned.point,
+            planned.config,
+            ctx.options.max_instructions,
+        )
+    });
+    for (planned, result) in misses.iter().zip(simulated) {
+        if let Some(cache) = cache {
+            if let Err(error) = cache.store(&planned.key, &result.stats) {
+                eprintln!("warning: cannot cache point {:?}: {error}", planned.point);
+            }
+        }
+        results.entries.insert(planned.digest, result);
+    }
+    (results, cache_hits)
+}
+
+/// Resolve a plan against an optional disk cache: dedup, cache lookups,
+/// parallel simulation of the misses, store-back.
+pub fn resolve_plan(
+    ctx: &PlanContext,
+    plan: &[PlannedPoint],
+    cache: Option<&PointCache>,
+) -> ResultSet {
+    resolve(ctx, plan.to_vec(), cache).0
+}
+
+/// Resolve a plan without a disk cache — the path the per-module `run()`
+/// convenience functions (and their tests) use.
+pub fn simulate(ctx: &PlanContext, plan: &[PlannedPoint]) -> ResultSet {
+    resolve_plan(ctx, plan, None)
+}
+
+/// Run a set of experiments as one shared sweep.
+pub fn run(
+    experiments: &[&dyn Experiment],
+    ctx: &PlanContext,
+    cache: Option<&PointCache>,
+) -> EngineOutcome {
+    let plans: Vec<Vec<PlannedPoint>> = experiments.iter().map(|e| e.plan(ctx)).collect();
+    let planned: usize = plans.iter().map(Vec::len).sum();
+    let union: Vec<PlannedPoint> = plans.into_iter().flatten().collect();
+    let (results, cache_hits) = resolve(ctx, union, cache);
+    let unique = results.len();
+    let reports = experiments
+        .iter()
+        .map(|e| e.render(ctx, &results))
+        .collect();
+    EngineOutcome {
+        reports,
+        summary: RunSummary {
+            experiments: experiments.iter().map(|e| e.id()).collect(),
+            planned,
+            unique,
+            cache_hits,
+            simulated: unique - cache_hits,
+        },
+    }
+}
+
+/// Entry point of the historical per-experiment binaries: parse the classic
+/// flags, run the one experiment through the engine (no disk cache) and
+/// print its text report — byte-for-byte what the pre-engine binary printed.
+pub fn shim_main(id: &str) {
+    let options = match ExperimentOptions::from_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = PlanContext::new(options, Scenario::table2());
+    let registry = registry();
+    let experiment = registry
+        .iter()
+        .find(|e| e.id() == id)
+        .unwrap_or_else(|| panic!("experiment '{id}' is not registered"));
+    let outcome = run(&[experiment.as_ref()], &ctx, None);
+    emit(&outcome.reports[0], Format::Text, None).expect("stdout write");
+}
+
+/// Run experiments for a one-shot caller (tests, tools): select by id, run
+/// on the given cache, emit every report in `format` under `out`.
+pub fn run_to_files(
+    ids: &[String],
+    ctx: &PlanContext,
+    cache: Option<&PointCache>,
+    format: Format,
+    out: Option<&Path>,
+) -> Result<EngineOutcome, String> {
+    let experiments = select(ids)?;
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    let outcome = run(&refs, ctx, cache);
+    for report in &outcome.reports {
+        emit(report, format, out).map_err(|e| format!("cannot write report: {e}"))?;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_workloads::Scale;
+
+    fn smoke_ctx() -> PlanContext {
+        PlanContext::new(
+            ExperimentOptions {
+                scale: Scale::Smoke,
+                threads: 2,
+                max_instructions: 10_000,
+            },
+            Scenario::table2(),
+        )
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let registry = registry();
+        let ids: Vec<&str> = registry.iter().map(|e| e.id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "table1", "table3", "fig03", "sec33", "fig09", "sec44", "fig10", "fig11", "table4",
+                "ablation"
+            ]
+        );
+    }
+
+    #[test]
+    fn select_resolves_ids_and_rejects_unknown() {
+        assert_eq!(
+            select(&["all".to_string()]).unwrap().len(),
+            registry().len()
+        );
+        let picked = select(&["fig10".to_string(), "fig03".to_string()]).unwrap();
+        // Registry order is preserved regardless of request order.
+        assert_eq!(
+            picked.iter().map(|e| e.id()).collect::<Vec<_>>(),
+            ["fig03", "fig10"]
+        );
+        assert!(select(&["fig99".to_string()]).is_err());
+    }
+
+    #[test]
+    fn planner_dedups_shared_points() {
+        let ctx = smoke_ctx();
+        // Two plans sharing 10 conventional 48-register points.
+        let a = ctx.cross(&[ReleasePolicy::Conventional], &[48, 64]);
+        let b = ctx.cross(&[ReleasePolicy::Conventional], &[48]);
+        let union: Vec<PlannedPoint> = a.iter().chain(b.iter()).cloned().collect();
+        assert_eq!(union.len(), 30);
+        let results = simulate(&ctx, &union);
+        assert_eq!(results.len(), 20, "the shared points collapse");
+        for point in &b {
+            assert!(results.stats(point).is_some());
+        }
+    }
+
+    #[test]
+    fn scenario_overrides_change_point_identity() {
+        let ctx = smoke_ctx();
+        let tight = PlanContext::new(
+            ctx.options,
+            Scenario {
+                ros_size: Some(64),
+                ..Scenario::table2()
+            },
+        );
+        let workload = ctx.workload("swim").unwrap().clone();
+        let a = ctx.point(&workload, ReleasePolicy::Extended, 48, 48);
+        let b = tight.point(&workload, ReleasePolicy::Extended, 48, 48);
+        assert_eq!(a.point, b.point);
+        assert_ne!(a.digest, b.digest, "machine overrides must change the key");
+        assert_eq!(b.config.ros_size, 64);
+    }
+}

@@ -8,11 +8,13 @@
 //! for the integer codes and 16.8 % for the FP codes.
 
 use crate::config::ExperimentOptions;
+use crate::context;
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
 use crate::metrics::arithmetic_mean;
-use crate::report::{fmt, fmt_pct, TextTable};
-use crate::runner::{cross_points, run_sweep};
+use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
-use earlyreg_workloads::{suite, WorkloadClass};
+use earlyreg_workloads::WorkloadClass;
 use serde::{Deserialize, Serialize};
 
 /// Register file size used by Figure 3.
@@ -53,7 +55,7 @@ impl Fig03Row {
 /// Full Figure 3 data.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig03Result {
-    /// Per-benchmark rows (integer then FP, suite order).
+    /// Per-benchmark rows (sorted by benchmark name).
     pub rows: Vec<Fig03Row>,
     /// Arithmetic-mean idle overhead of the integer group (paper: 45.8 %).
     pub int_idle_overhead: f64,
@@ -75,17 +77,16 @@ impl Fig03Result {
     }
 }
 
-/// Run the Figure 3 experiment.
-pub fn run(options: &ExperimentOptions) -> Fig03Result {
-    let workloads = suite(options.scale);
-    let points = cross_points(
-        &workloads,
-        &[ReleasePolicy::Conventional],
-        &[FIG03_REGISTERS],
-    );
-    let results = run_sweep(options, points);
+/// The points Figure 3 needs: every workload, conventional release, 96+96.
+pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
+    ctx.cross(&[ReleasePolicy::Conventional], &[FIG03_REGISTERS])
+}
 
-    let rows: Vec<Fig03Row> = results
+/// Summarise raw sweep results into the Figure 3 data.
+pub fn summarise(raw: &[RunResult]) -> Fig03Result {
+    let mut raw: Vec<&RunResult> = raw.iter().collect();
+    raw.sort_by_key(|r| r.point);
+    let rows: Vec<Fig03Row> = raw
         .iter()
         .map(|r| {
             // Integer programs are measured on the integer file, FP programs
@@ -118,46 +119,69 @@ pub fn run(options: &ExperimentOptions) -> Fig03Result {
     }
 }
 
+/// Run the Figure 3 experiment standalone (engine path, no disk cache).
+pub fn run(options: &ExperimentOptions) -> Fig03Result {
+    let ctx = PlanContext::new(*options, crate::config::Scenario::table2());
+    let plan = plan(&ctx);
+    let results = crate::engine::simulate(&ctx, &plan);
+    summarise(&results.collect(&plan))
+}
+
+/// One occupancy table per benchmark group.
+pub fn tables(result: &Fig03Result) -> Vec<NamedTable> {
+    [WorkloadClass::Int, WorkloadClass::Fp]
+        .into_iter()
+        .map(|class| {
+            let mut table = TextTable::new([
+                "benchmark",
+                "empty",
+                "ready",
+                "idle",
+                "allocated",
+                "idle/(e+r)",
+            ]);
+            for row in result
+                .rows
+                .iter()
+                .filter(|r| r.class == class)
+                .chain(std::iter::once(&result.amean(class)))
+            {
+                table.row([
+                    row.workload.clone(),
+                    fmt(row.empty, 1),
+                    fmt(row.ready, 1),
+                    fmt(row.idle, 1),
+                    fmt(row.allocated(), 1),
+                    fmt_pct(row.idle_overhead()),
+                ]);
+            }
+            NamedTable::new(
+                match class {
+                    WorkloadClass::Int => "int",
+                    WorkloadClass::Fp => "fp",
+                },
+                table,
+            )
+        })
+        .collect()
+}
+
 /// Render the Figure 3 table.
 pub fn render(result: &Fig03Result) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Figure 3 — allocated registers by state (conventional renaming, {FIG03_REGISTERS}int+{FIG03_REGISTERS}fp)\n\n"
     ));
-    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        let mut table = TextTable::new([
-            "benchmark",
-            "empty",
-            "ready",
-            "idle",
-            "allocated",
-            "idle/(e+r)",
-        ]);
-        for row in result.rows.iter().filter(|r| r.class == class) {
-            table.row([
-                row.workload.clone(),
-                fmt(row.empty, 1),
-                fmt(row.ready, 1),
-                fmt(row.idle, 1),
-                fmt(row.allocated(), 1),
-                fmt_pct(row.idle_overhead()),
-            ]);
-        }
-        let amean = result.amean(class);
-        table.row([
-            "Amean".to_string(),
-            fmt(amean.empty, 1),
-            fmt(amean.ready, 1),
-            fmt(amean.idle, 1),
-            fmt(amean.allocated(), 1),
-            fmt_pct(amean.idle_overhead()),
-        ]);
+    for (class, table) in [WorkloadClass::Int, WorkloadClass::Fp]
+        .into_iter()
+        .zip(tables(result))
+    {
         out.push_str(&format!(
             "{} registers ({} programs)\n",
             class.label(),
             class.label()
         ));
-        out.push_str(&table.render());
+        out.push_str(&table.table.render());
         out.push('\n');
     }
     out.push_str(&format!(
@@ -167,6 +191,37 @@ pub fn render(result: &Fig03Result) -> String {
         fmt_pct(result.fp_idle_overhead)
     ));
     out
+}
+
+/// The Figure 3 experiment.
+pub struct Fig03;
+
+impl Experiment for Fig03 {
+    fn id(&self) -> &'static str {
+        "fig03"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 3 — Empty/Ready/Idle register occupancy under conventional renaming"
+    }
+
+    fn plan(&self, ctx: &PlanContext) -> Vec<PlannedPoint> {
+        plan(ctx)
+    }
+
+    fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
+        let result = summarise(&results.collect(&plan(ctx)));
+        let mut text = context::render_table2(FIG03_REGISTERS, FIG03_REGISTERS);
+        text.push('\n');
+        text.push_str(&render(&result));
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text,
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +248,11 @@ mod tests {
             assert!(row.allocated() <= FIG03_REGISTERS as f64 + 0.5);
             assert!(row.idle >= 0.0);
         }
+        // Rows come back sorted by benchmark name.
+        assert!(result
+            .rows
+            .windows(2)
+            .all(|w| w[0].workload <= w[1].workload));
         // Conventional renaming always wastes some registers as idle.
         assert!(result.int_idle_overhead > 0.0);
         assert!(result.fp_idle_overhead > 0.0);
@@ -200,5 +260,6 @@ mod tests {
         assert!(text.contains("Amean"));
         assert!(text.contains("compress"));
         assert!(text.contains("hydro2d"));
+        assert_eq!(tables(&result).len(), 2);
     }
 }

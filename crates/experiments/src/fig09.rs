@@ -2,7 +2,8 @@
 //! integer and FP register files as the number of registers grows from 40 to
 //! 160 (analytic model, no simulation).
 
-use crate::report::{fmt, TextTable};
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
+use crate::report::{fmt, NamedTable, Report, TextTable};
 use earlyreg_rfmodel::{access_energy_pj, access_time_ns, RfGeometry};
 use serde::{Deserialize, Serialize};
 
@@ -51,12 +52,8 @@ pub fn run() -> Fig09Result {
     }
 }
 
-/// Render both panels of Figure 9.
-pub fn render(result: &Fig09Result) -> String {
-    let mut out = String::new();
-    out.push_str(
-        "Figure 9 — LUs Table vs register file access time and energy (0.18 um model)\n\n",
-    );
+/// The access time / energy table.
+pub fn tables(result: &Fig09Result) -> Vec<NamedTable> {
     let mut table = TextTable::new([
         "registers",
         "int time (ns)",
@@ -77,12 +74,49 @@ pub fn render(result: &Fig09Result) -> String {
             fmt(result.lus_energy_pj, 1),
         ]);
     }
-    out.push_str(&table.render());
+    vec![NamedTable::new("access", table)]
+}
+
+/// Render both panels of Figure 9.
+pub fn render(result: &Fig09Result) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 9 — LUs Table vs register file access time and energy (0.18 um model)\n\n",
+    );
+    out.push_str(&tables(result)[0].table.render());
     out.push_str(
         "\npaper reference: LUs Table at 0.98 ns / 193.2 pJ, ~26% faster than the smallest \
          integer file and ~20% of the least demanding file's energy\n",
     );
     out
+}
+
+/// The Figure 9 experiment (analytic — no simulation points).
+pub struct Fig09;
+
+impl Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig09"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 9 — LUs Table vs register file access time and energy"
+    }
+
+    fn plan(&self, _ctx: &PlanContext) -> Vec<PlannedPoint> {
+        Vec::new()
+    }
+
+    fn render(&self, _ctx: &PlanContext, _results: &ResultSet) -> Report {
+        let result = run();
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render(&result),
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]

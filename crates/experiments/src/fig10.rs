@@ -7,11 +7,13 @@
 //! and extended gains ≈ 5 %.
 
 use crate::config::ExperimentOptions;
+use crate::context;
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
 use crate::metrics::{harmonic_mean, speedup};
-use crate::report::{fmt, fmt_pct, TextTable};
-use crate::runner::{cross_points, run_sweep, RunResult};
+use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
-use earlyreg_workloads::{suite, WorkloadClass};
+use earlyreg_workloads::WorkloadClass;
 use serde::{Deserialize, Serialize};
 
 /// Register file size of Figure 10.
@@ -35,7 +37,7 @@ pub struct Fig10Row {
 /// Full Figure 10 data.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig10Result {
-    /// Per-benchmark rows.
+    /// Per-benchmark rows (suite order).
     pub rows: Vec<Fig10Row>,
 }
 
@@ -72,22 +74,81 @@ fn ipc_from(results: &[RunResult], workload: &str, policy: ReleasePolicy) -> f64
         .unwrap_or(0.0)
 }
 
-/// Run the Figure 10 experiment.
-pub fn run(options: &ExperimentOptions) -> Fig10Result {
-    let workloads = suite(options.scale);
-    let points = cross_points(&workloads, &ReleasePolicy::ALL, &[FIG10_REGISTERS]);
-    let results = run_sweep(options, points);
-    let rows = workloads
-        .iter()
-        .map(|w| Fig10Row {
-            workload: w.name().to_string(),
-            class: w.class(),
-            conv: ipc_from(&results, w.name(), ReleasePolicy::Conventional),
-            basic: ipc_from(&results, w.name(), ReleasePolicy::Basic),
-            extended: ipc_from(&results, w.name(), ReleasePolicy::Extended),
+/// The points Figure 10 needs: every workload, every policy, 48+48.
+pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
+    ctx.cross(&ReleasePolicy::ALL, &[FIG10_REGISTERS])
+}
+
+/// Summarise raw sweep results (plan order, i.e. suite order) into rows.
+pub fn summarise(raw: &[RunResult]) -> Fig10Result {
+    // One row per workload, keeping the first-appearance (suite) order.
+    let mut names: Vec<(&'static str, WorkloadClass)> = Vec::new();
+    for r in raw {
+        if !names.iter().any(|(n, _)| *n == r.point.workload) {
+            names.push((r.point.workload, r.point.class));
+        }
+    }
+    let rows = names
+        .into_iter()
+        .map(|(workload, class)| Fig10Row {
+            workload: workload.to_string(),
+            class,
+            conv: ipc_from(raw, workload, ReleasePolicy::Conventional),
+            basic: ipc_from(raw, workload, ReleasePolicy::Basic),
+            extended: ipc_from(raw, workload, ReleasePolicy::Extended),
         })
         .collect();
     Fig10Result { rows }
+}
+
+/// Run the Figure 10 experiment standalone (engine path, no disk cache).
+pub fn run(options: &ExperimentOptions) -> Fig10Result {
+    let ctx = PlanContext::new(*options, crate::config::Scenario::table2());
+    let plan = plan(&ctx);
+    let results = crate::engine::simulate(&ctx, &plan);
+    summarise(&results.collect(&plan))
+}
+
+/// One IPC table per benchmark group.
+pub fn tables(result: &Fig10Result) -> Vec<NamedTable> {
+    [WorkloadClass::Int, WorkloadClass::Fp]
+        .into_iter()
+        .map(|class| {
+            let mut table = TextTable::new([
+                "benchmark",
+                "conv",
+                "basic",
+                "extended",
+                "basic/conv",
+                "ext/conv",
+            ]);
+            for row in result.rows.iter().filter(|r| r.class == class) {
+                table.row([
+                    row.workload.clone(),
+                    fmt(row.conv, 3),
+                    fmt(row.basic, 3),
+                    fmt(row.extended, 3),
+                    fmt_pct(speedup(row.basic, row.conv)),
+                    fmt_pct(speedup(row.extended, row.conv)),
+                ]);
+            }
+            table.row([
+                "Hm".to_string(),
+                fmt(result.hmean(class, ReleasePolicy::Conventional), 3),
+                fmt(result.hmean(class, ReleasePolicy::Basic), 3),
+                fmt(result.hmean(class, ReleasePolicy::Extended), 3),
+                fmt_pct(result.group_speedup(class, ReleasePolicy::Basic)),
+                fmt_pct(result.group_speedup(class, ReleasePolicy::Extended)),
+            ]);
+            NamedTable::new(
+                match class {
+                    WorkloadClass::Int => "int",
+                    WorkloadClass::Fp => "fp",
+                },
+                table,
+            )
+        })
+        .collect()
 }
 
 /// Render the Figure 10 table.
@@ -96,35 +157,12 @@ pub fn render(result: &Fig10Result) -> String {
     out.push_str(&format!(
         "Figure 10 — IPC with a {FIG10_REGISTERS}int+{FIG10_REGISTERS}fp register file\n\n"
     ));
-    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        let mut table = TextTable::new([
-            "benchmark",
-            "conv",
-            "basic",
-            "extended",
-            "basic/conv",
-            "ext/conv",
-        ]);
-        for row in result.rows.iter().filter(|r| r.class == class) {
-            table.row([
-                row.workload.clone(),
-                fmt(row.conv, 3),
-                fmt(row.basic, 3),
-                fmt(row.extended, 3),
-                fmt_pct(speedup(row.basic, row.conv)),
-                fmt_pct(speedup(row.extended, row.conv)),
-            ]);
-        }
-        table.row([
-            "Hm".to_string(),
-            fmt(result.hmean(class, ReleasePolicy::Conventional), 3),
-            fmt(result.hmean(class, ReleasePolicy::Basic), 3),
-            fmt(result.hmean(class, ReleasePolicy::Extended), 3),
-            fmt_pct(result.group_speedup(class, ReleasePolicy::Basic)),
-            fmt_pct(result.group_speedup(class, ReleasePolicy::Extended)),
-        ]);
+    for (class, table) in [WorkloadClass::Int, WorkloadClass::Fp]
+        .into_iter()
+        .zip(tables(result))
+    {
         out.push_str(&format!("{} programs\n", class.label()));
-        out.push_str(&table.render());
+        out.push_str(&table.table.render());
         out.push('\n');
     }
     out.push_str(
@@ -132,6 +170,37 @@ pub fn render(result: &Fig10Result) -> String {
          integer basic ≈ +0%, integer extended ≈ +5% over conventional\n",
     );
     out
+}
+
+/// The Figure 10 experiment.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 10 — per-benchmark IPC at 48int+48fp registers"
+    }
+
+    fn plan(&self, ctx: &PlanContext) -> Vec<PlannedPoint> {
+        plan(ctx)
+    }
+
+    fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
+        let result = summarise(&results.collect(&plan(ctx)));
+        let mut text = context::render_table2(FIG10_REGISTERS, FIG10_REGISTERS);
+        text.push('\n');
+        text.push_str(&render(&result));
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text,
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +217,9 @@ mod tests {
         };
         let result = run(&options);
         assert_eq!(result.rows.len(), 10);
+        // Rows keep the suite order: the five integer programs first.
+        assert_eq!(result.rows[0].workload, "compress");
+        assert_eq!(result.rows[5].workload, "mgrid");
         for row in &result.rows {
             assert!(row.conv > 0.0, "{} has zero conventional IPC", row.workload);
             // Early release must never hurt by more than simulation noise.

@@ -6,13 +6,18 @@
 //! widest for the tightest files and closes as the file approaches the loose
 //! regime (`P ≥ L + N`); FP codes keep a visible gap up to ≈ 104 registers
 //! while integer codes only benefit below ≈ 64 registers.
+//!
+//! The sweep axis defaults to the paper's [`FIG11_SIZES`] and can be
+//! overridden per scenario (`sweep_sizes = ...`), so wider or denser sweeps
+//! are a config entry rather than a code change.
 
-use crate::config::{ExperimentOptions, FIG11_SIZES};
+use crate::config::{ExperimentOptions, Scenario, FIG11_SIZES};
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
 use crate::metrics::{harmonic_mean, speedup};
-use crate::report::{fmt, fmt_pct, TextTable};
-use crate::runner::{cross_points, run_sweep, RunResult};
+use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
-use earlyreg_workloads::{suite, WorkloadClass};
+use earlyreg_workloads::WorkloadClass;
 use serde::{Deserialize, Serialize};
 
 /// Harmonic-mean IPC of one group at one size under one policy.
@@ -35,7 +40,7 @@ pub struct Fig11Result {
     pub sizes: Vec<usize>,
     /// All (class, policy, size) points.
     pub points: Vec<Fig11Point>,
-    /// Raw per-benchmark results (reused by Table 4 and Section 3.3).
+    /// Raw per-benchmark results (sorted by point).
     pub raw: Vec<RunResult>,
 }
 
@@ -92,12 +97,15 @@ pub fn summarise(raw: &[RunResult], sizes: &[usize]) -> Vec<Fig11Point> {
     points
 }
 
-/// Run the Figure 11 sweep over the given sizes (use [`FIG11_SIZES`] for the
-/// paper's axis).
-pub fn run_with_sizes(options: &ExperimentOptions, sizes: &[usize]) -> Fig11Result {
-    let workloads = suite(options.scale);
-    let points = cross_points(&workloads, &ReleasePolicy::ALL, sizes);
-    let raw = run_sweep(options, points);
+/// The points Figure 11 needs: the full cross product over the scenario's
+/// sweep axis.
+pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
+    ctx.cross(&ReleasePolicy::ALL, &ctx.scenario.sweep_sizes())
+}
+
+fn assemble(raw: Vec<RunResult>, sizes: &[usize]) -> Fig11Result {
+    let mut raw = raw;
+    raw.sort_by_key(|r| r.point);
     Fig11Result {
         sizes: sizes.to_vec(),
         points: summarise(&raw, sizes),
@@ -105,45 +113,77 @@ pub fn run_with_sizes(options: &ExperimentOptions, sizes: &[usize]) -> Fig11Resu
     }
 }
 
+/// Run the Figure 11 sweep over the given sizes (use [`FIG11_SIZES`] for the
+/// paper's axis).
+pub fn run_with_sizes(options: &ExperimentOptions, sizes: &[usize]) -> Fig11Result {
+    let scenario = Scenario {
+        sweep_sizes: Some(sizes.to_vec()),
+        ..Scenario::table2()
+    };
+    let ctx = PlanContext::new(*options, scenario);
+    let plan = plan(&ctx);
+    let results = crate::engine::simulate(&ctx, &plan);
+    assemble(results.collect(&plan), sizes)
+}
+
 /// Run the full Figure 11 sweep.
 pub fn run(options: &ExperimentOptions) -> Fig11Result {
     run_with_sizes(options, &FIG11_SIZES)
+}
+
+/// One harmonic-mean table per benchmark group.
+pub fn tables(result: &Fig11Result) -> Vec<NamedTable> {
+    [WorkloadClass::Int, WorkloadClass::Fp]
+        .into_iter()
+        .map(|class| {
+            let mut table = TextTable::new([
+                "registers",
+                "conv",
+                "basic",
+                "extended",
+                "basic/conv",
+                "ext/conv",
+            ]);
+            for &size in &result.sizes {
+                let conv = result
+                    .hmean_at(class, ReleasePolicy::Conventional, size)
+                    .unwrap_or(0.0);
+                let basic = result
+                    .hmean_at(class, ReleasePolicy::Basic, size)
+                    .unwrap_or(0.0);
+                let extended = result
+                    .hmean_at(class, ReleasePolicy::Extended, size)
+                    .unwrap_or(0.0);
+                table.row([
+                    size.to_string(),
+                    fmt(conv, 3),
+                    fmt(basic, 3),
+                    fmt(extended, 3),
+                    fmt_pct(speedup(basic, conv)),
+                    fmt_pct(speedup(extended, conv)),
+                ]);
+            }
+            NamedTable::new(
+                match class {
+                    WorkloadClass::Int => "int",
+                    WorkloadClass::Fp => "fp",
+                },
+                table,
+            )
+        })
+        .collect()
 }
 
 /// Render both panels of Figure 11.
 pub fn render(result: &Fig11Result) -> String {
     let mut out = String::new();
     out.push_str("Figure 11 — harmonic-mean IPC vs number of physical registers per class\n\n");
-    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        let mut table = TextTable::new([
-            "registers",
-            "conv",
-            "basic",
-            "extended",
-            "basic/conv",
-            "ext/conv",
-        ]);
-        for &size in &result.sizes {
-            let conv = result
-                .hmean_at(class, ReleasePolicy::Conventional, size)
-                .unwrap_or(0.0);
-            let basic = result
-                .hmean_at(class, ReleasePolicy::Basic, size)
-                .unwrap_or(0.0);
-            let extended = result
-                .hmean_at(class, ReleasePolicy::Extended, size)
-                .unwrap_or(0.0);
-            table.row([
-                size.to_string(),
-                fmt(conv, 3),
-                fmt(basic, 3),
-                fmt(extended, 3),
-                fmt_pct(speedup(basic, conv)),
-                fmt_pct(speedup(extended, conv)),
-            ]);
-        }
+    for (class, table) in [WorkloadClass::Int, WorkloadClass::Fp]
+        .into_iter()
+        .zip(tables(result))
+    {
         out.push_str(&format!("{} programs\n", class.label()));
-        out.push_str(&table.render());
+        out.push_str(&table.table.render());
         out.push('\n');
     }
     out.push_str(
@@ -151,6 +191,35 @@ pub fn render(result: &Fig11Result) -> String {
          integer speedups from ~11% (40 regs) to ~2% (64 regs); curves merge for loose files\n",
     );
     out
+}
+
+/// The Figure 11 experiment.
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 11 — harmonic-mean IPC vs register file size"
+    }
+
+    fn plan(&self, ctx: &PlanContext) -> Vec<PlannedPoint> {
+        plan(ctx)
+    }
+
+    fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
+        let sizes = ctx.scenario.sweep_sizes();
+        let result = assemble(results.collect(&plan(ctx)), &sizes);
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render(&result),
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +238,8 @@ mod tests {
         assert_eq!(result.sizes, vec![40, 96]);
         // 2 classes x 3 policies x 2 sizes
         assert_eq!(result.points.len(), 12);
+        // Raw results come back point-sorted.
+        assert!(result.raw.windows(2).all(|w| w[0].point < w[1].point));
         for class in [WorkloadClass::Int, WorkloadClass::Fp] {
             for policy in ReleasePolicy::ALL {
                 let small = result.hmean_at(class, policy, 40).unwrap();

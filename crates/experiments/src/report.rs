@@ -1,4 +1,15 @@
-//! Plain-text table rendering for the experiment binaries.
+//! Report rendering: text tables plus the multi-format report backends of
+//! the experiment engine.
+//!
+//! Every experiment renders into a [`Report`]: the exact text the historical
+//! per-experiment binary printed, the tables behind it (for the CSV backend)
+//! and the result struct serialized into a [`serde::value::Value`] (for the
+//! JSON backend).  [`emit`] writes a report through the backend selected by
+//! [`Format`].
+
+use serde::value::Value;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -66,18 +77,173 @@ impl TextTable {
         out
     }
 
-    /// Render as CSV (comma separated, no quoting — cells must not contain
-    /// commas).
+    /// The table as a serialized value (`{"header": [...], "rows": [[...]]}`)
+    /// — the JSON `data` of experiments that have no richer result struct.
+    pub fn to_value(&self) -> Value {
+        let row_value =
+            |cells: &[String]| Value::Seq(cells.iter().map(|c| Value::Str(c.clone())).collect());
+        Value::Map(vec![
+            ("header".to_string(), row_value(&self.header)),
+            (
+                "rows".to_string(),
+                Value::Seq(self.rows.iter().map(|r| row_value(r)).collect()),
+            ),
+        ])
+    }
+
+    /// Render as RFC 4180 CSV: cells containing commas, quotes or newlines
+    /// are quoted, with embedded quotes doubled.
     pub fn render_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(['"', ',', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let render_line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut out = String::new();
-        out.push_str(&self.header.join(","));
+        out.push_str(&render_line(&self.header));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&render_line(row));
             out.push('\n');
         }
         out
     }
+}
+
+/// A table with a name, so the CSV backend can write one file per table.
+#[derive(Debug, Clone)]
+pub struct NamedTable {
+    /// Short machine-friendly name ("int", "fp", "energy", ...).
+    pub name: String,
+    /// The table data.
+    pub table: TextTable,
+}
+
+impl NamedTable {
+    /// Name a table.
+    pub fn new<S: Into<String>>(name: S, table: TextTable) -> Self {
+        NamedTable {
+            name: name.into(),
+            table,
+        }
+    }
+}
+
+/// A fully rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id ("fig03", "table4", ...).
+    pub experiment: &'static str,
+    /// One-line human description.
+    pub title: &'static str,
+    /// The text rendering (exactly what the historical binary printed).
+    pub text: String,
+    /// The tables behind the text, for the CSV backend.
+    pub tables: Vec<NamedTable>,
+    /// The experiment's result struct as a serialized value, for the JSON
+    /// backend.
+    pub data: Value,
+}
+
+impl Report {
+    /// The JSON document of this report: an envelope with the experiment id,
+    /// title and result data.
+    pub fn json(&self) -> String {
+        let envelope = Value::Map(vec![
+            (
+                "experiment".to_string(),
+                Value::Str(self.experiment.to_string()),
+            ),
+            ("title".to_string(), Value::Str(self.title.to_string())),
+            ("data".to_string(), self.data.clone()),
+        ]);
+        let mut out = String::new();
+        // Reuse the pretty writer through a tiny Serialize shim.
+        struct Raw<'a>(&'a Value);
+        impl serde::Serialize for Raw<'_> {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        out.push_str(&serde::json::to_string_pretty(&Raw(&envelope)));
+        out.push('\n');
+        out
+    }
+}
+
+/// Report output backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable text to stdout (and `<id>.txt` under `--out`).
+    Text,
+    /// `<id>.json` under `--out` (or stdout without one).
+    Json,
+    /// One `<id>_<table>.csv` per table under `--out` (or stdout).
+    Csv,
+}
+
+impl Format {
+    /// Parse a `--format` value.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format '{other}' (text|json|csv)")),
+        }
+    }
+}
+
+/// Emit one report through the selected backend.  Returns the files written
+/// (empty when the backend printed to stdout only).
+pub fn emit(report: &Report, format: Format, out_dir: Option<&Path>) -> io::Result<Vec<PathBuf>> {
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut written = Vec::new();
+    match format {
+        Format::Text => {
+            print!("{}", report.text);
+            if let Some(dir) = out_dir {
+                let path = dir.join(format!("{}.txt", report.experiment));
+                std::fs::write(&path, &report.text)?;
+                written.push(path);
+            }
+        }
+        Format::Json => match out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{}.json", report.experiment));
+                std::fs::write(&path, report.json())?;
+                written.push(path);
+            }
+            None => print!("{}", report.json()),
+        },
+        Format::Csv => match out_dir {
+            Some(dir) => {
+                for named in &report.tables {
+                    let path = dir.join(format!("{}_{}.csv", report.experiment, named.name));
+                    std::fs::write(&path, named.table.render_csv())?;
+                    written.push(path);
+                }
+            }
+            None => {
+                for named in &report.tables {
+                    println!("# {} {}", report.experiment, named.name);
+                    print!("{}", named.table.render_csv());
+                }
+            }
+        },
+    }
+    Ok(written)
 }
 
 /// Format a float with the given number of decimals.
@@ -122,6 +288,19 @@ mod tests {
         let mut t = TextTable::new(["x", "y"]);
         t.row(["1", "2"]);
         assert_eq!(t.render_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_commas_and_quotes() {
+        // Table 3's paper-input cells contain commas; RFC 4180 quoting keeps
+        // the column count intact for CSV consumers.
+        let mut t = TextTable::new(["name", "input"]);
+        t.row(["applu", "train (dt=1.5e-03, nx=ny=nz=13)"]);
+        t.row(["odd", "say \"hi\""]);
+        assert_eq!(
+            t.render_csv(),
+            "name,input\napplu,\"train (dt=1.5e-03, nx=ny=nz=13)\"\nodd,\"say \"\"hi\"\"\"\n"
+        );
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //!
 //! Every experiment reduces to a set of *(workload, policy, register-file
 //! size)* points, each of which is an independent cycle-level simulation.
-//! [`run_sweep`] builds the workload suite once, distributes the points over
-//! a pool of scoped worker threads through a shared atomic work index and
-//! collects the per-point statistics.
+//! [`run_parallel`] distributes any list of jobs over a pool of scoped worker
+//! threads through a shared atomic work index and writes each result into the
+//! slot of its input item, so **output order never depends on thread
+//! interleaving**.  [`run_sweep`] builds on it: it sorts the points by their
+//! [`RunPoint`] ordering, drops duplicates and simulates each point once on
+//! the Table 2 machine.  (The experiment engine in [`crate::engine`] goes
+//! further: it plans the union of several experiments' points, dedups them
+//! across experiments and backs them with an on-disk cache.)
 
 use crate::config::ExperimentOptions;
 use earlyreg_core::ReleasePolicy;
@@ -15,7 +20,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One simulation point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+///
+/// The derived `Ord` — (workload, class, policy, int regs, fp regs) in field
+/// order — is the canonical deterministic ordering of sweep results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
 pub struct RunPoint {
     /// Workload name (must exist in the suite).
     pub workload: &'static str,
@@ -45,9 +53,14 @@ impl RunResult {
     }
 }
 
-/// Simulate a single point on the Table 2 machine.
-pub fn run_point(workload: &Workload, point: RunPoint, max_instructions: u64) -> RunResult {
-    let config = MachineConfig::icpp02(point.policy, point.phys_int, point.phys_fp);
+/// Simulate a single point under an explicit machine configuration (the
+/// experiment engine uses this for scenario overrides and ablation variants).
+pub fn run_configured_point(
+    workload: &Workload,
+    point: RunPoint,
+    config: MachineConfig,
+    max_instructions: u64,
+) -> RunResult {
     let mut sim = Simulator::new(config, workload.program.clone());
     let stats = sim.run(RunLimits::instructions(max_instructions));
     assert_eq!(
@@ -56,6 +69,12 @@ pub fn run_point(workload: &Workload, point: RunPoint, max_instructions: u64) ->
         point.workload, point.policy, point.phys_int, point.phys_fp
     );
     RunResult { point, stats }
+}
+
+/// Simulate a single point on the Table 2 machine.
+pub fn run_point(workload: &Workload, point: RunPoint, max_instructions: u64) -> RunResult {
+    let config = MachineConfig::icpp02(point.policy, point.phys_int, point.phys_fp);
+    run_configured_point(workload, point, config, max_instructions)
 }
 
 /// Helper: build the canonical cross product of points for the given
@@ -82,46 +101,54 @@ pub fn cross_points(
     points
 }
 
-/// Run every point in parallel and return the results sorted by
-/// (workload, policy, size) for deterministic reporting.
-pub fn run_sweep(options: &ExperimentOptions, points: Vec<RunPoint>) -> Vec<RunResult> {
-    let workloads = suite(options.scale);
-    let results = Mutex::new(Vec::with_capacity(points.len()));
-    let next_point = AtomicUsize::new(0);
-
-    let threads = options.effective_threads().max(1);
+/// Run `job` over every item on `threads` scoped worker threads and return
+/// the results **in input order**: each worker writes its result into the
+/// slot of the item it claimed, so the output is deterministic regardless of
+/// how the threads interleave.
+pub fn run_parallel<T, R, F>(threads: usize, items: &[T], job: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next_item = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let next_point = &next_point;
-            let points = &points;
-            let results = &results;
-            let workloads = &workloads;
-            let max_instructions = options.max_instructions;
-            scope.spawn(move || loop {
-                let index = next_point.fetch_add(1, Ordering::Relaxed);
-                let Some(&point) = points.get(index) else {
+            scope.spawn(|| loop {
+                let index = next_item.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
                     break;
                 };
-                let workload = workloads
-                    .iter()
-                    .find(|w| w.name() == point.workload)
-                    .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload));
-                let result = run_point(workload, point, max_instructions);
-                results.lock().expect("worker panicked").push(result);
+                let result = job(item);
+                *slots[index].lock().expect("worker panicked") = Some(result);
             });
         }
     });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panicked")
+                .expect("every slot is filled")
+        })
+        .collect()
+}
 
-    let mut results = results.into_inner().expect("worker panicked");
-    results.sort_by_key(|r| {
-        (
-            r.point.workload,
-            r.point.policy.label(),
-            r.point.phys_int,
-            r.point.phys_fp,
-        )
-    });
-    results
+/// Run every point in parallel and return the results sorted by [`RunPoint`]
+/// (duplicates removed), independent of worker-thread interleaving.
+pub fn run_sweep(options: &ExperimentOptions, mut points: Vec<RunPoint>) -> Vec<RunResult> {
+    points.sort_unstable();
+    points.dedup();
+    let workloads = suite(options.scale);
+    run_parallel(options.effective_threads(), &points, |&point| {
+        let workload = workloads
+            .iter()
+            .find(|w| w.name() == point.workload)
+            .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload));
+        run_point(workload, point, options.max_instructions)
+    })
 }
 
 /// Select, from a result set, the IPC of a specific point.
@@ -153,6 +180,15 @@ mod tests {
     }
 
     #[test]
+    fn run_parallel_preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 3, 8] {
+            let results = run_parallel(threads, &items, |&i| i * 2);
+            assert_eq!(results, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn sweep_runs_points_in_parallel_and_sorts_results() {
         let options = ExperimentOptions {
             scale: Scale::Smoke,
@@ -172,11 +208,53 @@ mod tests {
         let results = run_sweep(&options, points);
         assert_eq!(results.len(), 4);
         assert!(results.iter().all(|r| r.stats.committed > 1_000));
-        assert!(results.windows(2).all(|w| {
-            (w[0].point.workload, w[0].point.policy.label())
-                <= (w[1].point.workload, w[1].point.policy.label())
-        }));
+        assert!(results.windows(2).all(|w| w[0].point < w[1].point));
         assert!(ipc_of(&results, "perl", ReleasePolicy::Extended, 48).is_some());
         assert!(ipc_of(&results, "perl", ReleasePolicy::Basic, 48).is_none());
+    }
+
+    #[test]
+    fn sweep_ordering_is_deterministic_across_thread_counts() {
+        // Shuffle the points (reversed + interleaved), run with different
+        // worker counts, and demand the exact same point-sorted output every
+        // time — the regression guard for deterministic sweep ordering.
+        let workloads = suite(Scale::Smoke);
+        let subset: Vec<Workload> = workloads
+            .into_iter()
+            .filter(|w| w.name() == "compress" || w.name() == "mgrid")
+            .collect();
+        let mut points = cross_points(
+            &subset,
+            &[ReleasePolicy::Extended, ReleasePolicy::Conventional],
+            &[48, 40],
+        );
+        points.reverse();
+        // Duplicates must collapse instead of being simulated twice.
+        let mut with_dupes = points.clone();
+        with_dupes.extend(points.iter().copied());
+
+        let mut reference: Option<Vec<(RunPoint, u64)>> = None;
+        for threads in [1, 2, 5] {
+            let options = ExperimentOptions {
+                scale: Scale::Smoke,
+                threads,
+                max_instructions: 10_000,
+            };
+            let results = run_sweep(&options, with_dupes.clone());
+            assert_eq!(results.len(), 8, "duplicates must be dropped");
+            let mut sorted = results.iter().map(|r| r.point).collect::<Vec<_>>();
+            sorted.sort_unstable();
+            assert_eq!(
+                results.iter().map(|r| r.point).collect::<Vec<_>>(),
+                sorted,
+                "results must come back point-sorted"
+            );
+            let key: Vec<(RunPoint, u64)> =
+                results.iter().map(|r| (r.point, r.stats.cycles)).collect();
+            match &reference {
+                None => reference = Some(key),
+                Some(expected) => assert_eq!(&key, expected, "threads={threads}"),
+            }
+        }
     }
 }

@@ -7,11 +7,12 @@
 //! * 40int + 40FP registers: ≈ 9 % for FP codes and ≈ 5 % for integer codes.
 
 use crate::config::ExperimentOptions;
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
 use crate::metrics::{harmonic_mean, speedup};
-use crate::report::{fmt, fmt_pct, TextTable};
-use crate::runner::{cross_points, run_sweep, RunResult};
+use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
-use earlyreg_workloads::{suite, WorkloadClass};
+use earlyreg_workloads::WorkloadClass;
 use serde::{Deserialize, Serialize};
 
 /// Register sizes examined in Section 3.3.
@@ -62,15 +63,18 @@ fn group_hmean(raw: &[RunResult], class: WorkloadClass, policy: ReleasePolicy, s
     harmonic_mean(&values)
 }
 
-/// Run the Section 3.3 experiment.
-pub fn run(options: &ExperimentOptions) -> Sec33Result {
-    let workloads = suite(options.scale);
-    let points = cross_points(
-        &workloads,
+/// The points Section 3.3 needs: conventional + basic at the three sizes.
+pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
+    ctx.cross(
         &[ReleasePolicy::Conventional, ReleasePolicy::Basic],
         &SEC33_SIZES,
-    );
-    let raw = run_sweep(options, points);
+    )
+}
+
+/// Summarise raw sweep results into the Section 3.3 data.
+pub fn summarise(raw: &[RunResult]) -> Sec33Result {
+    let mut raw: Vec<RunResult> = raw.to_vec();
+    raw.sort_by_key(|r| r.point);
     let mut out = Vec::new();
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
         for &size in &SEC33_SIZES {
@@ -85,10 +89,16 @@ pub fn run(options: &ExperimentOptions) -> Sec33Result {
     Sec33Result { points: out }
 }
 
-/// Render the Section 3.3 table.
-pub fn render(result: &Sec33Result) -> String {
-    let mut out = String::new();
-    out.push_str("Section 3.3 — speedup of the basic mechanism over conventional release\n\n");
+/// Run the Section 3.3 experiment standalone (engine path, no disk cache).
+pub fn run(options: &ExperimentOptions) -> Sec33Result {
+    let ctx = PlanContext::new(*options, crate::config::Scenario::table2());
+    let plan = plan(&ctx);
+    let results = crate::engine::simulate(&ctx, &plan);
+    summarise(&results.collect(&plan))
+}
+
+/// The Section 3.3 speedup table.
+pub fn tables(result: &Sec33Result) -> Vec<NamedTable> {
     let mut table = TextTable::new(["group", "registers", "conv IPC", "basic IPC", "speedup"]);
     for point in &result.points {
         table.row([
@@ -99,12 +109,47 @@ pub fn render(result: &Sec33Result) -> String {
             fmt_pct(point.speedup()),
         ]);
     }
-    out.push_str(&table.render());
+    vec![NamedTable::new("speedups", table)]
+}
+
+/// Render the Section 3.3 table.
+pub fn render(result: &Sec33Result) -> String {
+    let mut out = String::new();
+    out.push_str("Section 3.3 — speedup of the basic mechanism over conventional release\n\n");
+    out.push_str(&tables(result)[0].table.render());
     out.push_str(
         "\npaper reference: FP ≈ +3% at 64, ≈ +6% at 48, ≈ +9% at 40 registers; \
          integer ≈ +0% at 64/48 and ≈ +5% at 40 registers\n",
     );
     out
+}
+
+/// The Section 3.3 experiment.
+pub struct Sec33;
+
+impl Experiment for Sec33 {
+    fn id(&self) -> &'static str {
+        "sec33"
+    }
+
+    fn title(&self) -> &'static str {
+        "Section 3.3 — basic-mechanism speedups at 64/48/40 registers"
+    }
+
+    fn plan(&self, ctx: &PlanContext) -> Vec<PlannedPoint> {
+        plan(ctx)
+    }
+
+    fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
+        let result = summarise(&results.collect(&plan(ctx)));
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render(&result),
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]

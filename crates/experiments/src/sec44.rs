@@ -2,7 +2,8 @@
 //! balance of shrinking the register files versus adding two LUs Tables, and
 //! the storage cost on an Alpha-21264-class machine.
 
-use crate::report::{fmt, TextTable};
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
+use crate::report::{fmt, NamedTable, Report, TextTable};
 use earlyreg_rfmodel::storage::{alpha21264_example, lus_table_storage};
 use earlyreg_rfmodel::{
     access_energy_pj, energy_balance, EnergyBalance, RfGeometry, StorageEstimate,
@@ -33,11 +34,8 @@ pub fn run() -> Sec44Result {
     }
 }
 
-/// Render the Section 4.4 report.
-pub fn render(result: &Sec44Result) -> String {
-    let mut out = String::new();
-    out.push_str("Section 4.4 — implementation cost of the extended mechanism\n\n");
-
+/// The energy-balance and storage tables.
+pub fn tables(result: &Sec44Result) -> Vec<NamedTable> {
     let mut energy = TextTable::new(["configuration", "energy (pJ)"]);
     energy.row([
         "conventional: 64int + 79fp".to_string(),
@@ -51,8 +49,6 @@ pub fn render(result: &Sec44Result) -> String {
         "relative difference".to_string(),
         format!("{:+.2}%", result.balance.relative_difference() * 100.0),
     ]);
-    out.push_str(&energy.render());
-    out.push_str("paper reference: 3850 pJ vs 3851 pJ (neutral)\n\n");
 
     let mut storage = TextTable::new(["structure", "bits", "bytes"]);
     storage.row([
@@ -84,11 +80,52 @@ pub fn render(result: &Sec44Result) -> String {
         format!("{}", (result.lus_storage_bytes * 8.0) as u64),
         fmt(result.lus_storage_bytes, 0),
     ]);
-    out.push_str(&storage.render());
+    vec![
+        NamedTable::new("energy", energy),
+        NamedTable::new("storage", storage),
+    ]
+}
+
+/// Render the Section 4.4 report.
+pub fn render(result: &Sec44Result) -> String {
+    let tables = tables(result);
+    let mut out = String::new();
+    out.push_str("Section 4.4 — implementation cost of the extended mechanism\n\n");
+    out.push_str(&tables[0].table.render());
+    out.push_str("paper reference: 3850 pJ vs 3851 pJ (neutral)\n\n");
+    out.push_str(&tables[1].table.render());
     out.push_str(
         "paper reference: about 1.22 KB for the extended mechanism plus ~128 B of LUs Tables\n",
     );
     out
+}
+
+/// The Section 4.4 experiment (analytic — no simulation points).
+pub struct Sec44;
+
+impl Experiment for Sec44 {
+    fn id(&self) -> &'static str {
+        "sec44"
+    }
+
+    fn title(&self) -> &'static str {
+        "Section 4.4 — energy balance and storage cost of the extended mechanism"
+    }
+
+    fn plan(&self, _ctx: &PlanContext) -> Vec<PlannedPoint> {
+        Vec::new()
+    }
+
+    fn render(&self, _ctx: &PlanContext, _results: &ResultSet) -> Report {
+        let result = run();
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render(&result),
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]

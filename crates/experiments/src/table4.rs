@@ -15,11 +15,12 @@
 //! find the size at which it matches.
 
 use crate::config::ExperimentOptions;
+use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
 use crate::metrics::{harmonic_mean, interpolate_equal_ipc};
-use crate::report::{fmt, fmt_pct, TextTable};
-use crate::runner::{cross_points, run_sweep, RunResult};
+use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
-use earlyreg_workloads::{suite, Workload, WorkloadClass};
+use earlyreg_workloads::WorkloadClass;
 use serde::{Deserialize, Serialize};
 
 /// Conventional reference sizes examined per group (paper's Table 4 rows).
@@ -67,43 +68,37 @@ fn group_hmean(raw: &[RunResult], class: WorkloadClass, policy: ReleasePolicy, s
     harmonic_mean(&values)
 }
 
-/// Run the Table 4 experiment.
-pub fn run(options: &ExperimentOptions) -> Table4Result {
-    let workloads = suite(options.scale);
-    let fp_workloads: Vec<Workload> = workloads
-        .iter()
-        .filter(|w| w.class() == WorkloadClass::Fp)
-        .cloned()
-        .collect();
-    let int_workloads: Vec<Workload> = workloads
-        .iter()
-        .filter(|w| w.class() == WorkloadClass::Int)
-        .cloned()
-        .collect();
-
+/// The points Table 4 needs: per-group conventional reference sizes plus the
+/// extended-policy interpolation grid.
+pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
     let mut points = Vec::new();
-    points.extend(cross_points(
-        &fp_workloads,
+    points.extend(ctx.cross_class(
+        Some(WorkloadClass::Fp),
         &[ReleasePolicy::Conventional],
         &CONV_SIZES_FP,
     ));
-    points.extend(cross_points(
-        &int_workloads,
+    points.extend(ctx.cross_class(
+        Some(WorkloadClass::Int),
         &[ReleasePolicy::Conventional],
         &CONV_SIZES_INT,
     ));
-    points.extend(cross_points(
-        &fp_workloads,
+    points.extend(ctx.cross_class(
+        Some(WorkloadClass::Fp),
         &[ReleasePolicy::Extended],
         &EXTENDED_GRID,
     ));
-    points.extend(cross_points(
-        &int_workloads,
+    points.extend(ctx.cross_class(
+        Some(WorkloadClass::Int),
         &[ReleasePolicy::Extended],
         &EXTENDED_GRID,
     ));
-    let raw = run_sweep(options, points);
+    points
+}
 
+/// Summarise raw sweep results into the Table 4 rows.
+pub fn summarise(raw: &[RunResult]) -> Table4Result {
+    let mut raw: Vec<RunResult> = raw.to_vec();
+    raw.sort_by_key(|r| r.point);
     let mut rows = Vec::new();
     for (class, conv_sizes) in [
         (WorkloadClass::Fp, CONV_SIZES_FP),
@@ -132,10 +127,16 @@ pub fn run(options: &ExperimentOptions) -> Table4Result {
     Table4Result { rows }
 }
 
-/// Render Table 4.
-pub fn render(result: &Table4Result) -> String {
-    let mut out = String::new();
-    out.push_str("Table 4 — register file sizes giving equal IPC (per class)\n\n");
+/// Run the Table 4 experiment standalone (engine path, no disk cache).
+pub fn run(options: &ExperimentOptions) -> Table4Result {
+    let ctx = PlanContext::new(*options, crate::config::Scenario::table2());
+    let plan = plan(&ctx);
+    let results = crate::engine::simulate(&ctx, &plan);
+    summarise(&results.collect(&plan))
+}
+
+/// The equal-IPC table.
+pub fn tables(result: &Table4Result) -> Vec<NamedTable> {
     let mut table = TextTable::new(["group", "conv size", "conv IPC", "extended size", "saved"]);
     for row in &result.rows {
         table.row([
@@ -150,12 +151,47 @@ pub fn render(result: &Table4Result) -> String {
                 .unwrap_or_else(|| "n/a".to_string()),
         ]);
     }
-    out.push_str(&table.render());
+    vec![NamedTable::new("equal_ipc", table)]
+}
+
+/// Render Table 4.
+pub fn render(result: &Table4Result) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4 — register file sizes giving equal IPC (per class)\n\n");
+    out.push_str(&tables(result)[0].table.render());
     out.push_str(
         "\npaper reference: FP 69→64 (7.2% saved) and 79→72 (8.9%); \
          integer 64→56 (12.5%) and 72→64 (11.1%)\n",
     );
     out
+}
+
+/// The Table 4 experiment.
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 4 — register file sizes giving equal IPC"
+    }
+
+    fn plan(&self, ctx: &PlanContext) -> Vec<PlannedPoint> {
+        plan(ctx)
+    }
+
+    fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
+        let result = summarise(&results.collect(&plan(ctx)));
+        Report {
+            experiment: self.id(),
+            title: self.title(),
+            text: render(&result),
+            tables: tables(&result),
+            data: serde::Serialize::to_value(&result),
+        }
+    }
 }
 
 #[cfg(test)]

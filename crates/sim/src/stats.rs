@@ -28,7 +28,10 @@ impl RenameStallCycles {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every counter; the experiment point cache uses it to
+/// prove that a cache hit is bit-identical to a cold simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 /// Integer or floating-point benchmark (the paper reports the two groups
 /// separately in every figure).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum WorkloadClass {
     /// Integer code (branch-intensive, moderate register pressure).
     Int,

@@ -1,16 +1,844 @@
-//! Offline stub of the `serde` facade.
+//! Offline stand-in for `serde` (+ `serde_json`): a real, minimal
+//! self-describing serialization framework.
 //!
-//! Provides the `Serialize`/`Deserialize` trait names and (behind the
-//! `derive` feature) the derive macros, so workspace types can keep their
-//! `#[derive(Serialize, Deserialize)]` annotations while the container has no
-//! crates.io access. The derives expand to nothing; swap this stub for the
-//! real crate by deleting the `vendor/serde*` path deps once networked.
+//! The first bootstrap shipped this crate as a pair of no-op marker traits so
+//! that workspace types could keep their `#[derive(Serialize, Deserialize)]`
+//! annotations without crates.io access.  The experiment engine now actually
+//! serialises data (JSON report backends, the on-disk simulation point
+//! cache), so the stub grew into a miniserde-style implementation:
+//!
+//! * [`value::Value`] — a self-describing data model (null / bool / integers
+//!   / float / string / sequence / map);
+//! * [`Serialize`] / [`Deserialize`] — conversions to and from [`value::Value`],
+//!   generated for workspace types by the (now real) `serde_derive` macros;
+//! * [`json`] — a JSON writer and recursive-descent parser over
+//!   [`value::Value`], standing in for `serde_json`.
+//!
+//! Design notes:
+//!
+//! * Integers are kept as `U64`/`I64` (never routed through `f64`), so `u64`
+//!   counters round-trip bit-identically — the point cache relies on this.
+//! * `f64` values are written with Rust's shortest round-trip `Display`
+//!   formatting, so finite floats also round-trip exactly.
+//! * Maps preserve insertion order, which makes [`value::Value::canonical`]
+//!   a stable fingerprint input for content-addressed caching.
+//!
+//! The API intentionally differs from real serde's visitor architecture: it
+//! is the smallest surface that supports the workspace.  Swapping in the real
+//! crates (see `vendor/README.md`) requires porting the few call sites of
+//! `serde::json::*` to `serde_json::*`.
 
-/// Marker trait mirroring `serde::Serialize`.
-pub trait Serialize {}
+pub mod value {
+    use std::fmt;
 
-/// Marker trait mirroring `serde::Deserialize<'de>`.
-pub trait Deserialize<'de> {}
+    /// Self-describing serialized data.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null` (also the encoding of `None` and unit structs).
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Unsigned integer (all `u8`–`u64`/`usize` values).
+        U64(u64),
+        /// Signed integer (all `i8`–`i64`/`isize` values).
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+        /// String (also the encoding of unit enum variants).
+        Str(String),
+        /// Sequence (`Vec`, arrays, tuples, multi-field tuple structs).
+        Seq(Vec<Value>),
+        /// Map with insertion-ordered keys (structs; single-entry maps encode
+        /// data-carrying enum variants).
+        Map(Vec<(String, Value)>),
+    }
+
+    /// (De)serialization error: a human-readable message.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Build an error from anything displayable.
+        pub fn msg<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "serde: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl Value {
+        /// Name of the variant, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) => "unsigned integer",
+                Value::I64(_) => "signed integer",
+                Value::F64(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            }
+        }
+
+        /// Look up a map entry by key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as an unsigned integer, if it is one.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(v) => Some(v),
+                Value::I64(v) if v >= 0 => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as a float (integers are widened).
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::U64(v) => Some(v as f64),
+                Value::I64(v) => Some(v as f64),
+                Value::F64(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as a sequence, if it is one.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Deterministic compact rendering (keys in insertion order) — the
+        /// fingerprint input for content-addressed caching.
+        pub fn canonical(&self) -> String {
+            crate::json::write_compact(self)
+        }
+    }
+}
+
+use value::{Error, Value};
+
+/// Conversion into the self-describing [`Value`] model.
+pub trait Serialize {
+    /// Serialize `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the self-describing [`Value`] model.
+///
+/// The `'de` lifetime mirrors real serde's signature; this implementation
+/// always copies out of the input, so it is unused.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance of `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by derived `Deserialize` impls: extract and convert one
+/// struct field from a map.
+pub fn __field<'de, T: Deserialize<'de>>(
+    entries: &[(String, Value)],
+    key: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("{type_name}: missing field '{key}'")))?;
+    T::from_value(value).map_err(|e| Error(format!("{type_name}.{key}: {}", e.0)))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error(format!(
+                        "expected unsigned integer, found {}",
+                        value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match *value {
+                    Value::I64(v) => v,
+                    Value::U64(v) => i64::try_from(v)
+                        .map_err(|_| Error(format!("{v} out of range for i64")))?,
+                    ref other => {
+                        return Err(Error(format!(
+                            "expected signed integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error(format!("expected sequence, found {}", value.kind())))?;
+        if items.len() != N {
+            return Err(Error(format!(
+                "expected sequence of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let converted: Result<Vec<T>, Error> = items.iter().map(T::from_value).collect();
+        converted?
+            .try_into()
+            .map_err(|_| Error("array length mismatch".to_string()))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$index.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $index; 1 })+;
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| Error(format!("expected tuple, found {}", value.kind())))?;
+                if items.len() != LEN {
+                    return Err(Error(format!(
+                        "expected tuple of length {LEN}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$index])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+pub mod json {
+    //! JSON text over [`Value`](super::value::Value) — the `serde_json`
+    //! stand-in used by the experiment report backends and the point cache.
+
+    use super::value::{Error, Value};
+    use super::{Deserialize, Serialize};
+    use std::fmt::Write as _;
+
+    /// Serialize any value to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        write_compact(&value.to_value())
+    }
+
+    /// Serialize any value to human-readable, indented JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_pretty(&value.to_value(), 0, &mut out);
+        out
+    }
+
+    /// Parse JSON text and deserialize it into `T`.
+    pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    /// Render a [`Value`] as compact JSON.
+    pub fn write_compact(value: &Value) -> String {
+        let mut out = String::new();
+        write_value(value, &mut out);
+        out
+    }
+
+    fn write_value(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => write_f64(*v, out),
+            Value::Str(s) => write_string(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(item, out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    write_value(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+        let pad = |n: usize, out: &mut String| {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        };
+        match value {
+            Value::Seq(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(indent + 1, out);
+                    write_pretty(item, indent + 1, out);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(indent, out);
+                out.push(']');
+            }
+            Value::Map(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    pad(indent + 1, out);
+                    write_string(key, out);
+                    out.push_str(": ");
+                    write_pretty(item, indent + 1, out);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(indent, out);
+                out.push('}');
+            }
+            other => write_value(other, out),
+        }
+    }
+
+    /// Finite floats use Rust's shortest round-trip `Display` form (with a
+    /// forced `.0` so they re-parse as floats); non-finite values become
+    /// `null`, as in `serde_json`.
+    fn write_f64(v: f64, out: &mut String) {
+        if !v.is_finite() {
+            out.push_str("null");
+            return;
+        }
+        let text = format!("{v}");
+        out.push_str(&text);
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parse JSON text into a [`Value`].
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(Error(format!(
+                "trailing characters at offset {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_whitespace(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), Error> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error(format!(
+                    "expected '{}' at offset {}",
+                    byte as char, self.pos
+                )))
+            }
+        }
+
+        fn eat_literal(&mut self, literal: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+                self.pos += literal.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+                Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::Str),
+                Some(b'[') => self.parse_seq(),
+                Some(b'{') => self.parse_map(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+                _ => Err(Error(format!("unexpected input at offset {}", self.pos))),
+            }
+        }
+
+        fn parse_seq(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_whitespace();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                self.skip_whitespace();
+                items.push(self.parse_value()?);
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at {}", self.pos))),
+                }
+            }
+        }
+
+        fn parse_map(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_whitespace();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                self.skip_whitespace();
+                let key = self.parse_string()?;
+                self.skip_whitespace();
+                self.expect(b':')?;
+                self.skip_whitespace();
+                let value = self.parse_value()?;
+                entries.push((key, value));
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at {}", self.pos))),
+                }
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error("invalid UTF-8 in string".to_string()))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let escape = self
+                            .peek()
+                            .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                        self.pos += 1;
+                        match escape {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| Error("bad \\u escape".to_string()))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| Error("bad \\u escape".to_string()))?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error("bad \\u code point".to_string()))?,
+                                );
+                            }
+                            other => {
+                                return Err(Error(format!("bad escape '\\{}'", other as char)))
+                            }
+                        }
+                    }
+                    _ => return Err(Error("unterminated string".to_string())),
+                }
+            }
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            if self.peek() == Some(b'.') {
+                is_float = true;
+                self.pos += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                is_float = true;
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error("invalid number".to_string()))?;
+            if !is_float {
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(Value::U64(v));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::I64(v));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number '{text}'")))
+        }
+    }
+}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::to_string(&-7i64), "-7");
+        assert_eq!(json::to_string(&2.5f64), "2.5");
+        assert_eq!(json::to_string(&2.0f64), "2.0");
+        assert_eq!(json::to_string("hi\n"), "\"hi\\n\"");
+        assert_eq!(json::from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(json::from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(json::from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(json::from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(json::from_str::<String>("\"hi\\n\"").unwrap(), "hi\n");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(json::to_string(&v), "[1,2,3]");
+        assert_eq!(json::from_str::<Vec<u64>>("[1,2,3]").unwrap(), v);
+        assert_eq!(json::to_string(&Option::<u64>::None), "null");
+        assert_eq!(json::from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(json::from_str::<Option<u64>>("9").unwrap(), Some(9));
+        let arr: [u32; 3] = [4, 5, 6];
+        assert_eq!(json::from_str::<[u32; 3]>("[4,5,6]").unwrap(), arr);
+        let tup: (u64, f64, String) = (1, 2.5, "x".to_string());
+        let text = json::to_string(&tup);
+        assert_eq!(json::from_str::<(u64, f64, String)>(&text).unwrap(), tup);
+    }
+
+    #[test]
+    fn exact_u64_and_f64_round_trip() {
+        // u64 beyond f64's 53-bit mantissa must survive exactly.
+        let big = u64::MAX - 1;
+        assert_eq!(json::from_str::<u64>(&json::to_string(&big)).unwrap(), big);
+        // Shortest-display floats reparse to the same bits.
+        for v in [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let text = json::to_string(&v);
+            assert_eq!(
+                json::from_str::<f64>(&text).unwrap().to_bits(),
+                v.to_bits(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_is_stable_and_ordered() {
+        let value = Value::Map(vec![
+            ("b".to_string(), Value::U64(1)),
+            (
+                "a".to_string(),
+                Value::Seq(vec![Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        assert_eq!(value.canonical(), "{\"b\":1,\"a\":[null,false]}");
+        assert_eq!(json::parse(&value.canonical()).unwrap(), value);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("12 34").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let value = Value::Map(vec![
+            (
+                "x".to_string(),
+                Value::Seq(vec![Value::U64(1), Value::U64(2)]),
+            ),
+            ("y".to_string(), Value::Str("s".to_string())),
+        ]);
+        let pretty = {
+            struct Wrap(Value);
+            impl Serialize for Wrap {
+                fn to_value(&self) -> Value {
+                    self.0.clone()
+                }
+            }
+            json::to_string_pretty(&Wrap(value.clone()))
+        };
+        assert!(pretty.contains('\n'));
+        assert_eq!(json::parse(&pretty).unwrap(), value);
+    }
+}

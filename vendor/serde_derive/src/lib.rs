@@ -1,19 +1,406 @@
-//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives.
+//! Real (but minimal) `Serialize`/`Deserialize` derives for the offline
+//! serde stand-in.
 //!
-//! The container has no network access to crates.io, and nothing in this
-//! workspace actually serialises data yet — the derives only mark types as
-//! serialisable for future tooling. These macros accept the same attribute
-//! grammar (`#[serde(...)]`) and expand to nothing, so `#[derive(Serialize,
-//! Deserialize)]` compiles without pulling in the real implementation.
+//! The derives are written against `proc_macro` alone — the container has no
+//! crates.io access, so `syn`/`quote` are unavailable and the item is parsed
+//! by a small hand-rolled token walker.  Supported shapes (everything the
+//! workspace uses):
+//!
+//! * structs with named fields;
+//! * tuple structs (arity 1 serialises transparently, like real serde's
+//!   newtype structs; higher arities as a sequence);
+//! * enums with unit variants (serialised as the variant-name string) and
+//!   tuple variants (serialised as a single-entry map, externally tagged);
+//!
+//! Not supported (and absent from the workspace): generics, struct variants,
+//! `#[serde(...)]` attribute customisation (accepted but ignored), and types
+//! whose fields contain top-level commas inside angle brackets (e.g.
+//! `HashMap<K, V>`; wrap such fields in a newtype if ever needed).
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, tuple arity; 0 = unit variant).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute or doc comment: skip the following [...] group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly pub(crate)/pub(super).
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut tokens);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut tokens);
+            }
+            Some(other) => panic!("serde derive: unexpected token '{other}'"),
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    }
+}
+
+fn item_name(tokens: &mut Tokens) -> String {
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type '{name}' is not supported by the offline stub");
+    }
+    name
+}
+
+fn parse_struct(tokens: &mut Tokens) -> Item {
+    let name = item_name(tokens);
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_segments(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+            panic!("serde derive: where clauses are not supported by the offline stub")
+        }
+        other => panic!("serde derive: unexpected struct body {other:?}"),
+    };
+    Item { name, shape }
+}
+
+fn parse_enum(tokens: &mut Tokens) -> Item {
+    let name = item_name(tokens);
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: expected enum body, found {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments on the variant.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let variant = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: unexpected token '{other}' in enum {name}"),
+            None => break,
+        };
+        let mut arity = 0usize;
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_segments(g.stream());
+                iter.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde derive: struct variant {name}::{variant} is not supported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde derive: discriminant on {name}::{variant} is not supported")
+            }
+            _ => {}
+        }
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push((variant, arity));
+    }
+    Item {
+        name,
+        shape: Shape::Enum(variants),
+    }
+}
+
+/// Parse `field: Type, ...` pairs, skipping attributes and visibility.
+/// Commas nested in groups or angle brackets do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+                match iter.next() {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    other => panic!("serde derive: expected field name, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde derive: unexpected token '{other}' in fields"),
+            None => break,
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':', found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i64;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            iter.next();
+        }
+    }
+    fields
+}
+
+/// Count comma-separated segments at the top level of a token stream
+/// (angle-bracket aware) — the arity of a tuple struct or tuple variant.
+fn count_segments(stream: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut current_nonempty = false;
+    let mut angle_depth = 0i64;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                current_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if current_nonempty {
+                    segments += 1;
+                }
+                current_nonempty = false;
+            }
+            _ => current_nonempty = true,
+        }
+    }
+    if current_nonempty {
+        segments += 1;
+    }
+    segments
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut entries = String::new();
+            for field in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::to_value(&self.{field})),"
+                );
+            }
+            format!("::serde::value::Value::Map(vec![{entries}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(","))
+        }
+        Shape::Unit => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (variant, arity) in variants {
+                match arity {
+                    0 => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{variant} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{variant}\")),"
+                        );
+                    }
+                    1 => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{variant}(__f0) => ::serde::value::Value::Map(vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{variant}({binders}) => ::serde::value::Value::Map(vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::value::Value::Seq(vec![{values}]))]),",
+                            binders = binders.join(","),
+                            values = values.join(","),
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                let _ = write!(
+                    inits,
+                    "{field}: ::serde::__field(__entries, \"{field}\", \"{name}\")?,"
+                );
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::value::Value::Map(__entries) => \
+                         ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     __other => ::std::result::Result::Err(::serde::value::Error(\
+                         ::std::format!(\"{name}: expected map, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::value::Value::Seq(__items) if __items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     __other => ::std::result::Result::Err(::serde::value::Error(\
+                         ::std::format!(\"{name}: expected sequence of {arity}, found {{}}\", \
+                         __other.kind()))),\n\
+                 }}",
+                items = items.join(","),
+            )
+        }
+        Shape::Unit => format!("{{ let _ = __value; ::std::result::Result::Ok({name}) }}"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (variant, arity) in variants {
+                match arity {
+                    0 => {
+                        let _ = write!(
+                            arms,
+                            "::serde::value::Value::Str(__s) if __s == \"{variant}\" => \
+                             ::std::result::Result::Ok({name}::{variant}),"
+                        );
+                    }
+                    1 => {
+                        let _ = write!(
+                            arms,
+                            "::serde::value::Value::Map(__entries) if __entries.len() == 1 \
+                             && __entries[0].0 == \"{variant}\" => ::std::result::Result::Ok(\
+                             {name}::{variant}(::serde::Deserialize::from_value(&__entries[0].1)?)),"
+                        );
+                    }
+                    n => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "::serde::value::Value::Map(__entries) if __entries.len() == 1 \
+                             && __entries[0].0 == \"{variant}\" => match &__entries[0].1 {{\n\
+                                 ::serde::value::Value::Seq(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{variant}({items})),\n\
+                                 __other => ::std::result::Result::Err(::serde::value::Error(\
+                                     ::std::format!(\"{name}::{variant}: expected sequence of {n}, \
+                                     found {{}}\", __other.kind()))),\n\
+                             }},",
+                            items = items.join(","),
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     {arms}\n\
+                     __other => ::std::result::Result::Err(::serde::value::Error(\
+                         ::std::format!(\"{name}: no matching variant in {{}}\", \
+                         __other.canonical()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::value::Error> {{ {body} }}\n\
+         }}"
+    )
 }
