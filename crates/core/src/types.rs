@@ -119,6 +119,21 @@ impl ReleasePolicy {
         }
     }
 
+    /// Parse a policy name, case-insensitively, accepting the full names
+    /// and the `label()` abbreviations (`conv`, `ext`) — the one parser
+    /// behind every user-facing surface (`run_workload --policy`, the
+    /// `earlyreg-serve` JSON API), so the accepted spellings cannot drift.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "conv" | "conventional" => Ok(ReleasePolicy::Conventional),
+            "basic" => Ok(ReleasePolicy::Basic),
+            "ext" | "extended" => Ok(ReleasePolicy::Extended),
+            other => Err(format!(
+                "unknown policy '{other}' (conventional|basic|extended)"
+            )),
+        }
+    }
+
     /// True if the policy uses the Last-Uses Table.
     pub fn uses_lus_table(self) -> bool {
         !matches!(self, ReleasePolicy::Conventional)

@@ -47,14 +47,7 @@ fn parse_args() -> Args {
         let mut value = || iter.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--workload" => args.workload = value(),
-            "--policy" => {
-                args.policy = match value().as_str() {
-                    "conv" | "conventional" => ReleasePolicy::Conventional,
-                    "basic" => ReleasePolicy::Basic,
-                    "extended" | "ext" => ReleasePolicy::Extended,
-                    _ => usage(),
-                }
-            }
+            "--policy" => args.policy = ReleasePolicy::parse(&value()).unwrap_or_else(|_| usage()),
             "--int-regs" => args.int_regs = value().parse().unwrap_or_else(|_| usage()),
             "--fp-regs" => args.fp_regs = value().parse().unwrap_or_else(|_| usage()),
             "--scale" => {

@@ -19,12 +19,44 @@
 //! bit-identically through the vendored serde, so a cache hit is
 //! indistinguishable from a cold simulation — `tests/experiment_engine.rs`
 //! asserts `SimStats` equality end to end.
+//!
+//! # Schema versioning
+//!
+//! The key carries [`CACHE_VERSION`].  **Bump it whenever a change alters
+//! what a cached entry means**: simulator-semantics fixes, `SimStats` field
+//! changes, workload-generator changes not covered by the program
+//! fingerprint, or changes to the key schema itself.  Old entries then
+//! key-verify against a different canonical string and degrade to misses —
+//! stale statistics are never served.  Do *not* bump it for changes that are
+//! already part of the key (machine config, budget, workload programs).
+//!
+//! # Concurrency
+//!
+//! A cache directory may be shared by any number of threads and processes
+//! (parallel `earlyreg-exp` runs, the `earlyreg-serve` worker pool).  The
+//! invariants are:
+//!
+//! * **store is atomic** — entries are written to a uniquely named temp file
+//!   in the cache directory and `rename`d into place, so a reader observes
+//!   either no entry or a complete one, never a torn write;
+//! * **load degrades to a miss** — an unreadable, unparsable, or
+//!   key-mismatched entry returns `None` (and concurrent stores of the same
+//!   digest write identical bytes, so whichever rename lands last is
+//!   equivalent).  `load` never returns an error.
 
 use crate::runner::RunPoint;
 use earlyreg_sim::SimStats;
 use serde::{json, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the cached-entry semantics; part of every [`CacheKey`].
+///
+/// History: version 1 was the implicit (unversioned) PR 3 key schema;
+/// version 2 added this field to the canonical key.  See the module docs
+/// for the bump policy.
+pub const CACHE_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a — small, dependency-free and stable across platforms.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -39,6 +71,10 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// The full identity of one simulation point.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CacheKey {
+    /// Schema/semantics version; always [`CACHE_VERSION`] for fresh keys
+    /// (see [`CacheKey::new`]).  Entries written under another version
+    /// key-verify differently and degrade to misses.
+    pub version: u32,
     /// Point coordinates.
     pub point: RunPoint,
     /// Canonical JSON of the machine configuration actually simulated.
@@ -50,6 +86,22 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
+    /// Build a key at the current [`CACHE_VERSION`].
+    pub fn new(
+        point: RunPoint,
+        machine: String,
+        workload_fingerprint: u64,
+        max_instructions: u64,
+    ) -> Self {
+        CacheKey {
+            version: CACHE_VERSION,
+            point,
+            machine,
+            workload_fingerprint,
+            max_instructions,
+        }
+    }
+
     /// Canonical string form (the content that is addressed).
     pub fn canonical(&self) -> String {
         serde::Serialize::to_value(self).canonical()
@@ -96,19 +148,32 @@ impl PointCache {
     }
 
     /// Store a point (creates the cache directory on first use).
+    ///
+    /// The entry is written to a temp file unique to this writer (process id
+    /// plus a process-wide counter) in the cache directory and `rename`d
+    /// into place, so concurrent writers never interleave bytes in a shared
+    /// temp file and a reader can never observe a torn entry — a shared
+    /// `<digest>.tmp` name would let writer B truncate the file writer A is
+    /// about to rename.
     pub fn store(&self, key: &CacheKey, stats: &SimStats) -> io::Result<PathBuf> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(key);
         let entry = serde::value::Value::Map(vec![
             ("key".to_string(), serde::value::Value::Str(key.canonical())),
             ("stats".to_string(), serde::Serialize::to_value(stats)),
         ]);
-        // Write via a temp file + rename so a crashed run never leaves a
-        // truncated entry behind (a torn entry would just miss, but why risk
-        // it).
-        let tmp = path.with_extension("tmp");
+        let tmp = self.dir.join(format!(
+            ".{:016x}.{}.{}.tmp",
+            key.digest(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, entry.canonical())?;
-        std::fs::rename(&tmp, &path)?;
+        if let Err(error) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(error);
+        }
         Ok(path)
     }
 }
@@ -120,18 +185,18 @@ mod tests {
     use earlyreg_workloads::WorkloadClass;
 
     fn key(max_instructions: u64) -> CacheKey {
-        CacheKey {
-            point: RunPoint {
+        CacheKey::new(
+            RunPoint {
                 workload: "swim",
                 class: WorkloadClass::Fp,
                 policy: ReleasePolicy::Extended,
                 phys_int: 48,
                 phys_fp: 48,
             },
-            machine: "{\"fetch_width\":8}".to_string(),
-            workload_fingerprint: 0xdead_beef,
+            "{\"fetch_width\":8}".to_string(),
+            0xdead_beef,
             max_instructions,
-        }
+        )
     }
 
     #[test]
@@ -141,6 +206,20 @@ mod tests {
         let mut other = key(100);
         other.machine.push('x');
         assert_ne!(other.digest(), key(100).digest());
+    }
+
+    #[test]
+    fn cache_version_is_part_of_the_key() {
+        let current = key(100);
+        assert_eq!(current.version, CACHE_VERSION);
+        let mut old = key(100);
+        old.version = CACHE_VERSION - 1;
+        // A version bump changes both the digest (different file) and the
+        // canonical key (so even a digest collision would key-verify to a
+        // miss): stale entries can never be served.
+        assert_ne!(old.digest(), current.digest());
+        assert_ne!(old.canonical(), current.canonical());
+        assert!(current.canonical().contains("\"version\":"));
     }
 
     #[test]

@@ -30,9 +30,10 @@ use crate::runner::{run_configured_point, run_parallel, RunPoint, RunResult};
 use crate::{ablation, context, fig03, fig09, fig10, fig11, sec33, sec44, table4};
 use earlyreg_core::ReleasePolicy;
 use earlyreg_sim::{MachineConfig, SimStats};
-use earlyreg_workloads::{suite, Workload, WorkloadClass};
+use earlyreg_workloads::{suite, Scale, Workload, WorkloadClass};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// One planned simulation point: coordinates plus the exact machine to
 /// simulate and its content-addressed identity.
@@ -48,22 +49,24 @@ pub struct PlannedPoint {
     pub digest: u64,
 }
 
-/// Shared planning state: options, scenario and the workload suite, built
-/// once per engine run and shared by every experiment.
-pub struct PlanContext {
-    /// Execution options (scale, threads, instruction budget).
-    pub options: ExperimentOptions,
-    /// Machine/sweep overrides.
-    pub scenario: Scenario,
+/// The instantiated workload suite at one scale, plus the program
+/// fingerprints that enter every cache key.
+///
+/// Building one is expensive — it generates every synthetic program — so
+/// long-lived callers (the `earlyreg-serve` service in particular) build one
+/// per scale and share it across [`PlanContext`]s through an [`Arc`] via
+/// [`PlanContext::with_workloads`].
+pub struct WorkloadSet {
+    scale: Scale,
     workloads: Vec<Workload>,
     fingerprints: HashMap<&'static str, u64>,
 }
 
-impl PlanContext {
-    /// Build the context: instantiate the workload suite at the requested
-    /// scale and fingerprint every generated program.
-    pub fn new(options: ExperimentOptions, scenario: Scenario) -> Self {
-        let workloads = suite(options.scale);
+impl WorkloadSet {
+    /// Instantiate the suite at the requested scale and fingerprint every
+    /// generated program.
+    pub fn new(scale: Scale) -> Self {
+        let workloads = suite(scale);
         let fingerprints = workloads
             .iter()
             .map(|w| {
@@ -71,15 +74,19 @@ impl PlanContext {
                 (w.name(), fnv1a64(canonical.as_bytes()))
             })
             .collect();
-        PlanContext {
-            options,
-            scenario,
+        WorkloadSet {
+            scale,
             workloads,
             fingerprints,
         }
     }
 
-    /// The shared workload suite.
+    /// The scale this set was instantiated at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Every workload in the suite.
     pub fn workloads(&self) -> &[Workload] {
         &self.workloads
     }
@@ -87,6 +94,59 @@ impl PlanContext {
     /// Find one workload by name.
     pub fn workload(&self, name: &str) -> Option<&Workload> {
         self.workloads.iter().find(|w| w.name() == name)
+    }
+}
+
+/// Shared planning state: options, scenario and the workload suite, built
+/// once per engine run and shared by every experiment.
+pub struct PlanContext {
+    /// Execution options (scale, threads, instruction budget).
+    pub options: ExperimentOptions,
+    /// Machine/sweep overrides.
+    pub scenario: Scenario,
+    set: Arc<WorkloadSet>,
+}
+
+impl PlanContext {
+    /// Build the context, instantiating a fresh [`WorkloadSet`] at the
+    /// options' scale.
+    pub fn new(options: ExperimentOptions, scenario: Scenario) -> Self {
+        let set = Arc::new(WorkloadSet::new(options.scale));
+        Self::with_workloads(options, scenario, set)
+    }
+
+    /// Build the context around an existing (shared) workload set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set was instantiated at a different scale than the
+    /// options request — the fingerprints would not describe the programs
+    /// actually simulated.
+    pub fn with_workloads(
+        options: ExperimentOptions,
+        scenario: Scenario,
+        set: Arc<WorkloadSet>,
+    ) -> Self {
+        assert_eq!(
+            options.scale,
+            set.scale(),
+            "workload set scale does not match the requested options"
+        );
+        PlanContext {
+            options,
+            scenario,
+            set,
+        }
+    }
+
+    /// The shared workload suite.
+    pub fn workloads(&self) -> &[Workload] {
+        self.set.workloads()
+    }
+
+    /// Find one workload by name.
+    pub fn workload(&self, name: &str) -> Option<&Workload> {
+        self.set.workload(name)
     }
 
     /// The machine for one point: Table 2 plus the scenario's overrides.
@@ -96,16 +156,16 @@ impl PlanContext {
 
     /// Plan one point under an explicit machine configuration.
     pub fn point_with_config(&self, point: RunPoint, config: MachineConfig) -> PlannedPoint {
-        let key = CacheKey {
+        let key = CacheKey::new(
             point,
-            machine: serde::Serialize::to_value(&config).canonical(),
-            workload_fingerprint: self
+            serde::Serialize::to_value(&config).canonical(),
+            self.set
                 .fingerprints
                 .get(point.workload)
                 .copied()
                 .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload)),
-            max_instructions: self.options.max_instructions,
-        };
+            self.options.max_instructions,
+        );
         let digest = key.digest();
         PlannedPoint {
             point,
@@ -147,7 +207,7 @@ impl PlanContext {
         sizes: &[usize],
     ) -> Vec<PlannedPoint> {
         let mut points = Vec::new();
-        for workload in &self.workloads {
+        for workload in self.workloads() {
             if class.is_some_and(|c| workload.class() != c) {
                 continue;
             }
@@ -182,6 +242,12 @@ impl ResultSet {
     /// The result of one planned point.
     pub fn get(&self, point: &PlannedPoint) -> Option<&RunResult> {
         self.entries.get(&point.digest)
+    }
+
+    /// Record the result of one resolved point ([`PointResolver`]s call
+    /// this).
+    pub fn insert(&mut self, digest: u64, result: RunResult) {
+        self.entries.insert(digest, result);
     }
 
     /// The statistics of one planned point.
@@ -271,6 +337,9 @@ pub struct RunSummary {
     pub unique: usize,
     /// Points answered by the on-disk cache.
     pub cache_hits: usize,
+    /// Points answered by another in-flight computation (single-flight
+    /// resolvers only; always 0 for [`CacheResolver`]).
+    pub coalesced: usize,
     /// Points actually simulated.
     pub simulated: usize,
 }
@@ -279,10 +348,11 @@ impl RunSummary {
     /// One-line human summary (the CLI prints it; CI greps it).
     pub fn line(&self) -> String {
         format!(
-            "points: planned={} unique={} cache_hits={} simulated={} (experiments: {})",
+            "points: planned={} unique={} cache_hits={} coalesced={} simulated={} (experiments: {})",
             self.planned,
             self.unique,
             self.cache_hits,
+            self.coalesced,
             self.simulated,
             self.experiments.join(" ")
         )
@@ -297,55 +367,94 @@ pub struct EngineOutcome {
     pub summary: RunSummary,
 }
 
-/// Dedup a union of plans and resolve every unique point: cache first, then
-/// parallel simulation, storing fresh results back into the cache.
-fn resolve(
-    ctx: &PlanContext,
-    mut unique: Vec<PlannedPoint>,
-    cache: Option<&PointCache>,
-) -> (ResultSet, usize) {
-    unique.sort_by_key(|p| (p.point, p.digest));
-    unique.dedup_by_key(|p| p.digest);
+/// Counters of one plan resolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Points answered by the on-disk cache.
+    pub cache_hits: usize,
+    /// Points answered by another in-flight computation (single-flight
+    /// resolvers).
+    pub coalesced: usize,
+    /// Points simulated by this resolution.
+    pub simulated: usize,
+}
 
-    let mut results = ResultSet::default();
-    let mut misses = Vec::new();
-    let mut cache_hits = 0usize;
-    for planned in unique {
-        match cache.and_then(|c| c.load(&planned.key)) {
-            Some(stats) => {
-                cache_hits += 1;
-                results.entries.insert(
-                    planned.digest,
-                    RunResult {
-                        point: planned.point,
-                        stats,
-                    },
-                );
-            }
-            None => misses.push(planned),
-        }
-    }
+/// Strategy for turning a deduplicated plan into results.
+///
+/// The engine ships [`CacheResolver`] (cache lookup, parallel simulation of
+/// the misses, store-back); `earlyreg-serve` provides a single-flight
+/// resolver that additionally dedups identical points across concurrent
+/// requests.  The input slice is sorted by [`RunPoint`] and deduplicated by
+/// digest; the returned [`ResultSet`] must contain every point in it.
+pub trait PointResolver: Sync {
+    /// Resolve every planned point.
+    fn resolve(&self, ctx: &PlanContext, unique: &[PlannedPoint]) -> (ResultSet, ResolveStats);
+}
 
-    let simulated = run_parallel(ctx.options.effective_threads(), &misses, |planned| {
-        let workload = ctx
-            .workload(planned.point.workload)
-            .unwrap_or_else(|| panic!("unknown workload '{}'", planned.point.workload));
-        run_configured_point(
-            workload,
-            planned.point,
-            planned.config,
-            ctx.options.max_instructions,
-        )
-    });
-    for (planned, result) in misses.iter().zip(simulated) {
-        if let Some(cache) = cache {
-            if let Err(error) = cache.store(&planned.key, &result.stats) {
-                eprintln!("warning: cannot cache point {:?}: {error}", planned.point);
+/// Simulate one planned point (the workload must exist in the context's
+/// suite).  The shared primitive under every resolver.
+pub fn simulate_planned(ctx: &PlanContext, planned: &PlannedPoint) -> RunResult {
+    let workload = ctx
+        .workload(planned.point.workload)
+        .unwrap_or_else(|| panic!("unknown workload '{}'", planned.point.workload));
+    run_configured_point(
+        workload,
+        planned.point,
+        planned.config,
+        ctx.options.max_instructions,
+    )
+}
+
+/// The default resolver: answer what the on-disk cache can, simulate the
+/// misses in parallel, store fresh results back.
+pub struct CacheResolver<'a> {
+    /// The backing cache (`None` simulates everything).
+    pub cache: Option<&'a PointCache>,
+}
+
+impl PointResolver for CacheResolver<'_> {
+    fn resolve(&self, ctx: &PlanContext, unique: &[PlannedPoint]) -> (ResultSet, ResolveStats) {
+        let mut results = ResultSet::default();
+        let mut misses = Vec::new();
+        let mut stats = ResolveStats::default();
+        for planned in unique {
+            match self.cache.and_then(|c| c.load(&planned.key)) {
+                Some(cached) => {
+                    stats.cache_hits += 1;
+                    results.insert(
+                        planned.digest,
+                        RunResult {
+                            point: planned.point,
+                            stats: cached,
+                        },
+                    );
+                }
+                None => misses.push(planned),
             }
         }
-        results.entries.insert(planned.digest, result);
+
+        let simulated = run_parallel(ctx.options.effective_threads(), &misses, |planned| {
+            simulate_planned(ctx, planned)
+        });
+        for (planned, result) in misses.iter().zip(simulated) {
+            if let Some(cache) = self.cache {
+                if let Err(error) = cache.store(&planned.key, &result.stats) {
+                    eprintln!("warning: cannot cache point {:?}: {error}", planned.point);
+                }
+            }
+            stats.simulated += 1;
+            results.insert(planned.digest, result);
+        }
+        (results, stats)
     }
-    (results, cache_hits)
+}
+
+/// Sort a union of plans by [`RunPoint`] and drop digest duplicates — the
+/// canonical pre-resolution normalisation.
+pub fn dedup_plan(mut union: Vec<PlannedPoint>) -> Vec<PlannedPoint> {
+    union.sort_by_key(|p| (p.point, p.digest));
+    union.dedup_by_key(|p| p.digest);
+    union
 }
 
 /// Resolve a plan against an optional disk cache: dedup, cache lookups,
@@ -355,7 +464,8 @@ pub fn resolve_plan(
     plan: &[PlannedPoint],
     cache: Option<&PointCache>,
 ) -> ResultSet {
-    resolve(ctx, plan.to_vec(), cache).0
+    let unique = dedup_plan(plan.to_vec());
+    CacheResolver { cache }.resolve(ctx, &unique).0
 }
 
 /// Resolve a plan without a disk cache — the path the per-module `run()`
@@ -364,17 +474,18 @@ pub fn simulate(ctx: &PlanContext, plan: &[PlannedPoint]) -> ResultSet {
     resolve_plan(ctx, plan, None)
 }
 
-/// Run a set of experiments as one shared sweep.
-pub fn run(
+/// Run a set of experiments as one shared sweep through an explicit
+/// resolver.  Plans the union, dedups it, resolves it, renders every report
+/// — no file or stdout side effects.
+pub fn run_with(
     experiments: &[&dyn Experiment],
     ctx: &PlanContext,
-    cache: Option<&PointCache>,
+    resolver: &dyn PointResolver,
 ) -> EngineOutcome {
     let plans: Vec<Vec<PlannedPoint>> = experiments.iter().map(|e| e.plan(ctx)).collect();
     let planned: usize = plans.iter().map(Vec::len).sum();
-    let union: Vec<PlannedPoint> = plans.into_iter().flatten().collect();
-    let (results, cache_hits) = resolve(ctx, union, cache);
-    let unique = results.len();
+    let unique = dedup_plan(plans.into_iter().flatten().collect());
+    let (results, resolve_stats) = resolver.resolve(ctx, &unique);
     let reports = experiments
         .iter()
         .map(|e| e.render(ctx, &results))
@@ -384,11 +495,35 @@ pub fn run(
         summary: RunSummary {
             experiments: experiments.iter().map(|e| e.id()).collect(),
             planned,
-            unique,
-            cache_hits,
-            simulated: unique - cache_hits,
+            unique: unique.len(),
+            cache_hits: resolve_stats.cache_hits,
+            coalesced: resolve_stats.coalesced,
+            simulated: resolve_stats.simulated,
         },
     }
+}
+
+/// Run a set of experiments as one shared sweep against an optional disk
+/// cache.
+pub fn run(
+    experiments: &[&dyn Experiment],
+    ctx: &PlanContext,
+    cache: Option<&PointCache>,
+) -> EngineOutcome {
+    run_with(experiments, ctx, &CacheResolver { cache })
+}
+
+/// Run experiments selected by id through an explicit resolver and return
+/// their reports as values — the entry point `earlyreg-serve` and other
+/// embedders consume.  Nothing is printed or written.
+pub fn run_reports(
+    ids: &[String],
+    ctx: &PlanContext,
+    resolver: &dyn PointResolver,
+) -> Result<EngineOutcome, String> {
+    let experiments = select(ids)?;
+    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
+    Ok(run_with(&refs, ctx, resolver))
 }
 
 /// Entry point of the historical per-experiment binaries: parse the classic
@@ -412,8 +547,10 @@ pub fn shim_main(id: &str) {
     emit(&outcome.reports[0], Format::Text, None).expect("stdout write");
 }
 
-/// Run experiments for a one-shot caller (tests, tools): select by id, run
-/// on the given cache, emit every report in `format` under `out`.
+/// Run experiments for a one-shot caller (the CLI, tests, tools): select by
+/// id, run on the given cache, emit every report in `format` under `out`.
+/// A thin consumer of [`run_reports`] — all rendering happens on the
+/// returned [`Report`] values.
 pub fn run_to_files(
     ids: &[String],
     ctx: &PlanContext,
@@ -421,9 +558,7 @@ pub fn run_to_files(
     format: Format,
     out: Option<&Path>,
 ) -> Result<EngineOutcome, String> {
-    let experiments = select(ids)?;
-    let refs: Vec<&dyn Experiment> = experiments.iter().map(|e| e.as_ref()).collect();
-    let outcome = run(&refs, ctx, cache);
+    let outcome = run_reports(ids, ctx, &CacheResolver { cache })?;
     for report in &outcome.reports {
         emit(report, format, out).map_err(|e| format!("cannot write report: {e}"))?;
     }

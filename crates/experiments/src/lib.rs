@@ -42,9 +42,12 @@ pub mod sec33;
 pub mod sec44;
 pub mod table4;
 
-pub use cache::{CacheKey, PointCache};
+pub use cache::{CacheKey, PointCache, CACHE_VERSION};
 pub use config::{ExperimentOptions, Scenario, FIG11_SIZES};
-pub use engine::{registry, Experiment, PlanContext, PlannedPoint, ResultSet, RunSummary};
+pub use engine::{
+    registry, CacheResolver, Experiment, PlanContext, PlannedPoint, PointResolver, ResolveStats,
+    ResultSet, RunSummary, WorkloadSet,
+};
 pub use metrics::{arithmetic_mean, harmonic_mean, interpolate_equal_ipc, speedup};
-pub use report::{Format, NamedTable, Report};
+pub use report::{Artifact, Format, NamedTable, Report};
 pub use runner::{run_point, run_sweep, RunPoint, RunResult};

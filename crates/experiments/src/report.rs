@@ -155,17 +155,21 @@ pub struct Report {
 }
 
 impl Report {
-    /// The JSON document of this report: an envelope with the experiment id,
-    /// title and result data.
-    pub fn json(&self) -> String {
-        let envelope = Value::Map(vec![
+    /// The JSON envelope of this report as a value (experiment id, title,
+    /// result data) — shared by the JSON file backend and the HTTP service.
+    pub fn envelope(&self) -> Value {
+        Value::Map(vec![
             (
                 "experiment".to_string(),
                 Value::Str(self.experiment.to_string()),
             ),
             ("title".to_string(), Value::Str(self.title.to_string())),
             ("data".to_string(), self.data.clone()),
-        ]);
+        ])
+    }
+
+    /// The JSON document of this report: the pretty-printed envelope.
+    pub fn json(&self) -> String {
         let mut out = String::new();
         // Reuse the pretty writer through a tiny Serialize shim.
         struct Raw<'a>(&'a Value);
@@ -174,7 +178,7 @@ impl Report {
                 self.0.clone()
             }
         }
-        out.push_str(&serde::json::to_string_pretty(&Raw(&envelope)));
+        out.push_str(&serde::json::to_string_pretty(&Raw(&self.envelope())));
         out.push('\n');
         out
     }
@@ -203,39 +207,50 @@ impl Format {
     }
 }
 
-/// Emit one report through the selected backend.  Returns the files written
-/// (empty when the backend printed to stdout only).
+/// One rendered output file: `(file name, content)`.
+pub type Artifact = (String, String);
+
+/// Render one report through a backend into named artifacts, without
+/// touching stdout or the filesystem — the pure core [`emit`] (and any other
+/// consumer, such as the HTTP service) builds on.
+pub fn render(report: &Report, format: Format) -> Vec<Artifact> {
+    match format {
+        Format::Text => vec![(format!("{}.txt", report.experiment), report.text.clone())],
+        Format::Json => vec![(format!("{}.json", report.experiment), report.json())],
+        Format::Csv => report
+            .tables
+            .iter()
+            .map(|named| {
+                (
+                    format!("{}_{}.csv", report.experiment, named.name),
+                    named.table.render_csv(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Emit one report through the selected backend: write [`render`]'s
+/// artifacts under `out_dir`, or print to stdout without one (text always
+/// prints).  Returns the files written.
 pub fn emit(report: &Report, format: Format, out_dir: Option<&Path>) -> io::Result<Vec<PathBuf>> {
-    if let Some(dir) = out_dir {
-        std::fs::create_dir_all(dir)?;
+    if format == Format::Text {
+        print!("{}", report.text);
     }
     let mut written = Vec::new();
-    match format {
-        Format::Text => {
-            print!("{}", report.text);
-            if let Some(dir) = out_dir {
-                let path = dir.join(format!("{}.txt", report.experiment));
-                std::fs::write(&path, &report.text)?;
+    match out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            for (name, content) in render(report, format) {
+                let path = dir.join(name);
+                std::fs::write(&path, content)?;
                 written.push(path);
             }
         }
-        Format::Json => match out_dir {
-            Some(dir) => {
-                let path = dir.join(format!("{}.json", report.experiment));
-                std::fs::write(&path, report.json())?;
-                written.push(path);
-            }
-            None => print!("{}", report.json()),
-        },
-        Format::Csv => match out_dir {
-            Some(dir) => {
-                for named in &report.tables {
-                    let path = dir.join(format!("{}_{}.csv", report.experiment, named.name));
-                    std::fs::write(&path, named.table.render_csv())?;
-                    written.push(path);
-                }
-            }
-            None => {
+        None => match format {
+            Format::Text => {}
+            Format::Json => print!("{}", report.json()),
+            Format::Csv => {
                 for named in &report.tables {
                     println!("# {} {}", report.experiment, named.name);
                     print!("{}", named.table.render_csv());
@@ -246,13 +261,23 @@ pub fn emit(report: &Report, format: Format, out_dir: Option<&Path>) -> io::Resu
     Ok(written)
 }
 
-/// Format a float with the given number of decimals.
+/// Format a float with the given number of decimals; non-finite values
+/// (zero-cycle or zero-baseline degenerate runs) render as `n/a`.
 pub fn fmt(value: f64, decimals: usize) -> String {
+    if !value.is_finite() {
+        return "n/a".to_string();
+    }
     format!("{value:.decimals$}")
 }
 
-/// Format a ratio as a signed percentage ("+5.2%").
+/// Format a ratio as a signed percentage ("+5.2%"); non-finite ratios (a
+/// zero-denominator speedup) render as `n/a` instead of `+NaN%`/`+inf%`.
+/// The JSON backend writes the same non-finite values as `null` (see the
+/// vendored serde's `write_f64`), so every format has a defined placeholder.
 pub fn fmt_pct(ratio: f64) -> String {
+    if !ratio.is_finite() {
+        return "n/a".to_string();
+    }
     format!("{:+.1}%", ratio * 100.0)
 }
 
@@ -308,5 +333,41 @@ mod tests {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt_pct(0.052), "+5.2%");
         assert_eq!(fmt_pct(-0.1), "-10.0%");
+    }
+
+    #[test]
+    fn non_finite_values_render_as_na() {
+        // A zero-cycle smoke run has IPC 0/0 = NaN and a zero-baseline
+        // speedup is inf; both must render as a defined placeholder, never
+        // "+NaN%" / "inf".
+        assert_eq!(fmt(f64::NAN, 3), "n/a");
+        assert_eq!(fmt(f64::INFINITY, 2), "n/a");
+        assert_eq!(fmt_pct(f64::NAN), "n/a");
+        assert_eq!(fmt_pct(f64::INFINITY), "n/a");
+        assert_eq!(fmt_pct(f64::NEG_INFINITY), "n/a");
+    }
+
+    #[test]
+    fn render_produces_named_artifacts_without_io() {
+        let mut table = TextTable::new(["x"]);
+        table.row(["1"]);
+        let report = Report {
+            experiment: "fig99",
+            title: "test",
+            text: "hello\n".to_string(),
+            data: table.to_value(),
+            tables: vec![NamedTable::new("main", table)],
+        };
+        assert_eq!(
+            render(&report, Format::Text),
+            vec![("fig99.txt".to_string(), "hello\n".to_string())]
+        );
+        let json = render(&report, Format::Json);
+        assert_eq!(json[0].0, "fig99.json");
+        assert!(serde::json::parse(&json[0].1).is_ok());
+        assert_eq!(
+            render(&report, Format::Csv),
+            vec![("fig99_main.csv".to_string(), "x\n1\n".to_string())]
+        );
     }
 }

@@ -1,0 +1,160 @@
+//! Concurrency guarantees of the on-disk point cache: any number of threads
+//! may race `store`/`load` on the same digest, and every load observes
+//! either a miss or a complete, bit-identical entry — never a torn file and
+//! never an error.
+
+use earlyreg_core::ReleasePolicy;
+use earlyreg_experiments::cache::{CacheKey, PointCache, CACHE_VERSION};
+use earlyreg_experiments::runner::RunPoint;
+use earlyreg_sim::SimStats;
+use earlyreg_workloads::WorkloadClass;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("earlyreg-cache-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(workload: &'static str, max_instructions: u64) -> CacheKey {
+    CacheKey::new(
+        RunPoint {
+            workload,
+            class: WorkloadClass::Fp,
+            policy: ReleasePolicy::Extended,
+            phys_int: 48,
+            phys_fp: 48,
+        },
+        "{\"fetch_width\":8}".to_string(),
+        0x5151_5151,
+        max_instructions,
+    )
+}
+
+fn stats(cycles: u64) -> SimStats {
+    SimStats {
+        cycles,
+        committed: cycles * 3 + 1,
+        halted: true,
+        ..Default::default()
+    }
+}
+
+/// N threads hammer the same digest with stores and loads; every load is a
+/// miss or the exact stored statistics.
+#[test]
+fn racing_store_and_load_on_one_digest_never_observe_a_torn_entry() {
+    let dir = temp_dir("same");
+    let cache = PointCache::new(&dir);
+    let key = key("swim", 4242);
+    let expected = stats(77);
+    let loads_hit = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for thread in 0..8 {
+            let (cache, key, expected, loads_hit) = (&cache, &key, &expected, &loads_hit);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    if thread % 2 == 0 {
+                        cache.store(key, expected).expect("store succeeds");
+                    }
+                    match cache.load(key) {
+                        None => {}
+                        Some(loaded) => {
+                            assert_eq!(&loaded, expected, "a hit must be bit-identical");
+                            loads_hit.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        loads_hit.load(Ordering::Relaxed) > 0,
+        "at least some loads must have hit"
+    );
+    // Exactly one entry file, no leftover temp files.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(entries.len(), 1, "unexpected files: {entries:?}");
+    assert!(entries[0].ends_with(".json"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Threads storing distinct keys do not interfere; every key loads back its
+/// own statistics.
+#[test]
+fn racing_stores_of_distinct_keys_all_land() {
+    let dir = temp_dir("distinct");
+    let cache = PointCache::new(&dir);
+    let keys: Vec<(CacheKey, SimStats)> = (0..16)
+        .map(|i| (key("gcc", 1000 + i), stats(100 + i)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (key, stats) in &keys {
+            scope.spawn(|| {
+                cache.store(key, stats).expect("store succeeds");
+            });
+        }
+    });
+
+    for (key, stats) in &keys {
+        assert_eq!(cache.load(key).as_ref(), Some(stats));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Unreadable, unparsable or key-mismatched entries — e.g. what a pre-rename
+/// crash or a foreign tool could leave behind — degrade to misses, never to
+/// errors, and a subsequent store repairs them.
+#[test]
+fn damaged_entries_degrade_to_a_miss_and_are_repairable() {
+    let dir = temp_dir("damaged");
+    let cache = PointCache::new(&dir);
+    let key = key("li", 9);
+    let expected = stats(5);
+
+    cache.store(&key, &expected).unwrap();
+    let path = cache.entry_path(&key);
+
+    // Truncated mid-write (torn) content.
+    std::fs::write(&path, "{\"key\":\"{\\\"ver").unwrap();
+    assert_eq!(cache.load(&key), None);
+
+    // Valid JSON under the wrong key (e.g. a digest collision).
+    std::fs::write(&path, "{\"key\":\"something else\",\"stats\":{}}").unwrap();
+    assert_eq!(cache.load(&key), None);
+
+    // A store over the damaged entry restores it.
+    cache.store(&key, &expected).unwrap();
+    assert_eq!(cache.load(&key), Some(expected));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An entry written under an older `CACHE_VERSION` is invisible to current
+/// keys: the digest differs, and even a forced collision fails key
+/// verification.
+#[test]
+fn entries_from_an_older_cache_version_are_misses() {
+    let dir = temp_dir("version");
+    let cache = PointCache::new(&dir);
+    let current = key("perl", 123);
+    let mut old = current.clone();
+    old.version = CACHE_VERSION - 1;
+
+    cache.store(&old, &stats(1)).unwrap();
+    assert_ne!(old.digest(), current.digest());
+    assert_eq!(cache.load(&current), None, "old entries must never serve");
+
+    // Force the collision: copy the old entry onto the current digest's
+    // path.  Key verification still rejects it.
+    std::fs::copy(cache.entry_path(&old), cache.entry_path(&current)).unwrap();
+    assert_eq!(cache.load(&current), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,234 @@
+//! Single-flight deduplication of identical in-flight computations.
+//!
+//! The first caller to [`SingleFlight::join`] a key becomes the **leader**
+//! and is handed a [`Leader`] token; everyone joining the same key before
+//! the leader publishes becomes a **follower** holding a [`Follower`]
+//! handle.  The leader computes once and [`Leader::publish`]es; every
+//! follower's [`Follower::wait`] then returns a clone of the value.
+//!
+//! If the leader's computation panics (or its token is otherwise dropped
+//! without publishing), followers receive `None` and are expected to fall
+//! back to computing the value themselves — a failed leader must never
+//! strand its followers.
+//!
+//! The intended protocol for batch users (the service resolver) is: join
+//! every key first, compute and publish all led keys, and only then wait on
+//! followed keys.  Publishing before waiting makes cross-request
+//! leader/follower cycles impossible, so the map is deadlock-free.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+enum FlightState<V> {
+    Pending,
+    Done(Option<V>),
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    done: Condvar,
+}
+
+/// A map of in-flight computations.
+///
+/// The key must carry the *full* identity of the computation — the service
+/// keys on the canonical cache-key string, not its 64-bit digest, so a
+/// digest collision can never hand one point's result to another (the same
+/// invariant the on-disk cache enforces by verifying the stored key).
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+/// The outcome of joining a key.
+pub enum Join<'sf, K: Eq + Hash, V> {
+    /// This caller computes the value and must publish it.
+    Leader(Leader<'sf, K, V>),
+    /// Another caller is already computing; wait for its result.
+    Follower(Follower<V>),
+}
+
+/// The leader's obligation to publish (fulfilled automatically with a
+/// failure marker on drop).
+pub struct Leader<'sf, K: Eq + Hash, V> {
+    owner: &'sf SingleFlight<K, V>,
+    key: K,
+    flight: Arc<Flight<V>>,
+    published: bool,
+}
+
+/// A follower's claim on the leader's eventual result.
+pub struct Follower<V> {
+    flight: Arc<Flight<V>>,
+}
+
+impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join the flight for `key`: the first joiner leads, later joiners
+    /// follow.
+    pub fn join(&self, key: K) -> Join<'_, K, V> {
+        let mut inflight = self.inflight.lock().expect("single-flight map poisoned");
+        if let Some(flight) = inflight.get(&key) {
+            return Join::Follower(Follower {
+                flight: Arc::clone(flight),
+            });
+        }
+        let flight = Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        });
+        inflight.insert(key.clone(), Arc::clone(&flight));
+        Join::Leader(Leader {
+            owner: self,
+            key,
+            flight,
+            published: false,
+        })
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        self.inflight
+            .lock()
+            .expect("single-flight map poisoned")
+            .len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V> Leader<'_, K, V> {
+    /// Publish the computed value: wake every follower and retire the key.
+    pub fn publish(mut self, value: V) {
+        self.finish(Some(value));
+    }
+
+    fn finish(&mut self, value: Option<V>) {
+        // Retire the key first so late joiners (who will re-check the cache
+        // and find the stored result) start a fresh flight instead of
+        // waiting on a finished one.
+        self.owner
+            .inflight
+            .lock()
+            .expect("single-flight map poisoned")
+            .remove(&self.key);
+        *self.flight.state.lock().expect("flight state poisoned") = FlightState::Done(value);
+        self.flight.done.notify_all();
+        self.published = true;
+    }
+}
+
+impl<K: Eq + Hash, V> Drop for Leader<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            // The leader failed (panicked or bailed): signal followers to
+            // compute for themselves rather than stranding them.
+            self.finish(None);
+        }
+    }
+}
+
+impl<V: Clone> Follower<V> {
+    /// Block until the leader publishes; `None` means the leader failed and
+    /// the caller must compute the value itself.
+    pub fn wait(self) -> Option<V> {
+        let mut state = self.flight.state.lock().expect("flight state poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(value) => return value.clone(),
+                FlightState::Pending => {
+                    state = self.flight.done.wait(state).expect("flight state poisoned");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn first_joiner_leads_and_followers_receive_the_value() {
+        let flights: SingleFlight<u64, u64> = SingleFlight::new();
+        let leader = match flights.join(7) {
+            Join::Leader(leader) => leader,
+            Join::Follower(_) => panic!("first joiner must lead"),
+        };
+        assert_eq!(flights.len(), 1);
+
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut waiters = Vec::new();
+            for _ in 0..4 {
+                let follower = match flights.join(7) {
+                    Join::Follower(follower) => follower,
+                    Join::Leader(_) => panic!("later joiners must follow"),
+                };
+                let computed = &computed;
+                waiters.push(scope.spawn(move || {
+                    assert_eq!(follower.wait(), Some(42));
+                    computed.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            leader.publish(42);
+            for waiter in waiters {
+                waiter.join().unwrap();
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 4);
+        assert!(flights.is_empty(), "published keys retire");
+    }
+
+    #[test]
+    fn a_dropped_leader_releases_followers_with_none() {
+        let flights: SingleFlight<u64, u64> = SingleFlight::new();
+        let leader = match flights.join(1) {
+            Join::Leader(leader) => leader,
+            Join::Follower(_) => unreachable!(),
+        };
+        let follower = match flights.join(1) {
+            Join::Follower(follower) => follower,
+            Join::Leader(_) => unreachable!(),
+        };
+        drop(leader); // the leader "panicked"
+        assert_eq!(follower.wait(), None, "followers must not be stranded");
+        assert!(flights.is_empty());
+        // The key is free again: the follower can retry as the new leader.
+        assert!(matches!(flights.join(1), Join::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let flights: SingleFlight<u64, &'static str> = SingleFlight::new();
+        let a = match flights.join(1) {
+            Join::Leader(leader) => leader,
+            Join::Follower(_) => unreachable!(),
+        };
+        let b = match flights.join(2) {
+            Join::Leader(leader) => leader,
+            Join::Follower(_) => unreachable!(),
+        };
+        assert_eq!(flights.len(), 2);
+        a.publish("a");
+        assert_eq!(flights.len(), 1);
+        b.publish("b");
+        assert!(flights.is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! End-to-end tests of `earlyreg-serve` over real TCP connections: routing,
+//! cache bit-identity, single-flight dedup of concurrent identical
+//! requests, backpressure and graceful shutdown.
+
+use earlyreg_serve::{start, ServeConfig, ServiceConfig};
+use serde::value::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+/// A parsed HTTP response.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    fn json(&self) -> Value {
+        serde::json::parse(&self.body)
+            .unwrap_or_else(|error| panic!("invalid JSON body: {error}\n{}", self.body))
+    }
+}
+
+/// Issue one request over a fresh connection.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: earlyreg\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.write_all(body.as_bytes()).expect("send body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("earlyreg-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_config(cache_dir: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        service: ServiceConfig {
+            cache_dir,
+            sim_threads: 1,
+            allow_shutdown: true,
+            ..ServiceConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn cache_entries(dir: &PathBuf) -> Vec<String> {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+const SWIM_POINT: &str = r#"{"scale":"smoke","max_instructions":5000,
+  "points":[{"workload":"swim","policy":"extended","phys_int":48,"phys_fp":48}]}"#;
+
+#[test]
+fn healthz_and_experiments_respond() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    // Probes append query strings; routing must ignore them.
+    assert_eq!(request(addr, "GET", "/healthz?probe=1", "").status, 200);
+    let health_json = health.json();
+    assert_eq!(
+        health_json.get("status").and_then(Value::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        health_json.get("simulations").and_then(Value::as_u64),
+        Some(0)
+    );
+
+    let experiments = request(addr, "GET", "/experiments", "");
+    assert_eq!(experiments.status, 200);
+    let listed = experiments
+        .json()
+        .get("experiments")
+        .and_then(Value::as_seq)
+        .expect("experiments array")
+        .len();
+    assert_eq!(listed, 10, "the full registry is listed");
+    assert!(experiments.body.contains("\"fig10\""));
+
+    server.stop();
+}
+
+#[test]
+fn routing_rejects_unknown_paths_methods_and_bad_json() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "DELETE", "/points", "").status, 405);
+    assert_eq!(request(addr, "POST", "/points", "{not json").status, 400);
+    assert_eq!(request(addr, "POST", "/points", "{}").status, 400); // no points
+    let unknown_workload =
+        r#"{"points":[{"workload":"doom","policy":"basic","phys_int":48,"phys_fp":48}]}"#;
+    let reply = request(addr, "POST", "/points", unknown_workload);
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("unknown workload"));
+    let bad_policy =
+        r#"{"points":[{"workload":"swim","policy":"yolo","phys_int":48,"phys_fp":48}]}"#;
+    assert_eq!(request(addr, "POST", "/points", bad_policy).status, 400);
+
+    server.stop();
+}
+
+/// The service accepts the same policy spellings as `run_workload --policy`
+/// (one shared parser): abbreviations and any casing.
+#[test]
+fn policy_aliases_match_the_cli() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+    for policy in ["ext", "Extended", "EXTENDED", "conv"] {
+        let body = format!(
+            r#"{{"scale":"smoke","max_instructions":2000,
+               "points":[{{"workload":"perl","policy":"{policy}","phys_int":64,"phys_fp":64}}]}}"#
+        );
+        let reply = request(addr, "POST", "/points", &body);
+        assert_eq!(reply.status, 200, "policy '{policy}': {}", reply.body);
+    }
+    server.stop();
+}
+
+/// An oversized body is answered 413 — and the client actually receives it
+/// (the server drains the unread bytes before closing instead of resetting
+/// the connection).
+#[test]
+fn oversized_body_receives_a_413() {
+    let server = start(test_config(None)).expect("bind");
+    let huge = "x".repeat(2 * 1024 * 1024);
+    let reply = request(server.addr, "POST", "/points", &huge);
+    assert_eq!(reply.status, 413);
+    assert!(reply.body.contains("exceeds"));
+    server.stop();
+}
+
+/// `Expect: 100-continue` clients (curl with >1 KiB bodies) receive the
+/// interim response instead of stalling out their expect timeout.
+#[test]
+fn expect_100_continue_is_answered() {
+    let server = start(test_config(None)).expect("bind");
+    let body = r#"{"scale":"smoke","max_instructions":2000,
+      "points":[{"workload":"perl","policy":"basic","phys_int":64,"phys_fp":64}]}"#;
+
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    let head = format!(
+        "POST /points HTTP/1.1\r\nHost: earlyreg\r\nExpect: 100-continue\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    // A strict client would wait for the interim response here; sending the
+    // body immediately is also legal and keeps the test deterministic.
+    stream.write_all(body.as_bytes()).expect("send body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read responses");
+
+    assert!(
+        raw.starts_with("HTTP/1.1 100 Continue\r\n\r\n"),
+        "interim response first: {raw:?}"
+    );
+    let after = &raw["HTTP/1.1 100 Continue\r\n\r\n".len()..];
+    assert!(
+        after.starts_with("HTTP/1.1 200 OK"),
+        "then the real one: {after:?}"
+    );
+    assert!(after.contains("\"results\""));
+    server.stop();
+}
+
+/// Acceptance criterion: a warm `POST /points` body is bit-identical to the
+/// cold one, the point is simulated exactly once, and the counters move to
+/// the headers (not the body) so identity holds.
+#[test]
+fn warm_points_response_is_bit_identical_to_cold() {
+    let cache_dir = temp_cache("warmcold");
+    let server = start(test_config(Some(cache_dir.clone()))).expect("bind");
+    let addr = server.addr;
+
+    let cold = request(addr, "POST", "/points", SWIM_POINT);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-cache-hits"), Some("0"));
+    assert_eq!(cold.header("x-simulated"), Some("1"));
+
+    let warm = request(addr, "POST", "/points", SWIM_POINT);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache-hits"), Some("1"));
+    assert_eq!(warm.header("x-simulated"), Some("0"));
+
+    assert_eq!(cold.body, warm.body, "warm body must be bit-identical");
+    assert_eq!(server.service().simulations(), 1, "one simulation total");
+    let entries = cache_entries(&cache_dir);
+    assert_eq!(entries.len(), 1, "one cache entry: {entries:?}");
+    assert!(entries[0].ends_with(".json"));
+
+    // The response carries real statistics.
+    let stats = cold.json();
+    let results = stats.get("results").and_then(Value::as_seq).unwrap();
+    assert_eq!(results.len(), 1);
+    let committed = results[0]
+        .get("stats")
+        .and_then(|s| s.get("committed"))
+        .and_then(Value::as_u64)
+        .expect("committed counter");
+    assert!(committed > 1_000, "committed = {committed}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Acceptance criterion: M concurrent identical requests perform exactly
+/// one simulation — proven by the cache-dir entry count and the service's
+/// simulation counter.
+#[test]
+fn concurrent_identical_points_simulate_exactly_once() {
+    let cache_dir = temp_cache("singleflight");
+    let server = start(test_config(Some(cache_dir.clone()))).expect("bind");
+    let addr = server.addr;
+
+    const CONCURRENT: usize = 8;
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CONCURRENT)
+            .map(|_| {
+                scope.spawn(move || {
+                    let reply = request(addr, "POST", "/points", SWIM_POINT);
+                    assert_eq!(reply.status, 200, "{}", reply.body);
+                    reply.body
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "every response is bit-identical");
+    }
+    assert_eq!(
+        server.service().simulations(),
+        1,
+        "identical in-flight points must simulate exactly once"
+    );
+    let entries = cache_entries(&cache_dir);
+    assert_eq!(entries.len(), 1, "one cache entry: {entries:?}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Distinct points in one batch resolve independently and in request order,
+/// and duplicates within a batch collapse.
+#[test]
+fn batches_resolve_in_request_order_and_dedup_within() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    let body = r#"{"scale":"smoke","max_instructions":3000,"points":[
+      {"workload":"perl","policy":"conventional","phys_int":64,"phys_fp":64},
+      {"workload":"swim","policy":"extended","phys_int":48,"phys_fp":48},
+      {"workload":"perl","policy":"conventional","phys_int":64,"phys_fp":64}
+    ]}"#;
+    let reply = request(addr, "POST", "/points", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let json = reply.json();
+    let results = json.get("results").and_then(Value::as_seq).unwrap();
+    assert_eq!(results.len(), 3, "duplicates are answered, not dropped");
+    let workload = |index: usize| {
+        results[index]
+            .get("point")
+            .and_then(|p| p.get("workload"))
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(workload(0), "perl");
+    assert_eq!(workload(1), "swim");
+    assert_eq!(workload(2), "perl");
+    assert_eq!(
+        results[0], results[2],
+        "duplicate points answer identically"
+    );
+    assert_eq!(reply.header("x-simulated"), Some("2"), "2 unique points");
+    assert_eq!(server.service().simulations(), 2);
+
+    server.stop();
+}
+
+/// `POST /run` produces the same report envelopes the CLI's JSON backend
+/// writes, plus the planner summary.
+#[test]
+fn run_endpoint_returns_report_envelopes() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    let reply = request(
+        addr,
+        "POST",
+        "/run",
+        r#"{"experiments":["table1","table3"],"scale":"smoke","max_instructions":3000}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let json = reply.json();
+    let reports = json.get("reports").and_then(Value::as_seq).unwrap();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(
+        reports[0].get("experiment").and_then(Value::as_str),
+        Some("table1")
+    );
+    assert!(reports[0].get("data").is_some());
+    let summary = json.get("summary").expect("summary");
+    assert_eq!(summary.get("planned").and_then(Value::as_u64), Some(0));
+
+    // Unknown experiment ids are a client error.
+    let bad = request(addr, "POST", "/run", r#"{"experiments":["fig99"]}"#);
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("unknown experiment"));
+
+    // A scenario override must parse — and a broken one is rejected.
+    let with_scenario = request(
+        addr,
+        "POST",
+        "/run",
+        r#"{"experiments":["table1"],"scenario":"ros_size = 64"}"#,
+    );
+    assert_eq!(with_scenario.status, 200);
+    let bad_scenario = request(
+        addr,
+        "POST",
+        "/run",
+        r#"{"experiments":["table1"],"scenario":"bogus_key = 1"}"#,
+    );
+    assert_eq!(bad_scenario.status, 400);
+
+    server.stop();
+}
+
+/// A full request queue sheds load with `503` + `Retry-After` instead of
+/// queueing without bound.
+#[test]
+fn full_queue_answers_503() {
+    let config = ServeConfig {
+        queue_capacity: 0, // every request overflows the queue immediately
+        ..test_config(None)
+    };
+    let server = start(config).expect("bind");
+    let reply = request(server.addr, "GET", "/healthz", "");
+    assert_eq!(reply.status, 503);
+    assert_eq!(reply.header("retry-after"), Some("1"));
+    assert!(reply.body.contains("queue"));
+    server.stop();
+}
+
+/// `POST /shutdown` (when allowed) stops the server: the accept loop exits,
+/// `join` returns, and the port stops answering.
+#[test]
+fn shutdown_endpoint_stops_the_server_cleanly() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    let reply = request(addr, "POST", "/shutdown", "");
+    assert_eq!(reply.status, 200);
+    assert!(reply.body.contains("shutting down"));
+    server.join(); // must return: the accept loop saw the flag
+
+    // The listener is gone; a fresh connection must fail (give the OS a
+    // moment to tear the socket down).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the port must stop answering after shutdown"
+    );
+}
+
+/// Without `--allow-shutdown` the endpoint is refused.
+#[test]
+fn shutdown_endpoint_is_disabled_by_default() {
+    let config = ServeConfig {
+        service: ServiceConfig {
+            cache_dir: None,
+            ..ServiceConfig::default()
+        },
+        ..test_config(None)
+    };
+    assert!(!config.service.allow_shutdown);
+    let server = start(config).expect("bind");
+    let reply = request(server.addr, "POST", "/shutdown", "");
+    assert_eq!(reply.status, 403);
+    // The server is still alive.
+    assert_eq!(request(server.addr, "GET", "/healthz", "").status, 200);
+    server.stop();
+}
