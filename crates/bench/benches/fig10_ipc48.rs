@@ -1,16 +1,16 @@
-//! Figure 10 benchmark: IPC at 48int + 48FP registers under the three
-//! policies (one integer and one FP workload, smoke scale).
+//! Figure 10 benchmark: IPC at 48int + 48FP registers under every policy in
+//! the registry (one integer and one FP workload, smoke scale) — newly
+//! registered schemes are benchmarked automatically.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use earlyreg_bench::{run_sim, smoke_workload};
-use earlyreg_core::ReleasePolicy;
 
 fn bench_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_ipc48");
     group.sample_size(10);
     for name in ["compress", "hydro2d"] {
         let workload = smoke_workload(name);
-        for policy in ReleasePolicy::ALL {
+        for policy in earlyreg_core::registry::registered() {
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}_48"), policy.label()),
                 &(workload.clone(), policy),

@@ -1,16 +1,16 @@
 //! Figure 11 benchmark: the IPC-vs-register-file-size sweep (three sizes,
-//! three policies, one FP workload, smoke scale).
+//! every registered policy, one FP workload, smoke scale) — newly registered
+//! schemes are benchmarked automatically.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use earlyreg_bench::{run_sim, smoke_workload};
-use earlyreg_core::ReleasePolicy;
 
 fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_sweep");
     group.sample_size(10);
     let workload = smoke_workload("swim");
     for &size in &[40usize, 64, 128] {
-        for policy in ReleasePolicy::ALL {
+        for policy in earlyreg_core::registry::registered() {
             group.bench_with_input(
                 BenchmarkId::new(format!("swim_{size}"), policy.label()),
                 &(size, policy),

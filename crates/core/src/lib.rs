@@ -16,6 +16,12 @@
 //! * [`regstate`] — exact Empty/Ready/Idle occupancy accounting (Figures 2–3);
 //! * [`rename`] — the [`RenameUnit`](rename::RenameUnit) driving all of the
 //!   above, including branch-misprediction and precise-exception recovery;
+//! * [`scheme`] — the open release-scheme layer: the
+//!   [`ReleaseScheme`](scheme::ReleaseScheme) trait every policy implements;
+//! * [`schemes`] — the built-in schemes (the paper's three plus the oracle
+//!   upper bound and a counter-based conservative scheme);
+//! * [`registry`] — the string-keyed policy registry every layer above
+//!   enumerates instead of hard-coding policy lists;
 //! * [`stats`] — release/allocation accounting.
 //!
 //! The crate is deliberately independent of the cycle-level simulator: the
@@ -27,10 +33,13 @@ pub mod free_list;
 pub mod id_ring;
 pub mod lus_table;
 pub mod map_table;
+pub mod registry;
 pub mod regstate;
 pub mod release_queue;
 pub mod rename;
 pub mod ros;
+pub mod scheme;
+pub mod schemes;
 pub mod stats;
 pub mod types;
 
@@ -41,10 +50,13 @@ pub use free_list::FreeList;
 pub use id_ring::{HasInstrId, IdRing};
 pub use lus_table::{LusEntry, LusTable};
 pub use map_table::{MapTable, MapTablePair};
+pub use registry::{PolicyDescriptor, PAPER_POLICIES};
 pub use regstate::{OccupancyTotals, OccupancyTracker};
 pub use release_queue::{ConfirmOutcome, RelQueLevel, ReleaseQueue};
 pub use rename::{CommitOutcome, RecoveryOutcome, ReleaseEvent, RenameUnit, RenamedInstr};
 pub use ros::{DstRename, RosBook, RosEntry};
+pub use scheme::{DestPlan, DestQuery, KillPlan, ReleaseScheme, SchemeSeed};
+pub use schemes::{BasicScheme, ConventionalScheme, CounterScheme, ExtendedScheme, OracleScheme};
 pub use stats::{ClassReleaseStats, ReleaseStats};
 pub use types::{
     InstrId, PhysReg, ReleasePolicy, ReleaseReason, RenameConfig, RenameStall, UseKind,

@@ -1,7 +1,12 @@
 //! The rename/release engine.
 //!
-//! [`RenameUnit`] implements the complete allocate/release mechanism of the
-//! paper for both register classes and all three policies:
+//! [`RenameUnit`] implements the policy-*independent* allocate/release
+//! machinery for both register classes — free lists, speculative and
+//! in-order map tables, the rename-side reorder-structure book, per-branch
+//! map checkpoints, occupancy and release accounting — and delegates every
+//! release *decision* to a pluggable
+//! [`ReleaseScheme`](crate::scheme::ReleaseScheme) built from the policy
+//! [registry](crate::registry):
 //!
 //! * **Conventional** (Section 2): a redefinition allocates a new physical
 //!   register and the previous version (`old_pd`) is released when the
@@ -17,10 +22,13 @@
 //!   releases in the [Release Queue](crate::release_queue::ReleaseQueue)
 //!   which are cancelled by mispredictions and performed at LU commit /
 //!   oldest-branch confirmation otherwise.
+//! * **Oracle** / **Counter** and any future scheme: see
+//!   [`crate::schemes`] and `docs/POLICIES.md` — they plug in here without
+//!   engine changes.
 //!
 //! The unit also deals with the two recovery mechanisms the paper requires:
 //! branch misprediction recovery through per-branch checkpoints of the Map
-//! Table, Last-Uses Table and stale-mapping flags, and precise-exception
+//! Table, scheme state and stale-mapping flags, and precise-exception
 //! recovery through the In-Order Map Table (Section 4.3).
 //!
 //! ## Stale architectural mappings
@@ -28,26 +36,27 @@
 //! The paper's Section 4.3 observes that after an early release the value
 //! "attached" to a logical register may be garbage, which is safe because the
 //! first use of that register on the committed path is guaranteed to be a
-//! write.  One consequence (implicit in the paper) is that after a precise
-//! exception restores the map from the In-Order Map Table, a logical register
+//! write.  One consequence (implicit in the paper) is that a logical register
 //! may map to a physical register that has already been handed back to the
-//! free list.  The mapping is *stale*: it will never be read, but the next
-//! redefinition of that logical register must not release (or reuse) the
-//! stale register — it is no longer owned by this logical register.  The unit
-//! tracks this with a per-logical-register `skip_release` flag that is set
-//! during exception recovery (from the non-speculative `arch_released` flag),
-//! checkpointed across branches, and consumed by the next redefinition.
+//! free list: after a precise exception restores the map from the In-Order
+//! Map Table, and — under oracle-style schemes that release *before* the
+//! redefinition is even decoded — in the speculative map itself.  The mapping
+//! is *stale*: it will never be read, but the next redefinition of that
+//! logical register must not release (or reuse) the stale register — it is
+//! no longer owned by this logical register.  The unit tracks this with a
+//! per-logical-register `skip_release` flag that is set during exception
+//! recovery (from the non-speculative `arch_released` flag) and when a
+//! scheme-requested commit release outruns the redefinition, checkpointed
+//! across branches, and consumed by the next redefinition.
 
 use crate::free_list::FreeList;
-use crate::lus_table::LusTable;
 use crate::map_table::MapTablePair;
+use crate::registry;
 use crate::regstate::{OccupancyTotals, OccupancyTracker};
-use crate::release_queue::ReleaseQueue;
 use crate::ros::{DstRename, RosBook, RosEntry};
+use crate::scheme::{DestPlan, DestQuery, ReleaseScheme, SchemeSeed};
 use crate::stats::ReleaseStats;
-use crate::types::{
-    InstrId, PhysReg, ReleasePolicy, ReleaseReason, RenameConfig, RenameStall, UseKind,
-};
+use crate::types::{InstrId, PhysReg, ReleaseReason, RenameConfig, RenameStall, UseKind};
 use earlyreg_isa::{ArchReg, Instruction, RegClass};
 use std::collections::VecDeque;
 
@@ -79,8 +88,8 @@ pub struct RenamedInstr {
 /// Result of committing one instruction.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommitOutcome {
-    /// Registers released by this commit (early bits, RwC0 and/or the
-    /// conventional `old_pd` release).
+    /// Registers released by this commit (early bits, RwC0, scheme-requested
+    /// releases and/or the conventional `old_pd` release).
     pub released: Vec<ReleaseEvent>,
 }
 
@@ -93,38 +102,13 @@ pub struct RecoveryOutcome {
     pub freed: Vec<ReleaseEvent>,
 }
 
-/// How the destination of a redefinition will be handled.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum DestAction {
-    /// Allocate a new register; release the previous version at this
-    /// instruction's commit (`rel_old = 1`).
-    Conventional,
-    /// Allocate a new register; the previous version is stale (already
-    /// released before an exception recovery) and must not be touched.
-    SkipStale,
-    /// Allocate a new register; set the early-release bit `kind` on the
-    /// in-flight last-use instruction `lu` (RwC0 path).
-    EarlyOnLu { lu: InstrId, kind: UseKind },
-    /// Release the previous version immediately and allocate a new register.
-    Immediate,
-    /// Reuse the previous version's register for the new version.
-    Reuse,
-    /// Extended only: schedule a conditional release in the youngest Release
-    /// Queue level — `RwNS` form when the last use has committed, `RwC` form
-    /// (tied to `lu`/`kind`) otherwise.
-    Conditional {
-        lu_committed: bool,
-        lu: InstrId,
-        kind: UseKind,
-    },
-}
-
-/// Per-branch checkpoint of the speculative rename state.
+/// Per-branch checkpoint of the speculative rename state the *engine* owns
+/// (the scheme checkpoints its own state through
+/// [`ReleaseScheme::on_branch_renamed`]).
 #[derive(Debug, Clone)]
 struct Checkpoint {
     branch_id: InstrId,
     maps: [crate::map_table::MapTable; 2],
-    lus: Option<[LusTable; 2]>,
     skip_release: [Vec<bool>; 2],
 }
 
@@ -133,7 +117,6 @@ struct Checkpoint {
 struct Bank {
     free: FreeList,
     maps: MapTablePair,
-    lus: LusTable,
     occupancy: OccupancyTracker,
     /// Non-speculative: the architectural (IOMT) version of this logical
     /// register has been freed early and its redefinition has not committed.
@@ -154,7 +137,6 @@ impl Bank {
         Bank {
             free: FreeList::new(phys, logical),
             maps: MapTablePair::new(class),
-            lus: LusTable::new(class),
             occupancy: OccupancyTracker::new(phys, logical),
             arch_released: vec![false; logical],
             arch_clobbered: vec![false; logical],
@@ -172,7 +154,7 @@ pub struct RenameUnit {
     banks: [Bank; 2],
     book: RosBook,
     checkpoints: VecDeque<Checkpoint>,
-    relque: ReleaseQueue,
+    scheme: Box<dyn ReleaseScheme>,
     stats: ReleaseStats,
     // Reused result/scratch buffers: the commit/resolve/recovery paths run
     // every simulated cycle, so their outcomes are persistent members
@@ -181,6 +163,7 @@ pub struct RenameUnit {
     recovery: RecoveryOutcome,
     resolve_released: Vec<ReleaseEvent>,
     squash_scratch: Vec<RosEntry>,
+    scheme_releases: Vec<(RegClass, PhysReg)>,
     confirm_release_now: Vec<(RegClass, PhysReg)>,
     confirm_to_rwc0: Vec<(InstrId, u8)>,
     /// Retired checkpoints kept for reuse: a conditional branch is decoded
@@ -191,15 +174,26 @@ pub struct RenameUnit {
 
 impl RenameUnit {
     /// Create a rename unit in the reset state: logical register `i` of each
-    /// class maps to physical register `i`, everything else is free.
+    /// class maps to physical register `i`, everything else is free.  The
+    /// release scheme is built from the policy registry with an empty
+    /// [`SchemeSeed`]; use [`RenameUnit::with_seed`] for schemes that need
+    /// construction data (the registry descriptor's `needs_kill_plan` says
+    /// which).
     ///
     /// # Panics
     /// Panics if the configuration is invalid (see
-    /// [`RenameConfig::validate`]).
+    /// [`RenameConfig::validate`]) or the scheme cannot be built.
     pub fn new(config: RenameConfig) -> Self {
+        Self::with_seed(config, SchemeSeed::default())
+    }
+
+    /// As [`RenameUnit::new`], with explicit scheme construction data.
+    pub fn with_seed(config: RenameConfig, seed: SchemeSeed) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid rename configuration: {e}"));
+        let scheme = registry::build(config.policy, &config, &seed)
+            .unwrap_or_else(|e| panic!("cannot build release scheme '{}': {e}", config.policy));
         RenameUnit {
             trace_enabled: std::env::var_os("EARLYREG_TRACE").is_some(),
             next_id: 0,
@@ -209,12 +203,13 @@ impl RenameUnit {
             ],
             book: RosBook::new(),
             checkpoints: VecDeque::new(),
-            relque: ReleaseQueue::new(config.phys_int, config.phys_fp),
+            scheme,
             stats: ReleaseStats::default(),
             commit_outcome: CommitOutcome::default(),
             recovery: RecoveryOutcome::default(),
             resolve_released: Vec::new(),
             squash_scratch: Vec::new(),
+            scheme_releases: Vec::new(),
             confirm_release_now: Vec::new(),
             confirm_to_rwc0: Vec::new(),
             checkpoint_pool: Vec::new(),
@@ -225,6 +220,11 @@ impl RenameUnit {
     /// The configuration this unit was built with.
     pub fn config(&self) -> &RenameConfig {
         &self.config
+    }
+
+    /// The release scheme driving this unit.
+    pub fn scheme(&self) -> &dyn ReleaseScheme {
+        self.scheme.as_ref()
     }
 
     /// Release/allocation accounting.
@@ -285,9 +285,10 @@ impl RenameUnit {
         bank.arch_released[reg.index()] || bank.arch_clobbered[reg.index()]
     }
 
-    /// Total conditional releases currently scheduled in the Release Queue.
+    /// Total conditional releases currently scheduled in the scheme (the
+    /// extended mechanism's Release Queue marks; 0 for schemes without one).
     pub fn release_queue_marks(&self) -> usize {
-        self.relque.total_marks()
+        self.scheme.release_queue_marks()
     }
 
     fn bank(&self, class: RegClass) -> &Bank {
@@ -302,6 +303,43 @@ impl RenameUnit {
     // Rename
     // ------------------------------------------------------------------
 
+    /// Plan the destination handling for `instr`, with no side effects.
+    /// Stale (post-exception / post-oracle-release) mappings are resolved by
+    /// the engine before the scheme is consulted.
+    fn plan_dest(&self, instr: &Instruction, dst: ArchReg) -> DestPlan {
+        let bank = self.bank(dst.class());
+        if bank.skip_release[dst.index()] {
+            // The previous version is stale (already released) and must not
+            // be touched; the flag is consumed when the plan executes.
+            return DestPlan::AllocOnly;
+        }
+        let old_pd = bank.maps.front.get(dst);
+        // `Src2` wins when both sources read the destination, matching the
+        // Last-Uses Table record order (src1 then src2 — the later record
+        // overwrites).
+        let own_use = if instr.src2 == Some(dst) {
+            Some(UseKind::Src2)
+        } else if instr.src1 == Some(dst) {
+            Some(UseKind::Src1)
+        } else {
+            None
+        };
+        let query = DestQuery {
+            dst,
+            old_pd,
+            own_use,
+            pending_branches: self.checkpoints.len(),
+            // Checkpoints are pushed in program order, so the back one is
+            // the youngest pending branch.
+            newest_branch: self.checkpoints.back().map(|c| c.branch_id),
+            reuse_on_committed_lu: self.config.reuse_on_committed_lu,
+            old_is_settled_arch: bank.maps.retire.get(dst) == old_pd
+                && !bank.arch_released[dst.index()]
+                && !bank.arch_clobbered[dst.index()],
+        };
+        self.scheme.plan_dest(&query)
+    }
+
     /// Can an instruction of this shape be renamed right now?  (Convenience
     /// wrapper used by the fetch/decode stage; [`RenameUnit::rename`] performs
     /// the same checks atomically.)
@@ -310,106 +348,15 @@ impl RenameUnit {
             return false;
         }
         if let Some(dst) = instr.dst {
-            let (needs_alloc, frees_first) = self.dest_allocation_needs(instr, dst);
-            if needs_alloc && !frees_first && self.bank(dst.class()).free.is_empty() {
+            let plan = self.plan_dest(instr, dst);
+            if plan.needs_allocation()
+                && !plan.frees_before_allocating()
+                && self.bank(dst.class()).free.is_empty()
+            {
                 return false;
             }
         }
         true
-    }
-
-    /// Decide, without side effects, whether renaming `instr` will need a
-    /// fresh physical register and whether it will free one first.
-    fn dest_allocation_needs(&self, instr: &Instruction, dst: ArchReg) -> (bool, bool) {
-        if self.config.policy == ReleasePolicy::Conventional {
-            return (true, false);
-        }
-        let bank = self.bank(dst.class());
-        if bank.skip_release[dst.index()] {
-            return (true, false);
-        }
-        let reads_own_dst = instr.src1 == Some(dst) || instr.src2 == Some(dst);
-        if reads_own_dst {
-            // The last use of the previous version will be this instruction
-            // itself: an in-flight LU, handled by the rel bits / RwC path.
-            return (true, false);
-        }
-        let lu = bank.lus.get(dst);
-        let pending = self.checkpoints.len();
-        if lu.committed && pending == 0 {
-            if self.config.reuse_on_committed_lu {
-                (false, false)
-            } else {
-                (true, true)
-            }
-        } else {
-            (true, false)
-        }
-    }
-
-    /// Decide how the destination of `instr` will be handled.  Must be called
-    /// *after* the source uses of `instr` have been recorded in the Last-Uses
-    /// Table (so that an instruction reading its own destination register is
-    /// correctly identified as the last use of the previous version).
-    fn plan_dest(&self, dst: ArchReg, id: InstrId) -> DestAction {
-        if self.config.policy == ReleasePolicy::Conventional {
-            return DestAction::Conventional;
-        }
-        let bank = self.bank(dst.class());
-        if bank.skip_release[dst.index()] {
-            return DestAction::SkipStale;
-        }
-        let lu = bank.lus.get(dst);
-        let pending = self.checkpoints.len();
-        match (lu.committed, lu.last_user) {
-            // Last use already committed.
-            (true, _) => {
-                if pending == 0 {
-                    if self.config.reuse_on_committed_lu {
-                        DestAction::Reuse
-                    } else {
-                        DestAction::Immediate
-                    }
-                } else if self.config.policy == ReleasePolicy::Extended {
-                    DestAction::Conditional {
-                        lu_committed: true,
-                        lu: lu.last_user.unwrap_or(id),
-                        kind: lu.kind,
-                    }
-                } else {
-                    // Basic, Case 2: fall back to the conventional release.
-                    DestAction::Conventional
-                }
-            }
-            // Last use still in flight.
-            (false, Some(lu_id)) => {
-                // Unsafe when an *unverified* branch lies between the last
-                // use and this redefinition — or when the last use is itself
-                // an unverified branch: if it mispredicts, this redefinition
-                // is squashed and the map rolled back, but the surviving
-                // last-use entry would still carry the release bit and free a
-                // register that is live again.
-                let branch_between = self.checkpoints.iter().any(|c| c.branch_id >= lu_id);
-                if !branch_between {
-                    // Case 1: every pending branch (if any) is older than the
-                    // last use, so a misprediction squashes the last use along
-                    // with this redefinition and the scheduling dies with it.
-                    DestAction::EarlyOnLu {
-                        lu: lu_id,
-                        kind: lu.kind,
-                    }
-                } else if self.config.policy == ReleasePolicy::Extended {
-                    DestAction::Conditional {
-                        lu_committed: false,
-                        lu: lu_id,
-                        kind: lu.kind,
-                    }
-                } else {
-                    DestAction::Conventional
-                }
-            }
-            (false, None) => unreachable!("an uncommitted LUs entry always names its last user"),
-        }
     }
 
     /// Rename one instruction (decode/rename stage).
@@ -423,9 +370,12 @@ impl RenameUnit {
         if is_branch && self.checkpoints.len() >= self.config.max_pending_branches {
             return Err(RenameStall::TooManyPendingBranches);
         }
-        if let Some(dst) = instr.dst {
-            let (needs_alloc, frees_first) = self.dest_allocation_needs(instr, dst);
-            if needs_alloc && !frees_first && self.bank(dst.class()).free.is_empty() {
+        let planned = instr.dst.map(|dst| (dst, self.plan_dest(instr, dst)));
+        if let Some((dst, plan)) = planned {
+            if plan.needs_allocation()
+                && !plan.frees_before_allocating()
+                && self.bank(dst.class()).free.is_empty()
+            {
                 return Err(RenameStall::NoFreePhysReg(dst.class()));
             }
         }
@@ -438,33 +388,32 @@ impl RenameUnit {
         let src1 = instr.src1.map(|r| (r, self.mapping(r)));
         let src2 = instr.src2.map(|r| (r, self.mapping(r)));
 
-        // Renaming 1 (sources): record the source uses in the LUs table.
-        if self.config.policy.uses_lus_table() {
-            if let Some(r) = instr.src1 {
-                self.bank_mut(r.class())
-                    .lus
-                    .record_use(r, id, UseKind::Src1);
-            }
-            if let Some(r) = instr.src2 {
-                self.bank_mut(r.class())
-                    .lus
-                    .record_use(r, id, UseKind::Src2);
-            }
+        // Renaming 1 (sources): let the scheme track the source uses (the
+        // Last-Uses Table's "Renaming 1" step, the counter scheme's reader
+        // counts, ...).
+        if let Some((r, p)) = src1 {
+            self.scheme.record_use(r, p, id, UseKind::Src1);
+        }
+        if let Some((r, p)) = src2 {
+            self.scheme.record_use(r, p, id, UseKind::Src2);
         }
 
-        // Renaming 2 (destination): release scheduling / reuse / allocation.
+        // Renaming 2 (destination): execute the planned release / reuse /
+        // allocation.
         let mut own_rel = [false; 3];
         let mut rel_old = false;
         let mut dst_rename = None;
-        if let Some(dst) = instr.dst {
+        if let Some((dst, plan)) = planned {
             let class = dst.class();
-            let action = self.plan_dest(dst, id);
+            if self.bank(class).skip_release[dst.index()] {
+                // Consume the stale-mapping flag (the plan is AllocOnly).
+                debug_assert_eq!(plan, DestPlan::AllocOnly);
+                self.bank_mut(class).skip_release[dst.index()] = false;
+            }
             let old_pd = self.bank(class).maps.front.get(dst);
-            let renamed = match action {
-                DestAction::Conventional => {
-                    if self.config.policy == ReleasePolicy::Basic
-                        || self.config.policy == ReleasePolicy::Extended
-                    {
+            let renamed = match plan {
+                DestPlan::ReleaseAtCommit { fallback } => {
+                    if fallback {
                         self.stats.class_mut(class).fallback_to_conventional += 1;
                     }
                     rel_old = true;
@@ -476,8 +425,7 @@ impl RenameUnit {
                         reused: false,
                     }
                 }
-                DestAction::SkipStale => {
-                    self.bank_mut(class).skip_release[dst.index()] = false;
+                DestPlan::AllocOnly => {
                     let phys = self.allocate(class, cycle);
                     DstRename {
                         arch: dst,
@@ -486,22 +434,10 @@ impl RenameUnit {
                         reused: false,
                     }
                 }
-                DestAction::EarlyOnLu { lu, kind } => {
-                    if lu == id {
-                        // This instruction reads its own destination: it is
-                        // the last use of the previous version.
-                        own_rel[kind.index()] = true;
-                    } else {
-                        let entry = self
-                            .book
-                            .get_mut(lu)
-                            .expect("in-flight last use must have a reorder-structure entry");
-                        debug_assert!(
-                            !entry.rel[kind.index()],
-                            "early-release bit set twice on {lu} slot {kind:?}"
-                        );
-                        entry.rel[kind.index()] = true;
-                    }
+                DestPlan::EarlyOnSelf { kind } => {
+                    // This instruction reads its own destination: it is the
+                    // last use of the previous version.
+                    own_rel[kind.index()] = true;
                     let phys = self.allocate(class, cycle);
                     DstRename {
                         arch: dst,
@@ -510,7 +446,25 @@ impl RenameUnit {
                         reused: false,
                     }
                 }
-                DestAction::Immediate => {
+                DestPlan::EarlyOnLu { lu, kind } => {
+                    let entry = self
+                        .book
+                        .get_mut(lu)
+                        .expect("in-flight last use must have a reorder-structure entry");
+                    debug_assert!(
+                        !entry.rel[kind.index()],
+                        "early-release bit set twice on {lu} slot {kind:?}"
+                    );
+                    entry.rel[kind.index()] = true;
+                    let phys = self.allocate(class, cycle);
+                    DstRename {
+                        arch: dst,
+                        phys,
+                        prev: old_pd,
+                        reused: false,
+                    }
+                }
+                DestPlan::ReleaseNow => {
                     self.free_register(class, old_pd, cycle, ReleaseReason::ImmediateAtDecode);
                     let phys = self.allocate(class, cycle);
                     DstRename {
@@ -520,7 +474,7 @@ impl RenameUnit {
                         reused: false,
                     }
                 }
-                DestAction::Reuse => {
+                DestPlan::Reuse => {
                     let bank = self.bank_mut(class);
                     // End the previous version's lifetime and start the new
                     // one in the same register.
@@ -543,17 +497,8 @@ impl RenameUnit {
                         reused: true,
                     }
                 }
-                DestAction::Conditional {
-                    lu_committed,
-                    lu,
-                    kind,
-                } => {
-                    debug_assert_eq!(self.config.policy, ReleasePolicy::Extended);
-                    if lu_committed {
-                        self.relque.mark_committed_lu(class, old_pd);
-                    } else {
-                        self.relque.mark_inflight_lu(lu, kind);
-                    }
+                DestPlan::Conditional { lu } => {
+                    self.scheme.schedule_conditional(class, old_pd, lu);
                     self.stats.class_mut(class).conditional_schedulings += 1;
                     let phys = self.allocate(class, cycle);
                     DstRename {
@@ -566,23 +511,22 @@ impl RenameUnit {
             };
             self.trace(|| {
                 format!(
-                    "cycle {cycle} RENAME {id} dst {dst} action {action:?} old {old_pd} new {} reused {}",
+                    "cycle {cycle} RENAME {id} dst {dst} plan {plan:?} old {old_pd} new {} reused {}",
                     renamed.phys, renamed.reused
                 )
             });
             // Redirect the map to the new version and record the destination
-            // use in the LUs table (the new version's provisional last use is
-            // its own producer — the Figure 4.b case).
+            // use (the new version's provisional last use is its own
+            // producer — the Figure 4.b case).
             self.bank_mut(class).maps.front.set(dst, renamed.phys);
-            if self.config.policy.uses_lus_table() {
-                self.bank_mut(class).lus.record_use(dst, id, UseKind::Dst);
-            }
+            self.scheme.record_use(dst, renamed.phys, id, UseKind::Dst);
             dst_rename = Some(renamed);
         }
 
-        // Branches: take a checkpoint of the speculative rename state and
-        // (extended) stack a new Release Queue level.  A retired checkpoint
-        // is reused when available: the state is copied into its buffers.
+        // Branches: take a checkpoint of the engine's speculative rename
+        // state and let the scheme capture its own (LUs Table copy, Release
+        // Queue level, ...).  A retired checkpoint is reused when available:
+        // the state is copied into its buffers.
         if is_branch {
             let cp = match self.checkpoint_pool.pop() {
                 Some(mut cp) => {
@@ -592,17 +536,6 @@ impl RenameUnit {
                         cp.maps[i].restore_from(&self.banks[i].maps.front);
                         cp.skip_release[i].copy_from_slice(&self.banks[i].skip_release);
                     }
-                    match (&mut cp.lus, self.config.policy.uses_lus_table()) {
-                        (Some(lus), true) => {
-                            for class in RegClass::ALL {
-                                lus[class.index()].restore_from(&self.banks[class.index()].lus);
-                            }
-                        }
-                        (slot @ None, true) => {
-                            *slot = Some([self.banks[0].lus.clone(), self.banks[1].lus.clone()]);
-                        }
-                        (slot, false) => *slot = None,
-                    }
                     cp
                 }
                 None => Checkpoint {
@@ -611,11 +544,6 @@ impl RenameUnit {
                         self.banks[0].maps.front.clone(),
                         self.banks[1].maps.front.clone(),
                     ],
-                    lus: if self.config.policy.uses_lus_table() {
-                        Some([self.banks[0].lus.clone(), self.banks[1].lus.clone()])
-                    } else {
-                        None
-                    },
                     skip_release: [
                         self.banks[0].skip_release.clone(),
                         self.banks[1].skip_release.clone(),
@@ -623,9 +551,7 @@ impl RenameUnit {
                 },
             };
             self.checkpoints.push_back(cp);
-            if self.config.policy.uses_release_queue() {
-                self.relque.push_level(id);
-            }
+            self.scheme.on_branch_renamed(id);
         }
 
         self.book.push(RosEntry {
@@ -730,25 +656,38 @@ impl RenameUnit {
             bank.arch_clobbered[d.arch.index()] = false;
         }
 
-        // Last-Uses Table C-bit update, applied to the working table and to
-        // every checkpoint copy (Section 3.2).
-        if self.config.policy.uses_lus_table() {
-            let mark =
-                |reg: ArchReg, banks: &mut [Bank; 2], checkpoints: &mut VecDeque<Checkpoint>| {
-                    banks[reg.class().index()].lus.mark_committed(reg, id);
-                    for cp in checkpoints.iter_mut() {
-                        if let Some(lus) = cp.lus.as_mut() {
-                            lus[reg.class().index()].mark_committed(reg, id);
-                        }
-                    }
-                };
-            for &(arch, _) in entry.srcs.iter().flatten() {
-                mark(arch, &mut self.banks, &mut self.checkpoints);
+        // Scheme commit step: Last-Uses `C` bits (applied to every
+        // checkpoint copy, Section 3.2), Release Queue RwC→RwNS moves
+        // (extended Step 5), reader-counter decrements, and — for
+        // oracle-style schemes — the registers whose true last use commits
+        // here.
+        let mut scheme_releases = std::mem::take(&mut self.scheme_releases);
+        scheme_releases.clear();
+        self.scheme.on_commit(&entry, &mut scheme_releases);
+        for &(class, phys) in &scheme_releases {
+            self.free_register(class, phys, cycle, ReleaseReason::EarlyAtLuCommit);
+            released.push(ReleaseEvent {
+                class,
+                phys,
+                reason: ReleaseReason::EarlyAtLuCommit,
+            });
+            // A scheme release can outrun the redefinition entirely (the
+            // oracle frees at the true last use, which may commit before the
+            // redefinition is decoded).  Any speculative map entry — current
+            // or checkpointed — still naming the freed register is now
+            // stale: flag it so the eventual redefinition neither releases
+            // nor reuses it, even after a misprediction rollback.
+            let bank = self.bank_mut(class);
+            if let Some(r) = bank.maps.front.find_logical(phys) {
+                bank.skip_release[r.index()] = true;
             }
-            if let Some(d) = entry.dst {
-                mark(d.arch, &mut self.banks, &mut self.checkpoints);
+            for cp in self.checkpoints.iter_mut() {
+                if let Some(r) = cp.maps[class.index()].find_logical(phys) {
+                    cp.skip_release[class.index()][r.index()] = true;
+                }
             }
         }
+        self.scheme_releases = scheme_releases;
 
         // Early-release bits (rel1/rel2/reld — RwC0 in the extended scheme).
         for kind in UseKind::ALL {
@@ -763,17 +702,6 @@ impl RenameUnit {
                     reason: ReleaseReason::EarlyAtLuCommit,
                 });
             }
-        }
-
-        // Extended, Step 5: conditional releases tied to this instruction's
-        // commit switch from the RwC form to the RwNS form.
-        if self.config.policy.uses_release_queue() {
-            let entry_ref = &entry;
-            self.relque.on_commit(id, |kind| {
-                entry_ref
-                    .operand_phys(kind)
-                    .map(|(arch, phys)| (arch.class(), phys))
-            });
         }
 
         // Conventional release of the previous version.
@@ -813,34 +741,33 @@ impl RenameUnit {
 
         let mut released = std::mem::take(&mut self.resolve_released);
         released.clear();
-        if self.config.policy.uses_release_queue() {
-            let mut release_now = std::mem::take(&mut self.confirm_release_now);
-            let mut to_rwc0 = std::mem::take(&mut self.confirm_to_rwc0);
-            release_now.clear();
-            to_rwc0.clear();
-            self.relque.confirm_into(id, &mut release_now, &mut to_rwc0);
-            for &(class, phys) in &release_now {
-                self.free_register(class, phys, cycle, ReleaseReason::BranchConfirm);
-                released.push(ReleaseEvent {
-                    class,
-                    phys,
-                    reason: ReleaseReason::BranchConfirm,
-                });
-            }
-            for &(lu, mask) in &to_rwc0 {
-                let entry = self
-                    .book
-                    .get_mut(lu)
-                    .expect("an RwC mark always references an in-flight last use");
-                for kind in UseKind::ALL {
-                    if mask & kind.mask() != 0 {
-                        entry.rel[kind.index()] = true;
-                    }
+        let mut release_now = std::mem::take(&mut self.confirm_release_now);
+        let mut to_rwc0 = std::mem::take(&mut self.confirm_to_rwc0);
+        release_now.clear();
+        to_rwc0.clear();
+        self.scheme
+            .on_branch_correct(id, &mut release_now, &mut to_rwc0);
+        for &(class, phys) in &release_now {
+            self.free_register(class, phys, cycle, ReleaseReason::BranchConfirm);
+            released.push(ReleaseEvent {
+                class,
+                phys,
+                reason: ReleaseReason::BranchConfirm,
+            });
+        }
+        for &(lu, mask) in &to_rwc0 {
+            let entry = self
+                .book
+                .get_mut(lu)
+                .expect("an RwC mark always references an in-flight last use");
+            for kind in UseKind::ALL {
+                if mask & kind.mask() != 0 {
+                    entry.rel[kind.index()] = true;
                 }
             }
-            self.confirm_release_now = release_now;
-            self.confirm_to_rwc0 = to_rwc0;
         }
+        self.confirm_release_now = release_now;
+        self.confirm_to_rwc0 = to_rwc0;
         self.resolve_released = released;
         &self.resolve_released
     }
@@ -872,6 +799,7 @@ impl RenameUnit {
                 }
             }
         }
+        self.scheme.on_squash(&squashed);
 
         let pos = self
             .checkpoints
@@ -888,17 +816,12 @@ impl RenameUnit {
         for class in RegClass::ALL {
             let bank = &mut self.banks[class.index()];
             bank.maps.front.restore_from(&cp.maps[class.index()]);
-            if let Some(lus) = cp.lus.as_ref() {
-                bank.lus.restore_from(&lus[class.index()]);
-            }
             bank.skip_release
                 .copy_from_slice(&cp.skip_release[class.index()]);
         }
         self.checkpoint_pool.push(cp);
 
-        if self.config.policy.uses_release_queue() {
-            self.relque.mispredict(id);
-        }
+        self.scheme.on_branch_mispredict(id);
 
         self.recovery.squashed = squashed.len();
         self.squash_scratch = squashed;
@@ -939,11 +862,10 @@ impl RenameUnit {
         while let Some(cp) = self.checkpoints.pop_back() {
             self.checkpoint_pool.push(cp);
         }
-        self.relque.clear();
+        self.scheme.on_exception();
         for class in RegClass::ALL {
             let bank = &mut self.banks[class.index()];
             bank.maps.recover_from_retire();
-            bank.lus.reset_all();
             // Logical registers whose architectural version was freed early
             // now have a stale mapping (paper Section 4.3): their next
             // redefinition must not release or reuse it.
@@ -984,24 +906,7 @@ impl RenameUnit {
             }
         }
         let dst_in_flight = self.book.iter().filter(|e| e.dst.is_some()).count();
-        if self.relque.total_marks() > dst_in_flight {
-            return Err(format!(
-                "release queue holds {} marks but only {dst_in_flight} in-flight instructions \
-                 have destinations (paper Section 4.2 bound violated)",
-                self.relque.total_marks()
-            ));
-        }
-        if self.relque.depth() != 0 && !self.config.policy.uses_release_queue() {
-            return Err("release queue used by a policy that should not use it".into());
-        }
-        if self.config.policy.uses_release_queue() && self.relque.depth() != self.checkpoints.len()
-        {
-            return Err(format!(
-                "release queue depth ({}) out of sync with pending branches ({})",
-                self.relque.depth(),
-                self.checkpoints.len()
-            ));
-        }
-        Ok(())
+        self.scheme
+            .check_invariants(dst_in_flight, self.checkpoints.len())
     }
 }

@@ -1,0 +1,25 @@
+//! Conventional release (paper Section 2): a redefinition allocates a new
+//! physical register and the previous version is released when the
+//! redefinition commits.  No last-use tracking, no speculative scheme state
+//! — every hook is the trait default.
+
+use crate::scheme::{DestPlan, DestQuery, ReleaseScheme};
+use crate::types::ReleasePolicy;
+
+/// The conventional scheme.
+#[derive(Debug, Clone, Default)]
+pub struct ConventionalScheme;
+
+impl ReleaseScheme for ConventionalScheme {
+    fn policy(&self) -> ReleasePolicy {
+        ReleasePolicy::Conventional
+    }
+
+    fn box_clone(&self) -> Box<dyn ReleaseScheme> {
+        Box::new(self.clone())
+    }
+
+    fn plan_dest(&self, _query: &DestQuery) -> DestPlan {
+        DestPlan::ReleaseAtCommit { fallback: false }
+    }
+}

@@ -1,0 +1,101 @@
+//! Conservative counter-based release — early release without a Last-Uses
+//! CAM and without any per-branch scheme checkpoint, in the spirit of the
+//! checkpoint-free unmap-counter proposals that followed the paper.
+//!
+//! Per physical register the scheme keeps one counter of *renamed but not
+//! yet committed* readers (incremented at rename, decremented at the
+//! reader's commit or squash).  At a redefinition's decode, the previous
+//! version can be released immediately (or reused, Section 3.2) when the
+//! scheme can prove with counters alone what the basic mechanism proves
+//! with its CAM: the previous version is settled architectural state
+//! (`DestQuery::old_is_settled_arch`), it has no in-flight reader, and no
+//! branch is pending.  An instruction reading its own destination is its
+//! own last use and needs no CAM either.  Everything else falls back to the
+//! conventional release, so the scheme lands between conventional and basic
+//! — the price of dropping the CAM.
+//!
+//! The counters need no checkpointing: every renamed reader is eventually
+//! committed or squashed exactly once, and both paths decrement.
+
+use crate::ros::RosEntry;
+use crate::scheme::{DestPlan, DestQuery, ReleaseScheme};
+use crate::types::{InstrId, PhysReg, ReleasePolicy, RenameConfig, UseKind};
+use earlyreg_isa::{ArchReg, RegClass};
+
+/// The counter-based (unmap-counter) scheme.
+#[derive(Debug, Clone)]
+pub struct CounterScheme {
+    /// Per class, per physical register: renamed-but-uncommitted readers.
+    readers: [Vec<u32>; 2],
+}
+
+impl CounterScheme {
+    /// A scheme with all counters at zero, sized for the configured files.
+    pub fn new(config: &RenameConfig) -> Self {
+        CounterScheme {
+            readers: [vec![0; config.phys_int], vec![0; config.phys_fp]],
+        }
+    }
+
+    fn drop_reader(&mut self, class: RegClass, phys: PhysReg) {
+        let counter = &mut self.readers[class.index()][phys.index()];
+        debug_assert!(*counter > 0, "reader counter underflow on {class} {phys}");
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+impl ReleaseScheme for CounterScheme {
+    fn policy(&self) -> ReleasePolicy {
+        ReleasePolicy::Counter
+    }
+
+    fn box_clone(&self) -> Box<dyn ReleaseScheme> {
+        Box::new(self.clone())
+    }
+
+    fn record_use(&mut self, reg: ArchReg, phys: PhysReg, _id: InstrId, kind: UseKind) {
+        if kind != UseKind::Dst {
+            self.readers[reg.class().index()][phys.index()] += 1;
+        }
+    }
+
+    fn plan_dest(&self, query: &DestQuery) -> DestPlan {
+        if let Some(kind) = query.own_use {
+            // The redefinition is itself the (youngest possible) last use of
+            // the previous version: release at its own commit — in-order
+            // commit covers every older reader, and a squash kills the
+            // release bit together with the instruction.  No CAM needed.
+            return DestPlan::EarlyOnSelf { kind };
+        }
+        let no_readers = self.readers[query.dst.class().index()][query.old_pd.index()] == 0;
+        if query.pending_branches == 0 && query.old_is_settled_arch && no_readers {
+            if query.reuse_on_committed_lu {
+                DestPlan::Reuse
+            } else {
+                DestPlan::ReleaseNow
+            }
+        } else {
+            DestPlan::ReleaseAtCommit { fallback: true }
+        }
+    }
+
+    fn on_commit(&mut self, entry: &RosEntry, _releases: &mut Vec<(RegClass, PhysReg)>) {
+        for &(arch, phys) in entry.srcs.iter().flatten() {
+            self.drop_reader(arch.class(), phys);
+        }
+    }
+
+    fn on_squash(&mut self, squashed: &[RosEntry]) {
+        for entry in squashed {
+            for &(arch, phys) in entry.srcs.iter().flatten() {
+                self.drop_reader(arch.class(), phys);
+            }
+        }
+    }
+
+    fn on_exception(&mut self) {
+        for class in &mut self.readers {
+            class.fill(0);
+        }
+    }
+}

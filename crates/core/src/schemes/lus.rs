@@ -1,0 +1,100 @@
+//! Shared Last-Uses Table state for the basic and extended schemes: the
+//! working per-class tables plus the per-branch checkpoint stack (paper
+//! Section 3.1: "an LUs Table copy is made at each branch prediction";
+//! Section 3.2: commit-time `C` updates are applied to every copy).
+//!
+//! Checkpoint buffers are pooled, so steady-state branch decode copies into
+//! retired tables instead of allocating.
+
+use crate::lus_table::{LusEntry, LusTable};
+use crate::types::{InstrId, UseKind};
+use earlyreg_isa::{ArchReg, RegClass};
+use std::collections::VecDeque;
+
+/// Working Last-Uses Tables plus their branch checkpoints.
+#[derive(Debug, Clone)]
+pub(crate) struct LusState {
+    tables: [LusTable; 2],
+    checkpoints: VecDeque<(InstrId, [LusTable; 2])>,
+    pool: Vec<[LusTable; 2]>,
+}
+
+impl LusState {
+    pub(crate) fn new() -> Self {
+        LusState {
+            tables: [LusTable::new(RegClass::Int), LusTable::new(RegClass::Fp)],
+            checkpoints: VecDeque::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    pub(crate) fn get(&self, reg: ArchReg) -> LusEntry {
+        self.tables[reg.class().index()].get(reg)
+    }
+
+    pub(crate) fn record_use(&mut self, reg: ArchReg, id: InstrId, kind: UseKind) {
+        self.tables[reg.class().index()].record_use(reg, id, kind);
+    }
+
+    /// Commit-time `C`-bit update, applied to the working tables *and* every
+    /// checkpoint copy (Section 3.2).
+    pub(crate) fn mark_committed(&mut self, reg: ArchReg, id: InstrId) {
+        self.tables[reg.class().index()].mark_committed(reg, id);
+        for (_, copy) in self.checkpoints.iter_mut() {
+            copy[reg.class().index()].mark_committed(reg, id);
+        }
+    }
+
+    /// Capture a checkpoint for a just-renamed branch (pooled).
+    pub(crate) fn checkpoint(&mut self, branch_id: InstrId) {
+        let copy = match self.pool.pop() {
+            Some(mut copy) => {
+                copy[0].restore_from(&self.tables[0]);
+                copy[1].restore_from(&self.tables[1]);
+                copy
+            }
+            None => [self.tables[0].clone(), self.tables[1].clone()],
+        };
+        self.checkpoints.push_back((branch_id, copy));
+    }
+
+    /// Branch verified correct: its checkpoint will never be restored.
+    pub(crate) fn drop_checkpoint(&mut self, branch_id: InstrId) {
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|(id, _)| *id == branch_id)
+            .unwrap_or_else(|| panic!("branch {branch_id} has no LUs checkpoint to confirm"));
+        if let Some((_, copy)) = self.checkpoints.remove(pos) {
+            self.pool.push(copy);
+        }
+    }
+
+    /// Branch mispredicted: restore the working tables from its checkpoint
+    /// and discard it together with every younger one.
+    pub(crate) fn restore(&mut self, branch_id: InstrId) {
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|(id, _)| *id == branch_id)
+            .unwrap_or_else(|| panic!("mispredicted branch {branch_id} has no LUs checkpoint"));
+        while self.checkpoints.len() > pos + 1 {
+            let (_, copy) = self.checkpoints.pop_back().expect("length checked");
+            self.pool.push(copy);
+        }
+        let (_, copy) = self.checkpoints.pop_back().expect("checkpoint exists");
+        self.tables[0].restore_from(&copy[0]);
+        self.tables[1].restore_from(&copy[1]);
+        self.pool.push(copy);
+    }
+
+    /// Exception recovery / machine reset: every entry back to "last use
+    /// long committed", no checkpoints.
+    pub(crate) fn reset(&mut self) {
+        self.tables[0].reset_all();
+        self.tables[1].reset_all();
+        while let Some((_, copy)) = self.checkpoints.pop_back() {
+            self.pool.push(copy);
+        }
+    }
+}

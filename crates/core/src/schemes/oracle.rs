@@ -1,0 +1,109 @@
+//! Oracle release — the ideal upper bound the paper's mechanisms chase.
+//!
+//! The scheme knows, from the architectural emulator's trace
+//! ([`KillPlan`]), the *true* last use of every register version on the
+//! committed path, and releases each physical register exactly when that
+//! last use commits — before the redefinition is decoded, possibly before
+//! it is even fetched.  No Last-Uses CAM, no Release Queue, no conventional
+//! path: [`DestPlan::AllocOnly`] for every redefinition, and all releases
+//! flow from [`ReleaseScheme::on_commit`].
+//!
+//! Releasing ahead of the redefinition means the speculative map (and any
+//! branch checkpoint of it) can still name a freed register; the engine
+//! flags those mappings stale when it performs the scheme's releases, which
+//! is the same Section 4.3 machinery that protects post-exception stale
+//! mappings.  Wrong-path consumers may read a reallocated register's value —
+//! harmless, their results are squashed — and commit-time safety is
+//! guaranteed because commits are in order: when the last use at position
+//! `k` commits, every older reader has committed and read its value.
+//!
+//! Speculation needs no scheme state at all: the plan is keyed by commit
+//! position, wrong-path renames never commit, and exceptions re-execute the
+//! same committed stream.
+
+use crate::ros::RosEntry;
+use crate::scheme::{DestPlan, DestQuery, KillPlan, ReleaseScheme, SchemeSeed};
+use crate::types::{PhysReg, ReleasePolicy};
+use earlyreg_isa::RegClass;
+use std::sync::Arc;
+
+/// The oracle (ideal-release) scheme.
+#[derive(Debug, Clone)]
+pub struct OracleScheme {
+    plan: Arc<KillPlan>,
+    /// Next unconsumed event in the position-sorted plan.
+    cursor: usize,
+    /// Commit position (how many instructions have committed).
+    committed: u64,
+    /// Physical register of each logical register's committed version —
+    /// mirrors the engine's in-order map, which the scheme cannot see.
+    arch_phys: [Vec<PhysReg>; 2],
+}
+
+impl OracleScheme {
+    /// Build from the seed's [`KillPlan`].
+    pub fn new(seed: &SchemeSeed) -> Result<Self, String> {
+        let plan = seed.kill_plan.clone().ok_or_else(|| {
+            "the oracle scheme needs a committed-trace kill plan (SchemeSeed::kill_plan); \
+             run it through the simulator, which derives one from the emulator"
+                .to_string()
+        })?;
+        Ok(OracleScheme {
+            plan,
+            cursor: 0,
+            committed: 0,
+            arch_phys: [
+                (0..RegClass::Int.num_logical())
+                    .map(|i| PhysReg(i as u16))
+                    .collect(),
+                (0..RegClass::Fp.num_logical())
+                    .map(|i| PhysReg(i as u16))
+                    .collect(),
+            ],
+        })
+    }
+}
+
+impl ReleaseScheme for OracleScheme {
+    fn policy(&self) -> ReleasePolicy {
+        ReleasePolicy::Oracle
+    }
+
+    fn box_clone(&self) -> Box<dyn ReleaseScheme> {
+        Box::new(self.clone())
+    }
+
+    fn plan_dest(&self, _query: &DestQuery) -> DestPlan {
+        DestPlan::AllocOnly
+    }
+
+    fn on_commit(&mut self, entry: &RosEntry, releases: &mut Vec<(RegClass, PhysReg)>) {
+        let pos = self.committed;
+        self.committed += 1;
+        let (cursor, kills) = self.plan.at(self.cursor, pos);
+        self.cursor = cursor;
+
+        // Versions whose last *read* is this commit die first (before the
+        // in-order map moves on: `arch_phys` still names them) ...
+        for kill in kills.iter().filter(|k| !k.own_def()) {
+            let reg = kill.reg();
+            releases.push((
+                reg.class(),
+                self.arch_phys[reg.class().index()][reg.index()],
+            ));
+        }
+        // ... then the committed version advances ...
+        if let Some(d) = entry.dst {
+            self.arch_phys[d.arch.class().index()][d.arch.index()] = d.phys;
+        }
+        // ... and a just-defined value that is never read dies at its own
+        // commit (Figure 4.b taken to the limit).
+        for kill in kills.iter().filter(|k| k.own_def()) {
+            let reg = kill.reg();
+            releases.push((
+                reg.class(),
+                self.arch_phys[reg.class().index()][reg.index()],
+            ));
+        }
+    }
+}

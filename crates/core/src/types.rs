@@ -78,76 +78,107 @@ impl UseKind {
     pub const ALL: [UseKind; 3] = [UseKind::Src1, UseKind::Src2, UseKind::Dst];
 }
 
-/// The register release policy under evaluation.
+/// A register release scheme, identified by its slot in the policy
+/// [registry](crate::registry).
 ///
-/// The derived `Ord` follows the declaration order — the order the paper's
-/// figures plot the policies — and gives experiment sweeps a deterministic
+/// This used to be a closed three-variant enum (conventional / basic /
+/// extended); it is now an opaque handle into the registry so that new
+/// schemes plug in without touching the engine, the experiment harness or
+/// the serving layer.  The canonical paper schemes remain available as the
+/// associated constants [`ReleasePolicy::Conventional`],
+/// [`ReleasePolicy::Basic`] and [`ReleasePolicy::Extended`]; the full set is
+/// enumerated by [`crate::registry::registered`].
+///
+/// `Ord` follows registry order — the paper's three schemes first, in the
+/// order the figures plot them — and gives experiment sweeps a deterministic
 /// point ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum ReleasePolicy {
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReleasePolicy(pub(crate) u8);
+
+#[allow(non_upper_case_globals)] // these consts replace former enum variants
+impl ReleasePolicy {
     /// Conventional release: the previous version (`old_pd`) is released when
     /// the redefining (next-version) instruction commits (paper Section 2).
-    Conventional,
+    pub const Conventional: ReleasePolicy = ReleasePolicy(0);
     /// The *basic* early-release mechanism (paper Section 3): a Last-Uses
     /// Table pairs every redefinition with the last use of the previous
     /// version; when no unverified branch lies between the two, the release
     /// is retimed to the last use's commit (or performed immediately if the
     /// last use has already committed).
-    Basic,
+    pub const Basic: ReleasePolicy = ReleasePolicy(1);
     /// The *extended* mechanism (paper Section 4): redefinitions decoded
     /// under unresolved branches schedule *conditional* releases in a Release
     /// Queue, which are cancelled on misprediction and performed at last-use
     /// commit / oldest-branch confirmation otherwise.  The conventional
     /// `old_pd`/`rel_old` path is removed entirely.
-    Extended,
+    pub const Extended: ReleasePolicy = ReleasePolicy(2);
+    /// Oracle upper bound: every physical register is released at the commit
+    /// of its true last use, known ahead of time from the architectural
+    /// emulator — the ideal-release curve the paper motivates against.
+    pub const Oracle: ReleasePolicy = ReleasePolicy(3);
+    /// Conservative counter-based release (no Last-Uses CAM, no per-branch
+    /// scheme checkpoints): per-register in-flight-reader counters allow an
+    /// immediate release/reuse at redefinition decode when the previous
+    /// version is settled; everything else falls back to conventional.
+    pub const Counter: ReleasePolicy = ReleasePolicy(4);
+
+    /// Registry slot of this policy.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The registry descriptor of this policy.
+    pub fn descriptor(self) -> &'static crate::registry::PolicyDescriptor {
+        &crate::registry::descriptors()[self.index()]
+    }
+
+    /// Stable id used in reports, cache keys, scenario files and the JSON
+    /// API ("conv", "basic", "extended", "oracle", "counter").
+    pub fn label(self) -> &'static str {
+        self.descriptor().id
+    }
+
+    /// Parse a policy name against the registry, case-insensitively,
+    /// accepting ids and aliases — the one parser behind every user-facing
+    /// surface (`run_workload --policy`, `Scenario` files, the
+    /// `earlyreg-serve` JSON API), so the accepted spellings cannot drift.
+    /// Unknown names fail with a message enumerating the registered ids.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        crate::registry::parse(name)
+    }
 }
 
-impl ReleasePolicy {
-    /// All policies, in the order the paper's figures plot them.
-    pub const ALL: [ReleasePolicy; 3] = [
-        ReleasePolicy::Conventional,
-        ReleasePolicy::Basic,
-        ReleasePolicy::Extended,
-    ];
-
-    /// Short label used in reports ("conv", "basic", "extended").
-    pub fn label(self) -> &'static str {
-        match self {
-            ReleasePolicy::Conventional => "conv",
-            ReleasePolicy::Basic => "basic",
-            ReleasePolicy::Extended => "extended",
-        }
-    }
-
-    /// Parse a policy name, case-insensitively, accepting the full names
-    /// and the `label()` abbreviations (`conv`, `ext`) — the one parser
-    /// behind every user-facing surface (`run_workload --policy`, the
-    /// `earlyreg-serve` JSON API), so the accepted spellings cannot drift.
-    pub fn parse(name: &str) -> Result<Self, String> {
-        match name.to_ascii_lowercase().as_str() {
-            "conv" | "conventional" => Ok(ReleasePolicy::Conventional),
-            "basic" => Ok(ReleasePolicy::Basic),
-            "ext" | "extended" => Ok(ReleasePolicy::Extended),
-            other => Err(format!(
-                "unknown policy '{other}' (conventional|basic|extended)"
-            )),
-        }
-    }
-
-    /// True if the policy uses the Last-Uses Table.
-    pub fn uses_lus_table(self) -> bool {
-        !matches!(self, ReleasePolicy::Conventional)
-    }
-
-    /// True if the policy uses the Release Queue.
-    pub fn uses_release_queue(self) -> bool {
-        matches!(self, ReleasePolicy::Extended)
+impl fmt::Debug for ReleasePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
 impl fmt::Display for ReleasePolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+// The policy serializes as its registry id string, so cache keys and JSON
+// payloads stay stable when new schemes are registered: new ids extend the
+// keyspace without perturbing existing keys, no CACHE_VERSION bump needed.
+// (The one-time switch from enum variant names to ids was itself a key
+// schema change, covered by the CACHE_VERSION 3 bump in the experiments
+// crate.)
+impl Serialize for ReleasePolicy {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Str(self.label().to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for ReleasePolicy {
+    fn from_value(value: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::value::Error::msg("release policy must be a string id"))?;
+        ReleasePolicy::parse(name).map_err(serde::value::Error::msg)
     }
 }
 
@@ -320,13 +351,28 @@ mod tests {
     }
 
     #[test]
-    fn policy_capabilities() {
-        assert!(!ReleasePolicy::Conventional.uses_lus_table());
-        assert!(ReleasePolicy::Basic.uses_lus_table());
-        assert!(ReleasePolicy::Extended.uses_lus_table());
-        assert!(!ReleasePolicy::Basic.uses_release_queue());
-        assert!(ReleasePolicy::Extended.uses_release_queue());
+    fn policy_labels_and_ordering() {
         assert_eq!(ReleasePolicy::Conventional.label(), "conv");
+        assert_eq!(ReleasePolicy::Basic.label(), "basic");
+        assert_eq!(ReleasePolicy::Extended.label(), "extended");
+        assert_eq!(ReleasePolicy::Oracle.label(), "oracle");
+        assert_eq!(ReleasePolicy::Counter.label(), "counter");
+        // Registry order keeps the paper's plot order for the paper three.
+        assert!(ReleasePolicy::Conventional < ReleasePolicy::Basic);
+        assert!(ReleasePolicy::Basic < ReleasePolicy::Extended);
+        assert!(ReleasePolicy::Extended < ReleasePolicy::Oracle);
+    }
+
+    #[test]
+    fn policy_serializes_as_its_id() {
+        use serde::Serialize as _;
+        let v = ReleasePolicy::Oracle.to_value();
+        assert_eq!(v.as_str(), Some("oracle"));
+        let back: ReleasePolicy = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, ReleasePolicy::Oracle);
+        let bad: Result<ReleasePolicy, _> =
+            serde::Deserialize::from_value(&serde::value::Value::Str("bogus".to_string()));
+        assert!(bad.is_err());
     }
 
     #[test]

@@ -146,10 +146,12 @@ pub fn run(options: &ExperimentOptions) -> AblationResult {
 
 /// The ablation table.
 pub fn tables(result: &AblationResult) -> Vec<NamedTable> {
+    // The speedup baseline is the variant named "conventional" (the first
+    // row) — keyed by name, not by a hard-coded policy comparison.
     let baseline = result
         .rows
         .iter()
-        .find(|(v, _, _)| v.policy == ReleasePolicy::Conventional)
+        .find(|(v, _, _)| v.name == "conventional")
         .map(|&(_, int, fp)| (int, fp))
         .unwrap_or((1.0, 1.0));
     let mut table = TextTable::new([

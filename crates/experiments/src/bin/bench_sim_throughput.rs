@@ -86,11 +86,9 @@ impl Measurement {
 
 fn main() {
     let args = parse_args();
-    const POLICIES: [ReleasePolicy; 3] = [
-        ReleasePolicy::Conventional,
-        ReleasePolicy::Basic,
-        ReleasePolicy::Extended,
-    ];
+    // One throughput point per registered policy: new schemes join the
+    // benchmark automatically through the registry.
+    let policies: Vec<ReleasePolicy> = earlyreg_core::registry::registered().collect();
 
     let mut measurements = Vec::new();
     for name in &args.workloads {
@@ -104,7 +102,7 @@ fn main() {
             );
             std::process::exit(2);
         };
-        for policy in POLICIES {
+        for &policy in &policies {
             let config = MachineConfig::icpp02(policy, 80, 80);
             let mut sim = Simulator::new(config, workload.program.clone());
             let start = Instant::now();

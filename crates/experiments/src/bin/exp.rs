@@ -20,7 +20,7 @@ use std::process::exit;
 
 const USAGE: &str = "\
 usage: earlyreg-exp <command>
-  list                          list registered experiments
+  list                          list registered experiments and policies
   run <ids...|all>              run experiments as one shared sweep
       --format text|json|csv    report backend (default text)
       --out DIR                 write reports under DIR (json/csv default out/)
@@ -54,11 +54,26 @@ fn main() {
 fn list() {
     let registry = engine::registry();
     let width = registry.iter().map(|e| e.id().len()).max().unwrap_or(0);
+    println!("experiments:");
     for experiment in registry {
         println!(
-            "{:<width$}  {}",
+            "  {:<width$}  {}",
             experiment.id(),
             experiment.title(),
+            width = width
+        );
+    }
+    // Release policies come from the core registry: anything listed here is
+    // accepted by `--scenario` policies lines, the serve API and benches.
+    let descriptors = earlyreg_core::registry::descriptors();
+    let width = descriptors.iter().map(|d| d.id.len()).max().unwrap_or(0);
+    println!("policies:");
+    for descriptor in descriptors {
+        let paper = if descriptor.paper { " [paper]" } else { "" };
+        println!(
+            "  {:<width$}  {}{paper}",
+            descriptor.id,
+            descriptor.title,
             width = width
         );
     }

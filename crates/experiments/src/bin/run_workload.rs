@@ -3,7 +3,7 @@
 //! simulator outside the canned experiments.
 //!
 //! Usage:
-//!   run_workload --workload swim [--policy conv|basic|extended]
+//!   run_workload --workload swim [--policy <registered id, e.g. extended>]
 //!                [--int-regs N] [--fp-regs N] [--scale smoke|bench|full]
 //!                [--max-instructions N] [--exception-interval N] [--verify]
 
@@ -24,9 +24,10 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_workload --workload NAME [--policy conv|basic|extended] [--int-regs N] \
+        "usage: run_workload --workload NAME [--policy {}] [--int-regs N] \
          [--fp-regs N] [--scale smoke|bench|full] [--max-instructions N] \
-         [--exception-interval N] [--verify]"
+         [--exception-interval N] [--verify]",
+        earlyreg_core::registry::ids().join("|")
     );
     std::process::exit(2);
 }
@@ -47,7 +48,12 @@ fn parse_args() -> Args {
         let mut value = || iter.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--workload" => args.workload = value(),
-            "--policy" => args.policy = ReleasePolicy::parse(&value()).unwrap_or_else(|_| usage()),
+            "--policy" => {
+                args.policy = ReleasePolicy::parse(&value()).unwrap_or_else(|error| {
+                    eprintln!("{error}");
+                    usage()
+                })
+            }
             "--int-regs" => args.int_regs = value().parse().unwrap_or_else(|_| usage()),
             "--fp-regs" => args.fp_regs = value().parse().unwrap_or_else(|_| usage()),
             "--scale" => {

@@ -54,9 +54,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Version of the cached-entry semantics; part of every [`CacheKey`].
 ///
 /// History: version 1 was the implicit (unversioned) PR 3 key schema;
-/// version 2 added this field to the canonical key.  See the module docs
-/// for the bump policy.
-pub const CACHE_VERSION: u32 = 2;
+/// version 2 added this field to the canonical key; version 3 switched the
+/// policy encoding inside [`RunPoint`] (and the machine config) from enum
+/// variant names (`"Extended"`) to registry ids (`"extended"`) — a key
+/// *schema* change, so pre-registry entries are retired explicitly rather
+/// than orphaned silently.  Within one version, policy ids are open-ended:
+/// registering a *new* scheme extends the keyspace and needs no bump.
+/// See the module docs for the bump policy.
+pub const CACHE_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a — small, dependency-free and stable across platforms.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -116,17 +116,19 @@ impl ExperimentOptions {
 /// Scenarios make new experiment configurations a config entry instead of a
 /// new crate module: every experiment plans its points through
 /// [`crate::engine::PlanContext`], which routes all machine construction
-/// through [`Scenario::machine`] and the Figure 11 sweep axis through
-/// [`Scenario::sweep_sizes`].  A scenario file is a list of `key = value`
+/// through [`Scenario::machine`], the Figure 11 sweep axis through
+/// [`Scenario::sweep_sizes`] and the policy set through
+/// [`Scenario::policies`].  A scenario file is a list of `key = value`
 /// lines (`#` comments allowed):
 ///
 /// ```text
-/// # A narrower machine with a short Release Queue.
+/// # A narrower machine with a short Release Queue, swept over four schemes.
 /// ros_size = 64
 /// lsq_size = 32
 /// memory_latency = 120
 /// max_pending_branches = 8
 /// sweep_sizes = 40,48,56,64,80
+/// policies = conv, basic, extended, oracle
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Scenario {
@@ -134,6 +136,9 @@ pub struct Scenario {
     pub name: String,
     /// Override of the Figure 11 register-file sweep axis.
     pub sweep_sizes: Option<Vec<usize>>,
+    /// Override of the policy set the figure sweeps compare (ids from the
+    /// policy registry; defaults to the paper's canonical three).
+    pub policies: Option<Vec<ReleasePolicy>>,
     /// Reorder structure size (Table 2: 128).
     pub ros_size: Option<usize>,
     /// Load/store queue entries (Table 2: 64).
@@ -203,6 +208,15 @@ impl Scenario {
             .unwrap_or_else(|| FIG11_SIZES.to_vec())
     }
 
+    /// The release policies the figure sweeps compare.  Defaults to the
+    /// canonical paper three ([`earlyreg_core::PAPER_POLICIES`]); a scenario
+    /// can name any subset of the registry (`policies = conv, oracle, ...`).
+    pub fn policies(&self) -> Vec<ReleasePolicy> {
+        self.policies
+            .clone()
+            .unwrap_or_else(|| earlyreg_core::PAPER_POLICIES.to_vec())
+    }
+
     /// Parse a scenario from `key = value` lines (see the type docs).
     pub fn parse(name: &str, text: &str) -> Result<Self, String> {
         let mut scenario = Scenario {
@@ -225,6 +239,16 @@ impl Scenario {
                     let sizes: Result<Vec<usize>, _> =
                         value.split(',').map(|s| s.trim().parse()).collect();
                     scenario.sweep_sizes = Some(sizes.map_err(|_| bad("size list"))?);
+                }
+                "policies" => {
+                    // Parsed against the policy registry; an unknown name
+                    // fails here with the registered ids enumerated.
+                    let policies: Result<Vec<ReleasePolicy>, String> = value
+                        .split(',')
+                        .map(|s| ReleasePolicy::parse(s.trim()))
+                        .collect();
+                    scenario.policies =
+                        Some(policies.map_err(|e| format!("line {}: {e}", number + 1))?);
                 }
                 "ros_size" => scenario.ros_size = Some(value.parse().map_err(|_| bad("ros_size"))?),
                 "lsq_size" => scenario.lsq_size = Some(value.parse().map_err(|_| bad("lsq_size"))?),
@@ -348,6 +372,26 @@ mod tests {
         assert_eq!(config.rename.ros_size, 64);
         assert_eq!(config.memory_latency, 120);
         config.validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_policies_parse_against_the_registry() {
+        // Default: the canonical paper three.
+        assert_eq!(
+            Scenario::table2().policies(),
+            earlyreg_core::PAPER_POLICIES.to_vec()
+        );
+        let scenario = Scenario::parse("p", "policies = conv, oracle").unwrap();
+        assert_eq!(
+            scenario.policies(),
+            vec![ReleasePolicy::Conventional, ReleasePolicy::Oracle]
+        );
+        // An unknown policy name fails with the registered ids enumerated.
+        let error = Scenario::parse("p", "policies = conv, bogus").unwrap_err();
+        assert!(error.contains("unknown policy 'bogus'"), "{error}");
+        for id in earlyreg_core::registry::ids() {
+            assert!(error.contains(id), "error must list '{id}': {error}");
+        }
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Figure 10 — per-benchmark IPC for a very tight 48int + 48FP register file
-//! under the conventional, basic and extended policies, plus the per-group
-//! harmonic means.
+//! under the compared release policies, plus the per-group harmonic means.
+//!
+//! The compared set comes from the scenario ([`Scenario::policies`]); the
+//! default is the paper's canonical three (conventional / basic / extended),
+//! and any registered scheme — `oracle`, `counter`, future ones — joins the
+//! table via `policies = ...` with no code change here.
 //!
 //! Paper reference points: for FP codes the basic mechanism gains ≈ 6 % and
 //! the extended ≈ 8 % over conventional; for integer codes basic is ≈ neutral
@@ -10,7 +14,9 @@ use crate::config::ExperimentOptions;
 use crate::context;
 use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
 use crate::metrics::{harmonic_mean, speedup};
-use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::report::{
+    policy_comparison_headers, policy_comparison_row, NamedTable, Report, TextTable,
+};
 use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
 use earlyreg_workloads::WorkloadClass;
@@ -19,50 +25,62 @@ use serde::{Deserialize, Serialize};
 /// Register file size of Figure 10.
 pub const FIG10_REGISTERS: usize = 48;
 
-/// IPC of one benchmark under the three policies.
+/// IPC of one benchmark under every compared policy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig10Row {
     /// Benchmark name.
     pub workload: String,
     /// Benchmark group.
     pub class: WorkloadClass,
-    /// IPC under conventional release.
-    pub conv: f64,
-    /// IPC under the basic mechanism.
-    pub basic: f64,
-    /// IPC under the extended mechanism.
-    pub extended: f64,
+    /// IPC per policy, parallel to [`Fig10Result::policies`].
+    pub ipc: Vec<f64>,
 }
 
 /// Full Figure 10 data.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig10Result {
+    /// Registry ids of the compared policies, in column order; the first is
+    /// the speedup baseline.
+    pub policies: Vec<String>,
     /// Per-benchmark rows (suite order).
     pub rows: Vec<Fig10Row>,
 }
 
 impl Fig10Result {
-    /// Harmonic-mean IPC of a group under a policy.
-    pub fn hmean(&self, class: WorkloadClass, policy: ReleasePolicy) -> f64 {
+    fn policy_column(&self, policy: &str) -> Option<usize> {
+        self.policies.iter().position(|p| p == policy)
+    }
+
+    /// IPC of one benchmark under one policy (by registry id).
+    pub fn ipc(&self, workload: &str, policy: &str) -> Option<f64> {
+        let column = self.policy_column(policy)?;
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload)
+            .and_then(|r| r.ipc.get(column).copied())
+    }
+
+    /// Harmonic-mean IPC of a group under a policy (by registry id).
+    pub fn hmean(&self, class: WorkloadClass, policy: &str) -> f64 {
+        let Some(column) = self.policy_column(policy) else {
+            return 0.0;
+        };
         let values: Vec<f64> = self
             .rows
             .iter()
             .filter(|r| r.class == class)
-            .map(|r| match policy {
-                ReleasePolicy::Conventional => r.conv,
-                ReleasePolicy::Basic => r.basic,
-                ReleasePolicy::Extended => r.extended,
-            })
+            .filter_map(|r| r.ipc.get(column).copied())
             .collect();
         harmonic_mean(&values)
     }
 
-    /// Speedup of a policy over conventional for a group (harmonic means).
-    pub fn group_speedup(&self, class: WorkloadClass, policy: ReleasePolicy) -> f64 {
-        speedup(
-            self.hmean(class, policy),
-            self.hmean(class, ReleasePolicy::Conventional),
-        )
+    /// Speedup of a policy over the baseline (first) policy for a group
+    /// (harmonic means).
+    pub fn group_speedup(&self, class: WorkloadClass, policy: &str) -> f64 {
+        let Some(baseline) = self.policies.first() else {
+            return 0.0;
+        };
+        speedup(self.hmean(class, policy), self.hmean(class, baseline))
     }
 }
 
@@ -74,13 +92,13 @@ fn ipc_from(results: &[RunResult], workload: &str, policy: ReleasePolicy) -> f64
         .unwrap_or(0.0)
 }
 
-/// The points Figure 10 needs: every workload, every policy, 48+48.
+/// The points Figure 10 needs: every workload, every compared policy, 48+48.
 pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
-    ctx.cross(&ReleasePolicy::ALL, &[FIG10_REGISTERS])
+    ctx.cross(&ctx.scenario.policies(), &[FIG10_REGISTERS])
 }
 
 /// Summarise raw sweep results (plan order, i.e. suite order) into rows.
-pub fn summarise(raw: &[RunResult]) -> Fig10Result {
+pub fn summarise(raw: &[RunResult], policies: &[ReleasePolicy]) -> Fig10Result {
     // One row per workload, keeping the first-appearance (suite) order.
     let mut names: Vec<(&'static str, WorkloadClass)> = Vec::new();
     for r in raw {
@@ -93,12 +111,16 @@ pub fn summarise(raw: &[RunResult]) -> Fig10Result {
         .map(|(workload, class)| Fig10Row {
             workload: workload.to_string(),
             class,
-            conv: ipc_from(raw, workload, ReleasePolicy::Conventional),
-            basic: ipc_from(raw, workload, ReleasePolicy::Basic),
-            extended: ipc_from(raw, workload, ReleasePolicy::Extended),
+            ipc: policies
+                .iter()
+                .map(|&policy| ipc_from(raw, workload, policy))
+                .collect(),
         })
         .collect();
-    Fig10Result { rows }
+    Fig10Result {
+        policies: policies.iter().map(|p| p.label().to_string()).collect(),
+        rows,
+    }
 }
 
 /// Run the Figure 10 experiment standalone (engine path, no disk cache).
@@ -106,40 +128,26 @@ pub fn run(options: &ExperimentOptions) -> Fig10Result {
     let ctx = PlanContext::new(*options, crate::config::Scenario::table2());
     let plan = plan(&ctx);
     let results = crate::engine::simulate(&ctx, &plan);
-    summarise(&results.collect(&plan))
+    summarise(&results.collect(&plan), &ctx.scenario.policies())
 }
 
-/// One IPC table per benchmark group.
+/// One IPC table per benchmark group, with one column per compared policy
+/// and one speedup column per non-baseline policy.
 pub fn tables(result: &Fig10Result) -> Vec<NamedTable> {
     [WorkloadClass::Int, WorkloadClass::Fp]
         .into_iter()
         .map(|class| {
-            let mut table = TextTable::new([
-                "benchmark",
-                "conv",
-                "basic",
-                "extended",
-                "basic/conv",
-                "ext/conv",
-            ]);
+            let mut table =
+                TextTable::new(policy_comparison_headers("benchmark", &result.policies));
             for row in result.rows.iter().filter(|r| r.class == class) {
-                table.row([
-                    row.workload.clone(),
-                    fmt(row.conv, 3),
-                    fmt(row.basic, 3),
-                    fmt(row.extended, 3),
-                    fmt_pct(speedup(row.basic, row.conv)),
-                    fmt_pct(speedup(row.extended, row.conv)),
-                ]);
+                table.row(policy_comparison_row(row.workload.clone(), &row.ipc));
             }
-            table.row([
-                "Hm".to_string(),
-                fmt(result.hmean(class, ReleasePolicy::Conventional), 3),
-                fmt(result.hmean(class, ReleasePolicy::Basic), 3),
-                fmt(result.hmean(class, ReleasePolicy::Extended), 3),
-                fmt_pct(result.group_speedup(class, ReleasePolicy::Basic)),
-                fmt_pct(result.group_speedup(class, ReleasePolicy::Extended)),
-            ]);
+            let hmeans: Vec<f64> = result
+                .policies
+                .iter()
+                .map(|p| result.hmean(class, p))
+                .collect();
+            table.row(policy_comparison_row("Hm".to_string(), &hmeans));
             NamedTable::new(
                 match class {
                     WorkloadClass::Int => "int",
@@ -155,7 +163,9 @@ pub fn tables(result: &Fig10Result) -> Vec<NamedTable> {
 pub fn render(result: &Fig10Result) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "Figure 10 — IPC with a {FIG10_REGISTERS}int+{FIG10_REGISTERS}fp register file\n\n"
+        "Figure 10 — IPC with a {FIG10_REGISTERS}int+{FIG10_REGISTERS}fp register file \
+         (policies: {})\n\n",
+        result.policies.join(", ")
     ));
     for (class, table) in [WorkloadClass::Int, WorkloadClass::Fp]
         .into_iter()
@@ -189,7 +199,7 @@ impl Experiment for Fig10 {
     }
 
     fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
-        let result = summarise(&results.collect(&plan(ctx)));
+        let result = summarise(&results.collect(&plan(ctx)), &ctx.scenario.policies());
         let mut text = context::render_table2(FIG10_REGISTERS, FIG10_REGISTERS);
         text.push('\n');
         text.push_str(&render(&result));
@@ -216,32 +226,32 @@ mod tests {
             max_instructions: 30_000,
         };
         let result = run(&options);
+        assert_eq!(result.policies, ["conv", "basic", "extended"]);
         assert_eq!(result.rows.len(), 10);
         // Rows keep the suite order: the five integer programs first.
         assert_eq!(result.rows[0].workload, "compress");
         assert_eq!(result.rows[5].workload, "mgrid");
         for row in &result.rows {
-            assert!(row.conv > 0.0, "{} has zero conventional IPC", row.workload);
+            let conv = result.ipc(&row.workload, "conv").unwrap();
+            let basic = result.ipc(&row.workload, "basic").unwrap();
+            let extended = result.ipc(&row.workload, "extended").unwrap();
+            assert!(conv > 0.0, "{} has zero conventional IPC", row.workload);
             // Early release must never hurt by more than simulation noise.
             assert!(
-                row.basic >= row.conv * 0.97,
-                "{}: basic {} vs conv {}",
+                basic >= conv * 0.97,
+                "{}: basic {basic} vs conv {conv}",
                 row.workload,
-                row.basic,
-                row.conv
             );
             assert!(
-                row.extended >= row.conv * 0.97,
-                "{}: ext {} vs conv {}",
+                extended >= conv * 0.97,
+                "{}: ext {extended} vs conv {conv}",
                 row.workload,
-                row.extended,
-                row.conv
             );
         }
         // At 48 registers the FP group must benefit from the extended scheme.
-        assert!(result.group_speedup(WorkloadClass::Fp, ReleasePolicy::Extended) > 0.0);
+        assert!(result.group_speedup(WorkloadClass::Fp, "extended") > 0.0);
         let text = render(&result);
         assert!(text.contains("Hm"));
-        assert!(text.contains("ext/conv"));
+        assert!(text.contains("extended/conv"));
     }
 }

@@ -13,8 +13,10 @@
 
 use crate::config::{ExperimentOptions, Scenario, FIG11_SIZES};
 use crate::engine::{Experiment, PlanContext, PlannedPoint, ResultSet};
-use crate::metrics::{harmonic_mean, speedup};
-use crate::report::{fmt, fmt_pct, NamedTable, Report, TextTable};
+use crate::metrics::harmonic_mean;
+use crate::report::{
+    policy_comparison_headers, policy_comparison_row, NamedTable, Report, TextTable,
+};
 use crate::runner::RunResult;
 use earlyreg_core::ReleasePolicy;
 use earlyreg_workloads::WorkloadClass;
@@ -38,6 +40,9 @@ pub struct Fig11Point {
 pub struct Fig11Result {
     /// Register sizes swept.
     pub sizes: Vec<usize>,
+    /// Policies compared, in column order; the first is the speedup
+    /// baseline.
+    pub policies: Vec<ReleasePolicy>,
     /// All (class, policy, size) points.
     pub points: Vec<Fig11Point>,
     /// Raw per-benchmark results (sorted by point).
@@ -69,10 +74,14 @@ impl Fig11Result {
 }
 
 /// Compute the per-group harmonic means from raw results.
-pub fn summarise(raw: &[RunResult], sizes: &[usize]) -> Vec<Fig11Point> {
+pub fn summarise(
+    raw: &[RunResult],
+    sizes: &[usize],
+    policies: &[ReleasePolicy],
+) -> Vec<Fig11Point> {
     let mut points = Vec::new();
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-        for policy in ReleasePolicy::ALL {
+        for &policy in policies {
             for &size in sizes {
                 let values: Vec<f64> = raw
                     .iter()
@@ -97,18 +106,19 @@ pub fn summarise(raw: &[RunResult], sizes: &[usize]) -> Vec<Fig11Point> {
     points
 }
 
-/// The points Figure 11 needs: the full cross product over the scenario's
-/// sweep axis.
+/// The points Figure 11 needs: the full cross product of the scenario's
+/// policy set over the scenario's sweep axis.
 pub fn plan(ctx: &PlanContext) -> Vec<PlannedPoint> {
-    ctx.cross(&ReleasePolicy::ALL, &ctx.scenario.sweep_sizes())
+    ctx.cross(&ctx.scenario.policies(), &ctx.scenario.sweep_sizes())
 }
 
-fn assemble(raw: Vec<RunResult>, sizes: &[usize]) -> Fig11Result {
+fn assemble(raw: Vec<RunResult>, sizes: &[usize], policies: &[ReleasePolicy]) -> Fig11Result {
     let mut raw = raw;
     raw.sort_by_key(|r| r.point);
     Fig11Result {
         sizes: sizes.to_vec(),
-        points: summarise(&raw, sizes),
+        policies: policies.to_vec(),
+        points: summarise(&raw, sizes, policies),
         raw,
     }
 }
@@ -123,7 +133,8 @@ pub fn run_with_sizes(options: &ExperimentOptions, sizes: &[usize]) -> Fig11Resu
     let ctx = PlanContext::new(*options, scenario);
     let plan = plan(&ctx);
     let results = crate::engine::simulate(&ctx, &plan);
-    assemble(results.collect(&plan), sizes)
+    let policies = ctx.scenario.policies();
+    assemble(results.collect(&plan), sizes, &policies)
 }
 
 /// Run the full Figure 11 sweep.
@@ -131,37 +142,22 @@ pub fn run(options: &ExperimentOptions) -> Fig11Result {
     run_with_sizes(options, &FIG11_SIZES)
 }
 
-/// One harmonic-mean table per benchmark group.
+/// One harmonic-mean table per benchmark group, with one column per
+/// compared policy and one speedup column per non-baseline policy (the
+/// shared column convention of `report::policy_comparison_headers`).
 pub fn tables(result: &Fig11Result) -> Vec<NamedTable> {
+    let labels: Vec<&'static str> = result.policies.iter().map(|p| p.label()).collect();
     [WorkloadClass::Int, WorkloadClass::Fp]
         .into_iter()
         .map(|class| {
-            let mut table = TextTable::new([
-                "registers",
-                "conv",
-                "basic",
-                "extended",
-                "basic/conv",
-                "ext/conv",
-            ]);
+            let mut table = TextTable::new(policy_comparison_headers("registers", &labels));
             for &size in &result.sizes {
-                let conv = result
-                    .hmean_at(class, ReleasePolicy::Conventional, size)
-                    .unwrap_or(0.0);
-                let basic = result
-                    .hmean_at(class, ReleasePolicy::Basic, size)
-                    .unwrap_or(0.0);
-                let extended = result
-                    .hmean_at(class, ReleasePolicy::Extended, size)
-                    .unwrap_or(0.0);
-                table.row([
-                    size.to_string(),
-                    fmt(conv, 3),
-                    fmt(basic, 3),
-                    fmt(extended, 3),
-                    fmt_pct(speedup(basic, conv)),
-                    fmt_pct(speedup(extended, conv)),
-                ]);
+                let ipc: Vec<f64> = result
+                    .policies
+                    .iter()
+                    .map(|&p| result.hmean_at(class, p, size).unwrap_or(0.0))
+                    .collect();
+                table.row(policy_comparison_row(size.to_string(), &ipc));
             }
             NamedTable::new(
                 match class {
@@ -211,7 +207,8 @@ impl Experiment for Fig11 {
 
     fn render(&self, ctx: &PlanContext, results: &ResultSet) -> Report {
         let sizes = ctx.scenario.sweep_sizes();
-        let result = assemble(results.collect(&plan(ctx)), &sizes);
+        let policies = ctx.scenario.policies();
+        let result = assemble(results.collect(&plan(ctx)), &sizes, &policies);
         Report {
             experiment: self.id(),
             title: self.title(),
@@ -236,12 +233,13 @@ mod tests {
         };
         let result = run_with_sizes(&options, &[40, 96]);
         assert_eq!(result.sizes, vec![40, 96]);
+        assert_eq!(result.policies, earlyreg_core::PAPER_POLICIES.to_vec());
         // 2 classes x 3 policies x 2 sizes
         assert_eq!(result.points.len(), 12);
         // Raw results come back point-sorted.
         assert!(result.raw.windows(2).all(|w| w[0].point < w[1].point));
         for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-            for policy in ReleasePolicy::ALL {
+            for policy in earlyreg_core::PAPER_POLICIES {
                 let small = result.hmean_at(class, policy, 40).unwrap();
                 let large = result.hmean_at(class, policy, 96).unwrap();
                 assert!(large >= small * 0.98, "{class:?} {policy:?}: IPC must not drop with more registers ({small} -> {large})");

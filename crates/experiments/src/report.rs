@@ -119,6 +119,38 @@ impl TextTable {
     }
 }
 
+/// Headers for a per-policy comparison table: `first`, one value column per
+/// policy, then one `<policy>/<baseline>` speedup column per non-baseline
+/// policy (the first policy is the speedup baseline).  The shared column
+/// convention of the dynamic-policy figures (10 and 11).
+pub fn policy_comparison_headers<S: AsRef<str>>(first: &str, policies: &[S]) -> Vec<String> {
+    let mut headers = vec![first.to_string()];
+    headers.extend(policies.iter().map(|p| p.as_ref().to_string()));
+    if let Some(baseline) = policies.first() {
+        for policy in policies.iter().skip(1) {
+            headers.push(format!("{}/{}", policy.as_ref(), baseline.as_ref()));
+        }
+    }
+    headers
+}
+
+/// Cells of one per-policy comparison row matching
+/// [`policy_comparison_headers`]: the row name, each value to three
+/// decimals, then each non-baseline value as a percent speedup over the
+/// first.
+pub fn policy_comparison_row(name: String, values: &[f64]) -> Vec<String> {
+    let mut cells = vec![name];
+    cells.extend(values.iter().map(|&v| fmt(v, 3)));
+    let base = values.first().copied().unwrap_or(0.0);
+    cells.extend(
+        values
+            .iter()
+            .skip(1)
+            .map(|&v| fmt_pct(crate::metrics::speedup(v, base))),
+    );
+    cells
+}
+
 /// A table with a name, so the CSV backend can write one file per table.
 #[derive(Debug, Clone)]
 pub struct NamedTable {

@@ -165,7 +165,26 @@ impl Service {
                 ])
             })
             .collect();
-        let body = Value::Map(vec![("experiments".to_string(), Value::Seq(experiments))]);
+        // The accepted release policies come from the core registry, so a
+        // newly registered scheme is discoverable (and usable in `/points`
+        // bodies and `/run` scenarios) with no serve change.
+        let policies: Vec<Value> = earlyreg_core::registry::descriptors()
+            .iter()
+            .map(|descriptor| {
+                Value::Map(vec![
+                    ("id".to_string(), Value::Str(descriptor.id.to_string())),
+                    (
+                        "title".to_string(),
+                        Value::Str(descriptor.title.to_string()),
+                    ),
+                    ("paper".to_string(), Value::Bool(descriptor.paper)),
+                ])
+            })
+            .collect();
+        let body = Value::Map(vec![
+            ("experiments".to_string(), Value::Seq(experiments)),
+            ("policies".to_string(), Value::Seq(policies)),
+        ]);
         Response::json(200, body.canonical())
     }
 

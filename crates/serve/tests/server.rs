@@ -117,8 +117,8 @@ fn healthz_and_experiments_respond() {
 
     let experiments = request(addr, "GET", "/experiments", "");
     assert_eq!(experiments.status, 200);
-    let listed = experiments
-        .json()
+    let listing = experiments.json();
+    let listed = listing
         .get("experiments")
         .and_then(Value::as_seq)
         .expect("experiments array")
@@ -126,6 +126,48 @@ fn healthz_and_experiments_respond() {
     assert_eq!(listed, 10, "the full registry is listed");
     assert!(experiments.body.contains("\"fig10\""));
 
+    // The accepted release policies are listed from the core registry, one
+    // entry per registered scheme.
+    let policies = listing
+        .get("policies")
+        .and_then(Value::as_seq)
+        .expect("policies array");
+    let listed_ids: Vec<&str> = policies
+        .iter()
+        .map(|p| p.get("id").and_then(Value::as_str).expect("policy id"))
+        .collect();
+    assert_eq!(listed_ids, earlyreg_core::registry::ids());
+
+    server.stop();
+}
+
+/// Every policy id the registry (and therefore `GET /experiments`) lists is
+/// accepted by `POST /points` — the serve ↔ registry round-trip the CI
+/// policy-matrix smoke also exercises.
+#[test]
+fn every_registered_policy_round_trips_through_points() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    let listing = request(addr, "GET", "/experiments", "").json();
+    let ids: Vec<String> = listing
+        .get("policies")
+        .and_then(Value::as_seq)
+        .expect("policies array")
+        .iter()
+        .map(|p| p.get("id").and_then(Value::as_str).unwrap().to_string())
+        .collect();
+    assert!(ids.contains(&"oracle".to_string()));
+    assert!(ids.contains(&"counter".to_string()));
+    for id in ids {
+        let body = format!(
+            r#"{{"scale":"smoke","max_instructions":2000,
+               "points":[{{"workload":"perl","policy":"{id}","phys_int":64,"phys_fp":64}}]}}"#
+        );
+        let reply = request(addr, "POST", "/points", &body);
+        assert_eq!(reply.status, 200, "policy '{id}': {}", reply.body);
+        assert!(reply.body.contains(&format!("\"policy\":\"{id}\"")));
+    }
     server.stop();
 }
 
@@ -143,9 +185,24 @@ fn routing_rejects_unknown_paths_methods_and_bad_json() {
     let reply = request(addr, "POST", "/points", unknown_workload);
     assert_eq!(reply.status, 400);
     assert!(reply.body.contains("unknown workload"));
+    // An unknown policy is a 400 (not a 500) whose message enumerates the
+    // registered ids so the client can self-correct.
     let bad_policy =
         r#"{"points":[{"workload":"swim","policy":"yolo","phys_int":48,"phys_fp":48}]}"#;
-    assert_eq!(request(addr, "POST", "/points", bad_policy).status, 400);
+    let reply = request(addr, "POST", "/points", bad_policy);
+    assert_eq!(reply.status, 400);
+    assert!(
+        reply.body.contains("unknown policy 'yolo'"),
+        "{}",
+        reply.body
+    );
+    for id in earlyreg_core::registry::ids() {
+        assert!(
+            reply.body.contains(id),
+            "the 400 body must list '{id}': {}",
+            reply.body
+        );
+    }
 
     server.stop();
 }
@@ -374,6 +431,31 @@ fn run_endpoint_returns_report_envelopes() {
         r#"{"experiments":["table1"],"scenario":"bogus_key = 1"}"#,
     );
     assert_eq!(bad_scenario.status, 400);
+
+    // A scenario can retarget the figure sweeps at any registered policy
+    // set; an unknown policy name in it is a 400 naming the registered ids.
+    let with_policies = request(
+        addr,
+        "POST",
+        "/run",
+        r#"{"experiments":["fig10"],"scale":"smoke","max_instructions":2000,
+            "scenario":"policies = conv, counter"}"#,
+    );
+    assert_eq!(with_policies.status, 200, "{}", with_policies.body);
+    assert!(with_policies.body.contains("counter"));
+    let bad_policy_scenario = request(
+        addr,
+        "POST",
+        "/run",
+        r#"{"experiments":["fig10"],"scenario":"policies = conv, warp9"}"#,
+    );
+    assert_eq!(bad_policy_scenario.status, 400);
+    assert!(
+        bad_policy_scenario.body.contains("unknown policy 'warp9'"),
+        "{}",
+        bad_policy_scenario.body
+    );
+    assert!(bad_policy_scenario.body.contains("oracle"));
 
     server.stop();
 }

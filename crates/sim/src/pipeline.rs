@@ -8,9 +8,13 @@
 //! by a 1 MB L2 and 50-cycle memory, and 8-wide in-order commit.
 //!
 //! Register renaming and physical-register release are delegated entirely to
-//! [`earlyreg_core::RenameUnit`], so the same pipeline runs under the
-//! conventional, basic and extended policies — which is exactly the
-//! experiment the paper performs.
+//! [`earlyreg_core::RenameUnit`], so the same pipeline runs under every
+//! release scheme in the policy registry — the paper's conventional, basic
+//! and extended mechanisms (exactly the experiment the paper performs) as
+//! well as the oracle upper bound and any scheme registered later.  The only
+//! policy-aware step here is construction: schemes whose descriptor asks for
+//! a committed-trace kill plan get one derived from the architectural
+//! emulator.
 //!
 //! Wrong-path instructions are fetched, renamed and executed (consuming
 //! physical registers, issue slots and cache bandwidth) and are squashed when
@@ -50,9 +54,42 @@ use crate::fu::FuPool;
 use crate::lsq::{ForwardResult, LoadStoreQueue};
 use crate::rob::{InstrState, ReorderBuffer, RobEntry};
 use crate::stats::SimStats;
-use earlyreg_core::{InstrId, PhysReg, RenameStall, RenameUnit, RenamedInstr};
+use earlyreg_core::{
+    InstrId, KillPlan, PhysReg, RenameStall, RenameUnit, RenamedInstr, SchemeSeed,
+};
 use earlyreg_isa::{semantics, ArchReg, Opcode, Program, RegClass};
 use std::sync::Arc;
+
+/// The committed-trace kill plan for a shared program, memoized by `Arc`
+/// identity: experiment sweeps hand the same `Arc<Program>` to every
+/// simulator instance, so the architectural emulation behind an
+/// oracle-style scheme runs once per program instead of once per point.
+/// Entries are dropped when their program is (weak references), and the
+/// derivation runs outside the lock so distinct programs build in parallel
+/// (a racing duplicate derivation is benign — the plans are identical).
+fn kill_plan_for(program: &Arc<Program>) -> Result<Arc<earlyreg_core::KillPlan>, String> {
+    use std::sync::{Mutex, Weak};
+    static CACHE: Mutex<Vec<(Weak<Program>, Arc<KillPlan>)>> = Mutex::new(Vec::new());
+
+    let lookup = |cache: &mut Vec<(Weak<Program>, Arc<KillPlan>)>| {
+        cache.retain(|(weak, _)| weak.strong_count() > 0);
+        cache.iter().find_map(|(weak, plan)| {
+            let strong = weak.upgrade()?;
+            Arc::ptr_eq(&strong, program).then(|| Arc::clone(plan))
+        })
+    };
+
+    if let Some(plan) = lookup(&mut CACHE.lock().expect("kill-plan cache poisoned")) {
+        return Ok(plan);
+    }
+    let fresh = Arc::new(KillPlan::for_program(program)?);
+    let mut cache = CACHE.lock().expect("kill-plan cache poisoned");
+    if let Some(plan) = lookup(&mut cache) {
+        return Ok(plan); // a racing builder won; use its (identical) plan
+    }
+    cache.push((Arc::downgrade(program), Arc::clone(&fresh)));
+    Ok(fresh)
+}
 
 /// Bytes per instruction (used to form I-cache addresses).
 const INSTR_BYTES: u64 = 4;
@@ -165,8 +202,30 @@ impl Simulator {
         let phys_int = config.rename.phys_int;
         let phys_fp = config.rename.phys_fp;
 
+        // Oracle-style schemes need future knowledge: the committed-stream
+        // last-use plan, derived by running the architectural emulator over
+        // the program once.  Plans are memoized per shared program, so a
+        // sweep building many simulators over one `Arc<Program>` emulates it
+        // once, not once per point.  Schemes that don't ask cost nothing.
+        let rename = if config.rename.policy.descriptor().needs_kill_plan {
+            let plan = kill_plan_for(&program).unwrap_or_else(|e| {
+                panic!(
+                    "cannot build the '{}' release scheme: {e}",
+                    config.rename.policy
+                )
+            });
+            RenameUnit::with_seed(
+                config.rename,
+                SchemeSeed {
+                    kill_plan: Some(plan),
+                },
+            )
+        } else {
+            RenameUnit::new(config.rename)
+        };
+
         Simulator {
-            rename: RenameUnit::new(config.rename),
+            rename,
             rob: ReorderBuffer::new(config.ros_size),
             lsq: LoadStoreQueue::new(config.lsq_size),
             predictor: GsharePredictor::new(config.predictor.gshare_bits),

@@ -5,7 +5,6 @@
 //!
 //! Run with: `cargo run --release --example lifetime_trace [workload]`
 
-use earlyreg::core::ReleasePolicy;
 use earlyreg::sim::{MachineConfig, RunLimits, Simulator};
 use earlyreg::workloads::{workload_by_name, Scale, WorkloadClass};
 
@@ -28,7 +27,8 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
 
-    for policy in ReleasePolicy::ALL {
+    // Every registered scheme, including any added after the paper's three.
+    for policy in earlyreg::core::registry::registered() {
         let config = MachineConfig::icpp02(policy, registers, registers);
         let mut sim = Simulator::new(config, workload.program.clone());
         let stats = sim.run(RunLimits {

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example register_pressure_sweep [workload]`
 
-use earlyreg::core::ReleasePolicy;
+use earlyreg::core::PAPER_POLICIES;
 use earlyreg::sim::{MachineConfig, RunLimits, Simulator};
 use earlyreg::workloads::{workload_by_name, Scale};
 
@@ -30,7 +30,7 @@ fn main() {
 
     for size in [40usize, 48, 56, 64, 72, 80, 96, 128] {
         let mut ipc = Vec::new();
-        for policy in ReleasePolicy::ALL {
+        for policy in PAPER_POLICIES {
             let config = MachineConfig::icpp02(policy, size, size);
             let mut sim = Simulator::new(config, workload.program.clone());
             let stats = sim.run(RunLimits {

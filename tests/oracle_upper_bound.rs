@@ -1,0 +1,88 @@
+//! The ideal-release upper bound, end to end through the experiment engine:
+//! a `Scenario` that adds the `oracle` and `counter` schemes to the policy
+//! set drives the Figure 10/11 sweeps with **zero engine edits** — the
+//! policies flow from the registry through the scenario into the plans — and
+//! the oracle IPC curve must upper-bound the extended mechanism everywhere
+//! it is sampled.
+
+use earlyreg::experiments::engine::{self, PlanContext};
+use earlyreg::experiments::{fig10, fig11, ExperimentOptions, Scenario};
+use earlyreg::workloads::Scale;
+use earlyreg_core::ReleasePolicy;
+use earlyreg_workloads::WorkloadClass;
+
+/// Scenario text as a user would write it — the policy names go through the
+/// registry parser.
+const SCENARIO: &str = "\
+    sweep_sizes = 40, 48\n\
+    policies = conv, basic, extended, oracle, counter\n";
+
+#[test]
+fn oracle_curve_upper_bounds_extended_on_the_figure_sweeps() {
+    let scenario = Scenario::parse("all-schemes", SCENARIO).expect("scenario parses");
+    let policies = scenario.policies();
+    assert_eq!(policies.len(), 5);
+    let ctx = PlanContext::new(
+        ExperimentOptions {
+            scale: Scale::Smoke,
+            threads: 4,
+            max_instructions: 20_000,
+        },
+        scenario,
+    );
+
+    // One shared sweep resolves both figures: the Figure 10 points (48
+    // registers) are a subset of the Figure 11 plan, so the dedup layer
+    // answers them from the same results.
+    let plan11 = fig11::plan(&ctx);
+    let results = engine::simulate(&ctx, &plan11);
+
+    // Figure 10 (48 registers): per-benchmark oracle >= extended, and the
+    // dynamic columns carry every scheme.
+    let plan10 = fig10::plan(&ctx);
+    let fig10_result = fig10::summarise(&results.collect(&plan10), &policies);
+    assert_eq!(
+        fig10_result.policies,
+        ["conv", "basic", "extended", "oracle", "counter"]
+    );
+    assert_eq!(fig10_result.rows.len(), 10);
+    for row in &fig10_result.rows {
+        let conv = fig10_result.ipc(&row.workload, "conv").unwrap();
+        let extended = fig10_result.ipc(&row.workload, "extended").unwrap();
+        let oracle = fig10_result.ipc(&row.workload, "oracle").unwrap();
+        let counter = fig10_result.ipc(&row.workload, "counter").unwrap();
+        assert!(
+            oracle >= extended * 0.999,
+            "{}: oracle IPC {oracle:.4} below extended {extended:.4}",
+            row.workload
+        );
+        assert!(
+            counter >= conv * 0.98,
+            "{}: counter IPC {counter:.4} below conventional {conv:.4}",
+            row.workload
+        );
+    }
+    // The rendered table carries the ideal column.
+    assert!(fig10::render(&fig10_result).contains("oracle"));
+
+    // Figure 11 (40 and 48 registers): the per-group harmonic-mean curves.
+    let sizes = [40usize, 48];
+    let points = fig11::summarise(&results.collect(&plan11), &sizes, &policies);
+    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+        for &size in &sizes {
+            let at = |policy: ReleasePolicy| {
+                points
+                    .iter()
+                    .find(|p| p.class == class && p.policy == policy && p.size == size)
+                    .map(|p| p.hmean_ipc)
+                    .unwrap_or_else(|| panic!("missing {class:?}/{policy}/{size} point"))
+            };
+            let extended = at(ReleasePolicy::Extended);
+            let oracle = at(ReleasePolicy::Oracle);
+            assert!(
+                oracle >= extended * 0.999,
+                "{class:?} @ {size}: oracle hmean {oracle:.4} below extended {extended:.4}"
+            );
+        }
+    }
+}

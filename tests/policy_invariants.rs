@@ -169,7 +169,7 @@ fn more_registers_never_reduce_ipc() {
     let workloads = suite(Scale::Smoke);
     for name in ["swim", "gcc"] {
         let w = workloads.iter().find(|w| w.name() == name).unwrap();
-        for policy in ReleasePolicy::ALL {
+        for policy in earlyreg_core::registry::registered() {
             let tight = run(w, policy, 40).ipc();
             let medium = run(w, policy, 72).ipc();
             let loose = run(w, policy, 160).ipc();

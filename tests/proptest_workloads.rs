@@ -58,13 +58,21 @@ proptest! {
     #[test]
     fn random_workloads_match_the_golden_model_under_every_policy(
         config in config_strategy(),
-        policy_pick in 0usize..3,
+        policy_pick in 0usize..64,
         registers in prop::sample::select(vec![36usize, 44, 56, 80]),
     ) {
+        // The free-list safety oracle of the release layer, run across every
+        // policy in the registry (oracle and counter included): no scheme may
+        // ever free a physical register the ISA emulator still reads later.
+        // A violating release either trips the simulator's commit-time
+        // discarded-value check (`oracle_violations`), diverges the final
+        // architectural state from the golden model, or panics inside the
+        // free list (double release) — all of which fail this test.
         let mut config = config;
         config.iterations = config.iterations.min(150);
         let program = generic_workload(config);
-        let policy = ReleasePolicy::ALL[policy_pick];
+        let policies: Vec<ReleasePolicy> = earlyreg::core::registry::registered().collect();
+        let policy = policies[policy_pick % policies.len()];
         let machine = MachineConfig::icpp02(policy, registers, registers);
         let mut sim = Simulator::new(machine, program.clone());
         let stats = sim.run(RunLimits {
