@@ -1,0 +1,449 @@
+//! Hazard-stress program generation.
+//!
+//! The differential harness needs programs that concentrate exactly the
+//! situations in which an unsafe release scheme goes wrong: tight
+//! anti-dependence chains (the redefinition chases the last use), rotating
+//! working sets under register pressure, redefinitions in the shadow of
+//! hard-to-predict branches (so mispredictions roll the map back over them),
+//! long-latency FP chains that keep consumers in flight for many cycles,
+//! never-read definitions (the paper's Figure 4.b own-def kills), memory
+//! traffic (so divergence shows up in committed memory, which is never
+//! dead-value-exempt), and branch storms that squash windows down to empty.
+//!
+//! A program is described by a [`HazardConfig`] (the random-generation knobs)
+//! which deterministically expands into a list of [`HazardBlock`]s; the same
+//! block list always compiles to the same [`Program`].  The failure minimizer
+//! works on the block list — dropping blocks and shrinking their parameters —
+//! and recompiles after every edit, so a minimized reproducer is still a
+//! well-formed, halting program.
+
+use earlyreg_isa::{ArchReg, BranchCond, Opcode, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Words of steering data (power of two, indexed by iteration counter).
+const STEER_WORDS: usize = 256;
+
+/// Generation knobs for one random hazard-stress program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HazardConfig {
+    /// Seed for block selection, block parameters and the data image.
+    pub seed: u64,
+    /// Outer-loop iterations (each iteration replays every block).
+    pub iterations: u32,
+    /// Hazard blocks in the loop body.
+    pub blocks: u32,
+    /// Integer working-set registers kept live across the loop (2..=8).
+    pub int_ws: u32,
+    /// FP working-set registers kept live across the loop (0..=8).
+    pub fp_ws: u32,
+}
+
+impl Default for HazardConfig {
+    fn default() -> Self {
+        HazardConfig {
+            seed: 0,
+            iterations: 4,
+            blocks: 6,
+            int_ws: 4,
+            fp_ws: 3,
+        }
+    }
+}
+
+impl HazardConfig {
+    /// Clamp every knob into its supported range.
+    pub fn clamped(mut self) -> Self {
+        self.iterations = self.iterations.clamp(1, 64);
+        self.blocks = self.blocks.clamp(1, 16);
+        self.int_ws = self.int_ws.clamp(2, 8);
+        self.fp_ws = self.fp_ws.min(8);
+        self
+    }
+
+    /// Derive a random configuration from a single case seed (used by the
+    /// fuzzer's outer loop; every knob is a function of the seed alone).
+    pub fn from_case_seed(seed: u64) -> Self {
+        let mut r = StdRng::seed_from_u64(seed);
+        HazardConfig {
+            seed: r.next_u64(),
+            iterations: r.gen_range(1..12),
+            blocks: r.gen_range(2..12),
+            int_ws: r.gen_range(2..8),
+            fp_ws: r.gen_range(0..7),
+        }
+        .clamped()
+    }
+}
+
+/// One hazard motif in the loop body.  Parameters are kept small (`u8`) so
+/// the minimizer can shrink them; the meaning of each field is documented on
+/// the variant.  Serialized into regression fixtures, so variants follow the
+/// vendored serde derive's subset (unit and tuple variants only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HazardBlock {
+    /// `AntiDepChain(reg, len)`: `len` self-redefinitions of working
+    /// register `reg` — every instruction is both the last use and the
+    /// redefinition of the previous version (the `EarlyOnSelf` path).
+    AntiDepChain(u8, u8),
+    /// `RotatingDefs(rounds)`: each round reads and redefines every integer
+    /// working-set register with a rotating source, creating dense WAR
+    /// chains whose last use is one instruction before the redefinition.
+    RotatingDefs(u8),
+    /// `BranchShadow(bit, redefs)`: a data-dependent forward branch (steered
+    /// by bit `bit` of the iteration's steering word) whose shadow redefines
+    /// `redefs` working registers — a misprediction rolls the map back over
+    /// the redefinitions.
+    BranchShadow(u8, u8),
+    /// `FpChain(len, divides)`: an FP dependence chain, `divides` of its
+    /// steps long-latency divides, keeping consumers in flight while the
+    /// scheme decides about their source registers.
+    FpChain(u8, u8),
+    /// `MemTraffic(stores, loads)`: stores of working registers followed by
+    /// loads back into them — committed-memory divergence is never excused
+    /// as a dead value.
+    MemTraffic(u8, u8),
+    /// `DeadDefs(count)`: definitions of the scratch register that are never
+    /// read before the next definition (Figure 4.b: the version dies at its
+    /// own definition's commit).
+    DeadDefs(u8),
+    /// `BranchStorm(branches)`: back-to-back data-dependent branches with
+    /// one-instruction bodies — mispredictions arrive in bursts and can
+    /// squash the window down to (almost) empty.
+    BranchStorm(u8),
+}
+
+/// Expand a configuration into its deterministic block list.
+pub fn plan_blocks(config: &HazardConfig) -> Vec<HazardBlock> {
+    let cfg = config.clamped();
+    let mut r = StdRng::seed_from_u64(cfg.seed ^ 0x48415a41_52440001);
+    (0..cfg.blocks)
+        .map(|_| match r.gen_range(0..7) {
+            0 => HazardBlock::AntiDepChain(r.gen_range(0..8), r.gen_range(1..6)),
+            1 => HazardBlock::RotatingDefs(r.gen_range(1..4)),
+            2 => HazardBlock::BranchShadow(r.gen_range(0..8), r.gen_range(1..5)),
+            3 => HazardBlock::FpChain(r.gen_range(1..7), r.gen_range(0..3)),
+            4 => HazardBlock::MemTraffic(r.gen_range(1..4), r.gen_range(0..4)),
+            5 => HazardBlock::DeadDefs(r.gen_range(1..5)),
+            _ => HazardBlock::BranchStorm(r.gen_range(1..5)),
+        })
+        .collect()
+}
+
+/// Compile a block list into a halting program.  `config` supplies the
+/// working-set sizes, the iteration count and the data-image seed; the block
+/// list is usually `plan_blocks(&config)` but the minimizer passes edited
+/// lists.
+pub fn compile(config: &HazardConfig, blocks: &[HazardBlock]) -> Program {
+    let cfg = config.clamped();
+    let mut b = ProgramBuilder::new("hazard");
+    b.set_memory_words(1 << 13);
+    let mut r = StdRng::seed_from_u64(cfg.seed ^ 0x48415a41_52440002);
+
+    let ints: Vec<i64> = (0..STEER_WORDS).map(|_| r.gen_range(-500..500)).collect();
+    let fps: Vec<f64> = (0..STEER_WORDS).map(|_| r.gen_range(0.5..2.0)).collect();
+    // Uniformly random steering words make every data-dependent branch
+    // essentially unpredictable to the gshare predictor.
+    let steer: Vec<i64> = (0..STEER_WORDS).map(|_| r.gen_range(0..256)).collect();
+    let int_base = b.data_i64(&ints);
+    let fp_base = b.data_f64(&fps);
+    let steer_base = b.data_i64(&steer);
+    let out_base = b.data_zeroed(64);
+
+    let i = ArchReg::int(1);
+    let ib = ArchReg::int(2);
+    let fb = ArchReg::int(3);
+    let stb = ArchReg::int(4);
+    let ob = ArchReg::int(5);
+    let idx = ArchReg::int(6);
+    let addr = ArchReg::int(7);
+    let steer_v = ArchReg::int(8);
+    let tmp = ArchReg::int(9);
+    let int_ws: Vec<ArchReg> = (10..10 + cfg.int_ws as usize).map(ArchReg::int).collect();
+    let fp_ws: Vec<ArchReg> = (0..cfg.fp_ws as usize).map(ArchReg::fp).collect();
+    let fp_tmp = ArchReg::fp(30);
+    let fp_one = ArchReg::fp(31);
+
+    b.li(i, i64::from(cfg.iterations));
+    b.li(ib, int_base);
+    b.li(fb, fp_base);
+    b.li(stb, steer_base);
+    b.li(ob, out_base);
+    for (k, reg) in int_ws.iter().enumerate() {
+        b.li(*reg, k as i64 + 1);
+    }
+    for (k, reg) in fp_ws.iter().enumerate() {
+        b.fli(*reg, 1.0 + k as f64 * 0.25);
+    }
+    b.fli(fp_one, 1.0);
+    b.fli(fp_tmp, 0.0);
+
+    let top = b.here();
+    b.iopi(Opcode::IAndImm, idx, i, (STEER_WORDS - 1) as i64);
+    b.add(addr, stb, idx);
+    b.load_int(steer_v, addr, 0);
+
+    for block in blocks {
+        emit_block(
+            &mut b,
+            *block,
+            &int_ws,
+            &fp_ws,
+            Regs {
+                ib,
+                fb,
+                ob,
+                idx,
+                addr,
+                steer_v,
+                tmp,
+                fp_tmp,
+                fp_one,
+            },
+        );
+    }
+
+    b.addi(i, i, -1);
+    b.branch(BranchCond::Gt, i, None, top);
+
+    for (k, reg) in int_ws.iter().enumerate() {
+        b.store_int(ob, k as i64, *reg);
+    }
+    for (k, reg) in fp_ws.iter().enumerate() {
+        b.store_fp(ob, 16 + k as i64, *reg);
+    }
+    b.halt();
+    b.build().expect("hazard programs must be valid")
+}
+
+/// The fixed helper registers `emit_block` works with.
+#[derive(Clone, Copy)]
+struct Regs {
+    ib: ArchReg,
+    fb: ArchReg,
+    ob: ArchReg,
+    idx: ArchReg,
+    addr: ArchReg,
+    steer_v: ArchReg,
+    tmp: ArchReg,
+    fp_tmp: ArchReg,
+    fp_one: ArchReg,
+}
+
+fn emit_block(
+    b: &mut ProgramBuilder,
+    block: HazardBlock,
+    int_ws: &[ArchReg],
+    fp_ws: &[ArchReg],
+    regs: Regs,
+) {
+    match block {
+        HazardBlock::AntiDepChain(reg, len) => {
+            let d = int_ws[reg as usize % int_ws.len()];
+            let other = int_ws[(reg as usize + 1) % int_ws.len()];
+            for k in 0..len {
+                if k % 2 == 0 {
+                    b.addi(d, d, 1);
+                } else {
+                    b.add(d, d, other);
+                }
+            }
+        }
+        HazardBlock::RotatingDefs(rounds) => {
+            for round in 0..rounds as usize {
+                for k in 0..int_ws.len() {
+                    let dst = int_ws[k];
+                    let src = int_ws[(k + 1 + round) % int_ws.len()];
+                    b.add(dst, dst, src);
+                }
+            }
+        }
+        HazardBlock::BranchShadow(bit, redefs) => {
+            let skip = b.new_label();
+            b.iopi(Opcode::IAndImm, regs.tmp, regs.steer_v, 1 << (bit % 8));
+            b.branch(BranchCond::Eq, regs.tmp, None, skip);
+            for k in 0..redefs as usize {
+                let dst = int_ws[k % int_ws.len()];
+                let src = int_ws[(k + 1) % int_ws.len()];
+                b.add(dst, dst, src);
+                if let Some(f) = fp_ws.get(k % fp_ws.len().max(1)) {
+                    b.fadd(*f, *f, regs.fp_one);
+                }
+            }
+            b.bind(skip);
+        }
+        HazardBlock::FpChain(len, divides) => {
+            if fp_ws.is_empty() {
+                // Degrade to an integer chain so the block still stresses
+                // something when the FP working set is empty.
+                let d = int_ws[0];
+                for _ in 0..len {
+                    b.addi(d, d, 3);
+                }
+                return;
+            }
+            for k in 0..len as usize {
+                let dst = fp_ws[k % fp_ws.len()];
+                let src = fp_ws[(k + 1) % fp_ws.len()];
+                if (k as u8) < divides {
+                    b.fdiv(dst, dst, regs.fp_one);
+                } else if k % 2 == 0 {
+                    b.fmul(dst, dst, src);
+                } else {
+                    b.fadd(dst, dst, src);
+                }
+            }
+        }
+        HazardBlock::MemTraffic(stores, loads) => {
+            for s in 0..stores as usize {
+                b.add(regs.addr, regs.ob, regs.idx);
+                b.store_int(regs.addr, 32 + s as i64 % 16, int_ws[s % int_ws.len()]);
+            }
+            for l in 0..loads as usize {
+                b.add(regs.addr, regs.ib, regs.idx);
+                if !fp_ws.is_empty() && l % 2 == 1 {
+                    b.add(regs.addr, regs.fb, regs.idx);
+                    b.load_fp(fp_ws[l % fp_ws.len()], regs.addr, l as i64);
+                } else {
+                    b.load_int(int_ws[l % int_ws.len()], regs.addr, l as i64);
+                }
+            }
+        }
+        HazardBlock::DeadDefs(count) => {
+            for k in 0..count {
+                b.li(regs.tmp, i64::from(k) + 7);
+                if k % 2 == 1 {
+                    b.fli(regs.fp_tmp, f64::from(k));
+                }
+            }
+        }
+        HazardBlock::BranchStorm(branches) => {
+            for k in 0..branches {
+                let skip = b.new_label();
+                b.iopi(Opcode::IAndImm, regs.tmp, regs.steer_v, 1 << (k % 8));
+                b.branch(BranchCond::Ne, regs.tmp, None, skip);
+                b.addi(
+                    int_ws[k as usize % int_ws.len()],
+                    int_ws[k as usize % int_ws.len()],
+                    1,
+                );
+                b.bind(skip);
+            }
+        }
+    }
+}
+
+impl HazardBlock {
+    /// Smaller candidate replacements for this block, for the minimizer:
+    /// every numeric parameter halved (dropping to the smallest useful
+    /// value), largest reductions first.  Empty when the block is already
+    /// minimal.
+    pub fn shrunk(&self) -> Vec<HazardBlock> {
+        fn halve(v: u8, floor: u8) -> Option<u8> {
+            (v > floor).then_some((v / 2).max(floor))
+        }
+        match *self {
+            HazardBlock::AntiDepChain(reg, len) => halve(len, 1)
+                .map(|l| HazardBlock::AntiDepChain(reg, l))
+                .into_iter()
+                .collect(),
+            HazardBlock::RotatingDefs(rounds) => halve(rounds, 1)
+                .map(HazardBlock::RotatingDefs)
+                .into_iter()
+                .collect(),
+            HazardBlock::BranchShadow(bit, redefs) => halve(redefs, 1)
+                .map(|n| HazardBlock::BranchShadow(bit, n))
+                .into_iter()
+                .collect(),
+            HazardBlock::FpChain(len, divides) => {
+                let mut out = Vec::new();
+                if let Some(l) = halve(len, 1) {
+                    out.push(HazardBlock::FpChain(l, divides.min(l)));
+                }
+                if divides > 0 {
+                    out.push(HazardBlock::FpChain(len, 0));
+                }
+                out
+            }
+            HazardBlock::MemTraffic(stores, loads) => {
+                let mut out = Vec::new();
+                if let Some(s) = halve(stores, 1) {
+                    out.push(HazardBlock::MemTraffic(s, loads));
+                }
+                if loads > 0 {
+                    out.push(HazardBlock::MemTraffic(stores, 0));
+                }
+                out
+            }
+            HazardBlock::DeadDefs(count) => halve(count, 1)
+                .map(HazardBlock::DeadDefs)
+                .into_iter()
+                .collect(),
+            HazardBlock::BranchStorm(branches) => halve(branches, 1)
+                .map(HazardBlock::BranchStorm)
+                .into_iter()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlyreg_isa::Emulator;
+
+    #[test]
+    fn generated_programs_are_valid_and_halt() {
+        for seed in 0..20 {
+            let cfg = HazardConfig::from_case_seed(seed);
+            let blocks = plan_blocks(&cfg);
+            let program = compile(&cfg, &blocks);
+            program.validate().expect("hazard program must validate");
+            let mut emu = Emulator::new(&program);
+            let result = emu.run(1_000_000);
+            assert!(result.halted, "seed {seed} did not halt");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = HazardConfig::from_case_seed(7);
+        let a = compile(&cfg, &plan_blocks(&cfg));
+        let b = compile(&cfg, &plan_blocks(&cfg));
+        assert_eq!(a.instrs.len(), b.instrs.len());
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn shrunk_blocks_are_strictly_smaller_or_absent() {
+        let cfg = HazardConfig::from_case_seed(3);
+        for block in plan_blocks(&cfg) {
+            for candidate in block.shrunk() {
+                assert_ne!(candidate, block);
+            }
+        }
+    }
+
+    #[test]
+    fn every_motif_compiles_alone() {
+        let cfg = HazardConfig::default();
+        let motifs = [
+            HazardBlock::AntiDepChain(0, 4),
+            HazardBlock::RotatingDefs(2),
+            HazardBlock::BranchShadow(1, 3),
+            HazardBlock::FpChain(4, 1),
+            HazardBlock::MemTraffic(2, 2),
+            HazardBlock::DeadDefs(3),
+            HazardBlock::BranchStorm(3),
+        ];
+        for motif in motifs {
+            let program = compile(&cfg, &[motif]);
+            program
+                .validate()
+                .expect("single-motif program must validate");
+            let mut emu = Emulator::new(&program);
+            assert!(emu.run(200_000).halted);
+        }
+    }
+}

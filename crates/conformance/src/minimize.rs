@@ -1,0 +1,209 @@
+//! Failure minimization (ddmin-lite).
+//!
+//! Once the harness finds a violating `(HazardConfig, blocks)` pair, the
+//! raw reproducer is usually noisy: a dozen hazard blocks, many iterations,
+//! most of it irrelevant.  [`minimize`] shrinks it along three axes, each a
+//! classic delta-debugging move, re-running the caller's check after every
+//! candidate edit:
+//!
+//! 1. **Iterations** — try 1 first, then binary descent from the current
+//!    count.  Most release bugs reproduce in a single loop trip.
+//! 2. **Block removal** — ddmin over the block list: try dropping chunks of
+//!    size n/2, n/4, ... 1 until no single block can be removed.
+//! 3. **Parameter shrinking** — ask each surviving block for smaller
+//!    versions of itself ([`HazardBlock::shrunk`]) and keep any that still
+//!    fails.
+//!
+//! "Still fails" means *any* violation, not the identical one: an unsafe
+//! scheme often surfaces differently as the program shrinks (a value
+//! divergence becomes an invariant failure), and any violation is a valid
+//! regression fixture.  The whole search is budget-bounded so minimization
+//! of an expensive failure cannot run away.
+
+use crate::generator::{HazardBlock, HazardConfig};
+use crate::harness::Violation;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The shrunk configuration (iterations possibly reduced).
+    pub config: HazardConfig,
+    /// The shrunk block list.
+    pub blocks: Vec<HazardBlock>,
+    /// The violation the shrunk reproducer still triggers.
+    pub violation: Violation,
+    /// Candidate programs tried (accepted + rejected).
+    pub attempts: usize,
+}
+
+/// Shrink a failing reproducer.  `check` compiles and runs a candidate,
+/// returning `Some(violation)` when it still fails; `budget` bounds the
+/// total number of candidate runs.  `violation` is the failure observed on
+/// the unshrunk input (returned unchanged if nothing smaller still fails).
+pub fn minimize(
+    config: HazardConfig,
+    blocks: Vec<HazardBlock>,
+    violation: Violation,
+    budget: usize,
+    mut check: impl FnMut(&HazardConfig, &[HazardBlock]) -> Option<Violation>,
+) -> Minimized {
+    let mut best = Minimized {
+        config,
+        blocks,
+        violation,
+        attempts: 0,
+    };
+
+    fn try_candidate(
+        best: &mut Minimized,
+        budget: usize,
+        check: &mut impl FnMut(&HazardConfig, &[HazardBlock]) -> Option<Violation>,
+        config: HazardConfig,
+        blocks: Vec<HazardBlock>,
+    ) -> bool {
+        if best.attempts >= budget {
+            return false;
+        }
+        best.attempts += 1;
+        if let Some(v) = check(&config, &blocks) {
+            best.config = config;
+            best.blocks = blocks;
+            best.violation = v;
+            true
+        } else {
+            false
+        }
+    }
+
+    // Pass 1: iteration count — try 1, then halve toward it.
+    if best.config.iterations > 1 {
+        let one = HazardConfig {
+            iterations: 1,
+            ..best.config
+        };
+        let blocks = best.blocks.clone();
+        if !try_candidate(&mut best, budget, &mut check, one, blocks) {
+            let mut iters = best.config.iterations / 2;
+            while iters > 1 && best.attempts < budget {
+                let candidate = HazardConfig {
+                    iterations: iters,
+                    ..best.config
+                };
+                let blocks = best.blocks.clone();
+                if try_candidate(&mut best, budget, &mut check, candidate, blocks) {
+                    iters = best.config.iterations / 2;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Pass 2: ddmin block removal — drop chunks, halving the chunk size
+    // every time a full sweep removes nothing.
+    let mut chunk = best.blocks.len().div_ceil(2).max(1);
+    while best.blocks.len() > 1 && best.attempts < budget {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < best.blocks.len() && best.attempts < budget {
+            let end = (start + chunk).min(best.blocks.len());
+            let mut candidate = best.blocks.clone();
+            candidate.drain(start..end);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            let config = best.config;
+            if try_candidate(&mut best, budget, &mut check, config, candidate) {
+                removed_any = true;
+                // The list shrank in place; retry the same start index.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        } else {
+            chunk = chunk.min(best.blocks.len()).max(1);
+        }
+    }
+
+    // Pass 3: shrink surviving blocks' parameters to their floors.
+    let mut progress = true;
+    while progress && best.attempts < budget {
+        progress = false;
+        for index in 0..best.blocks.len() {
+            for smaller in best.blocks[index].shrunk() {
+                let mut candidate = best.blocks.clone();
+                candidate[index] = smaller;
+                let config = best.config;
+                if try_candidate(&mut best, budget, &mut check, config, candidate) {
+                    progress = true;
+                    break;
+                }
+                if best.attempts >= budget {
+                    break;
+                }
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic failure: any input containing a `DeadDefs` block with
+    /// count >= 2 "fails".  The minimizer must strip everything else.
+    fn fake_check(_config: &HazardConfig, blocks: &[HazardBlock]) -> Option<Violation> {
+        blocks
+            .iter()
+            .any(|b| matches!(b, HazardBlock::DeadDefs(n) if *n >= 2))
+            .then_some(Violation::OracleViolations(1))
+    }
+
+    #[test]
+    fn minimizer_isolates_the_failing_block() {
+        let config = HazardConfig {
+            iterations: 16,
+            ..HazardConfig::default()
+        };
+        let blocks = vec![
+            HazardBlock::RotatingDefs(3),
+            HazardBlock::BranchStorm(4),
+            HazardBlock::DeadDefs(4),
+            HazardBlock::AntiDepChain(2, 5),
+            HazardBlock::MemTraffic(3, 3),
+        ];
+        let out = minimize(
+            config,
+            blocks,
+            Violation::OracleViolations(1),
+            500,
+            fake_check,
+        );
+        assert_eq!(out.config.iterations, 1);
+        assert_eq!(out.blocks, vec![HazardBlock::DeadDefs(2)]);
+        assert!(out.attempts <= 500);
+    }
+
+    #[test]
+    fn minimizer_respects_budget() {
+        let config = HazardConfig::default();
+        let blocks = vec![HazardBlock::DeadDefs(4); 8];
+        let out = minimize(
+            config,
+            blocks,
+            Violation::OracleViolations(1),
+            3,
+            fake_check,
+        );
+        assert_eq!(out.attempts, 3);
+        assert!(!out.blocks.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared property-test configuration.
+//!
+//! Every proptest suite in the workspace sizes itself through [`cases`] so
+//! the `PROPTEST_CASES` budget knob behaves identically everywhere: the
+//! suite declares its *full-depth* case count here, and the environment
+//! variable (set to 64 in CI, or lower for a quick local run) can only
+//! lower it — the clamping itself lives in
+//! `ProptestConfig::effective_cases`, so there is exactly one interpretation
+//! of the variable in the tree.
+
+use proptest::test_runner::ProptestConfig;
+
+/// Shrink-budget default shared by every suite.  The vendored proptest does
+/// not shrink, but the field is honoured so the suites keep working
+/// unchanged against the real crate.
+pub const MAX_SHRINK_ITERS: u32 = 200;
+
+/// Build the workspace-standard property-test configuration with `n`
+/// full-depth cases.  `PROPTEST_CASES` (when set) caps the count at run
+/// time; it never raises it.
+pub fn cases(n: u32) -> ProptestConfig {
+    ProptestConfig {
+        cases: n,
+        max_shrink_iters: MAX_SHRINK_ITERS,
+        ..ProptestConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_sets_count_and_shrink_budget() {
+        let config = cases(24);
+        assert_eq!(config.cases, 24);
+        assert_eq!(config.max_shrink_iters, MAX_SHRINK_ITERS);
+        assert!(!config.fork);
+    }
+}

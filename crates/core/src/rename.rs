@@ -187,13 +187,18 @@ impl RenameUnit {
         Self::with_seed(config, SchemeSeed::default())
     }
 
-    /// As [`RenameUnit::new`], with explicit scheme construction data.
+    /// As [`RenameUnit::new`], with explicit scheme construction data.  A
+    /// [`SchemeSeed::scheme_override`] bypasses the registry entirely (a
+    /// test-only path used by the conformance harness).
     pub fn with_seed(config: RenameConfig, seed: SchemeSeed) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid rename configuration: {e}"));
-        let scheme = registry::build(config.policy, &config, &seed)
-            .unwrap_or_else(|e| panic!("cannot build release scheme '{}': {e}", config.policy));
+        let scheme = match seed.scheme_override {
+            Some(ref scheme) => scheme.box_clone(),
+            None => registry::build(config.policy, &config, &seed)
+                .unwrap_or_else(|e| panic!("cannot build release scheme '{}': {e}", config.policy)),
+        };
         RenameUnit {
             trace_enabled: std::env::var_os("EARLYREG_TRACE").is_some(),
             next_id: 0,
@@ -587,15 +592,18 @@ impl RenameUnit {
         let bank = self.bank_mut(class);
         // An early free of the register currently recorded as some logical
         // register's architectural version leaves a stale In-Order Map Table
-        // entry behind; remember it for precise-exception recovery.
+        // entry behind; remember it for precise-exception recovery.  All
+        // matches, not just the first: a recycled register can be named by a
+        // stale architectural mapping and the live one at the same time.
         if matches!(
             reason,
             ReleaseReason::ImmediateAtDecode
                 | ReleaseReason::EarlyAtLuCommit
                 | ReleaseReason::BranchConfirm
         ) {
-            if let Some(r) = bank.maps.retire.find_logical(phys) {
-                bank.arch_released[r.index()] = true;
+            let (maps, arch_released) = (&bank.maps, &mut bank.arch_released);
+            for r in maps.retire.find_logical_all(phys) {
+                arch_released[r.index()] = true;
             }
         }
         bank.free.release(phys);
@@ -625,6 +633,17 @@ impl RenameUnit {
     /// call; clone it to keep the events around.
     pub fn commit(&mut self, id: InstrId, cycle: u64) -> &CommitOutcome {
         let entry = self.book.pop_head(id);
+        // Hook assertion (debug builds only): the register this instruction
+        // allocated must still be allocated when it commits — a scheme that
+        // freed an in-flight destination has corrupted the free list.
+        #[cfg(debug_assertions)]
+        if let Some(d) = entry.dst {
+            debug_assert!(
+                !self.bank(d.arch.class()).free.contains(d.phys),
+                "committing {id}: its destination register {} is on the free list",
+                d.phys
+            );
+        }
         self.trace(|| {
             format!(
                 "cycle {cycle} COMMIT {id} rel {:?} rel_old {} dst {:?}",
@@ -676,14 +695,19 @@ impl RenameUnit {
             // redefinition is decoded).  Any speculative map entry — current
             // or checkpointed — still naming the freed register is now
             // stale: flag it so the eventual redefinition neither releases
-            // nor reuses it, even after a misprediction rollback.
+            // nor reuses it, even after a misprediction rollback.  *Every*
+            // matching entry must be flagged: once a stale mapping to a
+            // recycled register coexists with the live one, flagging only
+            // the first match would leave the live mapping unprotected.
             let bank = self.bank_mut(class);
-            if let Some(r) = bank.maps.front.find_logical(phys) {
-                bank.skip_release[r.index()] = true;
+            let (maps, skip_release) = (&bank.maps, &mut bank.skip_release);
+            for r in maps.front.find_logical_all(phys) {
+                skip_release[r.index()] = true;
             }
             for cp in self.checkpoints.iter_mut() {
-                if let Some(r) = cp.maps[class.index()].find_logical(phys) {
-                    cp.skip_release[class.index()][r.index()] = true;
+                let (maps, skip_release) = (&cp.maps, &mut cp.skip_release);
+                for r in maps[class.index()].find_logical_all(phys) {
+                    skip_release[class.index()][r.index()] = true;
                 }
             }
         }
@@ -822,6 +846,8 @@ impl RenameUnit {
         self.checkpoint_pool.push(cp);
 
         self.scheme.on_branch_mispredict(id);
+        #[cfg(debug_assertions)]
+        self.debug_assert_front_map_coherent("branch-mispredict recovery");
 
         self.recovery.squashed = squashed.len();
         self.squash_scratch = squashed;
@@ -873,10 +899,86 @@ impl RenameUnit {
                 bank.skip_release[r] = bank.arch_released[r];
             }
         }
+        #[cfg(debug_assertions)]
+        self.debug_assert_front_map_coherent("precise-exception recovery");
         self.recovery.squashed = squashed.len();
         self.squash_scratch = squashed;
         self.recovery.freed = freed;
         &self.recovery
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection probes (conformance harness / tests / debugging)
+    // ------------------------------------------------------------------
+    //
+    // Pull-based: each probe only costs anything when called, so shipping
+    // them in release builds is free for the simulator hot loop.  The
+    // *push*-based hook assertions (commit-time operand liveness, post-
+    // recovery map coherence) are `debug_assertions`-gated below and vanish
+    // entirely from release builds.
+
+    /// True when `phys` is currently on the free list of `class`.
+    pub fn free_list_contains(&self, class: RegClass, phys: PhysReg) -> bool {
+        self.bank(class).free.contains(phys)
+    }
+
+    /// The in-flight (renamed, not yet committed or squashed) entries,
+    /// oldest first — every operand/destination physical register the
+    /// rename-side book still references.
+    pub fn in_flight_entries(&self) -> impl Iterator<Item = &RosEntry> + '_ {
+        self.book.iter()
+    }
+
+    /// Ids of the branches with a live engine checkpoint, oldest first.
+    pub fn checkpointed_branches(&self) -> impl Iterator<Item = InstrId> + '_ {
+        self.checkpoints.iter().map(|c| c.branch_id)
+    }
+
+    /// True when the current speculative mapping of `reg` is stale (already
+    /// released) and must not be released or reused by its next redefinition.
+    pub fn skip_release_flagged(&self, reg: ArchReg) -> bool {
+        self.bank(reg.class()).skip_release[reg.index()]
+    }
+
+    /// Checkpoint-coherence probe: every *checkpointed* map entry that names
+    /// a register currently on the free list must carry that checkpoint's
+    /// stale-mapping flag — otherwise a misprediction rollback to it would
+    /// resurrect a released register as a live mapping.  This extends the
+    /// front-map check in [`RenameUnit::check_invariants`] to the whole
+    /// checkpoint stack.
+    pub fn check_checkpoint_coherence(&self) -> Result<(), String> {
+        for cp in &self.checkpoints {
+            for class in RegClass::ALL {
+                let free = &self.bank(class).free;
+                for (reg, phys) in cp.maps[class.index()].iter() {
+                    if free.contains(phys) && !cp.skip_release[class.index()][reg.index()] {
+                        return Err(format!(
+                            "checkpoint of branch {}: map of {reg} points to free register \
+                             {phys} without a stale-mapping flag",
+                            cp.branch_id
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build hook assertion: the speculative map must be coherent with
+    /// the free list right after a recovery restored it.  Compiled out of
+    /// release builds.
+    #[cfg(debug_assertions)]
+    fn debug_assert_front_map_coherent(&self, context: &str) {
+        for class in RegClass::ALL {
+            let bank = self.bank(class);
+            for (reg, phys) in bank.maps.front.iter() {
+                debug_assert!(
+                    !bank.free.contains(phys) || bank.skip_release[reg.index()],
+                    "{context}: restored map of {reg} names free register {phys} \
+                     without a stale-mapping flag"
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------

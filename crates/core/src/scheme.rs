@@ -240,6 +240,13 @@ pub struct SchemeSeed {
     /// descriptor sets `needs_kill_plan`; the simulator derives it from the
     /// architectural emulator).
     pub kill_plan: Option<Arc<KillPlan>>,
+    /// Test-only injection point: when set, the rename unit uses this scheme
+    /// directly instead of building one from the registry.  The conformance
+    /// harness injects deliberately-broken mutant schemes through it to prove
+    /// the differential checks catch unsafe release behaviour; production
+    /// paths (experiments, serving) never set it, so registry ids and cache
+    /// keys are unaffected.
+    pub scheme_override: Option<Box<dyn ReleaseScheme>>,
 }
 
 /// One future-knowledge release event: at committed-instruction position

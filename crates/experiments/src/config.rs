@@ -155,6 +155,22 @@ pub struct Scenario {
     pub commit_width: Option<usize>,
 }
 
+/// Every key a scenario file may set, in the order [`Scenario::parse`]
+/// matches them.  Unknown-key errors enumerate this list so a typo'd file
+/// is self-diagnosing.
+pub const SCENARIO_KEYS: [&str; 10] = [
+    "name",
+    "sweep_sizes",
+    "policies",
+    "ros_size",
+    "lsq_size",
+    "memory_latency",
+    "max_pending_branches",
+    "gshare_bits",
+    "fetch_width",
+    "commit_width",
+];
+
 impl Scenario {
     /// The unmodified Table 2 baseline.
     pub fn table2() -> Self {
@@ -269,7 +285,13 @@ impl Scenario {
                 "commit_width" => {
                     scenario.commit_width = Some(value.parse().map_err(|_| bad("commit_width"))?)
                 }
-                other => return Err(format!("line {}: unknown key '{other}'", number + 1)),
+                other => {
+                    return Err(format!(
+                        "line {}: unknown key '{other}' (valid keys: {})",
+                        number + 1,
+                        SCENARIO_KEYS.join(", ")
+                    ))
+                }
             }
         }
         // Surface invalid combinations (e.g. a non-power-of-two gshare) now,
@@ -397,9 +419,17 @@ mod tests {
     #[test]
     fn scenario_parse_rejects_bad_input() {
         assert!(Scenario::parse("x", "nonsense").is_err());
-        assert!(Scenario::parse("x", "bogus_key = 3").is_err());
         assert!(Scenario::parse("x", "ros_size = lots").is_err());
         // A machine that fails validation is rejected at parse time.
         assert!(Scenario::parse("x", "gshare_bits = 60").is_err());
+    }
+
+    #[test]
+    fn scenario_parse_unknown_key_error_lists_valid_keys() {
+        let error = Scenario::parse("x", "bogus_key = 3").unwrap_err();
+        assert!(error.contains("unknown key 'bogus_key'"), "{error}");
+        for key in SCENARIO_KEYS {
+            assert!(error.contains(key), "error must list '{key}': {error}");
+        }
     }
 }

@@ -188,6 +188,18 @@ impl Simulator {
     /// # Panics
     /// Panics if the configuration or the program is invalid.
     pub fn new(config: MachineConfig, program: impl Into<Arc<Program>>) -> Self {
+        Self::with_scheme_seed(config, program, SchemeSeed::default())
+    }
+
+    /// As [`Simulator::new`], with explicit scheme construction data.  The
+    /// conformance harness uses this to inject deliberately-broken mutant
+    /// schemes through [`SchemeSeed::scheme_override`]; a missing kill plan
+    /// is still derived here when the policy's descriptor requires one.
+    pub fn with_scheme_seed(
+        config: MachineConfig,
+        program: impl Into<Arc<Program>>,
+        mut seed: SchemeSeed,
+    ) -> Self {
         let program: Arc<Program> = program.into();
         config
             .validate()
@@ -207,22 +219,19 @@ impl Simulator {
         // the program once.  Plans are memoized per shared program, so a
         // sweep building many simulators over one `Arc<Program>` emulates it
         // once, not once per point.  Schemes that don't ask cost nothing.
-        let rename = if config.rename.policy.descriptor().needs_kill_plan {
+        if seed.kill_plan.is_none()
+            && seed.scheme_override.is_none()
+            && config.rename.policy.descriptor().needs_kill_plan
+        {
             let plan = kill_plan_for(&program).unwrap_or_else(|e| {
                 panic!(
                     "cannot build the '{}' release scheme: {e}",
                     config.rename.policy
                 )
             });
-            RenameUnit::with_seed(
-                config.rename,
-                SchemeSeed {
-                    kill_plan: Some(plan),
-                },
-            )
-        } else {
-            RenameUnit::new(config.rename)
-        };
+            seed.kill_plan = Some(plan);
+        }
+        let rename = RenameUnit::with_seed(config.rename, seed);
 
         Simulator {
             rename,

@@ -16,10 +16,14 @@
 //!   Section 4.4).
 //! * [`workloads`] — SPEC95-like synthetic workloads (Table 3 analogue).
 //! * [`experiments`] — harness regenerating every table and figure.
+//! * [`conformance`] — differential scheme-conformance fuzzing: hazard-stress
+//!   program generation, per-cycle lockstep checking against the emulator,
+//!   failure minimization and regression fixtures (see `docs/FUZZING.md`).
 //!
 //! See `README.md` for a quickstart, the workspace inventory and the
 //! experiment index.
 
+pub use earlyreg_conformance as conformance;
 pub use earlyreg_core as core;
 pub use earlyreg_experiments as experiments;
 pub use earlyreg_isa as isa;

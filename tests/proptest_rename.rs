@@ -5,6 +5,7 @@
 //! and a double release or use-after-free would panic inside the engine
 //! itself.
 
+use earlyreg::conformance::test_support;
 use earlyreg::core::{ReleasePolicy, RenameConfig, RenameUnit};
 use earlyreg::isa::{ArchReg, BranchCond, Instruction, Opcode};
 use proptest::prelude::*;
@@ -171,11 +172,7 @@ fn drive(policy: ReleasePolicy, phys: usize, ops: &[Op], seed: u64, exception_ra
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(test_support::cases(24))]
 
     #[test]
     fn extended_mechanism_invariants_hold_under_random_streams(

@@ -3,6 +3,7 @@
 //! squashes), the O(1) id-indexed lookups must agree with a naive
 //! linear-scan oracle at every step.
 
+use earlyreg::conformance::test_support;
 use earlyreg::core::{InstrId, RenamedInstr};
 use earlyreg::isa::Instruction;
 use earlyreg::sim::{InstrState, ReorderBuffer, RobEntry};
@@ -61,10 +62,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(test_support::cases(64))]
 
     #[test]
     fn ring_lookups_agree_with_linear_scan_oracle(

@@ -3,6 +3,7 @@
 //! exactly the architectural emulator's results when run through the
 //! out-of-order pipeline under every release policy.
 
+use earlyreg::conformance::test_support;
 use earlyreg::core::ReleasePolicy;
 use earlyreg::isa::Emulator;
 use earlyreg::sim::{verify_against_emulator, MachineConfig, RunLimits, Simulator};
@@ -39,11 +40,7 @@ fn config_strategy() -> impl Strategy<Value = GenericWorkloadConfig> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        max_shrink_iters: 50,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(test_support::cases(12))]
 
     #[test]
     fn random_workloads_build_and_terminate(config in config_strategy()) {
