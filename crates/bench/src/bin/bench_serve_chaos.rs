@@ -1,0 +1,236 @@
+//! Chaos load driver for the serve resolver chain: measures how the tiered
+//! resolver (memory → disk → peer → local) behaves *under injected faults*
+//! and records the trajectory in `BENCH_serve_chaos.json`.
+//!
+//! The harness is three in-process components: an upstream serve node, a
+//! deterministic fault proxy in front of it, and a front node whose only
+//! peer is the proxy.  The driver sends single-point requests through the
+//! front node — revisiting points so the memory tier sees traffic too —
+//! and records per-request latency plus the per-tier and per-fault counts
+//! at the end.  A fixed `--seed` reproduces the exact same fault sequence,
+//! so two runs of this binary are comparable measurements, not two
+//! different storms.
+//!
+//! Usage:
+//!   bench_serve_chaos [--requests N] [--unique N] [--seed S]
+//!                     [--schedule SPEC] [--max-instructions N]
+//!                     [--deadline-ms N] [--retries N] [--out FILE]
+//!
+//! `--schedule` overrides the seeded full-menu schedule with any spec the
+//! fault proxy accepts (e.g. `pass` for a fault-free control run, or
+//! `refuse,pass` for a 50% refusal storm).
+
+use earlyreg_serve::client;
+use earlyreg_serve::fault::{FaultProxy, FaultSchedule};
+use earlyreg_serve::{start, ResolverConfig, ServeConfig, ServiceConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: usize,
+    unique: usize,
+    seed: u64,
+    schedule: Option<String>,
+    max_instructions: u64,
+    deadline_ms: u64,
+    retries: u32,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_serve_chaos [--requests N] [--unique N] [--seed S] [--schedule SPEC] \
+         [--max-instructions N] [--deadline-ms N] [--retries N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 60,
+        unique: 12,
+        seed: 1337,
+        schedule: None,
+        max_instructions: 4000,
+        deadline_ms: 500,
+        retries: 1,
+        out: "BENCH_serve_chaos.json".into(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--unique" => args.unique = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--schedule" => args.schedule = Some(value()),
+            "--max-instructions" => {
+                args.max_instructions = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => args.deadline_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--retries" => args.retries = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = value(),
+            _ => usage(),
+        }
+    }
+    if args.requests == 0 || args.unique == 0 {
+        usage();
+    }
+    args
+}
+
+/// The `i`-th distinct point body: cycles workloads and register-file
+/// sizes so the unique set spreads across the LRU and the peer shards.
+fn point_body(i: usize, max_instructions: u64) -> String {
+    const WORKLOADS: [&str; 3] = ["swim", "perl", "gcc"];
+    const POLICIES: [&str; 2] = ["extended", "conventional"];
+    let workload = WORKLOADS[i % WORKLOADS.len()];
+    let policy = POLICIES[(i / WORKLOADS.len()) % POLICIES.len()];
+    let size = 48 + 8 * (i % 5);
+    format!(
+        r#"{{"scale":"smoke","max_instructions":{max_instructions},"points":[{{"workload":"{workload}","policy":"{policy}","phys_int":{size},"phys_fp":{size}}}]}}"#
+    )
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    let index = (sorted.len().saturating_sub(1) * p) / 100;
+    sorted[index]
+}
+
+fn main() {
+    let args = parse_args();
+    let schedule_spec = args
+        .schedule
+        .clone()
+        .unwrap_or_else(|| format!("seed:{}", args.seed));
+    let schedule = FaultSchedule::parse(&schedule_spec)
+        .unwrap_or_else(|error| panic!("invalid --schedule: {error}"));
+
+    let node = |resolver: ResolverConfig| ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        service: ServiceConfig {
+            cache_dir: None,
+            sim_threads: 2,
+            resolver,
+            ..ServiceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let upstream = start(node(ResolverConfig::default())).expect("bind upstream node");
+    let proxy = FaultProxy::start(upstream.addr.to_string(), schedule).expect("start fault proxy");
+    let front = start(node(ResolverConfig {
+        peers: vec![proxy.addr().to_string()],
+        deadline_ms: args.deadline_ms,
+        retries: args.retries,
+        backoff_base_ms: 2,
+        backoff_cap_ms: 20,
+        ..ResolverConfig::default()
+    }))
+    .expect("bind front node");
+    let front_addr = front.addr.to_string();
+    println!(
+        "chaos: {} requests over {} unique points, schedule '{schedule_spec}' \
+         (front {front_addr} -> proxy {} -> upstream {})",
+        args.requests,
+        args.unique,
+        proxy.addr(),
+        upstream.addr
+    );
+
+    // The driver itself talks to the *front* node, which is healthy — a
+    // generous client deadline here measures the chain, not the driver.
+    let client_deadline = Duration::from_secs(60);
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut failures = 0usize;
+    let run_started = Instant::now();
+    for i in 0..args.requests {
+        let body = point_body(i % args.unique, args.max_instructions);
+        let started = Instant::now();
+        match client::post_json(&front_addr, "/points", &body, client_deadline) {
+            Ok(_) => latencies.push(started.elapsed()),
+            Err(error) => {
+                failures += 1;
+                eprintln!("request {i} failed: {error}");
+            }
+        }
+    }
+    let wall = run_started.elapsed();
+
+    let service = front.service();
+    let lru_hits = service.lru_hits();
+    let peer_hits = service.peer_hits();
+    let peer_failures = service.peer_failures();
+    let simulations = service.simulations();
+    let breaker_trips = service.chain().breaker_trips();
+    let fault_counts = proxy.counts();
+
+    let mut sorted = latencies.clone();
+    sorted.sort();
+    let (p50, p99, max) = if sorted.is_empty() {
+        (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+    } else {
+        (
+            percentile(&sorted, 50),
+            percentile(&sorted, 99),
+            *sorted.last().expect("non-empty"),
+        )
+    };
+
+    println!(
+        "tiers: lru={lru_hits} peer={peer_hits} local={simulations} \
+         peer_failures={peer_failures} breaker_trips={breaker_trips}"
+    );
+    println!(
+        "latency: p50={:.1}ms p99={:.1}ms max={:.1}ms over {} ok / {failures} failed in {:.2}s",
+        p50.as_secs_f64() * 1000.0,
+        p99.as_secs_f64() * 1000.0,
+        max.as_secs_f64() * 1000.0,
+        latencies.len(),
+        wall.as_secs_f64()
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"serve_chaos\",\n");
+    let _ = writeln!(json, "  \"schedule\": \"{schedule_spec}\",");
+    let _ = writeln!(
+        json,
+        "  \"requests\": {}, \"unique_points\": {}, \"failed_requests\": {failures},",
+        args.requests, args.unique
+    );
+    let _ = writeln!(
+        json,
+        "  \"resolver\": {{\"deadline_ms\": {}, \"retries\": {}}},",
+        args.deadline_ms, args.retries
+    );
+    let _ = writeln!(
+        json,
+        "  \"tiers\": {{\"lru_hits\": {lru_hits}, \"peer_hits\": {peer_hits}, \
+         \"local_simulations\": {simulations}, \"peer_failures\": {peer_failures}, \
+         \"breaker_trips\": {breaker_trips}}},"
+    );
+    let faults: Vec<String> = fault_counts
+        .iter()
+        .map(|(name, count)| format!("\"{name}\": {count}"))
+        .collect();
+    let _ = writeln!(json, "  \"faults_injected\": {{{}}},", faults.join(", "));
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},",
+        p50.as_secs_f64() * 1000.0,
+        p99.as_secs_f64() * 1000.0,
+        max.as_secs_f64() * 1000.0
+    );
+    let _ = writeln!(json, "  \"wall_seconds\": {:.3}", wall.as_secs_f64());
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    front.stop();
+    proxy.stop();
+    upstream.stop();
+    if failures > 0 {
+        // The front node must absorb *peer* faults; a failed driver request
+        // means the chain itself broke its degraded-but-correct contract.
+        std::process::exit(1);
+    }
+}

@@ -342,20 +342,30 @@ pub struct RunSummary {
     pub coalesced: usize,
     /// Points actually simulated.
     pub simulated: usize,
+    /// The full resolver counters, including the tiered-resolver extras
+    /// (`lru_hits`, `peer_hits`, ...); the first three fields above are
+    /// copies of its leading counters, kept for compatibility.
+    pub resolve: ResolveStats,
 }
 
 impl RunSummary {
-    /// One-line human summary (the CLI prints it; CI greps it).
+    /// One-line human summary (the CLI prints it; CI greps it, so the
+    /// leading fields are format-stable; tiered-resolver counters are
+    /// appended only when any of them fired).
     pub fn line(&self) -> String {
-        format!(
-            "points: planned={} unique={} cache_hits={} coalesced={} simulated={} (experiments: {})",
-            self.planned,
-            self.unique,
-            self.cache_hits,
-            self.coalesced,
-            self.simulated,
-            self.experiments.join(" ")
-        )
+        let mut line = format!(
+            "points: planned={} unique={} cache_hits={} coalesced={} simulated={}",
+            self.planned, self.unique, self.cache_hits, self.coalesced, self.simulated,
+        );
+        let remote = &self.resolve;
+        if remote.lru_hits + remote.peer_hits + remote.peer_failures + remote.breaker_skips > 0 {
+            line.push_str(&format!(
+                " lru_hits={} peer_hits={} peer_failures={} breaker_trips={}",
+                remote.lru_hits, remote.peer_hits, remote.peer_failures, remote.breaker_trips,
+            ));
+        }
+        line.push_str(&format!(" (experiments: {})", self.experiments.join(" ")));
+        line
     }
 }
 
@@ -368,6 +378,12 @@ pub struct EngineOutcome {
 }
 
 /// Counters of one plan resolution.
+///
+/// The first three tiers are what [`CacheResolver`] reports; the remaining
+/// counters belong to tiered resolvers (`earlyreg-serve`'s chain: in-memory
+/// LRU → disk cache → remote peers → local compute) and stay zero
+/// elsewhere.  Whatever the mix, the *results* are identical — the tiers
+/// only change where the bits come from, never what they are.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResolveStats {
     /// Points answered by the on-disk cache.
@@ -377,6 +393,16 @@ pub struct ResolveStats {
     pub coalesced: usize,
     /// Points simulated by this resolution.
     pub simulated: usize,
+    /// Points answered by an in-memory LRU tier.
+    pub lru_hits: usize,
+    /// Points answered by a remote peer.
+    pub peer_hits: usize,
+    /// Failed remote attempts (each one degraded to the next tier).
+    pub peer_failures: usize,
+    /// Circuit breakers tripped open during this resolution.
+    pub breaker_trips: usize,
+    /// Remote hops skipped outright because a breaker was open.
+    pub breaker_skips: usize,
 }
 
 /// Strategy for turning a deduplicated plan into results.
@@ -499,6 +525,7 @@ pub fn run_with(
             cache_hits: resolve_stats.cache_hits,
             coalesced: resolve_stats.coalesced,
             simulated: resolve_stats.simulated,
+            resolve: resolve_stats,
         },
     }
 }

@@ -1,0 +1,112 @@
+//! `earlyreg-faultproxy` — the deterministic fault-injection proxy as a
+//! standalone process, for chaos smoke tests in CI and manual poking.
+//!
+//! ```text
+//! earlyreg-faultproxy --upstream ADDR [--addr A] [--port P]
+//!                     [--schedule SPEC] [--port-file PATH]
+//! ```
+//!
+//! Sits between a resolver chain (`earlyreg-serve --peer <proxy>`) and an
+//! upstream serve node, applying the scheduled fault to each connection in
+//! accept order.  The schedule is deterministic (see
+//! [`earlyreg_serve::fault::FaultSchedule`]), so a fixed spec reproduces
+//! the exact same fault sequence on every run.  Runs until SIGINT/SIGTERM,
+//! then prints the per-fault connection counts and exits.
+
+use earlyreg_serve::fault::{FaultProxy, FaultSchedule, FAULT_NAMES};
+use earlyreg_serve::signal;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: earlyreg-faultproxy --upstream ADDR [options]
+  --upstream ADDR   the real serve node to forward to (required)
+  --addr A          listen address (default 127.0.0.1)
+  --port P          listen port (default 0 = ephemeral)
+  --schedule SPEC   fault schedule (default 'pass'):
+                      'refuse,pass,stall'      cyclic script
+                      'seed:42:refuse,drop'    seeded picks from a menu
+                      'seed:42'                seeded picks from all faults
+                    faults: pass refuse stall drop http500 truncate
+                            garbage slowdrip
+  --port-file PATH  write the resolved port to PATH after binding
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!();
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let mut upstream: Option<String> = None;
+    let mut addr = "127.0.0.1".to_string();
+    let mut port: u16 = 0;
+    let mut schedule = "pass".to_string();
+    let mut port_file: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--upstream" => upstream = Some(value("--upstream")),
+            "--addr" => addr = value("--addr"),
+            "--port" => match value("--port").parse() {
+                Ok(parsed) => port = parsed,
+                Err(_) => fail("invalid --port"),
+            },
+            "--schedule" => schedule = value("--schedule"),
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(upstream) = upstream else {
+        fail("--upstream is required");
+    };
+    let schedule = match FaultSchedule::parse(&schedule) {
+        Ok(schedule) => schedule,
+        Err(message) => fail(&format!("invalid --schedule: {message}")),
+    };
+
+    signal::install();
+    let listen = format!("{addr}:{port}");
+    let proxy = match FaultProxy::start_on(&listen, upstream.clone(), schedule) {
+        Ok(proxy) => proxy,
+        Err(error) => fail(&format!("cannot bind {listen}: {error}")),
+    };
+    println!(
+        "earlyreg-faultproxy listening on {} -> {upstream}",
+        proxy.addr()
+    );
+    if let Some(path) = &port_file {
+        if let Err(error) = std::fs::write(path, format!("{}\n", proxy.addr().port())) {
+            fail(&format!(
+                "cannot write --port-file {}: {error}",
+                path.display()
+            ));
+        }
+    }
+
+    while !signal::received() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let counts = proxy.counts();
+    proxy.stop();
+    let summary: Vec<String> = FAULT_NAMES
+        .iter()
+        .zip(&counts)
+        .map(|(name, (_, count))| format!("{name}={count}"))
+        .collect();
+    println!("earlyreg-faultproxy: {}", summary.join(" "));
+}

@@ -1,0 +1,276 @@
+//! A circuit breaker per remote peer: closed → open on consecutive
+//! failures → half-open probe after a cooldown → closed again on success.
+//!
+//! The breaker is what turns "a peer is down" from a per-request penalty
+//! (connect timeout × retries × every point) into a single cheap check:
+//! once open, the chain skips the peer outright and falls through to the
+//! next tier, re-probing with at most one request per cooldown window.
+//!
+//! State machine:
+//!
+//! ```text
+//!        consecutive failures >= threshold
+//! CLOSED ─────────────────────────────────▶ OPEN
+//!   ▲                                        │ cooldown elapsed
+//!   │ successes >= half_open_successes       ▼
+//!   └──────────────────────────────────── HALF-OPEN
+//!                (any failure in half-open reopens immediately)
+//! ```
+//!
+//! All transitions are driven by the caller's `allow` / `record_success` /
+//! `record_failure` calls — there is no background thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tunables (see [`crate::resolver::ResolverConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+    /// Consecutive half-open successes required to close again.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(1000),
+            half_open_successes: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen { successes: u32, probing: bool },
+}
+
+/// One peer's breaker.  Thread-safe; every call is a short critical
+/// section.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+    /// Closed→open transitions since construction (monotonic).
+    trips: AtomicU64,
+}
+
+/// A point-in-time view of a breaker, for counters and `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// `"closed"`, `"open"` or `"half-open"`.
+    pub state: &'static str,
+    /// Closed→open transitions so far.
+    pub trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A fresh (closed) breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// May a request be sent to this peer right now?
+    ///
+    /// Open breakers start rejecting immediately; once the cooldown has
+    /// elapsed the *first* caller is let through as the half-open probe
+    /// (concurrent callers keep being rejected until the probe reports).
+    pub fn allow(&self) -> bool {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { .. } => true,
+            State::Open { since } => {
+                if since.elapsed() >= self.config.cooldown {
+                    *state = State::HalfOpen {
+                        successes: 0,
+                        probing: true,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            State::HalfOpen { probing, .. } => {
+                if probing {
+                    false // one probe at a time
+                } else {
+                    if let State::HalfOpen { probing, .. } = &mut *state {
+                        *probing = true;
+                    }
+                    true
+                }
+            }
+        }
+    }
+
+    /// Report a successful request.
+    pub fn record_success(&self) {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { .. } => {
+                *state = State::Closed {
+                    consecutive_failures: 0,
+                }
+            }
+            State::HalfOpen { successes, .. } => {
+                let successes = successes + 1;
+                if successes >= self.config.half_open_successes {
+                    *state = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                } else {
+                    *state = State::HalfOpen {
+                        successes,
+                        probing: false,
+                    };
+                }
+            }
+            // A success racing an open breaker (request sent before the
+            // trip): leave the breaker open — the cooldown will probe.
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Report a failed request.  Returns `true` when this failure tripped
+    /// the breaker closed→open (callers count trips).
+    pub fn record_failure(&self) -> bool {
+        let mut state = self.lock();
+        match *state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let consecutive_failures = consecutive_failures + 1;
+                if consecutive_failures >= self.config.threshold {
+                    *state = State::Open {
+                        since: Instant::now(),
+                    };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    *state = State::Closed {
+                        consecutive_failures,
+                    };
+                    false
+                }
+            }
+            // A failed half-open probe reopens at once — no free retries.
+            State::HalfOpen { .. } => {
+                *state = State::Open {
+                    since: Instant::now(),
+                };
+                false
+            }
+            State::Open { .. } => false,
+        }
+    }
+
+    /// Current state + trip count.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let state = match *self.lock() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half-open",
+        };
+        BreakerSnapshot {
+            state,
+            trips: self.trips.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            half_open_successes: 1,
+        })
+    }
+
+    #[test]
+    fn full_lifecycle_closed_open_half_open_closed() {
+        let breaker = breaker(3, 30);
+        assert_eq!(breaker.snapshot().state, "closed");
+        assert!(breaker.allow());
+
+        assert!(!breaker.record_failure());
+        assert!(!breaker.record_failure());
+        assert!(breaker.record_failure(), "third failure trips");
+        assert_eq!(breaker.snapshot().state, "open");
+        assert_eq!(breaker.snapshot().trips, 1);
+        assert!(!breaker.allow(), "open rejects before the cooldown");
+
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(breaker.allow(), "cooldown elapsed: half-open probe");
+        assert_eq!(breaker.snapshot().state, "half-open");
+        assert!(!breaker.allow(), "one probe at a time");
+
+        breaker.record_success();
+        assert_eq!(breaker.snapshot().state, "closed");
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_counting_a_new_trip() {
+        let breaker = breaker(1, 10);
+        breaker.record_failure();
+        assert_eq!(breaker.snapshot().state, "open");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(breaker.allow());
+        breaker.record_failure();
+        assert_eq!(breaker.snapshot().state, "open", "failed probe reopens");
+        assert_eq!(breaker.snapshot().trips, 1, "re-opening is not a new trip");
+    }
+
+    #[test]
+    fn successes_reset_the_failure_streak() {
+        let breaker = breaker(3, 10);
+        breaker.record_failure();
+        breaker.record_failure();
+        breaker.record_success();
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(
+            breaker.snapshot().state,
+            "closed",
+            "streak restarted after the success"
+        );
+    }
+
+    #[test]
+    fn multi_success_half_open_close() {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_millis(10),
+            half_open_successes: 2,
+        });
+        breaker.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(breaker.allow());
+        breaker.record_success();
+        assert_eq!(breaker.snapshot().state, "half-open", "needs 2 successes");
+        assert!(breaker.allow(), "probe slot freed by the success");
+        breaker.record_success();
+        assert_eq!(breaker.snapshot().state, "closed");
+    }
+}

@@ -10,16 +10,25 @@
 //! * **single-flight dedup** ([`singleflight`]) makes identical in-flight
 //!   points simulate exactly once — concurrent requests for the same point
 //!   wait on the leader's result instead of re-simulating;
+//! * a **fault-tolerant tiered [`resolver`] chain** (in-memory LRU → disk →
+//!   remote peers → local compute) with per-point deadlines, capped
+//!   exponential [`backoff`] with seeded jitter, and a per-peer circuit
+//!   [`breaker`] — every tier failure degrades to the next tier, and the
+//!   answer stays bit-identical to a cold local run;
+//! * a **deterministic [`fault`]-injection proxy** for chaos tests and the
+//!   CI chaos smoke;
 //! * a **fixed worker pool** over `std::net::TcpListener` with a **bounded
 //!   request queue** sheds load with `503` instead of queueing unboundedly;
 //! * **graceful shutdown** on SIGINT/SIGTERM (or `POST /shutdown` when
-//!   enabled): stop accepting, drain queued requests, exit.
+//!   enabled): `/readyz` flips to `503`, the listener keeps serving for the
+//!   configured drain grace, queued requests drain, exit.
 //!
 //! Endpoints (see `docs/SERVE.md` for schemas and examples):
 //!
 //! | method & path      | purpose                                           |
 //! |--------------------|---------------------------------------------------|
 //! | `GET /healthz`     | liveness plus service counters                    |
+//! | `GET /readyz`      | readiness (`503` once draining begins)            |
 //! | `GET /experiments` | the experiment registry (ids and titles)          |
 //! | `POST /points`     | raw simulation points → `SimStats`                |
 //! | `POST /run`        | experiment ids (+ scenario) → `Report` envelopes  |
@@ -31,11 +40,17 @@
 //!
 //! [`PointCache`]: earlyreg_experiments::PointCache
 
+pub mod backoff;
+pub mod breaker;
+pub mod client;
+pub mod fault;
 pub mod http;
+pub mod resolver;
 pub mod server;
 pub mod service;
 pub mod signal;
 pub mod singleflight;
 
+pub use resolver::{ResolverChain, ResolverConfig};
 pub use server::{start, RunningServer, ServeConfig};
 pub use service::{Service, ServiceConfig};

@@ -36,6 +36,13 @@ pub struct ServeConfig {
     /// Bounded queue depth between accept and the workers; connections
     /// beyond it are answered `503`.
     pub queue_capacity: usize,
+    /// How long the listener keeps accepting after draining begins.  During
+    /// the window `/readyz` already answers `503`, so load balancers can
+    /// stop routing to this node before its listener actually closes —
+    /// without the window, requests in flight *towards* the socket at
+    /// shutdown would be reset instead of served.  `0` closes immediately
+    /// (the historical behaviour; tests use it to stay fast).
+    pub drain_grace: Duration,
     /// Application-layer tunables.
     pub service: ServiceConfig,
 }
@@ -50,6 +57,7 @@ impl Default for ServeConfig {
             port: 0,
             workers: cpus.clamp(1, 8),
             queue_capacity: 64,
+            drain_grace: Duration::ZERO,
             // sim_threads stays 0 (= auto) here; `start` resolves it from
             // the *final* worker count so overriding `workers` after
             // `..Default::default()` cannot leave a stale ratio behind.
@@ -114,6 +122,7 @@ pub fn start(config: ServeConfig) -> io::Result<RunningServer> {
                 &shutdown,
                 config.workers.max(1),
                 config.queue_capacity,
+                config.drain_grace,
             )
         })
     };
@@ -131,6 +140,7 @@ fn accept_loop(
     shutdown: &AtomicBool,
     workers: usize,
     queue_capacity: usize,
+    drain_grace: Duration,
 ) {
     listener
         .set_nonblocking(true)
@@ -146,7 +156,17 @@ fn accept_loop(
             });
         }
 
-        while !shutdown.load(Ordering::SeqCst) && !signal::received() {
+        // Once draining begins (signal or shutdown flag), `/readyz` already
+        // answers 503; the listener stays open for `drain_grace` more so
+        // requests racing the shutdown are served, not reset.
+        let mut draining_since: Option<std::time::Instant> = None;
+        loop {
+            if shutdown.load(Ordering::SeqCst) || signal::received() {
+                let since = *draining_since.get_or_insert_with(std::time::Instant::now);
+                if since.elapsed() >= drain_grace {
+                    break;
+                }
+            }
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     if let Err(rejected) = queue.push(stream) {

@@ -10,6 +10,8 @@
 //! with cross-request single-flight dedup layered on top.
 
 use crate::http::{Request, Response};
+use crate::resolver::{self, ResolverChain, ResolverConfig};
+use crate::signal;
 use crate::singleflight::{Join, SingleFlight};
 use earlyreg_core::ReleasePolicy;
 use earlyreg_experiments::engine::{
@@ -42,6 +44,9 @@ pub struct ServiceConfig {
     /// Cap on the per-point committed-instruction budget a request may ask
     /// for (and the default when it asks for none).
     pub max_instructions_limit: u64,
+    /// Resolver-chain tunables: the in-memory LRU tier, the peer list and
+    /// the deadline/retry/breaker knobs (`--peer`, `--resolver-config`).
+    pub resolver: ResolverConfig,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +57,7 @@ impl Default for ServiceConfig {
             allow_shutdown: false,
             max_request_points: 2048,
             max_instructions_limit: 5_000_000,
+            resolver: ResolverConfig::default(),
         }
     }
 }
@@ -65,9 +71,13 @@ pub struct Service {
     // — the same invariant the on-disk cache enforces on load.
     flights: SingleFlight<String, SimStats>,
     suites: Mutex<HashMap<Scale, Arc<WorkloadSet>>>,
+    chain: ResolverChain,
     shutdown: Arc<AtomicBool>,
     simulations: AtomicU64,
     coalesced: AtomicU64,
+    lru_hits: AtomicU64,
+    peer_hits: AtomicU64,
+    peer_failures: AtomicU64,
     requests: AtomicU64,
 }
 
@@ -76,14 +86,19 @@ impl Service {
     /// (set by `POST /shutdown` when allowed).
     pub fn new(config: ServiceConfig, shutdown: Arc<AtomicBool>) -> Self {
         let cache = config.cache_dir.clone().map(PointCache::new);
+        let chain = ResolverChain::new(config.resolver.clone());
         Service {
             config,
             cache,
             flights: SingleFlight::new(),
             suites: Mutex::new(HashMap::new()),
+            chain,
             shutdown,
             simulations: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            lru_hits: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
+            peer_failures: AtomicU64::new(0),
             requests: AtomicU64::new(0),
         }
     }
@@ -99,6 +114,31 @@ impl Service {
         self.coalesced.load(Ordering::Relaxed)
     }
 
+    /// Total points answered by the in-memory LRU tier.
+    pub fn lru_hits(&self) -> u64 {
+        self.lru_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total points answered by a remote peer.
+    pub fn peer_hits(&self) -> u64 {
+        self.peer_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total failed remote attempts (each degraded to the next tier).
+    pub fn peer_failures(&self) -> u64 {
+        self.peer_failures.load(Ordering::Relaxed)
+    }
+
+    /// The resolver chain (tests read breaker snapshots off it).
+    pub fn chain(&self) -> &ResolverChain {
+        &self.chain
+    }
+
+    /// Whether the service has begun draining (shutdown flag or signal).
+    pub fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::received()
+    }
+
     /// Route one request.
     pub fn handle(&self, request: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -110,16 +150,17 @@ impl Service {
             .map_or(request.path.as_str(), |(path, _query)| path);
         match (request.method.as_str(), path) {
             ("GET", "/healthz") => self.healthz(),
+            ("GET", "/readyz") => self.readyz(),
             ("GET", "/experiments") => self.experiments(),
             ("POST", "/points") => self.points(request),
             ("POST", "/run") => self.run(request),
             ("POST", "/shutdown") => self.shutdown_requested(),
-            (_, "/healthz" | "/experiments" | "/points" | "/run" | "/shutdown") => {
+            (_, "/healthz" | "/readyz" | "/experiments" | "/points" | "/run" | "/shutdown") => {
                 Response::error(405, "method not allowed for this endpoint")
             }
             _ => Response::error(
                 404,
-                "unknown endpoint (try /healthz, /experiments, /points, /run)",
+                "unknown endpoint (try /healthz, /readyz, /experiments, /points, /run)",
             ),
         }
     }
@@ -148,8 +189,64 @@ impl Service {
                 Value::U64(self.flights.len() as u64),
             ),
             ("cache".to_string(), cache),
+            ("lru_hits".to_string(), Value::U64(self.lru_hits())),
+            (
+                "lru_entries".to_string(),
+                Value::U64(self.chain.memory_len() as u64),
+            ),
+            ("peer_hits".to_string(), Value::U64(self.peer_hits())),
+            (
+                "peer_failures".to_string(),
+                Value::U64(self.peer_failures()),
+            ),
+            (
+                "breaker_trips".to_string(),
+                Value::U64(self.chain.breaker_trips()),
+            ),
+            (
+                "peers".to_string(),
+                Value::Seq(
+                    self.chain
+                        .peer_snapshots()
+                        .into_iter()
+                        .map(|peer| {
+                            Value::Map(vec![
+                                ("addr".to_string(), Value::Str(peer.addr)),
+                                (
+                                    "breaker".to_string(),
+                                    Value::Str(peer.breaker.state.to_string()),
+                                ),
+                                ("trips".to_string(), Value::U64(peer.breaker.trips)),
+                                ("hits".to_string(), Value::U64(peer.hits)),
+                                ("failures".to_string(), Value::U64(peer.failures)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]);
         Response::json(200, body.canonical())
+    }
+
+    /// `GET /readyz`: readiness as distinct from liveness.  `/healthz`
+    /// answers `200` for as long as the process can serve at all; `/readyz`
+    /// flips to `503` the moment draining begins (SIGINT/SIGTERM or an
+    /// accepted `POST /shutdown`), so load balancers stop routing new work
+    /// to a node that is about to leave while its in-flight requests finish.
+    fn readyz(&self) -> Response {
+        if self.draining() {
+            let body = Value::Map(vec![(
+                "status".to_string(),
+                Value::Str("draining".to_string()),
+            )]);
+            Response::json(503, body.canonical())
+        } else {
+            let body = Value::Map(vec![(
+                "status".to_string(),
+                Value::Str("ready".to_string()),
+            )]);
+            Response::json(200, body.canonical())
+        }
     }
 
     fn experiments(&self) -> Response {
@@ -267,10 +364,22 @@ impl Service {
             ]));
         }
         let body = Value::Map(vec![("results".to_string(), Value::Seq(rendered))]);
-        Response::json(200, body.canonical())
+        let mut response = Response::json(200, body.canonical())
             .with_header("X-Cache-Hits", stats.cache_hits.to_string())
             .with_header("X-Coalesced", stats.coalesced.to_string())
             .with_header("X-Simulated", stats.simulated.to_string())
+            .with_header("X-Lru-Hits", stats.lru_hits.to_string())
+            .with_header("X-Peer-Hits", stats.peer_hits.to_string())
+            .with_header("X-Peer-Failures", stats.peer_failures.to_string())
+            .with_header("X-Breaker-Trips", stats.breaker_trips.to_string());
+        if unique.len() == 1 {
+            // Single-point responses carry the point's full content digest;
+            // a chained caller compares it against its own plan so version
+            // skew between nodes degrades to local compute instead of
+            // silently mixing incompatible statistics.
+            response = response.with_header("X-Point-Digest", format!("{:016x}", unique[0].digest));
+        }
+        response
     }
 
     /// `POST /run`: run experiments by id through the engine and return
@@ -349,6 +458,22 @@ impl Service {
             (
                 "simulated".to_string(),
                 Value::U64(summary.simulated as u64),
+            ),
+            (
+                "lru_hits".to_string(),
+                Value::U64(summary.resolve.lru_hits as u64),
+            ),
+            (
+                "peer_hits".to_string(),
+                Value::U64(summary.resolve.peer_hits as u64),
+            ),
+            (
+                "peer_failures".to_string(),
+                Value::U64(summary.resolve.peer_failures as u64),
+            ),
+            (
+                "breaker_trips".to_string(),
+                Value::U64(summary.resolve.breaker_trips as u64),
             ),
         ]);
         let reports: Vec<Value> = outcome.reports.iter().map(|r| r.envelope()).collect();
@@ -444,10 +569,14 @@ impl Service {
     }
 }
 
-/// The single-flight resolver: cache, then join the flight for every miss —
-/// leaders simulate (in parallel) and publish, followers wait.  Leads are
-/// always published before follows are awaited, so two requests that lead
-/// and follow each other's points cannot deadlock.
+/// The tiered single-flight resolver.  Every point walks the chain —
+/// in-memory LRU → disk cache → (single-flight join) → remote peers →
+/// local simulation — and **any tier failure degrades to the next tier**;
+/// the last tier always succeeds, so a request completes with bit-identical
+/// results no matter how many peers are refusing, stalling or lying.
+///
+/// Leads are always published before follows are awaited, so two requests
+/// that lead and follow each other's points cannot deadlock.
 impl PointResolver for Service {
     fn resolve(&self, ctx: &PlanContext, unique: &[PlannedPoint]) -> (ResultSet, ResolveStats) {
         let mut results = ResultSet::default();
@@ -456,36 +585,101 @@ impl PointResolver for Service {
         let mut followers = Vec::new();
 
         for planned in unique {
+            let canonical = planned.key.canonical();
+            if let Some(hit) = self.chain.memory_get(&canonical) {
+                stats.lru_hits += 1;
+                record(&mut results, planned, hit);
+                continue;
+            }
             if let Some(cached) = self.cache.as_ref().and_then(|c| c.load(&planned.key)) {
                 stats.cache_hits += 1;
+                self.chain.memory_put(&canonical, &cached);
                 record(&mut results, planned, cached);
                 continue;
             }
-            match self.flights.join(planned.key.canonical()) {
+            match self.flights.join(canonical) {
                 Join::Leader(leader) => leaders.push((planned, leader)),
                 Join::Follower(follower) => followers.push((planned, follower)),
             }
         }
 
-        // A leader re-checks the cache after winning the join: between this
-        // request's initial miss and the join, a previous leader may have
-        // simulated, stored and retired its flight — without the re-check
-        // that race would re-simulate an already-cached point.
-        let mut to_simulate = Vec::with_capacity(leaders.len());
+        // A leader re-checks the memory and disk tiers after winning the
+        // join: between this request's initial miss and the join, a previous
+        // leader may have resolved, stored and retired its flight — without
+        // the re-check that race would re-resolve an already-stored point.
+        let mut to_resolve = Vec::with_capacity(leaders.len());
         for (planned, leader) in leaders {
+            let canonical = planned.key.canonical();
+            if let Some(hit) = self.chain.memory_get(&canonical) {
+                stats.lru_hits += 1;
+                leader.publish(hit.clone());
+                record(&mut results, planned, hit);
+                continue;
+            }
             match self.cache.as_ref().and_then(|c| c.load(&planned.key)) {
                 Some(cached) => {
                     stats.cache_hits += 1;
+                    self.chain.memory_put(&canonical, &cached);
                     leader.publish(cached.clone());
                     record(&mut results, planned, cached);
+                }
+                None => to_resolve.push((planned, leader)),
+            }
+        }
+
+        // Remote tier: led points whose machine the peer can reproduce are
+        // offered to the peer chain, in parallel (peer hops are IO-bound —
+        // the sim-thread pool doubles as the connection pool).  A point the
+        // chain cannot answer (no peers, ineligible, every hop failed)
+        // falls through to local simulation below.
+        let mut remote_answers: Vec<Option<SimStats>> =
+            (0..to_resolve.len()).map(|_| None).collect();
+        if self.chain.has_peers() {
+            let requests: Vec<(usize, &PlannedPoint, String)> = to_resolve
+                .iter()
+                .enumerate()
+                .filter(|(_, (planned, _))| resolver::peer_eligible(planned))
+                .map(|(slot, (planned, _))| {
+                    (slot, *planned, resolver::peer_request_body(ctx, planned))
+                })
+                .collect();
+            if !requests.is_empty() {
+                let outcomes =
+                    run_parallel(self.config.sim_threads, &requests, |(_, planned, body)| {
+                        self.chain.resolve_remote(planned, body)
+                    });
+                for ((slot, _, _), outcome) in requests.iter().zip(outcomes) {
+                    stats.peer_failures += outcome.failures;
+                    stats.breaker_trips += outcome.trips;
+                    stats.breaker_skips += outcome.breaker_skips;
+                    if let Some(remote) = outcome.stats {
+                        stats.peer_hits += 1;
+                        remote_answers[*slot] = Some(remote);
+                    }
+                }
+            }
+        }
+        let mut to_simulate = Vec::with_capacity(to_resolve.len());
+        for ((planned, leader), answer) in to_resolve.into_iter().zip(remote_answers) {
+            match answer {
+                Some(remote) => {
+                    // Peer answers enter the local tiers exactly like
+                    // simulated ones: store before publish.
+                    if let Some(cache) = &self.cache {
+                        let _ = cache.store(&planned.key, &remote);
+                    }
+                    self.chain.memory_put(&planned.key.canonical(), &remote);
+                    leader.publish(remote.clone());
+                    record(&mut results, planned, remote);
                 }
                 None => to_simulate.push((planned, leader)),
             }
         }
 
-        // Simulate every led point (the per-request parallelism knob), then
-        // store to the cache *before* publishing so late joiners that just
-        // missed the flight hit the disk instead of re-simulating.
+        // Local tier: simulate every remaining led point (the per-request
+        // parallelism knob), then store to the cache *before* publishing so
+        // late joiners that just missed the flight hit the disk instead of
+        // re-simulating.
         let led_points: Vec<&PlannedPoint> =
             to_simulate.iter().map(|(planned, _)| *planned).collect();
         let simulated = run_parallel(self.config.sim_threads, &led_points, |planned| {
@@ -498,6 +692,8 @@ impl PointResolver for Service {
                     eprintln!("warning: cannot cache point {:?}: {error}", planned.point);
                 }
             }
+            self.chain
+                .memory_put(&planned.key.canonical(), &result.stats);
             leader.publish(result.stats.clone());
             stats.simulated += 1;
             results.insert(planned.digest, result);
@@ -519,16 +715,23 @@ impl PointResolver for Service {
 
         self.coalesced
             .fetch_add(stats.coalesced as u64, Ordering::Relaxed);
+        self.lru_hits
+            .fetch_add(stats.lru_hits as u64, Ordering::Relaxed);
+        self.peer_hits
+            .fetch_add(stats.peer_hits as u64, Ordering::Relaxed);
+        self.peer_failures
+            .fetch_add(stats.peer_failures as u64, Ordering::Relaxed);
         (results, stats)
     }
 }
 
 impl Service {
-    /// Recover one point whose flight leader failed: re-check the cache (a
-    /// racing leader may have landed), then re-join the flight — exactly one
-    /// of the released followers becomes the new leader and simulates; the
-    /// rest follow again.  Loops only as long as successive leaders keep
-    /// failing.
+    /// Recover one point whose flight leader failed: re-check the memory
+    /// and disk tiers (a racing leader may have landed), then re-join the
+    /// flight — exactly one of the released followers becomes the new
+    /// leader and walks the remaining tiers (peers, then local simulation);
+    /// the rest follow again.  Loops only as long as successive leaders
+    /// keep failing.
     fn resolve_after_failed_leader(
         &self,
         ctx: &PlanContext,
@@ -537,27 +740,53 @@ impl Service {
         stats: &mut ResolveStats,
     ) {
         loop {
+            let canonical = planned.key.canonical();
+            if let Some(hit) = self.chain.memory_get(&canonical) {
+                stats.lru_hits += 1;
+                record(results, planned, hit);
+                return;
+            }
             if let Some(cached) = self.cache.as_ref().and_then(|c| c.load(&planned.key)) {
                 stats.cache_hits += 1;
+                self.chain.memory_put(&canonical, &cached);
                 record(results, planned, cached);
                 return;
             }
-            match self.flights.join(planned.key.canonical()) {
+            match self.flights.join(canonical) {
                 Join::Leader(leader) => {
-                    // Same post-join cache re-check as the batch path: a
-                    // racing leader may have stored between our miss and
-                    // the join.
+                    // Same post-join re-check as the batch path: a racing
+                    // leader may have stored between our miss and the join.
                     if let Some(cached) = self.cache.as_ref().and_then(|c| c.load(&planned.key)) {
                         stats.cache_hits += 1;
+                        self.chain.memory_put(&planned.key.canonical(), &cached);
                         leader.publish(cached.clone());
                         record(results, planned, cached);
                         return;
+                    }
+                    if self.chain.has_peers() && resolver::peer_eligible(planned) {
+                        let body = resolver::peer_request_body(ctx, planned);
+                        let outcome = self.chain.resolve_remote(planned, &body);
+                        stats.peer_failures += outcome.failures;
+                        stats.breaker_trips += outcome.trips;
+                        stats.breaker_skips += outcome.breaker_skips;
+                        if let Some(remote) = outcome.stats {
+                            stats.peer_hits += 1;
+                            if let Some(cache) = &self.cache {
+                                let _ = cache.store(&planned.key, &remote);
+                            }
+                            self.chain.memory_put(&planned.key.canonical(), &remote);
+                            leader.publish(remote.clone());
+                            record(results, planned, remote);
+                            return;
+                        }
                     }
                     let result = engine::simulate_planned(ctx, planned);
                     self.simulations.fetch_add(1, Ordering::Relaxed);
                     if let Some(cache) = &self.cache {
                         let _ = cache.store(&planned.key, &result.stats);
                     }
+                    self.chain
+                        .memory_put(&planned.key.canonical(), &result.stats);
                     leader.publish(result.stats.clone());
                     stats.simulated += 1;
                     results.insert(planned.digest, result);

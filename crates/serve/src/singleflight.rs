@@ -15,10 +15,28 @@
 //! every key first, compute and publish all led keys, and only then wait on
 //! followed keys.  Publishing before waiting makes cross-request
 //! leader/follower cycles impossible, so the map is deadlock-free.
+//!
+//! The internal locks **recover from poisoning**: a panic inside a
+//! critical section here (or in a caller holding a guard across a panic in
+//! the leader's drop path) marks the mutex poisoned, but the protected
+//! state — a `HashMap` of `Arc`s and a two-variant enum — is never left
+//! mid-mutation by any operation in this module, so the value inside a
+//! poisoned lock is still consistent.  Propagating the poison would turn
+//! one worker's panic into a panic in *every* thread that touches the map
+//! (the exact cascade the catch-unwind worker isolation exists to prevent);
+//! recovering keeps the failure contained to the request that caused it.
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Lock with poison recovery (see the module docs for why that is sound
+/// here).
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 enum FlightState<V> {
     Pending,
@@ -73,7 +91,7 @@ impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
     /// Join the flight for `key`: the first joiner leads, later joiners
     /// follow.
     pub fn join(&self, key: K) -> Join<'_, K, V> {
-        let mut inflight = self.inflight.lock().expect("single-flight map poisoned");
+        let mut inflight = lock_recovering(&self.inflight);
         if let Some(flight) = inflight.get(&key) {
             return Join::Follower(Follower {
                 flight: Arc::clone(flight),
@@ -94,10 +112,7 @@ impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
 
     /// Number of keys currently in flight.
     pub fn len(&self) -> usize {
-        self.inflight
-            .lock()
-            .expect("single-flight map poisoned")
-            .len()
+        lock_recovering(&self.inflight).len()
     }
 
     /// True when nothing is in flight.
@@ -122,12 +137,8 @@ impl<K: Eq + Hash, V> Leader<'_, K, V> {
         // Retire the key first so late joiners (who will re-check the cache
         // and find the stored result) start a fresh flight instead of
         // waiting on a finished one.
-        self.owner
-            .inflight
-            .lock()
-            .expect("single-flight map poisoned")
-            .remove(&self.key);
-        *self.flight.state.lock().expect("flight state poisoned") = FlightState::Done(value);
+        lock_recovering(&self.owner.inflight).remove(&self.key);
+        *lock_recovering(&self.flight.state) = FlightState::Done(value);
         self.flight.done.notify_all();
         self.published = true;
     }
@@ -147,12 +158,16 @@ impl<V: Clone> Follower<V> {
     /// Block until the leader publishes; `None` means the leader failed and
     /// the caller must compute the value itself.
     pub fn wait(self) -> Option<V> {
-        let mut state = self.flight.state.lock().expect("flight state poisoned");
+        let mut state = lock_recovering(&self.flight.state);
         loop {
             match &*state {
                 FlightState::Done(value) => return value.clone(),
                 FlightState::Pending => {
-                    state = self.flight.done.wait(state).expect("flight state poisoned");
+                    state = self
+                        .flight
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
             }
         }
@@ -212,6 +227,50 @@ mod tests {
         assert!(flights.is_empty());
         // The key is free again: the follower can retry as the new leader.
         assert!(matches!(flights.join(1), Join::Leader(_)));
+    }
+
+    /// Regression test for poisoned-lock handling: a leader that panics
+    /// while holding its token poisons nothing visible to followers, and a
+    /// follower joining *after* the panic neither panics on the poisoned
+    /// mutex nor deadlocks — it is released with `None`, retries, becomes
+    /// the new leader and completes the flight.
+    #[test]
+    fn a_panicking_leader_fails_over_to_a_follower() {
+        static FLIGHTS: std::sync::OnceLock<SingleFlight<u64, u64>> = std::sync::OnceLock::new();
+        let flights = FLIGHTS.get_or_init(SingleFlight::new);
+
+        let leader = match flights.join(9) {
+            Join::Leader(leader) => leader,
+            Join::Follower(_) => unreachable!(),
+        };
+        let follower = match flights.join(9) {
+            Join::Follower(follower) => follower,
+            Join::Leader(_) => unreachable!(),
+        };
+
+        // The leader panics mid-computation on its own thread; its token's
+        // Drop runs during unwinding and touches both internal locks.
+        let crash = std::thread::spawn(move || {
+            let _leader = leader;
+            panic!("simulated leader crash");
+        });
+        assert!(crash.join().is_err(), "the leader thread must panic");
+
+        // The follower is released, not stranded...
+        assert_eq!(follower.wait(), None, "failed leaders release followers");
+        // ...and the map is fully usable afterwards: joining again leads,
+        // publishing completes, and a new follower receives the value.
+        let retry = match flights.join(9) {
+            Join::Leader(leader) => leader,
+            Join::Follower(_) => panic!("the key must be free after the failure"),
+        };
+        let second = match flights.join(9) {
+            Join::Follower(follower) => follower,
+            Join::Leader(_) => unreachable!(),
+        };
+        retry.publish(99);
+        assert_eq!(second.wait(), Some(99), "failover completes the flight");
+        assert!(flights.is_empty());
     }
 
     #[test]

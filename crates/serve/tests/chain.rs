@@ -1,0 +1,351 @@
+//! Chaos tests of the tiered resolver chain: a front node resolving
+//! through a [`FaultProxy`] to an upstream node, under every fault kind
+//! the proxy can inject.
+//!
+//! The invariant under test is the chain's contract: **any** peer failure
+//! degrades to local compute, the response stays `200`, and the body is
+//! bit-identical to what a cold, peer-less node produces.  The faults are
+//! scheduled deterministically (scripts and fixed seeds), so these tests
+//! assert specific breaker transitions instead of sleeping and hoping.
+
+use earlyreg_serve::fault::{Fault, FaultProxy, FaultSchedule};
+use earlyreg_serve::{start, ResolverConfig, RunningServer, ServeConfig, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed HTTP response (mirror of the helper in `tests/server.rs`).
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value.as_str())
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: earlyreg\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.write_all(body.as_bytes()).expect("send body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    Reply {
+        status,
+        headers: lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            .collect(),
+        body: body.to_string(),
+    }
+}
+
+/// A plain local node: no cache, no peers — the ground truth every chained
+/// answer must be bit-identical to.
+fn local_node() -> RunningServer {
+    start(node_config(ResolverConfig::default())).expect("bind local node")
+}
+
+fn node_config(resolver: ResolverConfig) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        service: ServiceConfig {
+            cache_dir: None,
+            sim_threads: 2,
+            allow_shutdown: true,
+            resolver,
+            ..ServiceConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// A front node whose only peer is `peer`, tuned for fast test failure:
+/// short deadlines (stalls and drips fail in 300 ms, not 2 s) and minimal
+/// backoff.
+fn front_config(peer: String, retries: u32) -> ServeConfig {
+    node_config(ResolverConfig {
+        peers: vec![peer],
+        deadline_ms: 300,
+        retries,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 5,
+        ..ResolverConfig::default()
+    })
+}
+
+fn point(phys_int: usize, phys_fp: usize) -> String {
+    format!(
+        r#"{{"scale":"smoke","max_instructions":5000,
+          "points":[{{"workload":"swim","policy":"extended","phys_int":{phys_int},"phys_fp":{phys_fp}}}]}}"#
+    )
+}
+
+/// The matrix: every fault kind, one at a time, between the front node and
+/// its peer.  `pass` is the control arm (the peer answers); every other
+/// fault must degrade to local compute — same status, same bytes.
+#[test]
+fn every_fault_kind_degrades_to_local_with_bit_identical_results() {
+    let truth = local_node();
+    let baseline = request(truth.addr, "POST", "/points", &point(48, 48));
+    assert_eq!(baseline.status, 200, "{}", baseline.body);
+    let digest = baseline
+        .header("x-point-digest")
+        .expect("digest")
+        .to_string();
+
+    let upstream = local_node();
+    for fault in Fault::ALL {
+        let proxy = FaultProxy::start(
+            upstream.addr.to_string(),
+            FaultSchedule::Script(vec![fault]),
+        )
+        .expect("start proxy");
+        let front = start(front_config(proxy.addr().to_string(), 0)).expect("bind front");
+
+        let reply = request(front.addr, "POST", "/points", &point(48, 48));
+        assert_eq!(
+            reply.status,
+            200,
+            "fault '{}' must not surface to the caller: {}",
+            fault.name(),
+            reply.body
+        );
+        assert_eq!(
+            reply.body,
+            baseline.body,
+            "fault '{}' broke bit-identity",
+            fault.name()
+        );
+        assert_eq!(
+            reply.header("x-point-digest"),
+            Some(digest.as_str()),
+            "fault '{}' changed the content digest",
+            fault.name()
+        );
+        if fault == Fault::Pass {
+            assert_eq!(reply.header("x-peer-hits"), Some("1"), "control arm");
+            assert_eq!(reply.header("x-peer-failures"), Some("0"));
+            assert_eq!(reply.header("x-simulated"), Some("0"));
+        } else {
+            assert_eq!(
+                reply.header("x-simulated"),
+                Some("1"),
+                "fault '{}' must fall back to local compute",
+                fault.name()
+            );
+            assert_eq!(reply.header("x-peer-hits"), Some("0"));
+            assert_eq!(
+                reply.header("x-peer-failures"),
+                Some("1"),
+                "fault '{}' is one failed hop (no retries configured)",
+                fault.name()
+            );
+            // One isolated failure must not trip the breaker (threshold 3).
+            assert_eq!(reply.header("x-breaker-trips"), Some("0"));
+        }
+        assert_eq!(
+            proxy.connections(),
+            1,
+            "fault '{}': exactly one peer hop",
+            fault.name()
+        );
+        front.stop();
+        proxy.stop();
+    }
+    upstream.stop();
+    truth.stop();
+}
+
+/// The breaker's full lifecycle on a deterministic script: three refused
+/// connections trip it open, an open breaker skips the peer without
+/// connecting, and after the cooldown a half-open probe that succeeds
+/// closes it again — with the peer answering once more.
+#[test]
+fn breaker_trips_on_sustained_faults_and_recovers_through_half_open() {
+    let upstream = local_node();
+    // Connections 0‥2 are refused (the trip streak); connection 3 — the
+    // half-open probe — passes.  The script cycles, but the test makes
+    // exactly four connections.
+    let proxy = FaultProxy::start(
+        upstream.addr.to_string(),
+        FaultSchedule::Script(vec![
+            Fault::Refuse,
+            Fault::Refuse,
+            Fault::Refuse,
+            Fault::Pass,
+        ]),
+    )
+    .expect("start proxy");
+    let front = start(node_config(ResolverConfig {
+        peers: vec![proxy.addr().to_string()],
+        deadline_ms: 300,
+        retries: 0,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 5,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 150,
+        breaker_half_open: 1,
+        ..ResolverConfig::default()
+    }))
+    .expect("bind front");
+    let addr = front.addr;
+
+    // Three distinct points, three refused hops: the third failure trips.
+    for (index, phys) in [48usize, 56, 64].into_iter().enumerate() {
+        let reply = request(addr, "POST", "/points", &point(phys, phys));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(reply.header("x-peer-failures"), Some("1"));
+        assert_eq!(reply.header("x-simulated"), Some("1"), "degraded to local");
+        let expected_trips = if index == 2 { "1" } else { "0" };
+        assert_eq!(
+            reply.header("x-breaker-trips"),
+            Some(expected_trips),
+            "the breaker trips exactly on the third consecutive failure"
+        );
+    }
+    let snapshot = &front.service().chain().peer_snapshots()[0];
+    assert_eq!(snapshot.breaker.state, "open");
+    assert_eq!(snapshot.breaker.trips, 1);
+
+    // Open breaker: the peer is skipped outright — no new connection.
+    let reply = request(addr, "POST", "/points", &point(72, 72));
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("x-peer-failures"),
+        Some("0"),
+        "no attempt made"
+    );
+    assert_eq!(reply.header("x-simulated"), Some("1"));
+    assert_eq!(proxy.connections(), 3, "an open breaker must not connect");
+
+    // After the cooldown, the half-open probe rides the next request; the
+    // scripted `pass` answers it and the breaker closes again.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let reply = request(addr, "POST", "/points", &point(80, 80));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("x-peer-hits"), Some("1"), "probe succeeded");
+    assert_eq!(reply.header("x-simulated"), Some("0"));
+    let snapshot = &front.service().chain().peer_snapshots()[0];
+    assert_eq!(snapshot.breaker.state, "closed", "recovered");
+    assert_eq!(snapshot.breaker.trips, 1, "recovery is not a second trip");
+    assert_eq!(proxy.connections(), 4);
+
+    front.stop();
+    proxy.stop();
+    upstream.stop();
+}
+
+/// A full scenario sweep (`POST /run`) through the chain under a seeded
+/// storm: the report envelopes — the artifacts the paper reproduction
+/// pins — must be bit-identical to a fault-free single node's.  (The
+/// `summary` legitimately differs: it carries the tier counters.)
+#[test]
+fn scenario_sweep_reports_survive_chaos_bit_identically() {
+    // A scenario that trims the sweep (sizes, policies) without touching
+    // the machine config keeps every point peer-eligible.
+    let run = r#"{"experiments":["fig11"],"scale":"smoke","max_instructions":2000,
+      "scenario":"sweep_sizes = 48\npolicies = conv, ext"}"#;
+    let truth = local_node();
+    let baseline = request(truth.addr, "POST", "/run", run);
+    assert_eq!(baseline.status, 200, "{}", baseline.body);
+    let baseline_reports = serde::json::parse(&baseline.body)
+        .expect("valid JSON")
+        .get("reports")
+        .expect("reports")
+        .canonical();
+
+    let upstream = local_node();
+    let proxy = FaultProxy::start(
+        upstream.addr.to_string(),
+        FaultSchedule::parse("seed:7").expect("valid spec"),
+    )
+    .expect("start proxy");
+    let front = start(front_config(proxy.addr().to_string(), 1)).expect("bind front");
+
+    let reply = request(front.addr, "POST", "/run", run);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let chaos_reports = serde::json::parse(&reply.body)
+        .expect("valid JSON")
+        .get("reports")
+        .expect("reports")
+        .canonical();
+    assert_eq!(
+        chaos_reports, baseline_reports,
+        "report envelopes must survive the storm byte-for-byte"
+    );
+    assert!(
+        proxy.connections() > 0,
+        "the sweep must actually exercise the peer tier"
+    );
+
+    front.stop();
+    proxy.stop();
+    upstream.stop();
+    truth.stop();
+}
+
+/// A seeded storm: the proxy misbehaves pseudo-randomly (fixed seed, so
+/// the sequence is reproducible) across a multi-point batch with retries
+/// enabled, and the front node still answers every point bit-identically
+/// to the peer-less ground truth.
+#[test]
+fn seeded_chaos_storm_still_answers_bit_identically() {
+    let batch = r#"{"scale":"smoke","max_instructions":4000,"points":[
+      {"workload":"swim","policy":"extended","phys_int":48,"phys_fp":48},
+      {"workload":"perl","policy":"conventional","phys_int":64,"phys_fp":64},
+      {"workload":"swim","policy":"basic","phys_int":56,"phys_fp":56}
+    ]}"#;
+    let truth = local_node();
+    let baseline = request(truth.addr, "POST", "/points", batch);
+    assert_eq!(baseline.status, 200, "{}", baseline.body);
+
+    let upstream = local_node();
+    let proxy = FaultProxy::start(
+        upstream.addr.to_string(),
+        FaultSchedule::parse("seed:1337").expect("valid spec"),
+    )
+    .expect("start proxy");
+    let front = start(front_config(proxy.addr().to_string(), 1)).expect("bind front");
+
+    let reply = request(front.addr, "POST", "/points", batch);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        reply.body, baseline.body,
+        "chaos must never change the answer"
+    );
+    // Every point was answered by *some* tier.
+    let answered: usize = ["x-peer-hits", "x-simulated", "x-lru-hits", "x-coalesced"]
+        .iter()
+        .map(|h| reply.header(h).unwrap().parse::<usize>().unwrap())
+        .sum();
+    assert_eq!(answered, 3, "all three unique points resolved");
+
+    front.stop();
+    proxy.stop();
+    upstream.stop();
+    truth.stop();
+}

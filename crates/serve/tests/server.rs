@@ -283,11 +283,25 @@ fn warm_points_response_is_bit_identical_to_cold() {
     assert_eq!(cold.status, 200, "{}", cold.body);
     assert_eq!(cold.header("x-cache-hits"), Some("0"));
     assert_eq!(cold.header("x-simulated"), Some("1"));
+    // Single-point responses carry the content digest for peer validation.
+    assert_eq!(
+        cold.header("x-point-digest").map(str::len),
+        Some(16),
+        "single-point responses carry a 16-hex-digit digest"
+    );
 
+    // The warm request is answered by the in-memory LRU tier, which sits
+    // in front of the disk cache.
     let warm = request(addr, "POST", "/points", SWIM_POINT);
     assert_eq!(warm.status, 200);
-    assert_eq!(warm.header("x-cache-hits"), Some("1"));
+    assert_eq!(warm.header("x-lru-hits"), Some("1"));
+    assert_eq!(warm.header("x-cache-hits"), Some("0"));
     assert_eq!(warm.header("x-simulated"), Some("0"));
+    assert_eq!(
+        warm.header("x-point-digest"),
+        cold.header("x-point-digest"),
+        "tier changes must not change identity"
+    );
 
     assert_eq!(cold.body, warm.body, "warm body must be bit-identical");
     assert_eq!(server.service().simulations(), 1, "one simulation total");
@@ -494,6 +508,53 @@ fn shutdown_endpoint_stops_the_server_cleanly() {
     assert!(
         TcpStream::connect(addr).is_err(),
         "the port must stop answering after shutdown"
+    );
+}
+
+/// Readiness is distinct from liveness: once draining begins, `/readyz`
+/// answers `503` while `/healthz` stays `200` and — with a drain grace
+/// window configured — the listener keeps serving real requests, so a load
+/// balancer can deroute the node before its socket closes.
+#[test]
+fn readyz_flips_to_503_during_the_drain_window() {
+    let config = ServeConfig {
+        drain_grace: std::time::Duration::from_millis(600),
+        ..test_config(None)
+    };
+    let server = start(config).expect("bind");
+    let addr = server.addr;
+
+    let ready = request(addr, "GET", "/readyz", "");
+    assert_eq!(ready.status, 200);
+    assert!(ready.body.contains("\"ready\""), "{}", ready.body);
+
+    let begun = std::time::Instant::now();
+    assert_eq!(request(addr, "POST", "/shutdown", "").status, 200);
+
+    // Inside the grace window: still accepting, but no longer ready.
+    let draining = request(addr, "GET", "/readyz", "");
+    assert_eq!(draining.status, 503, "draining nodes are not ready");
+    assert!(draining.body.contains("\"draining\""), "{}", draining.body);
+    assert_eq!(
+        request(addr, "GET", "/healthz", "").status,
+        200,
+        "liveness must hold while draining"
+    );
+    assert_eq!(
+        request(addr, "POST", "/points", SWIM_POINT).status,
+        200,
+        "requests racing the shutdown are served, not reset"
+    );
+
+    server.join(); // returns once the window ends and workers drain
+    assert!(
+        begun.elapsed() >= std::time::Duration::from_millis(600),
+        "the listener must honour the full grace window"
+    );
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "after the window the port stops answering"
     );
 }
 
