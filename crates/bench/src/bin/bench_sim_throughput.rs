@@ -1,0 +1,336 @@
+//! Simulator-throughput benchmark: host-side speed, not simulated IPC.
+//!
+//! Every experiment in the paper is a sweep of independent cycle-level
+//! simulations, so *simulated instructions per host-second* is the lever that
+//! decides how many (workload, policy, register-file-size) points a run can
+//! afford.  This binary measures it end to end and records the result in
+//! `BENCH_sim_throughput.json`, the committed perf-trajectory baseline the
+//! README's "Simulator performance" section tracks PR-over-PR.
+//!
+//! Three kinds of measurement:
+//!
+//! * **Per-point** (always): one fixed-budget run per (workload, policy,
+//!   front-end mode) — `live` is the classic decode-and-execute front-end,
+//!   `replay` is the decode-once trace-replay front-end the sweep paths use
+//!   by default (including its one-time capture cost).
+//! * **Sweep** (`--sweep`): the fig10 full sweep (whole suite x paper
+//!   policies x 48 registers) with a cold cache, cold (live) vs
+//!   trace-replay, recording wall time and aggregate throughput.
+//! * **Regression gate** (`--baseline FILE`): compare this run's per-point
+//!   geometric-mean throughput against a committed baseline JSON and exit
+//!   non-zero if it regressed more than `--max-regression` percent.
+//!
+//! `--profile` prints the per-phase breakdown after each measured run; build
+//! with `--features profile` (forwards to `earlyreg-sim/profile`) to compile
+//! the scope timers in.
+//!
+//! Usage:
+//!   bench_sim_throughput [--instructions N] [--workloads swim,gcc]
+//!                        [--out BENCH_sim_throughput.json] [--sweep]
+//!                        [--baseline FILE] [--max-regression PCT]
+//!                        [--profile]
+
+use earlyreg_core::{registry, ReleasePolicy};
+use earlyreg_experiments::config::ExperimentOptions;
+use earlyreg_experiments::runner::{cross_points, run_sweep};
+use earlyreg_sim::profile::prof;
+use earlyreg_sim::{decoded_trace_for, MachineConfig, RunLimits, Simulator, TRACE_SLACK};
+use earlyreg_workloads::{suite, workload_with_target_instructions, Scale, SPECS};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    instructions: u64,
+    workloads: Vec<String>,
+    out: String,
+    sweep: bool,
+    baseline: Option<String>,
+    max_regression: f64,
+    profile: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_sim_throughput [--instructions N] [--workloads name,name,...] [--out FILE] \
+         [--sweep] [--baseline FILE] [--max-regression PCT] [--profile]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        instructions: 1_000_000,
+        workloads: vec!["swim".into(), "gcc".into()],
+        out: "BENCH_sim_throughput.json".into(),
+        sweep: false,
+        baseline: None,
+        max_regression: 25.0,
+        profile: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--instructions" => args.instructions = value().parse().unwrap_or_else(|_| usage()),
+            "--workloads" => {
+                args.workloads = value().split(',').map(str::to_owned).collect();
+            }
+            "--out" => args.out = value(),
+            "--sweep" => args.sweep = true,
+            "--baseline" => args.baseline = Some(value()),
+            "--max-regression" => args.max_regression = value().parse().unwrap_or_else(|_| usage()),
+            "--profile" => args.profile = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+struct Measurement {
+    workload: String,
+    policy: ReleasePolicy,
+    mode: &'static str,
+    committed: u64,
+    cycles: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    /// Simulated (committed) instructions per host-second.
+    fn mips(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.committed as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated cycles per host-second.
+    fn cps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.cycles as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One timed sweep pass (cold cache): wall time + aggregate throughput.
+struct SweepMeasurement {
+    mode: &'static str,
+    points: usize,
+    committed: u64,
+    seconds: f64,
+}
+
+impl SweepMeasurement {
+    fn mips(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.committed as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn maybe_profile(enabled: bool, label: &str) {
+    if enabled {
+        println!("--- per-phase profile: {label} ---");
+        print!("{}", prof::take_report());
+    }
+}
+
+/// The fig10 full sweep (whole suite x paper policies x 48 registers) with a
+/// cold point cache, in `mode` (`live` forces `EARLYREG_NO_REPLAY`).
+fn run_fig10_sweep(mode: &'static str, max_instructions: u64) -> SweepMeasurement {
+    let options = ExperimentOptions {
+        scale: Scale::Smoke,
+        threads: 0,
+        max_instructions,
+    };
+    let workloads = suite(options.scale);
+    let points = cross_points(&workloads, &registry::PAPER_POLICIES, &[48]);
+    let n = points.len();
+    if mode == "live" {
+        std::env::set_var("EARLYREG_NO_REPLAY", "1");
+    } else {
+        std::env::remove_var("EARLYREG_NO_REPLAY");
+    }
+    let start = Instant::now();
+    let results = run_sweep(&options, points);
+    let seconds = start.elapsed().as_secs_f64();
+    std::env::remove_var("EARLYREG_NO_REPLAY");
+    SweepMeasurement {
+        mode,
+        points: n,
+        committed: results.iter().map(|r| r.stats.committed).sum(),
+        seconds,
+    }
+}
+
+/// Geometric mean of the `sim_instr_per_host_sec` values in a benchmark
+/// JSON's `points` array (schema-light: scans for the field).
+fn baseline_geomean(json: &str) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut count = 0u32;
+    for chunk in json.split("\"sim_instr_per_host_sec\":").skip(1) {
+        let value: f64 = chunk
+            .trim_start()
+            .split(|c: char| c != '.' && !c.is_ascii_digit())
+            .next()?
+            .parse()
+            .ok()?;
+        if value > 0.0 {
+            log_sum += value.ln();
+            count += 1;
+        }
+    }
+    (count > 0).then(|| (log_sum / count as f64).exp())
+}
+
+fn main() {
+    let args = parse_args();
+    // One throughput point per registered policy: new schemes join the
+    // benchmark automatically through the registry.
+    let policies: Vec<ReleasePolicy> = registry::registered().collect();
+
+    let mut measurements = Vec::new();
+    for name in &args.workloads {
+        // Size the program a little above the budget so the run is limited by
+        // `max_instructions`, not by the program halting early.
+        let Some(workload) = workload_with_target_instructions(name, args.instructions * 2) else {
+            let available: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+            eprintln!(
+                "unknown workload '{name}'; available: {}",
+                available.join(" ")
+            );
+            std::process::exit(2);
+        };
+        for &policy in &policies {
+            for mode in ["live", "replay"] {
+                let config = MachineConfig::icpp02(policy, 80, 80);
+                let start = Instant::now();
+                let mut sim = if mode == "replay" {
+                    // The capture is memoized per program, so only the first
+                    // replay lane of each workload pays it — exactly like a
+                    // sweep.  Time it inside the measurement to stay honest.
+                    let trace = decoded_trace_for(
+                        &workload.program,
+                        args.instructions.saturating_add(TRACE_SLACK),
+                    );
+                    Simulator::with_replay(config, workload.program.clone(), trace)
+                } else {
+                    Simulator::new(config, workload.program.clone())
+                };
+                let stats = sim.run(RunLimits::instructions(args.instructions));
+                let seconds = start.elapsed().as_secs_f64();
+                let m = Measurement {
+                    workload: name.clone(),
+                    policy,
+                    mode,
+                    committed: stats.committed,
+                    cycles: stats.cycles,
+                    seconds,
+                };
+                println!(
+                    "{:<10} {:<12} {:<7} {:>10} instructions in {:>7.3}s  ->  {:>10.0} sim-instr/s  \
+                     ({:>10.0} sim-cycles/s)",
+                    m.workload,
+                    policy.label(),
+                    m.mode,
+                    m.committed,
+                    m.seconds,
+                    m.mips(),
+                    m.cps(),
+                );
+                maybe_profile(args.profile, &format!("{name}/{}/{mode}", policy.label()));
+                measurements.push(m);
+            }
+        }
+    }
+
+    let sweeps: Vec<SweepMeasurement> = if args.sweep {
+        ["live", "replay"]
+            .into_iter()
+            .map(|mode| {
+                let m = run_fig10_sweep(mode, args.instructions);
+                println!(
+                    "fig10 sweep {:<7} {:>3} points, {:>12} instructions in {:>7.3}s  ->  \
+                     {:>10.0} sim-instr/s",
+                    m.mode,
+                    m.points,
+                    m.committed,
+                    m.seconds,
+                    m.mips(),
+                );
+                maybe_profile(args.profile, &format!("fig10 sweep/{mode}"));
+                m
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n  \"unit\": \"simulated instructions per host-second\",\n  \"points\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", \"instructions\": {}, \"cycles\": {}, \"seconds\": {:.6}, \"sim_instr_per_host_sec\": {:.1}, \"sim_cycles_per_host_sec\": {:.1}}}{}",
+            m.workload,
+            m.policy.label(),
+            m.mode,
+            m.committed,
+            m.cycles,
+            m.seconds,
+            m.mips(),
+            m.cps(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]");
+    if !sweeps.is_empty() {
+        json.push_str(",\n  \"sweep\": {\n    \"experiment\": \"fig10\",\n    \"passes\": [\n");
+        for (i, m) in sweeps.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"mode\": \"{}\", \"points\": {}, \"instructions\": {}, \"wall_seconds\": {:.6}, \"sim_instr_per_host_sec\": {:.1}}}{}",
+                m.mode,
+                m.points,
+                m.committed,
+                m.seconds,
+                m.mips(),
+                if i + 1 < sweeps.len() { "," } else { "" },
+            );
+        }
+        json.push_str("    ]\n  }");
+    }
+    json.push_str("\n}\n");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    // Regression gate: geometric mean across per-point measurements vs the
+    // committed baseline.
+    if let Some(path) = &args.baseline {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let Some(expected) = baseline_geomean(&baseline) else {
+            eprintln!("baseline {path} contains no throughput points");
+            std::process::exit(2);
+        };
+        let measured = baseline_geomean(&json).expect("this run produced points");
+        let floor = expected * (1.0 - args.max_regression / 100.0);
+        println!(
+            "regression gate: measured geomean {measured:.0} vs baseline {expected:.0} \
+             (floor {floor:.0}, max regression {:.0}%)",
+            args.max_regression
+        );
+        if measured < floor {
+            eprintln!(
+                "THROUGHPUT REGRESSION: {measured:.0} sim-instr/s is more than \
+                 {:.0}% below the committed baseline {expected:.0}",
+                args.max_regression
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -223,6 +223,19 @@ impl<T: HasInstrId> IdRing<T> {
         }
     }
 
+    /// Slot index of the oldest entry.
+    #[inline]
+    pub fn front_slot(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.head as u32)
+    }
+
+    /// Number of physical slots (the slot-index space for side arrays that
+    /// mirror this ring).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// The youngest entry.
     #[inline]
     pub fn back(&self) -> Option<&T> {

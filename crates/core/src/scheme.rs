@@ -363,6 +363,33 @@ impl KillPlan {
         Ok(KillPlan { kills })
     }
 
+    /// Build the plan from a [`DecodedTrace`](earlyreg_isa::DecodedTrace)
+    /// captured to halt.  The trace records the same commit-ordered kill
+    /// events [`KillPlan::for_program`] derives, so sweeps that replay a
+    /// shared trace pay **one** emulator pass per program for both the
+    /// replay front-end and oracle-style schemes.  Fails on a budget-capped
+    /// trace — an oracle needs the complete future.
+    pub fn from_trace(trace: &earlyreg_isa::DecodedTrace) -> Result<KillPlan, String> {
+        if !trace.halted() {
+            return Err(
+                "decoded trace does not cover the complete execution; the oracle \
+                 release scheme needs the complete committed trace"
+                    .into(),
+            );
+        }
+        let kills = trace
+            .kill_events()
+            .iter()
+            .map(|e| Kill {
+                pos: e.pos,
+                reg: e.reg.index() as u8,
+                fp: e.reg.class() == RegClass::Fp,
+                own_def: e.own_def,
+            })
+            .collect();
+        Ok(KillPlan { kills })
+    }
+
     /// Total release events in the plan.
     pub fn len(&self) -> usize {
         self.kills.len()

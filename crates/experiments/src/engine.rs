@@ -459,6 +459,13 @@ impl PointResolver for CacheResolver<'_> {
             }
         }
 
+        // Batched lockstep scheduling: execute same-workload lanes
+        // consecutively (one shared decoded trace per workload), largest
+        // groups first to minimise the parallel tail.  Results are keyed by
+        // digest, so execution order never affects the output.
+        let order = crate::runner::batch_order(&misses, |p| p.point.workload);
+        let misses: Vec<&PlannedPoint> = order.into_iter().map(|i| misses[i]).collect();
+
         let simulated = run_parallel(ctx.options.effective_threads(), &misses, |planned| {
             simulate_planned(ctx, planned)
         });

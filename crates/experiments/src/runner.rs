@@ -13,7 +13,9 @@
 
 use crate::config::ExperimentOptions;
 use earlyreg_core::ReleasePolicy;
-use earlyreg_sim::{MachineConfig, RunLimits, SimStats, Simulator};
+use earlyreg_sim::{
+    decoded_trace_for, replay_disabled, MachineConfig, RunLimits, SimStats, Simulator, TRACE_SLACK,
+};
 use earlyreg_workloads::{suite, Workload, WorkloadClass};
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,13 +57,28 @@ impl RunResult {
 
 /// Simulate a single point under an explicit machine configuration (the
 /// experiment engine uses this for scenario overrides and ablation variants).
+///
+/// Uses the decode-once trace-replay front-end by default: the program's
+/// [`DecodedTrace`](earlyreg_isa::DecodedTrace) is captured once (memoized
+/// per shared `Arc<Program>`) and every policy/config lane replays it,
+/// skipping per-instruction decode and value re-computation while keeping
+/// `SimStats` bit-identical (pinned by `tests/stats_equivalence.rs`).  Set
+/// `EARLYREG_NO_REPLAY=1` to force the live front-end for debugging.
 pub fn run_configured_point(
     workload: &Workload,
     point: RunPoint,
     config: MachineConfig,
     max_instructions: u64,
 ) -> RunResult {
-    let mut sim = Simulator::new(config, workload.program.clone());
+    let mut sim = if replay_disabled() {
+        Simulator::new(config, workload.program.clone())
+    } else {
+        let trace = decoded_trace_for(
+            &workload.program,
+            max_instructions.saturating_add(TRACE_SLACK),
+        );
+        Simulator::with_replay(config, workload.program.clone(), trace)
+    };
     let stats = sim.run(RunLimits::instructions(max_instructions));
     assert_eq!(
         stats.oracle_violations, 0,
@@ -141,19 +158,54 @@ where
         .collect()
 }
 
+/// Execution-order permutation for batched scheduling: indices grouped by
+/// `key`, **largest group first** (ties broken by first occurrence, so the
+/// order is deterministic), stable within each group.
+///
+/// Grouping same-key items consecutively keeps each workload's shared
+/// decoded trace and kill plan hot while its policy/config lanes replay it;
+/// putting the largest groups first is longest-processing-time-first
+/// scheduling, which minimises the idle tail when the groups are distributed
+/// over worker threads.
+pub fn batch_order<T, K: PartialEq>(items: &[T], key: impl Fn(&T) -> K) -> Vec<usize> {
+    let mut groups: Vec<(K, Vec<usize>)> = Vec::new();
+    for (index, item) in items.iter().enumerate() {
+        let k = key(item);
+        match groups.iter_mut().find(|(existing, _)| *existing == k) {
+            Some((_, members)) => members.push(index),
+            None => groups.push((k, vec![index])),
+        }
+    }
+    groups.sort_by_key(|(_, members)| (usize::MAX - members.len(), members[0]));
+    groups
+        .into_iter()
+        .flat_map(|(_, members)| members)
+        .collect()
+}
+
 /// Run every point in parallel and return the results sorted by [`RunPoint`]
 /// (duplicates removed), independent of worker-thread interleaving.
+///
+/// Points are *executed* in batched order — same-workload lanes
+/// consecutively, largest workload groups first (see [`batch_order`]) — but
+/// the *returned* results are always point-sorted.
 pub fn run_sweep(options: &ExperimentOptions, mut points: Vec<RunPoint>) -> Vec<RunResult> {
     points.sort_unstable();
     points.dedup();
+    let batched: Vec<RunPoint> = batch_order(&points, |p| p.workload)
+        .into_iter()
+        .map(|i| points[i])
+        .collect();
     let workloads = suite(options.scale);
-    run_parallel(options.effective_threads(), &points, |&point| {
+    let mut results = run_parallel(options.effective_threads(), &batched, |&point| {
         let workload = workloads
             .iter()
             .find(|w| w.name() == point.workload)
             .unwrap_or_else(|| panic!("unknown workload '{}'", point.workload));
         run_point(workload, point, options.max_instructions)
-    })
+    });
+    results.sort_unstable_by_key(|r| r.point);
+    results
 }
 
 /// Select, from a result set, the IPC of a specific point.

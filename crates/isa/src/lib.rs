@@ -29,6 +29,7 @@
 //! expresses.
 
 pub mod builder;
+pub mod decoded;
 pub mod emulator;
 pub mod instr;
 pub mod program;
@@ -37,6 +38,7 @@ pub mod semantics;
 pub mod trace;
 
 pub use builder::{Label, ProgramBuilder};
+pub use decoded::{DecodedTrace, KillEvent, NO_TRACE};
 pub use emulator::{ArchState, EmulationResult, Emulator, StepOutcome};
 pub use instr::{BranchCond, FuClass, Instruction, Opcode};
 pub use program::{Program, ProgramError};

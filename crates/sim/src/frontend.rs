@@ -25,6 +25,9 @@ pub struct FetchedInstr {
     pub predicted_next: usize,
     /// Cycle the instruction was fetched.
     pub fetched_at: u64,
+    /// Committed position in the replay trace, or
+    /// [`earlyreg_isa::NO_TRACE`] for wrong-path / live-front-end fetches.
+    pub trace_idx: u32,
 }
 
 /// Bounded FIFO between fetch and rename.
@@ -97,6 +100,7 @@ mod tests {
             predicted_taken: false,
             predicted_next: pc + 1,
             fetched_at: 0,
+            trace_idx: earlyreg_isa::NO_TRACE,
         }
     }
 

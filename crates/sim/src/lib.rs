@@ -16,8 +16,14 @@
 //! * [`rob`], [`frontend`] — pipeline-side reorder structure and fetch buffer;
 //! * [`pipeline`] — the 8-wide fetch/rename/issue/commit cycle loop, driving
 //!   [`earlyreg_core::RenameUnit`] for renaming and register release;
+//! * [`replay`] — decode-once trace replay: memoized [`DecodedTrace`]
+//!   capture and the fetch-side cursor that lets sweeps skip re-decode and
+//!   re-emulation while keeping statistics bit-identical;
+//! * [`profile`] — feature-gated per-phase scope timers for the hot loop;
 //! * [`verify`] — golden-model comparison against the architectural emulator;
 //! * [`stats`] — IPC, occupancy, predictor/cache/release statistics.
+//!
+//! [`DecodedTrace`]: earlyreg_isa::DecodedTrace
 
 pub mod branch;
 pub mod cache;
@@ -26,6 +32,8 @@ pub mod frontend;
 pub mod fu;
 pub mod lsq;
 pub mod pipeline;
+pub mod profile;
+pub mod replay;
 pub mod rob;
 pub mod stats;
 pub mod verify;
@@ -36,6 +44,7 @@ pub use config::{CacheConfig, ExceptionConfig, MachineConfig, PredictorConfig};
 pub use fu::{FuPool, FuStats};
 pub use lsq::{ForwardResult, LoadStoreQueue};
 pub use pipeline::{RunLimits, Simulator};
+pub use replay::{decoded_trace_for, replay_disabled, ReplayCursor, TRACE_SLACK};
 pub use rob::{InstrState, ReorderBuffer, RobEntry};
 pub use stats::{RenameStallCycles, SimStats};
 pub use verify::{verify_against_emulator, VerifyOutcome};

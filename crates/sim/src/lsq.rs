@@ -141,16 +141,18 @@ impl LoadStoreQueue {
 
     /// Forwarding lookup for the load `id` at `addr`.
     pub fn forward(&self, id: InstrId, addr: usize) -> ForwardResult {
-        let mut result = ForwardResult::NoMatch;
-        for e in self.entries.iter().take_while(|e| e.id < id) {
+        // Youngest older store to the same address wins: walk backwards from
+        // the load's position and stop at the first match.
+        let older = self.entries.partition_point(|e| e.id < id);
+        for e in self.entries.iter().take(older).rev() {
             if e.is_store && e.addr == Some(addr) {
-                result = match e.data {
+                return match e.data {
                     Some(v) => ForwardResult::Forwarded(v),
                     None => ForwardResult::MustWait,
                 };
             }
         }
-        result
+        ForwardResult::NoMatch
     }
 
     /// Remove an entry (at commit).

@@ -52,12 +52,14 @@ use crate::config::MachineConfig;
 use crate::frontend::{FetchBuffer, FetchedInstr};
 use crate::fu::FuPool;
 use crate::lsq::{ForwardResult, LoadStoreQueue};
+use crate::profile::prof;
+use crate::replay::ReplayCursor;
 use crate::rob::{InstrState, ReorderBuffer, RobEntry};
 use crate::stats::SimStats;
 use earlyreg_core::{
     InstrId, KillPlan, PhysReg, RenameStall, RenameUnit, RenamedInstr, SchemeSeed,
 };
-use earlyreg_isa::{semantics, ArchReg, Opcode, Program, RegClass};
+use earlyreg_isa::{semantics, ArchReg, DecodedTrace, Opcode, Program, RegClass, NO_TRACE};
 use std::sync::Arc;
 
 /// The committed-trace kill plan for a shared program, memoized by `Arc`
@@ -67,7 +69,13 @@ use std::sync::Arc;
 /// Entries are dropped when their program is (weak references), and the
 /// derivation runs outside the lock so distinct programs build in parallel
 /// (a racing duplicate derivation is benign — the plans are identical).
-fn kill_plan_for(program: &Arc<Program>) -> Result<Arc<earlyreg_core::KillPlan>, String> {
+/// `build` supplies the plan on a miss: either a fresh emulator pass
+/// ([`KillPlan::for_program`]) or a conversion of an already-captured
+/// replay trace ([`KillPlan::from_trace`]) — the plans are identical.
+fn memoized_kill_plan(
+    program: &Arc<Program>,
+    build: impl FnOnce() -> Result<KillPlan, String>,
+) -> Result<Arc<earlyreg_core::KillPlan>, String> {
     use std::sync::{Mutex, Weak};
     static CACHE: Mutex<Vec<(Weak<Program>, Arc<KillPlan>)>> = Mutex::new(Vec::new());
 
@@ -82,13 +90,17 @@ fn kill_plan_for(program: &Arc<Program>) -> Result<Arc<earlyreg_core::KillPlan>,
     if let Some(plan) = lookup(&mut CACHE.lock().expect("kill-plan cache poisoned")) {
         return Ok(plan);
     }
-    let fresh = Arc::new(KillPlan::for_program(program)?);
+    let fresh = Arc::new(build()?);
     let mut cache = CACHE.lock().expect("kill-plan cache poisoned");
     if let Some(plan) = lookup(&mut cache) {
         return Ok(plan); // a racing builder won; use its (identical) plan
     }
     cache.push((Arc::downgrade(program), Arc::clone(&fresh)));
     Ok(fresh)
+}
+
+fn kill_plan_for(program: &Arc<Program>) -> Result<Arc<earlyreg_core::KillPlan>, String> {
+    memoized_kill_plan(program, || KillPlan::for_program(program))
 }
 
 /// Bytes per instruction (used to form I-cache addresses).
@@ -138,6 +150,17 @@ impl RunLimits {
     }
 }
 
+/// The subset of a [`RobEntry`] the issue/execute paths read.  Copying just
+/// these fields (instead of the whole ~200-byte entry) keeps the issue loop's
+/// working set small; everything issue *writes* goes through the slot.
+struct IssueView {
+    id: InstrId,
+    pc: usize,
+    instr: earlyreg_isa::Instruction,
+    renamed: RenamedInstr,
+    trace_idx: u32,
+}
+
 /// The cycle-level simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -174,6 +197,9 @@ pub struct Simulator {
     /// Scratch for the completion events drained in the current cycle.
     completion_scratch: Vec<(InstrId, u32)>,
 
+    /// Trace-replay front-end state (`None` = live front-end).
+    replay: Option<ReplayCursor>,
+
     cycle: u64,
     halted: bool,
     stats: SimStats,
@@ -189,6 +215,28 @@ impl Simulator {
     /// Panics if the configuration or the program is invalid.
     pub fn new(config: MachineConfig, program: impl Into<Arc<Program>>) -> Self {
         Self::with_scheme_seed(config, program, SchemeSeed::default())
+    }
+
+    /// Build a simulator that feeds its pipeline from a pre-captured
+    /// [`DecodedTrace`] of `program` instead of re-decoding and re-executing
+    /// every instruction (see [`crate::replay`]).  Simulated timing and
+    /// statistics are bit-identical to [`Simulator::new`]; sweeps use this
+    /// to share one capture pass across every policy×config lane.  When the
+    /// scheme needs a kill plan and the trace covers the whole execution,
+    /// the plan is derived from the trace — no second emulator pass.
+    pub fn with_replay(
+        config: MachineConfig,
+        program: impl Into<Arc<Program>>,
+        trace: Arc<DecodedTrace>,
+    ) -> Self {
+        let program: Arc<Program> = program.into();
+        let mut seed = SchemeSeed::default();
+        if config.rename.policy.descriptor().needs_kill_plan && trace.halted() {
+            seed.kill_plan = memoized_kill_plan(&program, || KillPlan::from_trace(&trace)).ok();
+        }
+        let mut sim = Self::with_scheme_seed(config, program, seed);
+        sim.replay = Some(ReplayCursor::new(trace));
+        sim
     }
 
     /// As [`Simulator::new`], with explicit scheme construction data.  The
@@ -263,6 +311,7 @@ impl Simulator {
             // through L2 to memory); grown on demand for exotic configs.
             completions: (0..128).map(|_| Vec::new()).collect(),
             completion_scratch: Vec::new(),
+            replay: None,
             cycle: 0,
             halted: false,
             stats: SimStats::default(),
@@ -296,6 +345,11 @@ impl Simulator {
     /// The rename/release engine (for tests that want to inspect it).
     pub fn rename_unit(&self) -> &RenameUnit {
         &self.rename
+    }
+
+    /// True when this simulator feeds its pipeline from a replay trace.
+    pub fn replaying(&self) -> bool {
+        self.replay.is_some()
     }
 
     /// Committed data memory.
@@ -361,6 +415,37 @@ impl Simulator {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Replay trace accessors (callers hold a valid trace index, which can
+    // only have been claimed from an installed cursor)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn trace(&self) -> &DecodedTrace {
+        &self
+            .replay
+            .as_ref()
+            .expect("trace-tagged instruction without a replay trace")
+            .trace
+    }
+
+    #[inline]
+    fn trace_taken(&self, idx: u32) -> bool {
+        self.trace().taken(idx as usize)
+    }
+
+    #[inline]
+    fn trace_payload(&self, idx: u32) -> u64 {
+        self.trace().payload(idx as usize)
+    }
+
+    #[inline]
+    fn trace_mem_addr(&self, idx: u32) -> usize {
+        self.trace()
+            .mem_addr(idx as usize)
+            .expect("traced memory operation has an address")
+    }
+
     fn sources_ready(&self, renamed: &RenamedInstr) -> bool {
         let ok1 = renamed.src1.is_none_or(|(a, p)| self.phys_ready(a, p));
         let ok2 = renamed.src2.is_none_or(|(a, p)| self.phys_ready(a, p));
@@ -387,12 +472,27 @@ impl Simulator {
     /// Simulate a single cycle.
     pub fn step(&mut self) {
         self.fus.next_cycle();
-        self.stage_commit();
+        {
+            let _t = prof::scope(prof::Phase::Commit);
+            self.stage_commit();
+        }
         if !self.halted {
-            self.stage_writeback();
-            self.stage_issue();
-            self.stage_rename();
-            self.stage_fetch();
+            {
+                let _t = prof::scope(prof::Phase::Writeback);
+                self.stage_writeback();
+            }
+            {
+                let _t = prof::scope(prof::Phase::Issue);
+                self.stage_issue();
+            }
+            {
+                let _t = prof::scope(prof::Phase::Rename);
+                self.stage_rename();
+            }
+            {
+                let _t = prof::scope(prof::Phase::Fetch);
+                self.stage_fetch();
+            }
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
@@ -415,11 +515,20 @@ impl Simulator {
 
     fn stage_commit(&mut self) {
         for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.head() else { break };
-            if head.state != InstrState::Completed {
+            let Some(head_slot) = self.rob.head_slot() else {
+                break;
+            };
+            if self.rob.state(head_slot) != InstrState::Completed {
                 break;
             }
-            let head = *head;
+            let head = self.rob.at_slot(head_slot).expect("head slot is occupied");
+            // Copy only the fields commit reads, not the whole entry.
+            let id = head.id;
+            let instr = head.instr;
+            let pc = head.pc;
+            let trace_idx = head.trace_idx;
+            let mem_addr = head.mem_addr;
+            let store_data = head.store_data;
 
             // Injected precise exception at the commit point.
             if let Some(interval) = self.config.exceptions.interval {
@@ -427,11 +536,11 @@ impl Simulator {
                 if count > 0
                     && count.is_multiple_of(interval)
                     && self.last_exception_at != Some(count)
-                    && head.instr.op != Opcode::Halt
+                    && instr.op != Opcode::Halt
                 {
                     self.last_exception_at = Some(count);
                     self.stats.exceptions += 1;
-                    self.recover_exception(head.pc);
+                    self.recover_exception(pc, trace_idx);
                     return;
                 }
             }
@@ -439,32 +548,32 @@ impl Simulator {
             // Oracle check (paper Section 4.3): no committed instruction may
             // read a logical register whose architectural value was discarded
             // by early release.
-            for reg in head.instr.sources() {
+            for reg in instr.sources() {
                 if self.rename.arch_value_unreliable(reg) {
                     self.stats.oracle_violations += 1;
                 }
             }
 
             // Memory side effects.
-            if head.instr.op.is_store() {
-                let addr = head.mem_addr.expect("completed store has an address");
-                let data = head.store_data.expect("completed store has data");
+            if instr.op.is_store() {
+                let addr = mem_addr.expect("completed store has an address");
+                let data = store_data.expect("completed store has data");
                 self.memory[addr] = data;
-                self.lsq.remove(head.id);
+                self.lsq.remove(id);
                 self.stats.committed_stores += 1;
-            } else if head.instr.op.is_load() {
-                self.lsq.remove(head.id);
+            } else if instr.op.is_load() {
+                self.lsq.remove(id);
                 self.stats.committed_loads += 1;
             }
-            if head.instr.op.is_cond_branch() {
+            if instr.op.is_cond_branch() {
                 self.stats.committed_branches += 1;
             }
 
-            self.rename.commit(head.id, self.cycle);
-            self.rob.pop_head(head.id);
+            self.rename.commit(id, self.cycle);
+            self.rob.pop_head(id);
             self.stats.committed += 1;
 
-            if head.instr.op == Opcode::Halt {
+            if instr.op == Opcode::Halt {
                 self.halted = true;
                 break;
             }
@@ -490,20 +599,18 @@ impl Simulator {
             let Some(entry) = self.rob.at_slot(slot) else {
                 continue; // squashed, slot vacant
             };
-            if entry.id != id || entry.state != InstrState::Dispatched {
+            if entry.id != id || self.rob.state(slot) != InstrState::Dispatched {
                 continue; // squashed, slot reused
             }
-            let waiting = entry.waiting_srcs.saturating_sub(1);
             let store_addr_pending = entry.instr.op.is_store() && entry.mem_addr.is_none();
-            let in_attention = entry.in_attention;
             let src1 = entry.renamed.src1;
-            let join = !in_attention
+            let waiting = self.rob.waiting_srcs(slot).saturating_sub(1);
+            let join = !self.rob.in_attention(slot)
                 && (waiting == 0
                     || (store_addr_pending && src1.is_none_or(|(a, p)| self.phys_ready(a, p))));
-            let entry = self.rob.at_slot_mut(slot).expect("validated above");
-            entry.waiting_srcs = waiting;
+            self.rob.set_waiting_srcs(slot, waiting);
             if join {
-                entry.in_attention = true;
+                self.rob.set_in_attention(slot, true);
                 self.attention.push((id, slot));
             }
         }
@@ -517,8 +624,11 @@ impl Simulator {
         completing.clear();
         completing.append(&mut self.completions[(self.cycle as usize) & mask]);
         // Events scheduled in different cycles can share a bucket; process in
-        // program order, as the window scan this replaces did.
-        completing.sort_unstable_by_key(|&(id, _)| id);
+        // program order, as the window scan this replaces did.  Same-cycle
+        // scheduling is itself id-ordered, so most buckets arrive sorted.
+        if !completing.is_sorted_by_key(|&(id, _)| id) {
+            completing.sort_unstable_by_key(|&(id, _)| id);
+        }
 
         for &(id, slot) in completing.iter() {
             // The entry may have been squashed by an older branch that
@@ -530,37 +640,41 @@ impl Simulator {
                 continue;
             }
             debug_assert!(
-                matches!(entry.state, InstrState::Issued { complete_at } if complete_at <= self.cycle)
+                matches!(self.rob.state(slot), InstrState::Issued { complete_at } if complete_at <= self.cycle)
             );
-            let entry = *entry;
+            // Copy only the fields writeback reads, not the whole entry.
+            let dst_rename = entry.renamed.dst;
+            let result = entry.result;
+            let is_unresolved_branch = entry.instr.op.is_cond_branch() && !entry.resolved;
+            let prediction = entry.prediction;
+            let actual_taken = entry.actual_taken;
+            let predicted_taken = entry.predicted_taken;
+            let actual_next = entry.actual_next;
+            let trace_idx = entry.trace_idx;
 
             // Write the result and wake up consumers.
-            if let Some(dst) = entry.renamed.dst {
-                let bits = entry.result.unwrap_or(0);
+            if let Some(dst) = dst_rename {
+                let bits = result.unwrap_or(0);
                 self.write_phys(dst.arch.class(), dst.phys, bits);
                 self.set_phys_ready(dst.arch.class(), dst.phys, true);
                 self.rename
                     .mark_value_written(dst.arch.class(), dst.phys, self.cycle);
                 self.wake_consumers(dst.arch.class(), dst.phys);
             }
-            if let Some(e) = self.rob.at_slot_mut(slot) {
-                e.state = InstrState::Completed;
-            }
+            self.rob.set_state(slot, InstrState::Completed);
 
             // Conditional branch resolution.
-            if entry.instr.op.is_cond_branch() && !entry.resolved {
-                let prediction = entry
-                    .prediction
-                    .expect("conditional branches carry a prediction");
-                let actual_taken = entry.actual_taken.expect("resolved branch has an outcome");
+            if is_unresolved_branch {
+                let prediction = prediction.expect("conditional branches carry a prediction");
+                let actual_taken = actual_taken.expect("resolved branch has an outcome");
                 self.predictor.resolve(&prediction, actual_taken);
                 if let Some(e) = self.rob.at_slot_mut(slot) {
                     e.resolved = true;
                 }
-                if actual_taken != entry.predicted_taken {
+                if actual_taken != predicted_taken {
                     self.stats.mispredicted_branches += 1;
                     self.predictor.repair(&prediction, actual_taken);
-                    self.recover_mispredict(id, entry.actual_next);
+                    self.recover_mispredict(id, actual_next, trace_idx);
                     // The rest of this cycle's list is strictly younger than
                     // the branch (sorted by id), so every remaining event
                     // refers to an instruction the recovery just squashed:
@@ -576,7 +690,7 @@ impl Simulator {
         self.completion_scratch = completing;
     }
 
-    fn recover_mispredict(&mut self, branch_id: InstrId, correct_next: usize) {
+    fn recover_mispredict(&mut self, branch_id: InstrId, correct_next: usize, branch_trace: u32) {
         let squashed_rename = self.rename.recover_branch_mispredict(branch_id, self.cycle);
         let squashed = squashed_rename.squashed;
         let squashed_rob = self.rob.squash_after(branch_id);
@@ -588,6 +702,14 @@ impl Simulator {
         // are dropped lazily: their slots are vacated (or reused under a new
         // id), which every consumer revalidates.
 
+        // Re-synchronise the replay cursor: an on-trace branch resumes the
+        // trace right after itself (its correct target is the next trace
+        // position); a wrong-path branch leaves fetch off-trace until the
+        // on-trace branch below it resolves.
+        if let Some(cursor) = &mut self.replay {
+            cursor.resume_after_branch(branch_trace);
+        }
+
         self.fetch_pc = correct_next;
         self.fetch_halted = false;
         self.fetch_stalled_until = self
@@ -595,7 +717,7 @@ impl Simulator {
             .saturating_add(1 + self.config.predictor.mispredict_redirect_penalty as u64);
     }
 
-    fn recover_exception(&mut self, restart_pc: usize) {
+    fn recover_exception(&mut self, restart_pc: usize, head_trace: u32) {
         self.rename.recover_exception(self.cycle);
         let squashed = self.rob.clear();
         self.lsq.clear();
@@ -610,6 +732,13 @@ impl Simulator {
         }
         for bucket in &mut self.completions {
             bucket.clear();
+        }
+
+        // The squashed head re-executes first: rewind the cursor to it (the
+        // head is always on the correct path, so it is off-trace only past
+        // the capture budget — where fetch degrades to live anyway).
+        if let Some(cursor) = &mut self.replay {
+            cursor.resume_at(head_trace);
         }
 
         self.fetch_pc = restart_pc;
@@ -650,7 +779,7 @@ impl Simulator {
                 if entry.id != id {
                     continue;
                 }
-                if let InstrState::Issued { complete_at } = entry.state {
+                if let InstrState::Issued { complete_at } = self.rob.state(slot) {
                     // Every pending event is in the future: this cycle's
                     // bucket was already drained by writeback, and events for
                     // squashed instructions were filtered above.
@@ -668,7 +797,11 @@ impl Simulator {
         let mut attention = std::mem::take(&mut self.attention);
         // Entries join at dispatch (in order) and at wakeup (out of order);
         // restore program order so selection priority matches a window scan.
-        attention.sort_unstable_by_key(|&(id, _)| id);
+        // The kept prefix plus in-order dispatches is already sorted most
+        // cycles, so check before paying for the sort.
+        if !attention.is_sorted_by_key(|&(id, _)| id) {
+            attention.sort_unstable_by_key(|&(id, _)| id);
+        }
 
         let mut issued = 0;
         let mut kept = 0;
@@ -678,7 +811,7 @@ impl Simulator {
             let Some(entry) = self.rob.at_slot(slot) else {
                 continue; // squashed: drop from the attention list
             };
-            if entry.id != id || entry.state != InstrState::Dispatched {
+            if entry.id != id || self.rob.state(slot) != InstrState::Dispatched {
                 continue;
             }
             if issued >= self.config.issue_width {
@@ -688,21 +821,31 @@ impl Simulator {
                 kept += 1;
                 continue;
             }
-            let entry = *entry;
+            // Copy only what the issue paths read — not the whole ~200-byte
+            // entry (twice, as the scan-based loop did).
+            let view = IssueView {
+                id,
+                pc: entry.pc,
+                instr: entry.instr,
+                renamed: entry.renamed,
+                trace_idx: entry.trace_idx,
+            };
+            let addr_pending = entry.mem_addr.is_none();
 
             // Store address generation is decoupled from the data: as soon as
             // the base register is ready the effective address is published
             // to the LSQ so that younger loads can apply the conservative
             // "all previous store addresses known" rule (Table 2) without
             // waiting for the store data to be produced.
-            if entry.instr.op.is_store() && entry.mem_addr.is_none() {
-                let base_ready = entry
-                    .renamed
-                    .src1
-                    .is_none_or(|(a, p)| self.phys_ready(a, p));
+            if view.instr.op.is_store() && addr_pending {
+                let base_ready = view.renamed.src1.is_none_or(|(a, p)| self.phys_ready(a, p));
                 if base_ready {
-                    let base = self.operand_int(entry.renamed.src1);
-                    let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
+                    let addr = if view.trace_idx != NO_TRACE {
+                        self.trace_mem_addr(view.trace_idx)
+                    } else {
+                        let base = self.operand_int(view.renamed.src1);
+                        semantics::effective_addr(base, view.instr.imm, self.memory.len())
+                    };
                     self.lsq.set_address(id, addr);
                     if let Some(e) = self.rob.at_slot_mut(slot) {
                         e.mem_addr = Some(addr);
@@ -710,21 +853,20 @@ impl Simulator {
                 }
             }
 
-            if !self.sources_ready(&entry.renamed) {
+            if !self.sources_ready(&view.renamed) {
                 // Present only for address generation (store data pending):
                 // stays listed until the data wakeup completes it.
                 attention[kept] = (id, slot);
                 kept += 1;
                 continue;
             }
-            let entry = *self.rob.at_slot(slot).expect("entry validated above");
-            let class = entry.instr.op.fu_class();
+            let class = view.instr.op.fu_class();
 
-            let did_issue = if entry.instr.op.is_mem() {
-                self.try_issue_mem(&entry, slot)
+            let did_issue = if view.instr.op.is_mem() {
+                self.try_issue_mem(&view, slot)
             } else if self.fus.try_issue(class) {
                 let latency = self.config.latency(class).max(1);
-                self.execute_alu(&entry, slot, latency);
+                self.execute_alu(&view, slot, latency);
                 true
             } else {
                 false
@@ -732,9 +874,7 @@ impl Simulator {
 
             if did_issue {
                 issued += 1;
-                if let Some(e) = self.rob.at_slot_mut(slot) {
-                    e.in_attention = false;
-                }
+                self.rob.set_in_attention(slot, false);
             } else {
                 // Structural hazard or LSQ ordering: retry next cycle.
                 attention[kept] = (id, slot);
@@ -746,43 +886,72 @@ impl Simulator {
     }
 
     /// Execute a non-memory instruction and schedule its completion.
-    fn execute_alu(&mut self, entry: &RobEntry, slot: u32, latency: u32) {
-        let a_int = self.operand_int(entry.renamed.src1);
-        let b_int = self.operand_int(entry.renamed.src2);
-        let a_fp = self.operand_fp(entry.renamed.src1);
-        let b_fp = self.operand_fp(entry.renamed.src2);
-
+    ///
+    /// On-trace instructions read their outcome (result bits, branch
+    /// direction) from the replay trace instead of reading operands and
+    /// recomputing; wrong-path instructions execute live.  Both paths
+    /// produce the same bits on the correct path (the trace *is* the
+    /// architectural execution), so timing and statistics are identical.
+    fn execute_alu(&mut self, entry: &IssueView, slot: u32, latency: u32) {
         let mut result = None;
         let mut actual_taken = None;
         let mut actual_next = entry.pc + 1;
 
-        match entry.instr.op {
-            Opcode::Branch(cond) => {
-                let taken = semantics::branch_taken(cond, a_int, b_int);
-                actual_taken = Some(taken);
-                actual_next = if taken {
-                    entry.instr.imm as usize
-                } else {
-                    entry.pc + 1
-                };
+        if entry.trace_idx != NO_TRACE {
+            match entry.instr.op {
+                Opcode::Branch(_) => {
+                    let taken = self.trace_taken(entry.trace_idx);
+                    actual_taken = Some(taken);
+                    actual_next = if taken {
+                        entry.instr.imm as usize
+                    } else {
+                        entry.pc + 1
+                    };
+                }
+                Opcode::Jump => {
+                    actual_next = entry.instr.imm as usize;
+                }
+                Opcode::Halt | Opcode::Nop => {}
+                _ => {
+                    if entry.instr.dst.is_some() {
+                        result = Some(self.trace_payload(entry.trace_idx));
+                    }
+                }
             }
-            Opcode::Jump => {
-                actual_next = entry.instr.imm as usize;
-            }
-            Opcode::Halt | Opcode::Nop => {}
-            op => {
-                let value = semantics::compute(op, a_int, b_int, a_fp, b_fp, entry.instr.imm);
-                result = match value {
-                    semantics::ExecValue::Int(v) => Some(v as u64),
-                    semantics::ExecValue::Fp(v) => Some(v.to_bits()),
-                    semantics::ExecValue::None => None,
-                };
+        } else {
+            let a_int = self.operand_int(entry.renamed.src1);
+            let b_int = self.operand_int(entry.renamed.src2);
+            let a_fp = self.operand_fp(entry.renamed.src1);
+            let b_fp = self.operand_fp(entry.renamed.src2);
+
+            match entry.instr.op {
+                Opcode::Branch(cond) => {
+                    let taken = semantics::branch_taken(cond, a_int, b_int);
+                    actual_taken = Some(taken);
+                    actual_next = if taken {
+                        entry.instr.imm as usize
+                    } else {
+                        entry.pc + 1
+                    };
+                }
+                Opcode::Jump => {
+                    actual_next = entry.instr.imm as usize;
+                }
+                Opcode::Halt | Opcode::Nop => {}
+                op => {
+                    let value = semantics::compute(op, a_int, b_int, a_fp, b_fp, entry.instr.imm);
+                    result = match value {
+                        semantics::ExecValue::Int(v) => Some(v as u64),
+                        semantics::ExecValue::Fp(v) => Some(v.to_bits()),
+                        semantics::ExecValue::None => None,
+                    };
+                }
             }
         }
 
         let complete_at = self.cycle + latency as u64;
+        self.rob.set_state(slot, InstrState::Issued { complete_at });
         let e = self.rob.at_slot_mut(slot).expect("entry present");
-        e.state = InstrState::Issued { complete_at };
         e.result = result;
         e.actual_taken = actual_taken;
         e.actual_next = actual_next;
@@ -790,24 +959,39 @@ impl Simulator {
     }
 
     /// Try to issue a load or store; returns true if it issued.
-    fn try_issue_mem(&mut self, entry: &RobEntry, slot: u32) -> bool {
-        let base = self.operand_int(entry.renamed.src1);
-        let addr = semantics::effective_addr(base, entry.instr.imm, self.memory.len());
+    ///
+    /// On-trace operations take their effective address (and store data /
+    /// load bits) from the replay trace; every *timing* decision — LSQ
+    /// ordering, forwarding, functional-unit ports, cache access — runs
+    /// unchanged, so the schedule is identical to live execution.
+    fn try_issue_mem(&mut self, entry: &IssueView, slot: u32) -> bool {
+        let addr = if entry.trace_idx != NO_TRACE {
+            self.trace_mem_addr(entry.trace_idx)
+        } else {
+            let base = self.operand_int(entry.renamed.src1);
+            semantics::effective_addr(base, entry.instr.imm, self.memory.len())
+        };
 
         if entry.instr.op.is_store() {
             if !self.fus.try_issue(earlyreg_isa::FuClass::Mem) {
                 return false;
             }
-            let data = match entry.instr.op {
-                Opcode::StoreInt => semantics::int_to_word(self.operand_int(entry.renamed.src2)),
-                Opcode::StoreFp => semantics::fp_to_word(self.operand_fp(entry.renamed.src2)),
-                _ => unreachable!(),
+            let data = if entry.trace_idx != NO_TRACE {
+                self.trace_payload(entry.trace_idx)
+            } else {
+                match entry.instr.op {
+                    Opcode::StoreInt => {
+                        semantics::int_to_word(self.operand_int(entry.renamed.src2))
+                    }
+                    Opcode::StoreFp => semantics::fp_to_word(self.operand_fp(entry.renamed.src2)),
+                    _ => unreachable!(),
+                }
             };
             self.lsq.set_address(entry.id, addr);
             self.lsq.set_store_data(entry.id, data);
             let complete_at = self.cycle + 1;
+            self.rob.set_state(slot, InstrState::Issued { complete_at });
             let e = self.rob.at_slot_mut(slot).expect("entry present");
-            e.state = InstrState::Issued { complete_at };
             e.mem_addr = Some(addr);
             e.store_data = Some(data);
             self.schedule_completion(entry.id, slot, complete_at);
@@ -830,14 +1014,19 @@ impl Simulator {
             ForwardResult::Forwarded(bits) => (bits, self.config.dcache.hit_latency),
             ForwardResult::NoMatch => {
                 let latency = self.mem_hierarchy.access_data(addr as u64 * WORD_BYTES);
-                (self.memory[addr], latency)
+                let bits = if entry.trace_idx != NO_TRACE {
+                    self.trace_payload(entry.trace_idx)
+                } else {
+                    self.memory[addr]
+                };
+                (bits, latency)
             }
             ForwardResult::MustWait => unreachable!(),
         };
         self.lsq.set_address(entry.id, addr);
         let complete_at = self.cycle + latency.max(1) as u64;
+        self.rob.set_state(slot, InstrState::Issued { complete_at });
         let e = self.rob.at_slot_mut(slot).expect("entry present");
-        e.state = InstrState::Issued { complete_at };
         e.mem_addr = Some(addr);
         e.result = Some(bits);
         self.schedule_completion(entry.id, slot, complete_at);
@@ -890,7 +1079,6 @@ impl Simulator {
                 pc: fetched.pc,
                 instr: fetched.instr,
                 renamed: renamed_instr,
-                state: InstrState::Dispatched,
                 prediction: fetched.prediction,
                 predicted_taken: fetched.predicted_taken,
                 predicted_next: fetched.predicted_next,
@@ -901,8 +1089,7 @@ impl Simulator {
                 mem_addr: None,
                 store_data: None,
                 dispatched_at: self.cycle,
-                waiting_srcs: 0,
-                in_attention: false,
+                trace_idx: fetched.trace_idx,
             });
 
             // Register in the wakeup lists; join the attention list when
@@ -922,10 +1109,9 @@ impl Simulator {
                 .src1
                 .is_none_or(|(a, p)| self.phys_ready(a, p));
             let join = waiting == 0 || (fetched.instr.op.is_store() && base_ready);
-            let entry = self.rob.at_slot_mut(slot).expect("just pushed");
-            entry.waiting_srcs = waiting;
+            self.rob.set_waiting_srcs(slot, waiting);
             if join {
-                entry.in_attention = true;
+                self.rob.set_in_attention(slot, true);
                 self.attention.push((id, slot));
             }
 
@@ -971,6 +1157,10 @@ impl Simulator {
             }
 
             let instr = self.program.instrs[pc];
+            let trace_idx = match &mut self.replay {
+                Some(cursor) => cursor.claim(pc),
+                None => NO_TRACE,
+            };
             let mut prediction = None;
             let mut predicted_taken = false;
             let mut next_pc = pc + 1;
@@ -983,6 +1173,12 @@ impl Simulator {
                         next_pc = instr.imm as usize;
                     }
                     prediction = Some(p);
+                    // A prediction that disagrees with the recorded direction
+                    // means fetch is turning onto the wrong path: stop the
+                    // cursor until this branch's recovery re-synchronises it.
+                    if trace_idx != NO_TRACE && p.taken != self.trace_taken(trace_idx) {
+                        self.replay.as_mut().expect("claimed from cursor").diverge();
+                    }
                 }
                 Opcode::Jump => {
                     predicted_taken = true;
@@ -1001,6 +1197,7 @@ impl Simulator {
                 predicted_taken,
                 predicted_next: next_pc,
                 fetched_at: self.cycle,
+                trace_idx,
             });
             self.stats.fetched += 1;
 

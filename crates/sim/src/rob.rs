@@ -17,6 +17,17 @@
 //! pipeline's event lists (ready instructions, scheduled completions) cache
 //! `(id, slot)` pairs and revalidate them against the ring with
 //! [`ReorderBuffer::at_slot`], so the per-cycle loops never scan the window.
+//!
+//! ## Struct-of-arrays scheduling state
+//!
+//! The fields the per-cycle scheduling loops *mutate* — execution status,
+//! outstanding-source count, attention-list membership — live in dense
+//! per-slot side arrays rather than in [`RobEntry`].  A wakeup or an issue
+//! check touches a few bytes in a hot 2 KB array instead of pulling the
+//! entry's several cache lines; the wide entry itself is written once at
+//! dispatch and read back at issue/writeback/commit.  The side arrays are
+//! only meaningful for occupied slots (callers validate the slot's id first,
+//! exactly as they do for entry access), and are reset on push.
 
 use crate::branch::Prediction;
 use earlyreg_core::{HasInstrId, IdRing, InstrId, RenamedInstr};
@@ -47,8 +58,6 @@ pub struct RobEntry {
     pub instr: Instruction,
     /// Operand physical registers.
     pub renamed: RenamedInstr,
-    /// Execution status.
-    pub state: InstrState,
     /// Direction prediction, for conditional branches.
     pub prediction: Option<Prediction>,
     /// Predicted direction (true also for unconditional jumps).
@@ -69,13 +78,9 @@ pub struct RobEntry {
     pub store_data: Option<u64>,
     /// Cycle the instruction entered the reorder structure.
     pub dispatched_at: u64,
-    /// Unready source registers still being waited on (maintained by the
-    /// pipeline's wakeup lists; duplicates count twice when both sources name
-    /// the same register).
-    pub waiting_srcs: u8,
-    /// True while the instruction is queued in the pipeline's issue
-    /// attention list (guards against double insertion).
-    pub in_attention: bool,
+    /// Committed position in the replay trace, or
+    /// [`earlyreg_isa::NO_TRACE`] when not covered by a trace.
+    pub trace_idx: u32,
 }
 
 impl HasInstrId for RobEntry {
@@ -89,14 +94,31 @@ impl HasInstrId for RobEntry {
 pub struct ReorderBuffer {
     entries: IdRing<RobEntry>,
     capacity: usize,
+    // Struct-of-arrays scheduling state, indexed by physical slot (see the
+    // module documentation).  Values are meaningful only while the slot is
+    // occupied; push resets them.
+    /// Execution status.
+    states: Vec<InstrState>,
+    /// Unready source registers still being waited on (maintained by the
+    /// pipeline's wakeup lists; duplicates count twice when both sources
+    /// name the same register).
+    waiting_srcs: Vec<u8>,
+    /// True while the instruction is queued in the pipeline's issue
+    /// attention list (guards against double insertion).
+    in_attention: Vec<bool>,
 }
 
 impl ReorderBuffer {
     /// Create an empty buffer with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
+        let entries: IdRing<RobEntry> = IdRing::with_capacity(capacity);
+        let slots = entries.slot_count();
         ReorderBuffer {
-            entries: IdRing::with_capacity(capacity),
+            entries,
             capacity,
+            states: vec![InstrState::Dispatched; slots],
+            waiting_srcs: vec![0; slots],
+            in_attention: vec![false; slots],
         }
     }
 
@@ -116,9 +138,15 @@ impl ReorderBuffer {
     }
 
     /// Append a newly dispatched instruction; returns its stable slot index.
+    /// The slot's scheduling state is reset (Dispatched, no outstanding
+    /// sources, not in the attention list).
     pub fn push(&mut self, entry: RobEntry) -> u32 {
         assert!(!self.is_full(), "reorder structure overflow");
-        self.entries.push(entry)
+        let slot = self.entries.push(entry);
+        self.states[slot as usize] = InstrState::Dispatched;
+        self.waiting_srcs[slot as usize] = 0;
+        self.in_attention[slot as usize] = false;
+        slot
     }
 
     /// O(1) id → slot resolution.
@@ -152,6 +180,48 @@ impl ReorderBuffer {
     /// The oldest entry.
     pub fn head(&self) -> Option<&RobEntry> {
         self.entries.front()
+    }
+
+    /// Slot of the oldest entry.
+    #[inline]
+    pub fn head_slot(&self) -> Option<u32> {
+        self.entries.front_slot()
+    }
+
+    /// Execution status of the (occupied, id-validated) slot.
+    #[inline]
+    pub fn state(&self, slot: u32) -> InstrState {
+        self.states[slot as usize]
+    }
+
+    /// Update the execution status of a slot.
+    #[inline]
+    pub fn set_state(&mut self, slot: u32, state: InstrState) {
+        self.states[slot as usize] = state;
+    }
+
+    /// Outstanding unready sources of a slot.
+    #[inline]
+    pub fn waiting_srcs(&self, slot: u32) -> u8 {
+        self.waiting_srcs[slot as usize]
+    }
+
+    /// Update the outstanding-source count of a slot.
+    #[inline]
+    pub fn set_waiting_srcs(&mut self, slot: u32, n: u8) {
+        self.waiting_srcs[slot as usize] = n;
+    }
+
+    /// Attention-list membership of a slot.
+    #[inline]
+    pub fn in_attention(&self, slot: u32) -> bool {
+        self.in_attention[slot as usize]
+    }
+
+    /// Update the attention-list membership of a slot.
+    #[inline]
+    pub fn set_in_attention(&mut self, slot: u32, v: bool) {
+        self.in_attention[slot as usize] = v;
     }
 
     /// Remove the oldest entry, which must be `id`.
@@ -195,7 +265,6 @@ mod tests {
                 src2: None,
                 dst: None,
             },
-            state: InstrState::Dispatched,
             prediction: None,
             predicted_taken: false,
             predicted_next: id as usize + 1,
@@ -206,8 +275,7 @@ mod tests {
             mem_addr: None,
             store_data: None,
             dispatched_at: 0,
-            waiting_srcs: 0,
-            in_attention: false,
+            trace_idx: earlyreg_isa::NO_TRACE,
         }
     }
 
@@ -263,14 +331,36 @@ mod tests {
     #[test]
     fn state_transitions_are_representable() {
         let mut rob = ReorderBuffer::new(2);
-        rob.push(entry(1));
-        rob.get_mut(InstrId(1)).unwrap().state = InstrState::Issued { complete_at: 7 };
-        assert_eq!(
-            rob.get(InstrId(1)).unwrap().state,
-            InstrState::Issued { complete_at: 7 }
-        );
-        rob.get_mut(InstrId(1)).unwrap().state = InstrState::Completed;
-        assert_eq!(rob.get(InstrId(1)).unwrap().state, InstrState::Completed);
+        let slot = rob.push(entry(1));
+        assert_eq!(rob.state(slot), InstrState::Dispatched);
+        rob.set_state(slot, InstrState::Issued { complete_at: 7 });
+        assert_eq!(rob.state(slot), InstrState::Issued { complete_at: 7 });
+        rob.set_state(slot, InstrState::Completed);
+        assert_eq!(rob.state(slot), InstrState::Completed);
+    }
+
+    #[test]
+    fn push_resets_slot_scheduling_state() {
+        let mut rob = ReorderBuffer::new(2);
+        let slot = rob.push(entry(1));
+        rob.set_state(slot, InstrState::Completed);
+        rob.set_waiting_srcs(slot, 2);
+        rob.set_in_attention(slot, true);
+        rob.pop_head(InstrId(1));
+        // A later push reusing the slot must start from a clean state.
+        let mut reused = None;
+        for id in 2..10 {
+            let s = rob.push(entry(id));
+            if s == slot {
+                reused = Some(s);
+                break;
+            }
+            rob.pop_head(InstrId(id));
+        }
+        let slot = reused.expect("the ring reuses vacated slots");
+        assert_eq!(rob.state(slot), InstrState::Dispatched);
+        assert_eq!(rob.waiting_srcs(slot), 0);
+        assert!(!rob.in_attention(slot));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use earlyreg::conformance::test_support;
 use earlyreg::core::{InstrId, RenamedInstr};
 use earlyreg::isa::Instruction;
-use earlyreg::sim::{InstrState, ReorderBuffer, RobEntry};
+use earlyreg::sim::{ReorderBuffer, RobEntry};
 use proptest::prelude::*;
 
 fn entry(id: u64) -> RobEntry {
@@ -20,7 +20,6 @@ fn entry(id: u64) -> RobEntry {
             src2: None,
             dst: None,
         },
-        state: InstrState::Dispatched,
         prediction: None,
         predicted_taken: false,
         predicted_next: id as usize + 1,
@@ -31,8 +30,7 @@ fn entry(id: u64) -> RobEntry {
         mem_addr: None,
         store_data: None,
         dispatched_at: 0,
-        waiting_srcs: 0,
-        in_attention: false,
+        trace_idx: earlyreg::isa::NO_TRACE,
     }
 }
 

@@ -10,10 +10,22 @@
 //!
 //! If a change *intentionally* alters simulated behaviour (a model fix, a
 //! new feature), update the pinned values in the same commit and say so.
+//!
+//! The second half of this file extends the contract to the **trace-replay
+//! front-end** (`Simulator::with_replay`): for every registered policy, on
+//! pinned workload points, with exception injection, and over random
+//! hazard-stress programs, replay must produce `SimStats` bit-identical to
+//! the live front-end.  Replay skips value computation, never timing, so any
+//! difference is a bug in the replay path.
 
-use earlyreg::core::ReleasePolicy;
-use earlyreg::sim::{MachineConfig, RunLimits, SimStats, Simulator};
+use earlyreg::conformance::{compile, plan_blocks, test_support, HazardConfig};
+use earlyreg::core::{registry, ReleasePolicy};
+use earlyreg::sim::{
+    decoded_trace_for, MachineConfig, RunLimits, SimStats, Simulator, TRACE_SLACK,
+};
 use earlyreg::workloads::{workload_by_name, Scale};
+use proptest::prelude::*;
+use std::sync::Arc;
 
 fn golden_point(policy: ReleasePolicy) -> SimStats {
     let workload = workload_by_name("swim", Scale::Smoke).expect("swim exists");
@@ -121,4 +133,139 @@ fn golden_swim_counter_48_is_bit_identical() {
     assert_eq!(stats.release.fp.conventional_releases, 1124);
     assert_eq!(stats.release.fp.early_at_lu_commit, 475);
     assert_eq!(stats.release.fp.fallback_to_conventional, 1134);
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay: bit-identical to the live front-end
+// ---------------------------------------------------------------------------
+
+/// Run one (config, program, budget) point through both front-ends and
+/// assert bit-identical statistics.
+fn assert_replay_equivalent(
+    config: MachineConfig,
+    program: &Arc<earlyreg::isa::Program>,
+    budget: u64,
+    label: &str,
+) {
+    let limits = RunLimits::instructions(budget);
+
+    let mut live = Simulator::new(config, Arc::clone(program));
+    let live_stats = live.run(limits);
+
+    let trace = decoded_trace_for(program, budget.saturating_add(TRACE_SLACK));
+    let mut replayed = Simulator::with_replay(config, Arc::clone(program), trace);
+    assert!(replayed.replaying(), "{label}: replay cursor must be armed");
+    let replay_stats = replayed.run(limits);
+
+    assert_eq!(
+        replay_stats, live_stats,
+        "{label}: trace replay diverged from the live front-end"
+    );
+}
+
+/// Every registered policy — built-ins and registry additions alike — must
+/// replay bit-identically on the pinned swim point.
+#[test]
+fn replay_matches_live_for_every_registered_policy_on_swim() {
+    let workload = workload_by_name("swim", Scale::Smoke).expect("swim exists");
+    for policy in registry::registered() {
+        let config = MachineConfig::icpp02(policy, 48, 48);
+        assert_replay_equivalent(
+            config,
+            &workload.program,
+            20_000,
+            &format!("swim/{policy:?}"),
+        );
+    }
+}
+
+/// Same sweep over gcc, whose irregular branch cascade produces a different
+/// misprediction/divergence profile than swim's loop nests.
+#[test]
+fn replay_matches_live_for_every_registered_policy_on_gcc() {
+    let workload = workload_by_name("gcc", Scale::Smoke).expect("gcc exists");
+    for policy in registry::registered() {
+        let config = MachineConfig::icpp02(policy, 48, 48);
+        assert_replay_equivalent(
+            config,
+            &workload.program,
+            20_000,
+            &format!("gcc/{policy:?}"),
+        );
+    }
+}
+
+/// Exception injection exercises the cursor rewind path: a precise
+/// exception squashes the whole window and fetch restarts at the old head's
+/// trace position.
+#[test]
+fn replay_matches_live_under_exception_injection() {
+    let workload = workload_by_name("swim", Scale::Smoke).expect("swim exists");
+    for policy in [
+        ReleasePolicy::Conventional,
+        ReleasePolicy::Extended,
+        ReleasePolicy::Oracle,
+    ] {
+        let mut config = MachineConfig::icpp02(policy, 48, 48);
+        config.exceptions.interval = Some(500);
+        assert_replay_equivalent(
+            config,
+            &workload.program,
+            20_000,
+            &format!("swim+exc/{policy:?}"),
+        );
+    }
+}
+
+/// A deliberately tight capture budget forces the cursor off the end of the
+/// trace mid-run; the tail must degrade to live execution bit-identically.
+#[test]
+fn replay_degrades_to_live_past_the_capture_budget() {
+    let workload = workload_by_name("swim", Scale::Smoke).expect("swim exists");
+    let config = MachineConfig::icpp02(ReleasePolicy::Extended, 48, 48);
+    let limits = RunLimits::instructions(20_000);
+
+    let mut live = Simulator::new(config, workload.program.clone());
+    let live_stats = live.run(limits);
+
+    // Capture only a fraction of the execution (swim Smoke commits ~3.6k
+    // instructions), bypassing the memo cache (which would round up to an
+    // earlier, longer capture of the same program).
+    let short = Arc::new(earlyreg::isa::DecodedTrace::capture(
+        &workload.program,
+        1_000,
+    ));
+    assert!(!short.halted(), "short capture must stop before the end");
+    let mut replayed = Simulator::with_replay(config, workload.program.clone(), short);
+    let replay_stats = replayed.run(limits);
+
+    assert_eq!(
+        replay_stats, live_stats,
+        "running past the capture budget must degrade to live execution"
+    );
+}
+
+proptest! {
+    #![proptest_config(test_support::cases(24))]
+
+    /// Random hazard-stress programs (dependency chains, branches, memory
+    /// aliasing from the conformance generator) replay bit-identically under
+    /// every built-in policy and a small rename file that maximises
+    /// stall/squash interleavings.
+    #[test]
+    fn replay_matches_live_on_random_hazard_programs(
+        seed in 0u64..1u64 << 48,
+        policy in prop::sample::select(vec![
+            ReleasePolicy::Conventional,
+            ReleasePolicy::Extended,
+            ReleasePolicy::Oracle,
+            ReleasePolicy::Counter,
+        ]),
+    ) {
+        let hazard = HazardConfig::from_case_seed(seed);
+        let blocks = plan_blocks(&hazard);
+        let program = Arc::new(compile(&hazard, &blocks));
+        let config = MachineConfig::small(policy, 40, 40);
+        assert_replay_equivalent(config, &program, 10_000, &format!("hazard seed {seed}"));
+    }
 }
