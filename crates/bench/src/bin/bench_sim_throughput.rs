@@ -24,8 +24,15 @@
 //! with `--features profile` (forwards to `earlyreg-sim/profile`) to compile
 //! the scope timers in.
 //!
+//! Workloads come from the string-keyed workload registry: `--workloads`
+//! takes registered ids/aliases plus the keywords `all`, `paper` (the
+//! synthetic Table 3 set) and `asm` (the assembled real kernels).  The
+//! default measures one synthetic member of each class plus one assembled
+//! kernel of each class, so the committed baseline tracks both front-ends
+//! over both program sources.
+//!
 //! Usage:
-//!   bench_sim_throughput [--instructions N] [--workloads swim,gcc]
+//!   bench_sim_throughput [--instructions N] [--workloads swim,gcc,asm]
 //!                        [--out BENCH_sim_throughput.json] [--sweep]
 //!                        [--baseline FILE] [--max-regression PCT]
 //!                        [--profile]
@@ -35,7 +42,8 @@ use earlyreg_experiments::config::ExperimentOptions;
 use earlyreg_experiments::runner::{cross_points, run_sweep};
 use earlyreg_sim::profile::prof;
 use earlyreg_sim::{decoded_trace_for, MachineConfig, RunLimits, Simulator, TRACE_SLACK};
-use earlyreg_workloads::{suite, workload_with_target_instructions, Scale, SPECS};
+use earlyreg_workloads::registry as workloads_registry;
+use earlyreg_workloads::{suite, workload_with_target_instructions, Scale, WorkloadKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -60,7 +68,12 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         instructions: 1_000_000,
-        workloads: vec!["swim".into(), "gcc".into()],
+        workloads: vec![
+            "swim".into(),
+            "gcc".into(),
+            "matmul".into(),
+            "quicksort".into(),
+        ],
         out: "BENCH_sim_throughput.json".into(),
         sweep: false,
         baseline: None,
@@ -148,7 +161,12 @@ fn run_fig10_sweep(mode: &'static str, max_instructions: u64) -> SweepMeasuremen
         threads: 0,
         max_instructions,
     };
-    let workloads = suite(options.scale);
+    // fig10's default plan covers the paper's Table 3 suite only, so the
+    // timed sweep filters the registry the same way.
+    let workloads: Vec<_> = suite(options.scale)
+        .into_iter()
+        .filter(|w| w.spec.paper)
+        .collect();
     let points = cross_points(&workloads, &registry::PAPER_POLICIES, &[48]);
     let n = points.len();
     if mode == "live" {
@@ -188,6 +206,34 @@ fn baseline_geomean(json: &str) -> Option<f64> {
     (count > 0).then(|| (log_sum / count as f64).exp())
 }
 
+/// Expand `--workloads` entries into canonical registered ids: `all`,
+/// `paper` and `asm` pull groups out of the workload registry; anything else
+/// must parse as a registered id or alias.
+fn expand_workloads(requested: &[String]) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = Vec::new();
+    for entry in requested {
+        match entry.as_str() {
+            "all" => names.extend(workloads_registry::ids()),
+            "paper" => names.extend(workloads_registry::paper_descriptors().map(|d| d.id)),
+            "asm" => names.extend(
+                workloads_registry::descriptors()
+                    .iter()
+                    .filter(|d| d.kind() == WorkloadKind::Asm)
+                    .map(|d| d.id),
+            ),
+            name => match workloads_registry::parse(name) {
+                Ok(d) => names.push(d.id),
+                Err(e) => {
+                    eprintln!("{e} (or the keywords: all, paper, asm)");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    names.dedup();
+    names
+}
+
 fn main() {
     let args = parse_args();
     // One throughput point per registered policy: new schemes join the
@@ -195,17 +241,11 @@ fn main() {
     let policies: Vec<ReleasePolicy> = registry::registered().collect();
 
     let mut measurements = Vec::new();
-    for name in &args.workloads {
+    for name in expand_workloads(&args.workloads) {
         // Size the program a little above the budget so the run is limited by
         // `max_instructions`, not by the program halting early.
-        let Some(workload) = workload_with_target_instructions(name, args.instructions * 2) else {
-            let available: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
-            eprintln!(
-                "unknown workload '{name}'; available: {}",
-                available.join(" ")
-            );
-            std::process::exit(2);
-        };
+        let workload = workload_with_target_instructions(name, args.instructions * 2)
+            .expect("expand_workloads only returns registered ids");
         for &policy in &policies {
             for mode in ["live", "replay"] {
                 let config = MachineConfig::icpp02(policy, 80, 80);
@@ -225,7 +265,7 @@ fn main() {
                 let stats = sim.run(RunLimits::instructions(args.instructions));
                 let seconds = start.elapsed().as_secs_f64();
                 let m = Measurement {
-                    workload: name.clone(),
+                    workload: name.to_string(),
                     policy,
                     mode,
                     committed: stats.committed,

@@ -8,9 +8,14 @@
 //! ```text
 //! earlyreg-fuzz [--seed N] [--programs N] [--policies a,b,...]
 //!               [--exception-interval N] [--fixture-out DIR]
-//!               [--mutant] [--replay PATH]
+//!               [--mutant] [--replay PATH] [--asm-corpus [--reps N]]
 //! ```
 //!
+//! `--asm-corpus` checks the second corpus instead of fuzzing: every
+//! assembled kernel registered in the workload registry (`--reps` outer
+//! iterations each) under every selected policy.  Kernels are not
+//! recipe-generated, so violations are reported directly without the
+//! minimize/fixture path.
 //! `--replay PATH` re-checks one fixture file (or every `*.json` in a
 //! directory) against all registered policies instead of fuzzing.
 //! `--mutant` injects the release-at-rename mutant instead of the registry
@@ -18,8 +23,8 @@
 //! the fuzzer's own detection power testable from CI.
 
 use earlyreg_conformance::{
-    check_program, check_with_scheme, load_dir, minimize, plan_blocks, CheckConfig, Fixture,
-    HazardConfig, ReleaseAtRenameMutant,
+    asm_corpus, check_program, check_with_scheme, load_dir, minimize, plan_blocks, CheckConfig,
+    Fixture, HazardConfig, ReleaseAtRenameMutant,
 };
 use earlyreg_core::{registry, ReleasePolicy};
 use std::path::PathBuf;
@@ -34,10 +39,13 @@ struct Options {
     fixture_out: PathBuf,
     mutant: bool,
     replay: Option<PathBuf>,
+    asm_corpus: bool,
+    reps: u64,
 }
 
 const USAGE: &str = "usage: earlyreg-fuzz [--seed N] [--programs N] [--policies a,b,...] \
-                     [--exception-interval N] [--fixture-out DIR] [--mutant] [--replay PATH]";
+                     [--exception-interval N] [--fixture-out DIR] [--mutant] [--replay PATH] \
+                     [--asm-corpus [--reps N]]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -48,6 +56,8 @@ fn parse_args() -> Result<Options, String> {
         fixture_out: PathBuf::from("."),
         mutant: false,
         replay: None,
+        asm_corpus: false,
+        reps: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +80,8 @@ fn parse_args() -> Result<Options, String> {
             "--fixture-out" => opts.fixture_out = PathBuf::from(value("--fixture-out")?),
             "--mutant" => opts.mutant = true,
             "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
+            "--asm-corpus" => opts.asm_corpus = true,
+            "--reps" => opts.reps = parse_num(&value("--reps")?)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -102,7 +114,53 @@ fn main() -> ExitCode {
     if opts.mutant {
         return fuzz_mutant(&opts);
     }
+    if opts.asm_corpus {
+        return check_asm_corpus(&opts);
+    }
     fuzz(&opts)
+}
+
+/// Check the assembled-kernel corpus: every registered asm workload under
+/// every selected policy.  These programs are fixed (not recipe-generated),
+/// so a violation is reported directly — there is nothing to minimize.
+fn check_asm_corpus(opts: &Options) -> ExitCode {
+    let corpus = asm_corpus(opts.reps);
+    let ids: Vec<&str> = opts.policies.iter().map(|p| p.descriptor().id).collect();
+    println!(
+        "asm corpus: {} kernels x {} policies [{}] ({} reps, exceptions {:?})",
+        corpus.len(),
+        opts.policies.len(),
+        ids.join(", "),
+        opts.reps,
+        opts.exception_interval,
+    );
+    let mut failed = false;
+    for (id, program) in &corpus {
+        for &policy in &opts.policies {
+            let check = base_config(opts, policy);
+            match check_program(&check, program) {
+                Ok(report) => println!(
+                    "  {id:<10} {:<14} ok ({} instructions, {} cycles)",
+                    policy.descriptor().id,
+                    report.committed,
+                    report.cycles
+                ),
+                Err(violation) => {
+                    eprintln!(
+                        "  {id:<10} {:<14} VIOLATION: {violation}",
+                        policy.descriptor().id
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("asm corpus clean");
+        ExitCode::SUCCESS
+    }
 }
 
 /// Fuzz every selected policy; exit non-zero (after minimizing and writing a

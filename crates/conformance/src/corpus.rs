@@ -1,0 +1,81 @@
+//! The assembled-kernel corpus: real programs as a second conformance
+//! corpus next to the random hazard-stress generator.
+//!
+//! Every `Asm`-kind workload in the string-keyed workload registry is built
+//! at a small rep count and checked through the same lockstep harness the
+//! fuzzer uses.  Random programs maximise hazard density; the asm kernels
+//! bring the *shapes* random generation rarely produces — nested loop
+//! triangles, an explicit in-memory work stack, stencils with negative load
+//! offsets — and because the corpus is registry-driven, registering a new
+//! kernel automatically adds it to the conformance surface with zero edits
+//! here.
+
+use earlyreg_isa::Program;
+use earlyreg_workloads::registry;
+use earlyreg_workloads::WorkloadKind;
+use std::sync::Arc;
+
+/// Every assembled kernel from the workload registry, built at `reps`
+/// outer iterations, as `(id, program)` pairs in registry order.
+pub fn asm_corpus(reps: u64) -> Vec<(&'static str, Arc<Program>)> {
+    registry::descriptors()
+        .iter()
+        .filter(|d| d.kind() == WorkloadKind::Asm)
+        .map(|d| (d.id, Arc::new(d.build_program(reps))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{check_all_policies, CheckConfig};
+    use earlyreg_core::ReleasePolicy;
+
+    #[test]
+    fn corpus_covers_every_registered_asm_kernel() {
+        let corpus = asm_corpus(1);
+        assert!(
+            corpus.len() >= 5,
+            "expected at least the five shipped kernels"
+        );
+        let ids: Vec<&str> = corpus.iter().map(|(id, _)| *id).collect();
+        for id in ["matmul", "quicksort", "sieve", "box_blur", "hazard"] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn asm_kernels_are_conformant_under_every_policy() {
+        // One rep per kernel keeps the per-cycle lockstep affordable in
+        // debug builds while still covering every kernel's full control
+        // structure (fills, nested loops, stack discipline, counting pass).
+        let base = CheckConfig::new(ReleasePolicy::Conventional);
+        for (id, program) in asm_corpus(1) {
+            for (policy, result) in check_all_policies(&base, &program) {
+                let report =
+                    result.unwrap_or_else(|v| panic!("{id} under policy {policy} violated: {v}"));
+                assert!(report.committed > 0, "{id}: nothing committed");
+            }
+        }
+    }
+
+    #[test]
+    fn asm_kernels_stay_conformant_under_exceptions() {
+        // Precise-exception squashes interact with early release; drive them
+        // through one int and one fp kernel at a non-trivial interval.
+        let base = CheckConfig {
+            exception_interval: Some(97),
+            ..CheckConfig::new(ReleasePolicy::Extended)
+        };
+        for (id, program) in asm_corpus(1) {
+            if id != "quicksort" && id != "box_blur" {
+                continue;
+            }
+            for (policy, result) in check_all_policies(&base, &program) {
+                result.unwrap_or_else(|v| {
+                    panic!("{id} under policy {policy} with exceptions violated: {v}")
+                });
+            }
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //!
 //! * [`generator`] — random hazard-stress programs, described by a
 //!   deterministic `(HazardConfig, Vec<HazardBlock>)` recipe.
+//! * [`corpus`] — the second corpus: every assembled kernel from the
+//!   workload registry, checked through the same lockstep harness.
 //! * [`harness`] — per-cycle lockstep of the cycle-level simulator against
 //!   the architectural emulator, plus the rename unit's structural and
 //!   checkpoint-coherence probes, producing a typed [`harness::Violation`].
@@ -28,6 +30,7 @@
 //! `docs/POLICIES.md` § "Proving a new scheme" the workflow for new
 //! policies.
 
+pub mod corpus;
 pub mod fixture;
 pub mod generator;
 pub mod harness;
@@ -35,6 +38,7 @@ pub mod minimize;
 pub mod mutant;
 pub mod test_support;
 
+pub use corpus::asm_corpus;
 pub use fixture::{load_dir, Fixture};
 pub use generator::{compile, plan_blocks, HazardBlock, HazardConfig};
 pub use harness::{

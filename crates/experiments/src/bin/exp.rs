@@ -20,7 +20,7 @@ use std::process::exit;
 
 const USAGE: &str = "\
 usage: earlyreg-exp <command>
-  list                          list registered experiments and policies
+  list                          list registered experiments, policies and workloads
   run <ids...|all>              run experiments as one shared sweep
       --format text|json|csv    report backend (default text)
       --out DIR                 write reports under DIR (json/csv default out/)
@@ -74,6 +74,24 @@ fn list() {
             "  {:<width$}  {}{paper}",
             descriptor.id,
             descriptor.title,
+            width = width
+        );
+    }
+    // Workloads likewise: anything listed here is accepted by `--scenario`
+    // workloads lines, the serve API and benches.
+    let descriptors = earlyreg_workloads::registry::descriptors();
+    let width = descriptors.iter().map(|d| d.id.len()).max().unwrap_or(0);
+    println!("workloads:");
+    for descriptor in descriptors {
+        let class = match descriptor.class {
+            earlyreg_workloads::WorkloadClass::Int => "int",
+            earlyreg_workloads::WorkloadClass::Fp => "fp",
+        };
+        let paper = if descriptor.paper { " [paper]" } else { "" };
+        println!(
+            "  {:<width$}  [{class}] {}{paper}",
+            descriptor.id,
+            descriptor.description,
             width = width
         );
     }

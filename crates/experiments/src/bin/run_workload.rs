@@ -82,12 +82,14 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let Some(workload) = workload_by_name(&args.workload, args.scale) else {
-        eprintln!(
-            "unknown workload '{}'; available: compress gcc go li perl mgrid tomcatv applu swim hydro2d",
-            args.workload
-        );
-        std::process::exit(2);
+    let workload = match earlyreg_workloads::registry::parse(&args.workload) {
+        Ok(descriptor) => {
+            workload_by_name(descriptor.id, args.scale).expect("registered ids always instantiate")
+        }
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }
     };
 
     let mut config = MachineConfig::icpp02(args.policy, args.int_regs, args.fp_regs);

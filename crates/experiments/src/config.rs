@@ -2,7 +2,7 @@
 
 use earlyreg_core::ReleasePolicy;
 use earlyreg_sim::MachineConfig;
-use earlyreg_workloads::Scale;
+use earlyreg_workloads::{registry as workloads_registry, Scale};
 use serde::{Deserialize, Serialize};
 
 /// The register-file sizes swept in Figure 11 (both panels use the same
@@ -139,6 +139,10 @@ pub struct Scenario {
     /// Override of the policy set the figure sweeps compare (ids from the
     /// policy registry; defaults to the paper's canonical three).
     pub policies: Option<Vec<ReleasePolicy>>,
+    /// Override of the workload set the sweeps cover (canonical ids from the
+    /// workload registry; defaults to the paper's Table 3 suite).  Stored
+    /// canonicalised — aliases and case are resolved at parse time.
+    pub workloads: Option<Vec<String>>,
     /// Reorder structure size (Table 2: 128).
     pub ros_size: Option<usize>,
     /// Load/store queue entries (Table 2: 64).
@@ -158,10 +162,11 @@ pub struct Scenario {
 /// Every key a scenario file may set, in the order [`Scenario::parse`]
 /// matches them.  Unknown-key errors enumerate this list so a typo'd file
 /// is self-diagnosing.
-pub const SCENARIO_KEYS: [&str; 10] = [
+pub const SCENARIO_KEYS: [&str; 11] = [
     "name",
     "sweep_sizes",
     "policies",
+    "workloads",
     "ros_size",
     "lsq_size",
     "memory_latency",
@@ -233,6 +238,25 @@ impl Scenario {
             .unwrap_or_else(|| earlyreg_core::PAPER_POLICIES.to_vec())
     }
 
+    /// The workload ids the figure sweeps cover.  Defaults to the paper's
+    /// Table 3 suite; a scenario can name any subset of the workload
+    /// registry (`workloads = matmul, swim, ...`).
+    pub fn workload_ids(&self) -> Vec<&'static str> {
+        match &self.workloads {
+            Some(names) => names
+                .iter()
+                .map(|name| {
+                    workloads_registry::parse(name)
+                        .expect("scenario workloads are validated at parse time")
+                        .id
+                })
+                .collect(),
+            None => workloads_registry::paper_descriptors()
+                .map(|d| d.id)
+                .collect(),
+        }
+    }
+
     /// Parse a scenario from `key = value` lines (see the type docs).
     pub fn parse(name: &str, text: &str) -> Result<Self, String> {
         let mut scenario = Scenario {
@@ -265,6 +289,16 @@ impl Scenario {
                         .collect();
                     scenario.policies =
                         Some(policies.map_err(|e| format!("line {}: {e}", number + 1))?);
+                }
+                "workloads" => {
+                    // Parsed against the workload registry; an unknown name
+                    // fails here with the registered ids enumerated.
+                    let names: Result<Vec<String>, String> = value
+                        .split(',')
+                        .map(|s| workloads_registry::parse(s.trim()).map(|d| d.id.to_string()))
+                        .collect();
+                    scenario.workloads =
+                        Some(names.map_err(|e| format!("line {}: {e}", number + 1))?);
                 }
                 "ros_size" => scenario.ros_size = Some(value.parse().map_err(|_| bad("ros_size"))?),
                 "lsq_size" => scenario.lsq_size = Some(value.parse().map_err(|_| bad("lsq_size"))?),
@@ -412,6 +446,24 @@ mod tests {
         let error = Scenario::parse("p", "policies = conv, bogus").unwrap_err();
         assert!(error.contains("unknown policy 'bogus'"), "{error}");
         for id in earlyreg_core::registry::ids() {
+            assert!(error.contains(id), "error must list '{id}': {error}");
+        }
+    }
+
+    #[test]
+    fn scenario_workloads_parse_against_the_registry() {
+        // Default: the paper's Table 3 ten.
+        let default = Scenario::table2().workload_ids();
+        assert_eq!(default.len(), 10);
+        assert!(default.contains(&"swim") && !default.contains(&"matmul"));
+        // Aliases and case canonicalise at parse time.
+        let scenario = Scenario::parse("w", "workloads = MATMUL, qsort, swim").unwrap();
+        assert_eq!(scenario.workload_ids(), vec!["matmul", "quicksort", "swim"]);
+        // An unknown workload name fails with the registered ids enumerated.
+        let error = Scenario::parse("w", "workloads = swim, bogus").unwrap_err();
+        assert!(error.contains("unknown workload 'bogus'"), "{error}");
+        assert!(error.starts_with("line 1:"), "{error}");
+        for id in workloads_registry::ids() {
             assert!(error.contains(id), "error must list '{id}': {error}");
         }
     }

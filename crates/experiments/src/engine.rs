@@ -105,6 +105,11 @@ pub struct PlanContext {
     /// Machine/sweep overrides.
     pub scenario: Scenario,
     set: Arc<WorkloadSet>,
+    /// The workloads the sweeps cover: the scenario's `workloads = ...`
+    /// selection, or the paper's Table 3 suite by default.  A subset of
+    /// `set` — the full registry stays addressable through
+    /// [`Self::workload`] / [`Self::all_workloads`].
+    selected: Vec<Workload>,
 }
 
 impl PlanContext {
@@ -132,19 +137,37 @@ impl PlanContext {
             set.scale(),
             "workload set scale does not match the requested options"
         );
+        let selected = scenario
+            .workload_ids()
+            .into_iter()
+            .map(|id| {
+                set.workload(id)
+                    .unwrap_or_else(|| panic!("registered workload '{id}' missing from the set"))
+                    .clone()
+            })
+            .collect();
         PlanContext {
             options,
             scenario,
             set,
+            selected,
         }
     }
 
-    /// The shared workload suite.
+    /// The workloads the sweeps cover (the scenario's selection; the paper's
+    /// Table 3 suite by default).
     pub fn workloads(&self) -> &[Workload] {
+        &self.selected
+    }
+
+    /// Every registered workload at this context's scale, selection aside
+    /// (API listings, explicit point requests).
+    pub fn all_workloads(&self) -> &[Workload] {
         self.set.workloads()
     }
 
-    /// Find one workload by name.
+    /// Find one workload by name, anywhere in the registry (not just the
+    /// sweep selection).
     pub fn workload(&self, name: &str) -> Option<&Workload> {
         self.set.workload(name)
     }
@@ -193,8 +216,8 @@ impl PlanContext {
         self.point_with_config(point, self.machine(policy, phys_int, phys_fp))
     }
 
-    /// Plan the cross product of the whole suite x policies x (symmetric)
-    /// sizes on the scenario machine.
+    /// Plan the cross product of the selected workloads x policies x
+    /// (symmetric) sizes on the scenario machine.
     pub fn cross(&self, policies: &[ReleasePolicy], sizes: &[usize]) -> Vec<PlannedPoint> {
         self.cross_class(None, policies, sizes)
     }
@@ -656,6 +679,26 @@ mod tests {
         for point in &b {
             assert!(results.stats(point).is_some());
         }
+    }
+
+    #[test]
+    fn scenario_workloads_select_the_sweep_set() {
+        let ctx = smoke_ctx();
+        // Default: the paper ten, even though the registry holds more.
+        assert_eq!(ctx.workloads().len(), 10);
+        assert!(ctx.all_workloads().len() > ctx.workloads().len());
+        // Asm kernels stay addressable outside the selection.
+        assert!(ctx.workload("matmul").is_some());
+
+        let selected = PlanContext::new(
+            ctx.options,
+            Scenario::parse("asm", "workloads = matmul, hazard").unwrap(),
+        );
+        let names: Vec<&str> = selected.workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["matmul", "hazard"]);
+        let plan = selected.cross(&[ReleasePolicy::Extended], &[48]);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|p| names.contains(&p.point.workload)));
     }
 
     #[test]

@@ -232,8 +232,9 @@ mod tests {
     fn cross_points_covers_the_product() {
         let workloads = suite(Scale::Smoke);
         let points = cross_points(&workloads, &[ReleasePolicy::Conventional], &[48, 64]);
-        // 10 workloads x 1 policy x 2 sizes.
-        assert_eq!(points.len(), 20);
+        // every registered workload (15) x 1 policy x 2 sizes.
+        assert_eq!(points.len(), workloads.len() * 2);
+        assert_eq!(points.len(), 30);
     }
 
     #[test]

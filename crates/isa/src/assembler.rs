@@ -1,0 +1,808 @@
+//! Text assembler and loader for the mini ISA.
+//!
+//! [`assemble`] turns a human-writable assembly source into a validated
+//! [`Program`], so real kernels (matmul, quicksort, a prime sieve, ...) can
+//! be shipped as `.asm` files and registered as workloads instead of being
+//! hand-built through [`crate::ProgramBuilder`].  The syntax is the exact
+//! dual of [`Program::disassemble`]: every mnemonic and operand is printed
+//! the way [`crate::Instruction`]'s `Display` writes it, so
+//! assemble → disassemble → assemble is a fixed point on the instruction
+//! stream (pinned by property tests).
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also "//"); a leading "NN:" instruction index is ignored,
+//! ; so disassembly listings reassemble verbatim.
+//! .memory 32768        ; data-memory size in 64-bit words (optional)
+//! .arg n = 8           ; argument word (see "Arguments" below)
+//! table:  .word 1, 2, 3    ; i64 data words; the label is its word address
+//! grid:   .fword 1.0, 2.5  ; f64 data words
+//! out:    .zero 64         ; zero-filled words
+//! loop:   addi r1, r1, #-1 ; "#" before immediates is optional
+//!         ld r2, r1, 4     ; load:  r2 = memory[r1 + 4]
+//!         st r1, r2, 4     ; store: memory[r1 + 4] = r2
+//!         li r3, table     ; symbols resolve to word addresses / indices
+//!         bgt r1, loop     ; branch targets: label or absolute index
+//!         halt
+//! ```
+//!
+//! Labels bind to the *next* statement: an instruction label resolves to the
+//! instruction index, a data label to the data word address.  `fli` treats an
+//! integer immediate as a raw f64 bit pattern (what disassembly prints) and a
+//! float literal (`1.5`, `-2e3`) as the value itself.
+//!
+//! # Arguments
+//!
+//! `.arg NAME = DEFAULT` declares one argument; arguments occupy the leading
+//! data words in declaration order (so they must precede any other data
+//! directive), and `NAME` resolves to the argument's word *address*.  The
+//! loader ([`Assembly::with_args`]) overrides the defaults without
+//! reassembling — the convention every registered asm workload uses to
+//! receive its iteration count:
+//!
+//! ```text
+//! .arg reps = 1
+//!         li r1, reps      ; r1 = address of the argument word
+//!         ld r1, r1        ; r1 = its value
+//! ```
+//!
+//! Every error carries the 1-based source line it was detected on;
+//! [`assemble`] never panics on malformed input (property-tested).
+
+use crate::instr::{Instruction, Opcode};
+use crate::program::{Program, ProgramError, DEFAULT_MEMORY_WORDS};
+use crate::reg::{ArchReg, RegClass, NUM_LOGICAL_FP, NUM_LOGICAL_INT};
+use crate::semantics::{fp_to_word, int_to_word};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly-time error, located on a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number the error was detected on (0 = whole program,
+    /// e.g. a missing `halt`).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One declared `.arg`: name, data-word slot and default value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgSpec {
+    /// Argument name (the symbol resolving to its word address).
+    pub name: String,
+    /// Data word the argument occupies (declaration order: 0, 1, ...).
+    pub slot: usize,
+    /// Value assembled into the data image when the loader does not
+    /// override it.
+    pub default: i64,
+}
+
+/// The output of [`assemble`]: a validated program plus its argument block.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// The assembled program with every argument at its default.
+    pub program: Program,
+    /// Declared arguments, in slot order.
+    pub args: Vec<ArgSpec>,
+}
+
+impl Assembly {
+    /// Load the program with explicit argument values: `values[k]` replaces
+    /// the default of the k-th declared `.arg`; missing trailing values keep
+    /// their defaults.  Fails when more values are passed than arguments
+    /// were declared.
+    pub fn with_args(&self, values: &[i64]) -> Result<Program, String> {
+        if values.len() > self.args.len() {
+            return Err(format!(
+                "{} argument values passed but only {} declared ({})",
+                values.len(),
+                self.args.len(),
+                self.args
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        let mut program = self.program.clone();
+        for (arg, &value) in self.args.iter().zip(values) {
+            program.data[arg.slot] = int_to_word(value);
+        }
+        Ok(program)
+    }
+}
+
+/// Assemble `source` into a program named `name` (arguments at their
+/// declared defaults).  Convenience over [`assemble`] for sources without an
+/// argument block.
+pub fn assemble_program(name: &str, source: &str) -> Result<Program, AsmError> {
+    assemble(name, source).map(|assembly| assembly.program)
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed operand (before symbol resolution).
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Reg(ArchReg),
+    /// Integer immediate (`#5`, `-3`).
+    Int(i64),
+    /// Float immediate (`1.5`); only `fli` and `.fword` accept these.
+    Float(f64),
+    /// Symbol reference with an optional `+`/`-` offset (`table`, `loop+2`).
+    Symbol(String, i64),
+}
+
+/// One statement: what a non-empty line contributes.
+#[derive(Debug)]
+enum Statement {
+    Instr { op: Opcode, operands: Vec<Operand> },
+    Word(Vec<Operand>),
+    FWord(Vec<Operand>),
+    Zero(usize),
+    Memory,
+    Arg { default: i64 },
+}
+
+/// Where a symbol points.
+#[derive(Debug, Clone, Copy)]
+enum SymbolValue {
+    /// Instruction index.
+    Code(usize),
+    /// Data word address (data labels and argument names).
+    Data(i64),
+}
+
+impl SymbolValue {
+    fn value(self) -> i64 {
+        match self {
+            SymbolValue::Code(index) => index as i64,
+            SymbolValue::Data(address) => address,
+        }
+    }
+}
+
+fn parse_register(token: &str) -> Option<ArchReg> {
+    let (class, limit, rest) = match token.as_bytes().first()? {
+        b'r' => (RegClass::Int, NUM_LOGICAL_INT, &token[1..]),
+        b'f' => (RegClass::Fp, NUM_LOGICAL_FP, &token[1..]),
+        _ => return None,
+    };
+    // "f" followed by a non-number is a symbol (e.g. a label "fill"), not a
+    // malformed register; only all-digit suffixes are register candidates.
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let index: usize = rest.parse().ok()?;
+    (index < limit).then(|| match class {
+        RegClass::Int => ArchReg::int(index),
+        RegClass::Fp => ArchReg::fp(index),
+    })
+}
+
+fn is_symbol(token: &str) -> bool {
+    let mut bytes = token.bytes();
+    matches!(bytes.next(), Some(b) if b.is_ascii_alphabetic() || b == b'_')
+        && token
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+fn parse_operand(token: &str, line: usize) -> Result<Operand, AsmError> {
+    let token = token.trim();
+    if token.is_empty() {
+        return Err(AsmError::new(line, "empty operand"));
+    }
+    if let Some(reg) = parse_register(token) {
+        return Ok(Operand::Reg(reg));
+    }
+    // Register-looking tokens with an out-of-range index are errors, not
+    // symbols: "r99" is almost certainly a typo'd register.
+    if let Some(rest) = token.strip_prefix('r').or_else(|| token.strip_prefix('f')) {
+        if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(AsmError::new(
+                line,
+                format!("register index out of range in '{token}' (r0-r31, f0-f31)"),
+            ));
+        }
+    }
+    let bare = token.strip_prefix('#').unwrap_or(token);
+    if bare.is_empty() {
+        return Err(AsmError::new(line, "'#' without a value"));
+    }
+    if let Ok(value) = bare.parse::<i64>() {
+        return Ok(Operand::Int(value));
+    }
+    // Float literal: must contain a '.', exponent or special form so that
+    // plain integers never silently become floats.
+    if bare.contains(['.', 'e', 'E']) || bare.ends_with("inf") || bare.ends_with("nan") {
+        if let Ok(value) = bare.parse::<f64>() {
+            return Ok(Operand::Float(value));
+        }
+    }
+    // Symbol, optionally with a +N / -N offset.
+    let (name, offset) = match bare.find(['+', '-']) {
+        Some(split) if split > 0 => {
+            let (name, tail) = bare.split_at(split);
+            let offset: i64 = tail.parse().map_err(|_| {
+                AsmError::new(line, format!("invalid symbol offset '{tail}' in '{bare}'"))
+            })?;
+            (name, offset)
+        }
+        _ => (bare, 0),
+    };
+    if !is_symbol(name) {
+        return Err(AsmError::new(line, format!("invalid operand '{token}'")));
+    }
+    Ok(Operand::Symbol(name.to_string(), offset))
+}
+
+fn parse_operands(text: &str, line: usize) -> Result<Vec<Operand>, AsmError> {
+    text.split(',')
+        .map(|token| parse_operand(token, line))
+        .collect()
+}
+
+fn mnemonic_table() -> HashMap<String, Opcode> {
+    Opcode::ALL.iter().map(|&op| (op.mnemonic(), op)).collect()
+}
+
+/// Strip comments (`;`, `//`) and an optional leading `NN:` disassembly
+/// index, returning the significant text.
+fn significant(line: &str) -> &str {
+    let line = line.split(';').next().unwrap_or("");
+    let line = line.split("//").next().unwrap_or("").trim();
+    // A leading all-digit prefix before ':' is a disassembly instruction
+    // index, not a label.
+    if let Some((head, tail)) = line.split_once(':') {
+        let head = head.trim();
+        if !head.is_empty() && head.bytes().all(|b| b.is_ascii_digit()) {
+            return tail.trim();
+        }
+    }
+    line
+}
+
+// ---------------------------------------------------------------------------
+// assembly
+// ---------------------------------------------------------------------------
+
+struct Assembler {
+    statements: Vec<(usize, Statement)>,
+    symbols: HashMap<String, SymbolValue>,
+    args: Vec<ArgSpec>,
+    memory_words: usize,
+    instr_count: usize,
+    data_words: usize,
+    data_started: bool,
+}
+
+impl Assembler {
+    fn new() -> Self {
+        Assembler {
+            statements: Vec::new(),
+            symbols: HashMap::new(),
+            args: Vec::new(),
+            memory_words: DEFAULT_MEMORY_WORDS,
+            instr_count: 0,
+            data_words: 0,
+            data_started: false,
+        }
+    }
+
+    fn define(&mut self, name: &str, value: SymbolValue, line: usize) -> Result<(), AsmError> {
+        if self.symbols.insert(name.to_string(), value).is_some() {
+            return Err(AsmError::new(
+                line,
+                format!("symbol '{name}' defined twice"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// First pass over one source line: parse, record the statement and bind
+    /// labels/symbols to their final positions.
+    fn first_pass(
+        &mut self,
+        raw: &str,
+        line: usize,
+        pending: &mut Vec<String>,
+    ) -> Result<(), AsmError> {
+        let mut text = significant(raw);
+        // Labels: any number of leading `name:` prefixes.
+        while let Some((head, tail)) = text.split_once(':') {
+            let head = head.trim();
+            if !is_symbol(head) {
+                break;
+            }
+            pending.push(head.to_string());
+            text = tail.trim();
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        let (keyword, rest) = match text.find(char::is_whitespace) {
+            Some(split) => (&text[..split], text[split..].trim()),
+            None => (text, ""),
+        };
+
+        if let Some(directive) = keyword.strip_prefix('.') {
+            match directive {
+                "memory" => {
+                    self.memory_words = rest.parse().map_err(|_| {
+                        AsmError::new(line, format!("invalid .memory size '{rest}'"))
+                    })?;
+                    self.statements.push((line, Statement::Memory));
+                }
+                "arg" => {
+                    if self.data_started {
+                        return Err(AsmError::new(
+                            line,
+                            ".arg must precede every data directive (arguments are the leading data words)",
+                        ));
+                    }
+                    let (name, default) = match rest.split_once('=') {
+                        Some((name, value)) => {
+                            let value = value.trim();
+                            let default = value.parse::<i64>().map_err(|_| {
+                                AsmError::new(line, format!("invalid .arg default '{value}'"))
+                            })?;
+                            (name.trim(), default)
+                        }
+                        None => (rest.trim(), 0),
+                    };
+                    if !is_symbol(name) {
+                        return Err(AsmError::new(line, format!("invalid .arg name '{name}'")));
+                    }
+                    let slot = self.args.len();
+                    self.define(name, SymbolValue::Data(slot as i64), line)?;
+                    self.args.push(ArgSpec {
+                        name: name.to_string(),
+                        slot,
+                        default,
+                    });
+                    self.data_words += 1;
+                    self.statements.push((line, Statement::Arg { default }));
+                }
+                "word" | "fword" | "zero" => {
+                    self.data_started = true;
+                    for label in pending.drain(..) {
+                        self.define(&label, SymbolValue::Data(self.data_words as i64), line)?;
+                    }
+                    match directive {
+                        "zero" => {
+                            let words: usize = rest.parse().map_err(|_| {
+                                AsmError::new(line, format!("invalid .zero count '{rest}'"))
+                            })?;
+                            self.data_words += words;
+                            self.statements.push((line, Statement::Zero(words)));
+                        }
+                        _ => {
+                            let operands = parse_operands(rest, line)?;
+                            self.data_words += operands.len();
+                            self.statements.push((
+                                line,
+                                if directive == "word" {
+                                    Statement::Word(operands)
+                                } else {
+                                    Statement::FWord(operands)
+                                },
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    return Err(AsmError::new(
+                        line,
+                        format!(
+                            "unknown directive '.{other}' (.memory, .arg, .word, .fword, .zero)"
+                        ),
+                    ));
+                }
+            }
+            return Ok(());
+        }
+
+        // An instruction: bind pending labels to its index.
+        for label in pending.drain(..) {
+            self.define(&label, SymbolValue::Code(self.instr_count), line)?;
+        }
+        let Some(op) = MNEMONICS.with(|table| table.get(keyword).copied()) else {
+            return Err(AsmError::new(line, format!("unknown mnemonic '{keyword}'")));
+        };
+        let operands = if rest.is_empty() {
+            Vec::new()
+        } else {
+            parse_operands(rest, line)?
+        };
+        self.instr_count += 1;
+        self.statements
+            .push((line, Statement::Instr { op, operands }));
+        Ok(())
+    }
+
+    fn resolve(&self, operand: &Operand, line: usize) -> Result<i64, AsmError> {
+        match operand {
+            Operand::Int(value) => Ok(*value),
+            Operand::Float(value) => Err(AsmError::new(
+                line,
+                format!("float literal '{value}' is only valid for fli and .fword"),
+            )),
+            Operand::Reg(reg) => Err(AsmError::new(
+                line,
+                format!("expected an immediate or symbol, found register {reg}"),
+            )),
+            Operand::Symbol(name, offset) => self
+                .symbols
+                .get(name)
+                .map(|symbol| symbol.value() + offset)
+                .ok_or_else(|| AsmError::new(line, format!("undefined symbol '{name}'"))),
+        }
+    }
+
+    /// Resolve one operand as an immediate, flagging float literals so `fli`
+    /// can convert them.
+    fn resolve_imm(&self, operand: &Operand, op: Opcode, line: usize) -> Result<i64, AsmError> {
+        if let Operand::Float(value) = operand {
+            if op == Opcode::FLoadImm {
+                return Ok(fp_to_word(*value) as i64);
+            }
+            return Err(AsmError::new(
+                line,
+                format!("float immediate '{value}' is only valid for fli"),
+            ));
+        }
+        self.resolve(operand, line)
+    }
+
+    /// Second pass: turn one instruction statement into an [`Instruction`].
+    fn encode(
+        &self,
+        op: Opcode,
+        operands: &[Operand],
+        line: usize,
+    ) -> Result<Instruction, AsmError> {
+        let mut instr = Instruction {
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        };
+        let mut index = 0;
+        fn next<'a>(
+            operands: &'a [Operand],
+            index: &mut usize,
+            op: Opcode,
+            line: usize,
+            what: &str,
+        ) -> Result<&'a Operand, AsmError> {
+            let operand = operands
+                .get(*index)
+                .ok_or_else(|| AsmError::new(line, format!("{}: missing {what}", op.mnemonic())))?;
+            *index += 1;
+            Ok(operand)
+        }
+        let reg = |operand: &Operand, what: &str| -> Result<ArchReg, AsmError> {
+            match operand {
+                Operand::Reg(reg) => Ok(*reg),
+                other => Err(AsmError::new(
+                    line,
+                    format!(
+                        "{}: {what} must be a register, found {other:?}",
+                        op.mnemonic()
+                    ),
+                )),
+            }
+        };
+
+        if op.dst_class().is_some() {
+            let operand = next(operands, &mut index, op, line, "destination register")?;
+            instr.dst = Some(reg(operand, "destination")?);
+        }
+        let (c1, c2) = op.src_classes();
+        if c1.is_some() {
+            let operand = next(operands, &mut index, op, line, "source register 1")?;
+            instr.src1 = Some(reg(operand, "source 1")?);
+        }
+        if c2.is_some() {
+            // Optional for branches (compare against zero): a branch's last
+            // operand is always its target, so a register here is src2 and
+            // anything else ends the register list.
+            let take = match operands.get(index) {
+                Some(Operand::Reg(_)) => true,
+                _ => !op.is_cond_branch(),
+            };
+            if take {
+                let operand = next(operands, &mut index, op, line, "source register 2")?;
+                instr.src2 = Some(reg(operand, "source 2")?);
+            }
+        }
+        // Required vs optional mirrors `Instruction`'s `Display`: control
+        // targets and `li`/`fli` immediates are always printed (required
+        // here), while imm-ALU constants and memory offsets are omitted when
+        // zero (optional here, defaulting to 0).
+        let wants_imm = op.is_control() || matches!(op, Opcode::ILoadImm | Opcode::FLoadImm);
+        let optional_imm = op.is_mem()
+            || matches!(
+                op,
+                Opcode::IAddImm
+                    | Opcode::IAndImm
+                    | Opcode::IXorImm
+                    | Opcode::IShlImm
+                    | Opcode::IShrImm
+            );
+        if wants_imm {
+            let what = if op.is_control() {
+                "target (label or absolute index)"
+            } else {
+                "immediate"
+            };
+            let operand = next(operands, &mut index, op, line, what)?;
+            instr.imm = self.resolve_imm(operand, op, line)?;
+        } else if optional_imm && index < operands.len() {
+            let operand = next(operands, &mut index, op, line, "offset")?;
+            instr.imm = self.resolve_imm(operand, op, line)?;
+        }
+        if index < operands.len() {
+            return Err(AsmError::new(
+                line,
+                format!(
+                    "{}: {} operand(s) expected, {} given",
+                    op.mnemonic(),
+                    index,
+                    operands.len()
+                ),
+            ));
+        }
+        instr
+            .validate()
+            .map_err(|message| AsmError::new(line, message))?;
+        Ok(instr)
+    }
+}
+
+thread_local! {
+    static MNEMONICS: HashMap<String, Opcode> = mnemonic_table();
+}
+
+/// Assemble `source` into a named, validated [`Assembly`].
+///
+/// Errors carry the 1-based source line; malformed input never panics.
+pub fn assemble(name: &str, source: &str) -> Result<Assembly, AsmError> {
+    let mut assembler = Assembler::new();
+    let mut pending: Vec<String> = Vec::new();
+    for (number, raw) in source.lines().enumerate() {
+        assembler.first_pass(raw, number + 1, &mut pending)?;
+    }
+    if let Some(label) = pending.first() {
+        return Err(AsmError::new(
+            source.lines().count(),
+            format!("label '{label}' is not attached to an instruction or data directive"),
+        ));
+    }
+
+    // Second pass: emit instructions and the data image.
+    let mut instrs = Vec::with_capacity(assembler.instr_count);
+    let mut lines = Vec::with_capacity(assembler.instr_count);
+    let mut data: Vec<u64> = Vec::with_capacity(assembler.data_words);
+    for (line, statement) in &assembler.statements {
+        match statement {
+            Statement::Instr { op, operands } => {
+                instrs.push(assembler.encode(*op, operands, *line)?);
+                lines.push(*line);
+            }
+            Statement::Arg { default } => data.push(int_to_word(*default)),
+            Statement::Word(operands) => {
+                for operand in operands {
+                    data.push(int_to_word(assembler.resolve(operand, *line)?));
+                }
+            }
+            Statement::FWord(operands) => {
+                for operand in operands {
+                    match operand {
+                        Operand::Float(value) => data.push(fp_to_word(*value)),
+                        Operand::Int(value) => data.push(fp_to_word(*value as f64)),
+                        other => {
+                            return Err(AsmError::new(
+                                *line,
+                                format!(".fword values must be numbers, found {other:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            Statement::Zero(words) => data.extend(std::iter::repeat_n(0, *words)),
+            Statement::Memory => {}
+        }
+    }
+
+    let program = Program::with_data(name, instrs, data, assembler.memory_words);
+    program.validate().map_err(|error| match &error {
+        ProgramError::BadInstruction { index, .. } | ProgramError::BadTarget { index, .. } => {
+            AsmError::new(lines.get(*index).copied().unwrap_or(0), error.to_string())
+        }
+        _ => AsmError::new(0, error.to_string()),
+    })?;
+    Ok(Assembly {
+        program,
+        args: assembler.args,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::Emulator;
+    use crate::instr::BranchCond;
+
+    #[test]
+    fn assembles_countdown_loop() {
+        let program = assemble_program(
+            "countdown",
+            "
+            ; count r1 down from 10
+                    li r1, #10
+            loop:   addi r1, r1, #-1
+                    bgt r1, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(program.len(), 4);
+        assert_eq!(program.instrs[0].op, Opcode::ILoadImm);
+        assert_eq!(program.instrs[2].op, Opcode::Branch(BranchCond::Gt));
+        assert_eq!(program.instrs[2].imm, 1);
+        let result = Emulator::new(&program).run(1_000);
+        assert!(result.halted);
+    }
+
+    #[test]
+    fn hash_before_immediates_is_optional() {
+        let a = assemble_program("a", "li r1, #7\nhalt\n").unwrap();
+        let b = assemble_program("b", "li r1, 7\nhalt\n").unwrap();
+        assert_eq!(a.instrs, b.instrs);
+    }
+
+    #[test]
+    fn data_labels_resolve_to_word_addresses() {
+        let assembly = assemble(
+            "data",
+            "
+            .arg n = 3
+            table:  .word 10, 20, 30
+            out:    .zero 2
+                    li r1, table
+                    li r2, out
+                    halt
+            ",
+        )
+        .unwrap();
+        // arg occupies word 0, table words 1..4, out words 4..6.
+        assert_eq!(assembly.program.instrs[0].imm, 1);
+        assert_eq!(assembly.program.instrs[1].imm, 4);
+        assert_eq!(assembly.program.data.len(), 6);
+        assert_eq!(assembly.program.data[1], 10);
+        assert_eq!(assembly.args.len(), 1);
+        assert_eq!(assembly.args[0].name, "n");
+        assert_eq!(assembly.args[0].default, 3);
+    }
+
+    #[test]
+    fn with_args_overrides_defaults() {
+        let assembly = assemble("args", ".arg n = 3\nli r1, n\nld r1, r1\nhalt\n").unwrap();
+        assert_eq!(assembly.program.data[0], 3);
+        let loaded = assembly.with_args(&[99]).unwrap();
+        assert_eq!(loaded.data[0], 99);
+        // Too many values is an error naming the declared arguments.
+        let err = assembly.with_args(&[1, 2]).unwrap_err();
+        assert!(err.contains("n"), "{err}");
+    }
+
+    #[test]
+    fn fword_and_float_fli() {
+        let program = assemble_program(
+            "fp",
+            "
+            grid: .fword 1.5, -2.0
+                  fli f1, 0.25
+                  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(f64::from_bits(program.data[0]), 1.5);
+        assert_eq!(f64::from_bits(program.data[1]), -2.0);
+        assert_eq!(f64::from_bits(program.instrs[0].imm as u64), 0.25);
+    }
+
+    #[test]
+    fn branch_with_two_registers_and_target() {
+        let program = assemble_program("b2", "beq r1, r2, done\nnop\ndone: halt\n").unwrap();
+        let b = program.instrs[0];
+        assert!(b.src1.is_some() && b.src2.is_some());
+        assert_eq!(b.imm, 2);
+    }
+
+    #[test]
+    fn memory_offsets_default_to_zero() {
+        let program = assemble_program("mem", "ld r1, r2\nst r2, r1, 8\nhalt\n").unwrap();
+        assert_eq!(program.instrs[0].imm, 0);
+        assert_eq!(program.instrs[1].imm, 8);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (source, line, needle) in [
+            ("li r1, #1\nbogus r2\nhalt\n", 2, "unknown mnemonic"),
+            ("li r99, #1\nhalt\n", 1, "out of range"),
+            ("li r1, missing\nhalt\n", 1, "undefined symbol"),
+            ("li r1, #1\nli r1\nhalt\n", 2, "missing"),
+            (
+                "x: .word 1\nx: .word 2\nli r1, #0\nhalt\n",
+                2,
+                "defined twice",
+            ),
+            (".bogus 3\nhalt\n", 1, "unknown directive"),
+            ("add r1, r2, 5\nhalt\n", 1, "must be a register"),
+            ("li r1, #1\n", 0, "halt"),
+        ] {
+            let err = assemble("bad", source).unwrap_err();
+            assert_eq!(err.line, line, "{source:?} -> {err}");
+            assert!(err.message.contains(needle), "{source:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn args_must_precede_data() {
+        let err = assemble("late", "x: .word 1\n.arg n = 2\nhalt\n").unwrap_err();
+        assert!(err.message.contains(".arg"), "{err}");
+    }
+
+    #[test]
+    fn disassembly_reassembles_to_identical_instructions() {
+        let source = "
+        .arg n = 4
+        buf:    .zero 8
+                li r1, n
+                ld r1, r1
+                li r2, buf
+                fli f0, 0.0
+        loop:   fld f1, r2
+                fadd f0, f0, f1
+                addi r2, r2, #1
+                addi r1, r1, #-1
+                bgt r1, loop
+                fst r2, f0, 16
+                halt
+        ";
+        let first = assemble("roundtrip", source).unwrap();
+        let listing = first.program.disassemble();
+        let second = assemble_program("roundtrip", &listing).unwrap();
+        assert_eq!(first.program.instrs, second.instrs);
+    }
+}

@@ -256,6 +256,53 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, including all six branch conditions (used by the
+    /// assembler's mnemonic table and by property tests).
+    pub const ALL: [Opcode; 42] = [
+        Opcode::IAdd,
+        Opcode::ISub,
+        Opcode::IAnd,
+        Opcode::IOr,
+        Opcode::IXor,
+        Opcode::IShl,
+        Opcode::IShr,
+        Opcode::ISlt,
+        Opcode::ISeq,
+        Opcode::IAddImm,
+        Opcode::IAndImm,
+        Opcode::IXorImm,
+        Opcode::IShlImm,
+        Opcode::IShrImm,
+        Opcode::ILoadImm,
+        Opcode::IMul,
+        Opcode::IDiv,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FAbs,
+        Opcode::FNeg,
+        Opcode::FCmpLt,
+        Opcode::FCmpEq,
+        Opcode::ItoF,
+        Opcode::FtoI,
+        Opcode::FLoadImm,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::FSqrt,
+        Opcode::LoadInt,
+        Opcode::LoadFp,
+        Opcode::StoreInt,
+        Opcode::StoreFp,
+        Opcode::Branch(BranchCond::Eq),
+        Opcode::Branch(BranchCond::Ne),
+        Opcode::Branch(BranchCond::Lt),
+        Opcode::Branch(BranchCond::Ge),
+        Opcode::Branch(BranchCond::Le),
+        Opcode::Branch(BranchCond::Gt),
+        Opcode::Jump,
+        Opcode::Halt,
+        Opcode::Nop,
+    ];
+
     /// Functional-unit class of the opcode.
     pub fn fu_class(self) -> FuClass {
         use Opcode::*;
@@ -512,20 +559,19 @@ impl Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.op.mnemonic())?;
-        if let Some(d) = self.dst {
-            write!(f, " {d}")?;
-        }
-        if let Some(s) = self.src1 {
-            write!(f, ", {s}")?;
-        }
-        if let Some(s) = self.src2 {
-            write!(f, ", {s}")?;
-        }
+        let mut parts: Vec<String> = [self.dst, self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .map(|r| r.to_string())
+            .collect();
         if self.imm != 0
             || self.op.is_control()
             || matches!(self.op, Opcode::ILoadImm | Opcode::FLoadImm)
         {
-            write!(f, ", #{}", self.imm)?;
+            parts.push(format!("#{}", self.imm));
+        }
+        if !parts.is_empty() {
+            write!(f, " {}", parts.join(", "))?;
         }
         Ok(())
     }

@@ -19,6 +19,9 @@
 //! * a [`Program`](program::Program) container plus a structured
 //!   [`ProgramBuilder`](builder::ProgramBuilder) used by the synthetic SPEC95
 //!   analogues in `earlyreg-workloads`,
+//! * a text **assembler/loader** ([`assembler`]) — labels, branches,
+//!   loads/stores, data directives and an argument-passing convention — so
+//!   real kernels ship as `.asm` files and register as workloads,
 //! * an **architectural emulator** ([`emulator`]) that serves as the golden
 //!   model: the out-of-order simulator's committed state is checked against it
 //!   in the integration tests.
@@ -28,6 +31,7 @@
 //! (speculation) and *latency* (register lifetime), all of which this ISA
 //! expresses.
 
+pub mod assembler;
 pub mod builder;
 pub mod decoded;
 pub mod emulator;
@@ -37,6 +41,7 @@ pub mod reg;
 pub mod semantics;
 pub mod trace;
 
+pub use assembler::{assemble, assemble_program, ArgSpec, AsmError, Assembly};
 pub use builder::{Label, ProgramBuilder};
 pub use decoded::{DecodedTrace, KillEvent, NO_TRACE};
 pub use emulator::{ArchState, EmulationResult, Emulator, StepOutcome};

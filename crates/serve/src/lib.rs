@@ -29,7 +29,7 @@
 //! |--------------------|---------------------------------------------------|
 //! | `GET /healthz`     | liveness plus service counters                    |
 //! | `GET /readyz`      | readiness (`503` once draining begins)            |
-//! | `GET /experiments` | the experiment registry (ids and titles)          |
+//! | `GET /experiments` | experiment, policy and workload registries        |
 //! | `POST /points`     | raw simulation points → `SimStats`                |
 //! | `POST /run`        | experiment ids (+ scenario) → `Report` envelopes  |
 //! | `POST /shutdown`   | graceful stop (only with `--allow-shutdown`)      |

@@ -278,9 +278,34 @@ impl Service {
                 ])
             })
             .collect();
+        // Likewise the workloads: the string-keyed workload registry is the
+        // single source, so a newly registered kernel (synthetic or
+        // assembled) is discoverable and immediately usable in `/points`
+        // bodies and `/run` scenarios with no serve change.
+        let workloads: Vec<Value> = earlyreg_workloads::registry::descriptors()
+            .iter()
+            .map(|descriptor| {
+                Value::Map(vec![
+                    ("id".to_string(), Value::Str(descriptor.id.to_string())),
+                    (
+                        "class".to_string(),
+                        Value::Str(match descriptor.class {
+                            earlyreg_workloads::WorkloadClass::Int => "int".to_string(),
+                            earlyreg_workloads::WorkloadClass::Fp => "fp".to_string(),
+                        }),
+                    ),
+                    (
+                        "description".to_string(),
+                        Value::Str(descriptor.description.to_string()),
+                    ),
+                    ("paper".to_string(), Value::Bool(descriptor.paper)),
+                ])
+            })
+            .collect();
         let body = Value::Map(vec![
             ("experiments".to_string(), Value::Seq(experiments)),
             ("policies".to_string(), Value::Seq(policies)),
+            ("workloads".to_string(), Value::Seq(workloads)),
         ]);
         Response::json(200, body.canonical())
     }
@@ -546,13 +571,13 @@ impl Service {
             .get("workload")
             .and_then(Value::as_str)
             .ok_or("missing 'workload' name")?;
-        let workload = ctx.workload(workload_name).cloned().ok_or_else(|| {
-            let known: Vec<&str> = ctx.workloads().iter().map(|w| w.name()).collect();
-            format!(
-                "unknown workload '{workload_name}' (known: {})",
-                known.join(" ")
-            )
-        })?;
+        // The workload registry resolves aliases/case and produces the
+        // canonical unknown-workload error with every registered id listed.
+        let descriptor = earlyreg_workloads::registry::parse(workload_name)?;
+        let workload = ctx
+            .workload(descriptor.id)
+            .cloned()
+            .expect("every registered workload is in the per-scale set");
         let policy_name = entry
             .get("policy")
             .and_then(Value::as_str)

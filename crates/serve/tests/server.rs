@@ -138,6 +138,53 @@ fn healthz_and_experiments_respond() {
         .collect();
     assert_eq!(listed_ids, earlyreg_core::registry::ids());
 
+    // The workloads are listed from the workload registry, one entry per
+    // registered kernel (synthetic and assembled alike).
+    let workloads = listing
+        .get("workloads")
+        .and_then(Value::as_seq)
+        .expect("workloads array");
+    let listed_ids: Vec<&str> = workloads
+        .iter()
+        .map(|w| w.get("id").and_then(Value::as_str).expect("workload id"))
+        .collect();
+    assert_eq!(listed_ids, earlyreg_workloads::registry::ids());
+    for w in workloads {
+        let class = w.get("class").and_then(Value::as_str).expect("class");
+        assert!(class == "int" || class == "fp");
+        assert!(w.get("paper").is_some());
+    }
+
+    server.stop();
+}
+
+/// Every workload id the registry (and therefore `GET /experiments`) lists
+/// is accepted by `POST /points` — discovered from the listing, not
+/// hard-coded, so a new registration extends this test automatically.
+#[test]
+fn every_registered_workload_round_trips_through_points() {
+    let server = start(test_config(None)).expect("bind");
+    let addr = server.addr;
+
+    let listing = request(addr, "GET", "/experiments", "").json();
+    let ids: Vec<String> = listing
+        .get("workloads")
+        .and_then(Value::as_seq)
+        .expect("workloads array")
+        .iter()
+        .map(|w| w.get("id").and_then(Value::as_str).unwrap().to_string())
+        .collect();
+    assert!(ids.contains(&"swim".to_string()));
+    assert!(ids.contains(&"matmul".to_string()));
+    for id in ids {
+        let body = format!(
+            r#"{{"scale":"smoke","max_instructions":2000,
+               "points":[{{"workload":"{id}","policy":"extended","phys_int":64,"phys_fp":64}}]}}"#
+        );
+        let reply = request(addr, "POST", "/points", &body);
+        assert_eq!(reply.status, 200, "workload '{id}': {}", reply.body);
+        assert!(reply.body.contains(&format!("\"workload\":\"{id}\"")));
+    }
     server.stop();
 }
 
@@ -184,7 +231,18 @@ fn routing_rejects_unknown_paths_methods_and_bad_json() {
         r#"{"points":[{"workload":"doom","policy":"basic","phys_int":48,"phys_fp":48}]}"#;
     let reply = request(addr, "POST", "/points", unknown_workload);
     assert_eq!(reply.status, 400);
-    assert!(reply.body.contains("unknown workload"));
+    assert!(
+        reply.body.contains("unknown workload 'doom'"),
+        "{}",
+        reply.body
+    );
+    for id in earlyreg_workloads::registry::ids() {
+        assert!(
+            reply.body.contains(id),
+            "the 400 body must list '{id}': {}",
+            reply.body
+        );
+    }
     // An unknown policy is a 400 (not a 500) whose message enumerates the
     // registered ids so the client can self-correct.
     let bad_policy =

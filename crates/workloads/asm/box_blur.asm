@@ -1,0 +1,57 @@
+; 5-tap box blur over a 1-D grid of 256 samples, repeated `reps` times.
+;
+; FP-class kernel: each output is a 5-load reduction tree feeding a scale,
+; so many FP values are live at once and the fadd chain serialises — the
+; stencil-sweep shape of the paper's FP group.  The blurred grid is fed back
+; (with a slight decay) so successive reps keep doing new arithmetic.
+.arg reps = 1
+grid:   .zero 256
+tmp:    .zero 256
+
+        li r1, reps
+        ld r31, r1              ; r31 = reps
+        li r2, grid
+        li r3, tmp
+        li r4, 256              ; n
+
+        ; grid[i] = i * 0.1
+        li r10, 0
+        fli f10, 0.1
+finit:  itof f1, r10
+        fmul f1, f1, f10
+        add r11, r2, r10
+        fst r11, f1
+        addi r10, r10, 1
+        blt r10, r4, finit
+
+        fli f11, 0.2            ; 1/5
+        fli f12, 0.999          ; feedback decay
+rep:    li r10, 2
+        addi r12, r4, -2
+blur:   add r13, r2, r10
+        fld f1, r13, -2
+        fld f2, r13, -1
+        fld f3, r13
+        fld f4, r13, 1
+        fld f5, r13, 2
+        fadd f6, f1, f2
+        fadd f6, f6, f3
+        fadd f6, f6, f4
+        fadd f6, f6, f5
+        fmul f6, f6, f11
+        add r14, r3, r10
+        fst r14, f6
+        addi r10, r10, 1
+        blt r10, r12, blur
+        ; feed tmp back into grid with a decay
+        li r10, 2
+cpy:    add r14, r3, r10
+        fld f7, r14
+        fmul f7, f7, f12
+        add r13, r2, r10
+        fst r13, f7
+        addi r10, r10, 1
+        blt r10, r12, cpy
+        addi r31, r31, -1
+        bgt r31, rep
+        halt

@@ -1,0 +1,54 @@
+; Hazard-stress pattern, repeated `reps` times.
+;
+; Int-class kernel built to poke the renamer and the release machinery
+; directly: every rep advances an LCG whose bits drive (1) a store followed
+; immediately by a load of the same word (store-to-load aliasing), (2) a
+; tight 4-deep redefinition chain on one register (back-to-back WAW+RAW,
+; the shortest possible register lifetimes) and (3) two data-dependent
+; branches taken from low LCG bits (essentially unpredictable).
+.arg reps = 1
+buf:    .zero 16
+out:    .zero 1
+
+        li r1, reps
+        ld r31, r1              ; r31 = reps
+        li r2, buf
+        li r3, 1103515245
+        li r4, 12345
+        xori r5, r31, 0         ; LCG state
+        li r6, 0                ; accumulator
+
+rep:    mul r5, r5, r3
+        add r5, r5, r4
+        shri r7, r5, 13
+        andi r8, r7, 7          ; buffer slot
+
+        ; store then immediately load the same word
+        add r9, r2, r8
+        st r9, r7
+        ld r10, r9
+        add r6, r6, r10
+
+        ; tight redefinition chain: r11 redefined four times back to back
+        addi r11, r10, 1
+        shli r11, r11, 1
+        addi r11, r11, -3
+        xori r11, r11, 255
+
+        ; unpredictable branch on LCG bit 0
+        andi r12, r7, 1
+        beq r12, even
+        add r6, r6, r11
+        j join
+even:   sub r6, r6, r11
+join:   ; second branch on LCG bit 1, aliasing slot+1 when taken
+        andi r12, r7, 2
+        beq r12, skip
+        st r9, r6, 1
+        ld r13, r9, 1
+        add r6, r6, r13
+skip:   addi r31, r31, -1
+        bgt r31, rep
+        li r14, out
+        st r14, r6
+        halt

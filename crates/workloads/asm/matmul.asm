@@ -1,0 +1,67 @@
+; 8x8 dense matrix multiply: C += A * B, repeated `reps` times.
+;
+; FP-class kernel: long fmul/fadd dependence chains through the dot-product
+; accumulator and many simultaneously live FP values, the register-pressure
+; profile the paper's FP group exists to stress.  A and B are filled once
+; from an affine ramp (exercising itof); C accumulates across reps so every
+; value stays architecturally live.
+.arg reps = 1
+a:      .zero 64
+b:      .zero 64
+c:      .zero 64
+
+        li r1, reps
+        ld r31, r1              ; r31 = reps
+        li r2, a
+        li r3, b
+        li r4, c
+        li r5, 8                ; n
+
+        ; A[i] = 1.0 + i*0.5 ; B[i] = 2.0 - i*0.25
+        li r10, 0
+        li r11, 64
+        fli f10, 0.5
+        fli f11, 1.0
+        fli f12, 0.25
+        fli f13, 2.0
+fill:   itof f1, r10
+        fmul f2, f1, f10
+        fadd f2, f2, f11
+        add r12, r2, r10
+        fst r12, f2
+        fmul f3, f1, f12
+        fsub f3, f13, f3
+        add r13, r3, r10
+        fst r13, f3
+        addi r10, r10, 1
+        blt r10, r11, fill
+
+rep:    li r20, 0               ; i
+iloop:  li r21, 0               ; j
+        shli r24, r20, 3
+        add r24, r24, r2        ; &A[i*8]
+jloop:  fli f0, 0.0
+        li r22, 0               ; k
+kloop:  add r25, r24, r22
+        fld f1, r25             ; A[i*8 + k]
+        shli r26, r22, 3
+        add r26, r26, r21
+        add r26, r26, r3
+        fld f2, r26             ; B[k*8 + j]
+        fmul f3, f1, f2
+        fadd f0, f0, f3
+        addi r22, r22, 1
+        blt r22, r5, kloop
+        shli r27, r20, 3
+        add r27, r27, r21
+        add r27, r27, r4
+        fld f4, r27
+        fadd f4, f4, f0
+        fst r27, f4             ; C[i*8 + j] += dot
+        addi r21, r21, 1
+        blt r21, r5, jloop
+        addi r20, r20, 1
+        blt r20, r5, iloop
+        addi r31, r31, -1
+        bgt r31, rep
+        halt

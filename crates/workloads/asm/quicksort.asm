@@ -1,0 +1,95 @@
+; Iterative quicksort over 64 pseudo-random integers, repeated `reps` times.
+;
+; Int-class kernel: data-dependent compare/swap branches (the partition
+; comparison is unpredictable by construction), an explicit lo/hi work stack
+; in memory and pointer-style address arithmetic.  Each rep reseeds the
+; array from an LCG keyed by the remaining-rep counter so no two reps sort
+; the same data, then writes the sorted array's checksum to `out`.
+.arg reps = 1
+arr:    .zero 64
+stk:    .zero 256
+out:    .zero 1
+
+        li r1, reps
+        ld r31, r1              ; r31 = reps
+        li r2, arr
+        li r3, 64               ; n
+        li r4, stk
+
+rep:    ; reseed arr from an LCG stream
+        li r10, 0
+        li r11, 2654435761
+        mul r12, r31, r11
+        addi r12, r12, 12345
+fill:   li r13, 1103515245
+        mul r12, r12, r13
+        addi r12, r12, 12345
+        shri r14, r12, 16
+        add r15, r2, r10
+        st r15, r14
+        addi r10, r10, 1
+        blt r10, r3, fill
+
+        ; push (0, n-1)
+        xori r20, r4, 0         ; sp = &stk[0]
+        li r21, 0
+        st r20, r21
+        addi r22, r3, -1
+        st r20, r22, 1
+        addi r20, r20, 2
+
+qloop:  seq r10, r20, r4
+        bne r10, qdone          ; stack empty
+        addi r20, r20, -2
+        ld r23, r20             ; lo
+        ld r24, r20, 1          ; hi
+        slt r10, r23, r24
+        beq r10, qloop          ; lo >= hi: nothing to sort
+
+        ; Lomuto partition with pivot = arr[hi]
+        add r25, r2, r24
+        ld r26, r25             ; pivot
+        addi r27, r23, -1       ; i = lo - 1
+        xori r28, r23, 0        ; j = lo
+part:   slt r10, r28, r24
+        beq r10, pdone
+        add r29, r2, r28
+        ld r30, r29             ; arr[j]
+        slt r10, r26, r30       ; pivot < arr[j] -> keep in place
+        bne r10, pnext
+        addi r27, r27, 1
+        add r5, r2, r27
+        ld r6, r5
+        st r5, r30              ; swap arr[i], arr[j]
+        st r29, r6
+pnext:  addi r28, r28, 1
+        j part
+pdone:  addi r27, r27, 1        ; p = i + 1
+        add r5, r2, r27
+        ld r6, r5
+        st r5, r26              ; swap arr[p], arr[hi]
+        st r25, r6
+        ; push (lo, p-1) and (p+1, hi)
+        addi r7, r27, -1
+        st r20, r23
+        st r20, r7, 1
+        addi r20, r20, 2
+        addi r8, r27, 1
+        st r20, r8
+        st r20, r24, 1
+        addi r20, r20, 2
+        j qloop
+
+qdone:  ; checksum of the sorted array -> out
+        li r10, 0
+        li r11, 0
+sum:    add r12, r2, r10
+        ld r13, r12
+        add r11, r11, r13
+        addi r10, r10, 1
+        blt r10, r3, sum
+        li r14, out
+        st r14, r11
+        addi r31, r31, -1
+        bgt r31, rep
+        halt

@@ -1,0 +1,55 @@
+; Sieve of Eratosthenes over [2, limit), counting primes each rep.
+;
+; Int-class kernel: bit-map style flag writes, a marking loop whose trip
+; counts shrink as the prime grows, and a counting pass whose branch is
+; taken at the true prime density — a mix of well- and poorly-predictable
+; control flow.  The prime count lands in `out` every rep.
+.arg reps = 1
+.arg limit = 512
+flags:  .zero 512
+out:    .zero 1
+
+        li r1, reps
+        ld r31, r1              ; r31 = reps
+        li r2, limit
+        ld r30, r2              ; r30 = limit
+        li r2, flags
+        li r3, 1                ; composite marker
+
+rep:    ; clear flags[0..limit)
+        li r10, 0
+        li r11, 0
+clr:    add r12, r2, r10
+        st r12, r11
+        addi r10, r10, 1
+        blt r10, r30, clr
+
+        ; mark composites
+        li r13, 2               ; p
+outer:  mul r14, r13, r13       ; p*p
+        slt r10, r14, r30
+        beq r10, count          ; p*p >= limit: done marking
+        add r15, r2, r13
+        ld r16, r15
+        bne r16, skip           ; p is composite
+mark:   add r17, r2, r14
+        st r17, r3
+        add r14, r14, r13
+        slt r10, r14, r30
+        bne r10, mark
+skip:   addi r13, r13, 1
+        j outer
+
+count:  li r18, 0
+        li r10, 2
+cnt:    add r12, r2, r10
+        ld r19, r12
+        bne r19, notp
+        addi r18, r18, 1
+notp:   addi r10, r10, 1
+        blt r10, r30, cnt
+        li r20, out
+        st r20, r18
+        addi r31, r31, -1
+        bgt r31, rep
+        halt

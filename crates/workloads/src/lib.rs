@@ -1,37 +1,40 @@
 //! # earlyreg-workloads
 //!
-//! Synthetic stand-ins for the SPEC95 subset used by *"Hardware Schemes for
-//! Early Register Release"* (ICPP 2002), Table 3: five integer programs
-//! (compress, gcc, go, li, perl) and five floating-point programs (mgrid,
-//! tomcatv, applu, swim, hydro2d).
+//! The workload suite for *"Hardware Schemes for Early Register Release"*
+//! (ICPP 2002), served from a string-keyed [`registry`]:
 //!
-//! The original binaries/inputs (Compaq Alpha, `-O5`/`-O4`) are not available
-//! in this environment, so each program is replaced by a kernel written
-//! against the `earlyreg-isa` mini ISA that reproduces the *properties the
-//! paper's result depends on*:
+//! * **Synthetic Table 3 stand-ins** — five integer programs (compress, gcc,
+//!   go, li, perl) and five floating-point programs (mgrid, tomcatv, applu,
+//!   swim, hydro2d).  The original binaries/inputs (Compaq Alpha,
+//!   `-O5`/`-O4`) are not available in this environment, so each program is
+//!   replaced by a kernel written against the `earlyreg-isa` mini ISA that
+//!   reproduces the *properties the paper's result depends on*:
+//!   branch-intensive integer codes with moderate register pressure, and
+//!   loop-dominated FP codes with long-latency dependence chains and high FP
+//!   register pressure.  These carry `paper: true` and form the default
+//!   sweep set.
+//! * **Assembled real kernels** — matmul, quicksort, sieve, box_blur and a
+//!   hazard-stress pattern, written in the `earlyreg-isa` assembly dialect
+//!   (`asm/*.asm`, embedded at compile time) and assembled by
+//!   [`earlyreg_isa::assemble`].  Iteration counts reach them through the
+//!   assembler's `.arg` convention.
 //!
-//! * integer codes are **branch-intensive** with moderate register pressure
-//!   and a mix of well- and poorly-predictable branches (dictionary lookups,
-//!   decision trees, pointer chasing, string/hash scanning);
-//! * floating-point codes are **loop-dominated** with long-latency dependence
-//!   chains (multiplies, divides) and a large number of simultaneously live
-//!   FP values, i.e. high FP register pressure (stencils, mesh smoothing,
-//!   SSOR sweeps, shallow-water updates, hydrodynamics sweeps);
-//! * every kernel streams through memory so loads/stores and the LSQ are
-//!   exercised, and every kernel writes its results back to memory so the
-//!   golden-model comparison covers its output.
+//! Every kernel streams through memory so loads/stores and the LSQ are
+//! exercised, and writes its results back to memory so the golden-model
+//! comparison covers its output.  Dynamic run lengths are scaled down from
+//! the paper's 47M–472M instructions so the full register-size sweep
+//! finishes quickly; [`Scale`] controls the per-workload sizing.
 //!
-//! Dynamic run lengths are scaled down from the paper's 47M–472M instructions
-//! so the full register-size sweep finishes quickly; [`Scale`] controls the
-//! per-workload iteration counts.
+//! Adding a workload is registration only — see `docs/WORKLOADS.md`.
 
 pub mod generic;
+pub mod registry;
 pub mod spec_fp;
 pub mod spec_int;
 pub mod suite;
 
 pub use generic::{generic_workload, GenericWorkloadConfig};
+pub use registry::{WorkloadDescriptor, WorkloadKind};
 pub use suite::{
     suite, workload_by_name, workload_with_target_instructions, Scale, Workload, WorkloadClass,
-    WorkloadSpec, SPECS,
 };

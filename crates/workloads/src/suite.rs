@@ -1,6 +1,11 @@
-//! The benchmark suite (the paper's Table 3 analogue).
+//! The benchmark suite: every registered workload, instantiated at a scale.
+//!
+//! The static description of each member lives in [`crate::registry`]; this
+//! module owns the runtime types — [`WorkloadClass`], the [`Scale`] presets
+//! and the instantiated [`Workload`] — and the convenience constructors the
+//! rest of the workspace calls.
 
-use crate::{spec_fp, spec_int};
+use crate::registry::{self, WorkloadDescriptor};
 use earlyreg_isa::Program;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -40,59 +45,33 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn iterations(self, per_iteration_cost: u64) -> u64 {
-        let target = match self {
+    /// The dynamic-instruction budget this preset aims each workload at.
+    pub fn target_instructions(self) -> u64 {
+        match self {
             Scale::Smoke => 4_000,
             Scale::Bench => 40_000,
             Scale::Full => 400_000,
-        };
-        iterations_for_target(target, per_iteration_cost)
+        }
     }
 }
 
-/// Outer-loop iterations needed to generate about `target_instructions`
-/// dynamic instructions — the single sizing formula shared by the [`Scale`]
-/// presets and the explicit-budget path.
-fn iterations_for_target(target_instructions: u64, per_iteration_cost: u64) -> u64 {
-    (target_instructions / per_iteration_cost).max(16)
-}
-
-/// Static description of one suite member.
-#[derive(Debug, Clone, Copy)]
-pub struct WorkloadSpec {
-    /// Short name matching the SPEC95 program it stands in for.
-    pub name: &'static str,
-    /// Integer or FP group.
-    pub class: WorkloadClass,
-    /// What the synthetic kernel models.
-    pub description: &'static str,
-    /// The SPEC95 input listed in the paper's Table 3.
-    pub paper_input: &'static str,
-    /// Dynamic instructions (millions) the paper executed (Table 3).
-    pub paper_minsts: u64,
-    /// Approximate dynamic instructions per outer-loop iteration of the
-    /// synthetic kernel (used to hit the per-scale instruction targets).
-    per_iteration_cost: u64,
-    build: fn(u64) -> Program,
-}
-
-/// One instantiated workload: metadata plus the generated program.
+/// One instantiated workload: registered metadata plus the generated program.
 ///
 /// The program is reference-counted so that sweeps can hand the same
 /// workload to many simulator instances without copying the instruction
 /// stream and data image.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// Static description.
-    pub spec: WorkloadSpec,
+    /// The registry entry this workload was instantiated from.
+    pub spec: &'static WorkloadDescriptor,
     /// The generated program.
     pub program: Arc<Program>,
 }
 
 impl Workload {
-    /// Short name.
+    /// Canonical registered id.
     pub fn name(&self) -> &'static str {
-        self.spec.name
+        self.spec.id
     }
 
     /// Integer or FP group.
@@ -101,117 +80,20 @@ impl Workload {
     }
 }
 
-/// Static descriptions of the ten suite members (Table 3).
-pub const SPECS: [WorkloadSpec; 10] = [
-    WorkloadSpec {
-        name: "compress",
-        class: WorkloadClass::Int,
-        description: "dictionary/hash-table compression loop (hit/miss branches)",
-        paper_input: "40000 e 2231",
-        paper_minsts: 170,
-        per_iteration_cost: 22,
-        build: spec_int::compress_like,
-    },
-    WorkloadSpec {
-        name: "gcc",
-        class: WorkloadClass::Int,
-        description: "irregular decision cascade over token values",
-        paper_input: "genrecog.i",
-        paper_minsts: 145,
-        per_iteration_cost: 30,
-        build: spec_int::gcc_like,
-    },
-    WorkloadSpec {
-        name: "go",
-        class: WorkloadClass::Int,
-        description: "board scanning with neighbour comparisons",
-        paper_input: "9 9",
-        paper_minsts: 146,
-        per_iteration_cost: 24,
-        build: spec_int::go_like,
-    },
-    WorkloadSpec {
-        name: "li",
-        class: WorkloadClass::Int,
-        description: "cons-cell list traversal with tag dispatch",
-        paper_input: "7 queens",
-        paper_minsts: 243,
-        per_iteration_cost: 110,
-        build: spec_int::li_like,
-    },
-    WorkloadSpec {
-        name: "perl",
-        class: WorkloadClass::Int,
-        description: "string scanning with rolling hashes and buckets",
-        paper_input: "scrabbl.in",
-        paper_minsts: 47,
-        per_iteration_cost: 16,
-        build: spec_int::perl_like,
-    },
-    WorkloadSpec {
-        name: "mgrid",
-        class: WorkloadClass::Fp,
-        description: "3-D stencil relaxation sweep",
-        paper_input: "test (lines 2/3 -> 5 and 18)",
-        paper_minsts: 169,
-        per_iteration_cost: 48,
-        build: spec_fp::mgrid_like,
-    },
-    WorkloadSpec {
-        name: "tomcatv",
-        class: WorkloadClass::Fp,
-        description: "mesh-generation smoothing with divides",
-        paper_input: "test",
-        paper_minsts: 191,
-        per_iteration_cost: 45,
-        build: spec_fp::tomcatv_like,
-    },
-    WorkloadSpec {
-        name: "applu",
-        class: WorkloadClass::Fp,
-        description: "SSOR-style block solve",
-        paper_input: "train (dt=1.5e-03, nx=ny=nz=13)",
-        paper_minsts: 398,
-        per_iteration_cost: 40,
-        build: spec_fp::applu_like,
-    },
-    WorkloadSpec {
-        name: "swim",
-        class: WorkloadClass::Fp,
-        description: "shallow-water finite differences",
-        paper_input: "train",
-        paper_minsts: 431,
-        per_iteration_cost: 42,
-        build: spec_fp::swim_like,
-    },
-    WorkloadSpec {
-        name: "hydro2d",
-        class: WorkloadClass::Fp,
-        description: "hydrodynamics flux computation with limiter branches",
-        paper_input: "test (ISTEP=1)",
-        paper_minsts: 472,
-        per_iteration_cost: 40,
-        build: spec_fp::hydro2d_like,
-    },
-];
-
-/// Build the full ten-program suite at the requested scale.
+/// Build every registered workload at the requested scale — the ten Table 3
+/// members followed by the assembled kernels.  Callers that want only the
+/// paper's default sweep set filter on `w.spec.paper`.
 pub fn suite(scale: Scale) -> Vec<Workload> {
-    SPECS
+    registry::descriptors()
         .iter()
-        .map(|spec| Workload {
-            spec: *spec,
-            program: Arc::new((spec.build)(scale.iterations(spec.per_iteration_cost))),
-        })
+        .map(|d| d.instantiate(scale))
         .collect()
 }
 
-/// Build a single named workload at the requested scale.
+/// Build a single named workload (registered id or alias) at the requested
+/// scale.
 pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
-    SPECS.iter().find(|s| s.name == name).map(|spec| Workload {
-        spec: *spec,
-        program: Arc::new((spec.build)(scale.iterations(spec.per_iteration_cost))),
-    })
+    registry::by_id(name).map(|d| d.instantiate(scale))
 }
 
 /// Build a single named workload sized so that its dynamic instruction count
@@ -219,23 +101,20 @@ pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
 /// [`Scale`] presets).  Used by the simulator-throughput benchmark, which
 /// needs a fixed, large instruction budget independent of the preset scales.
 pub fn workload_with_target_instructions(name: &str, target_instructions: u64) -> Option<Workload> {
-    SPECS.iter().find(|s| s.name == name).map(|spec| Workload {
-        spec: *spec,
-        program: Arc::new((spec.build)(
-            (target_instructions / spec.per_iteration_cost).max(16),
-        )),
-    })
+    registry::by_id(name).map(|d| d.instantiate_with_target(target_instructions))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::WorkloadKind;
     use earlyreg_isa::Emulator;
 
     #[test]
-    fn suite_has_five_int_and_five_fp_members() {
+    fn suite_covers_every_registered_workload() {
         let suite = suite(Scale::Smoke);
-        assert_eq!(suite.len(), 10);
+        assert_eq!(suite.len(), registry::descriptors().len());
+        assert_eq!(suite.len(), 15);
         let ints = suite
             .iter()
             .filter(|w| w.class() == WorkloadClass::Int)
@@ -244,18 +123,41 @@ mod tests {
             .iter()
             .filter(|w| w.class() == WorkloadClass::Fp)
             .count();
-        assert_eq!(ints, 5);
-        assert_eq!(fps, 5);
+        assert_eq!(ints, 8);
+        assert_eq!(fps, 7);
+        // The paper's Table 3 split is preserved within the paper subset.
+        let paper: Vec<_> = suite.iter().filter(|w| w.spec.paper).collect();
+        assert_eq!(paper.len(), 10);
+        assert_eq!(
+            paper
+                .iter()
+                .filter(|w| w.class() == WorkloadClass::Int)
+                .count(),
+            5
+        );
     }
 
     #[test]
-    fn suite_names_match_table3() {
-        let names: Vec<_> = SPECS.iter().map(|s| s.name).collect();
+    fn suite_names_match_registry_order() {
+        let names: Vec<_> = suite(Scale::Smoke).iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
             [
-                "compress", "gcc", "go", "li", "perl", "mgrid", "tomcatv", "applu", "swim",
-                "hydro2d"
+                "compress",
+                "gcc",
+                "go",
+                "li",
+                "perl",
+                "mgrid",
+                "tomcatv",
+                "applu",
+                "swim",
+                "hydro2d",
+                "matmul",
+                "quicksort",
+                "sieve",
+                "box_blur",
+                "hazard"
             ]
         );
     }
@@ -266,8 +168,14 @@ mod tests {
             let mut e = Emulator::new(&w.program);
             let r = e.run(200_000);
             assert!(r.halted, "{} did not halt at smoke scale", w.name());
+            let floor = match w.spec.kind() {
+                // Synthetic kernels have a 16-iteration floor well above the
+                // smoke target; asm kernels just need one meaningful rep.
+                WorkloadKind::Synthetic => 1_000,
+                WorkloadKind::Asm => 20,
+            };
             assert!(
-                r.instructions >= 1_000,
+                r.instructions >= floor,
                 "{} is too short ({} instructions) to be meaningful",
                 w.name(),
                 r.instructions
@@ -277,25 +185,34 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
-        let smoke = workload_by_name("swim", Scale::Smoke).unwrap();
-        let full = workload_by_name("swim", Scale::Full).unwrap();
-        let run = |p: &earlyreg_isa::Program| {
-            let mut e = Emulator::new(p);
-            e.run(100_000_000).instructions
-        };
-        assert!(run(&full.program) > run(&smoke.program) * 20);
+        for name in ["swim", "matmul"] {
+            let smoke = workload_by_name(name, Scale::Smoke).unwrap();
+            let full = workload_by_name(name, Scale::Full).unwrap();
+            let run = |p: &earlyreg_isa::Program| {
+                let mut e = Emulator::new(p);
+                e.run(100_000_000).instructions
+            };
+            assert!(
+                run(&full.program) > run(&smoke.program) * 20,
+                "{name} full scale is not >20x smoke"
+            );
+        }
     }
 
     #[test]
-    fn lookup_by_name() {
+    fn lookup_by_name_and_alias() {
         assert!(workload_by_name("gcc", Scale::Smoke).is_some());
+        assert!(workload_by_name("qsort", Scale::Smoke).is_some());
         assert!(workload_by_name("nonexistent", Scale::Smoke).is_none());
     }
 
     #[test]
     fn paper_metadata_is_recorded() {
-        let hydro = SPECS.iter().find(|s| s.name == "hydro2d").unwrap();
+        let hydro = registry::by_id("hydro2d").unwrap();
         assert_eq!(hydro.paper_minsts, 472);
         assert_eq!(hydro.class, WorkloadClass::Fp);
+        assert!(hydro.paper);
+        let matmul = registry::by_id("matmul").unwrap();
+        assert!(!matmul.paper);
     }
 }

@@ -62,6 +62,27 @@ fn oracle_beats_extended_beats_basic_beats_conventional_on_a_pressure_bound_work
 }
 
 #[test]
+fn headline_ordering_holds_on_an_assembled_real_kernel() {
+    // box_blur: an assembled FP stencil (real loads/stores, label-resolved
+    // branches) rather than a synthetic recurrence — the paper's effect must
+    // survive on programs produced by the assembler front-end too.
+    let blur = workload_by_name("box_blur", Scale::Smoke).expect("box_blur is registered");
+
+    let conventional = ipc(&blur, ReleasePolicy::Conventional);
+    let extended = ipc(&blur, ReleasePolicy::Extended);
+    let oracle = ipc(&blur, ReleasePolicy::Oracle);
+
+    assert!(
+        extended >= conventional * 1.02,
+        "extended IPC {extended:.4} shows no material gain over conventional {conventional:.4} on box_blur"
+    );
+    assert!(
+        oracle >= extended * 0.98,
+        "oracle IPC {oracle:.4} fell materially below extended {extended:.4} on box_blur"
+    );
+}
+
+#[test]
 fn counter_scheme_lands_between_conventional_and_basic() {
     // The counter-based scheme captures the basic mechanism's immediate
     // release/reuse wins without its Last-Uses CAM: it must never lose to

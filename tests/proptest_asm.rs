@@ -1,0 +1,206 @@
+//! Property tests for the assembly front-end.
+//!
+//! Two contracts, both promised by `crates/isa/src/assembler.rs`:
+//!
+//! 1. **Round-trip fixed point** — `disassemble` is the assembler's dual:
+//!    assembling a program's listing reproduces the exact instruction
+//!    stream, and relisting the result reproduces the exact listing.  This
+//!    is checked on random synthetic programs and on every registered
+//!    assembled kernel.
+//! 2. **Total on malformed input** — `assemble` never panics, no matter how
+//!    broken the source; every rejection is an `AsmError` whose line number
+//!    points inside the source (line 0 reserved for whole-program errors
+//!    such as a missing `halt`).
+
+use earlyreg::conformance::test_support;
+use earlyreg::isa::assemble;
+use earlyreg::workloads::{generic_workload, registry, GenericWorkloadConfig, WorkloadKind};
+use proptest::prelude::*;
+
+/// Assemble a listing and require the exact (instructions, relisting) fixed
+/// point.
+fn assert_round_trip(name: &str, program: &earlyreg::isa::Program) {
+    let listing = program.disassemble();
+    // Reassemble under the original program name: the listing header quotes
+    // it, so the fixed point is only meaningful name-for-name.
+    let reassembled = assemble(&program.name, &listing)
+        .unwrap_or_else(|e| panic!("{name}: listing does not reassemble: {e}"))
+        .program;
+    assert_eq!(
+        program.instrs, reassembled.instrs,
+        "{name}: instruction stream changed across disassemble → assemble"
+    );
+    assert_eq!(
+        listing,
+        reassembled.disassemble(),
+        "{name}: listing is not a fixed point"
+    );
+}
+
+#[test]
+fn every_registered_asm_kernel_round_trips_through_its_listing() {
+    let kernels: Vec<_> = registry::descriptors()
+        .iter()
+        .filter(|d| d.kind() == WorkloadKind::Asm)
+        .collect();
+    assert!(kernels.len() >= 5, "expected the five shipped kernels");
+    for descriptor in kernels {
+        assert_round_trip(descriptor.id, &descriptor.build_program(2));
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = GenericWorkloadConfig> {
+    (
+        20u64..100,
+        2usize..16,
+        0usize..20,
+        0usize..5,
+        0.0f64..1.0,
+        0usize..6,
+        0usize..3,
+        0usize..2,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(iterations, int_ws, fp_ws, branches, entropy, loads, stores, divides, seed)| {
+                GenericWorkloadConfig {
+                    iterations,
+                    int_working_set: int_ws,
+                    fp_working_set: fp_ws,
+                    branches_per_iteration: branches,
+                    branch_entropy: entropy,
+                    loads_per_iteration: loads,
+                    stores_per_iteration: stores,
+                    fp_divides_per_iteration: divides,
+                    seed,
+                }
+            },
+        )
+}
+
+/// One random source line: either plausible assembler tokens glued together
+/// in the wrong order, or printable noise.  Both exercise every parser
+/// stage — mnemonic lookup, operand parsing, directive handling, symbol
+/// resolution — without ever being allowed to panic.
+fn line_strategy() -> impl Strategy<Value = String> {
+    let token = prop::sample::select(vec![
+        "li",
+        "ld",
+        "st",
+        "add",
+        "addi",
+        "mul",
+        "fadd",
+        "fmul",
+        "fld",
+        "fst",
+        "fli",
+        "beq",
+        "bgt",
+        "blt",
+        "jmp",
+        "halt",
+        "nop",
+        "r0",
+        "r1",
+        "r31",
+        "r99",
+        "f0",
+        "f31",
+        "f99",
+        "#7",
+        "#-3",
+        "#",
+        "0.5",
+        "-1.5e9",
+        "loop",
+        "loop:",
+        "loop:}",
+        "x:",
+        "x+2",
+        "x-",
+        ".word",
+        ".fword",
+        ".zero",
+        ".arg",
+        ".memory",
+        ".bogus",
+        "=",
+        ",",
+        ",,",
+        ";",
+        "comment",
+        "9999999999999999999",
+    ]);
+    prop_oneof![
+        prop::collection::vec(token, 0..6).prop_map(|tokens| tokens.join(" ")),
+        prop::collection::vec(32u8..127u8, 0..24)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(test_support::cases(64))]
+
+    /// Random synthetic programs — every generator knob in play — must
+    /// survive the listing round trip bit-identically.
+    #[test]
+    fn random_synthetic_programs_round_trip_through_their_listing(
+        config in config_strategy(),
+    ) {
+        assert_round_trip("synthetic", &generic_workload(config));
+    }
+
+    /// Arbitrary token soup: `assemble` must return (never panic), and any
+    /// error must carry a line number inside the source.
+    #[test]
+    fn malformed_sources_error_with_in_bounds_line_numbers(
+        lines in prop::collection::vec(line_strategy(), 0..12),
+    ) {
+        let source = lines.join("\n");
+        if let Err(error) = assemble("fuzz", &source) {
+            prop_assert!(
+                error.line <= source.lines().count(),
+                "error line {} out of bounds for {} source lines: {error}",
+                error.line,
+                source.lines().count()
+            );
+            prop_assert!(!error.message.is_empty());
+        }
+    }
+
+    /// Mutating a known-good kernel listing (dropping a line, truncating
+    /// mid-line) must also never panic, and rejections stay line-numbered.
+    #[test]
+    fn mutated_kernel_listings_never_panic(
+        kernel in 0usize..5,
+        drop_line in any::<usize>(),
+        truncate_at in any::<usize>(),
+    ) {
+        let descriptors: Vec<_> = registry::descriptors()
+            .iter()
+            .filter(|d| d.kind() == WorkloadKind::Asm)
+            .collect();
+        let descriptor = descriptors[kernel % descriptors.len()];
+        let listing = descriptor.build_program(1).disassemble();
+        let lines: Vec<&str> = listing.lines().collect();
+
+        let dropped: String = {
+            let skip = drop_line % lines.len();
+            lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let truncated = &listing[..truncate_at % (listing.len() + 1)];
+
+        for source in [dropped.as_str(), truncated] {
+            if let Err(error) = assemble(descriptor.id, source) {
+                prop_assert!(error.line <= source.lines().count());
+            }
+        }
+    }
+}

@@ -136,6 +136,82 @@ fn golden_swim_counter_48_is_bit_identical() {
 }
 
 // ---------------------------------------------------------------------------
+// Assembled kernels: one pinned golden point per registered asm workload
+// ---------------------------------------------------------------------------
+
+/// One assembled kernel's pinned golden point, at the same
+/// (extended, icpp02 48+48, Smoke, 20k budget) shape as the swim pins above.
+struct AsmGolden {
+    id: &'static str,
+    cycles: u64,
+    committed: u64,
+    branches: u64,
+    mispredicts: u64,
+    loads: u64,
+    stores: u64,
+    free_list: u64,
+    int_early: u64,
+    fp_early: u64,
+}
+
+/// All five kernels halt naturally inside the budget, so these pin complete
+/// executions — assembler, loader and `.arg` handling included.
+/// Field order per row: cycles, committed, branches, mispredicts, loads,
+/// stores, free-list stall cycles, int/fp early releases.
+#[rustfmt::skip]
+const ASM_GOLDEN: [AsmGolden; 5] = [
+    AsmGolden { id: "matmul",    cycles: 3563, committed: 6520, branches: 649,  mispredicts: 69,  loads: 1089, stores: 192,  free_list: 2481, int_early: 2960, fp_early: 2472 },
+    AsmGolden { id: "quicksort", cycles: 3923, committed: 5581, branches: 962,  mispredicts: 303, loads: 791,  stores: 643,  free_list: 1640, int_early: 2143, fp_early: 0 },
+    AsmGolden { id: "sieve",     cycles: 5688, committed: 8242, branches: 2248, mispredicts: 307, loads: 533,  stores: 1185, free_list: 3326, int_early: 3513, fp_early: 0 },
+    AsmGolden { id: "box_blur",  cycles: 6342, committed: 7095, branches: 761,  mispredicts: 60,  loads: 1513, stores: 760,  free_list: 5601, int_early: 2019, fp_early: 3525 },
+    AsmGolden { id: "hazard",    cycles: 4375, committed: 4218, branches: 600,  mispredicts: 487, loads: 301,  stores: 301,  free_list: 843,  int_early: 2191, fp_early: 0 },
+];
+
+#[test]
+fn golden_asm_kernels_extended_48_are_bit_identical() {
+    for AsmGolden {
+        id,
+        cycles,
+        committed,
+        branches,
+        mispredicts,
+        loads,
+        stores,
+        free_list,
+        int_early,
+        fp_early,
+    } in ASM_GOLDEN
+    {
+        let workload = workload_by_name(id, Scale::Smoke).expect("registered kernel");
+        let config = MachineConfig::icpp02(ReleasePolicy::Extended, 48, 48);
+        let mut sim = Simulator::new(config, workload.program.clone());
+        let stats = sim.run(RunLimits::instructions(20_000));
+        assert!(stats.halted, "{id}: must halt inside the budget");
+        assert_eq!(stats.cycles, cycles, "{id}: cycles");
+        assert_eq!(stats.committed, committed, "{id}: committed");
+        assert_eq!(stats.committed_branches, branches, "{id}: branches");
+        assert_eq!(
+            stats.mispredicted_branches, mispredicts,
+            "{id}: mispredicts"
+        );
+        assert_eq!(stats.committed_loads, loads, "{id}: loads");
+        assert_eq!(stats.committed_stores, stores, "{id}: stores");
+        assert_eq!(
+            stats.rename_stalls.free_list, free_list,
+            "{id}: free-list stalls"
+        );
+        assert_eq!(
+            stats.release.int.early_at_lu_commit, int_early,
+            "{id}: int early releases"
+        );
+        assert_eq!(
+            stats.release.fp.early_at_lu_commit, fp_early,
+            "{id}: fp early releases"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trace replay: bit-identical to the live front-end
 // ---------------------------------------------------------------------------
 
@@ -192,6 +268,25 @@ fn replay_matches_live_for_every_registered_policy_on_gcc() {
             20_000,
             &format!("gcc/{policy:?}"),
         );
+    }
+}
+
+/// Assembled kernels exercise decode paths the synthetic generators do not
+/// (label-resolved branch targets, `.arg`-patched immediates, negative load
+/// offsets); every registered policy must replay them bit-identically too.
+#[test]
+fn replay_matches_live_for_every_registered_policy_on_asm_kernels() {
+    for id in ["matmul", "quicksort", "hazard"] {
+        let workload = workload_by_name(id, Scale::Smoke).expect("registered kernel");
+        for policy in registry::registered() {
+            let config = MachineConfig::icpp02(policy, 48, 48);
+            assert_replay_equivalent(
+                config,
+                &workload.program,
+                20_000,
+                &format!("{id}/{policy:?}"),
+            );
+        }
     }
 }
 
