@@ -20,9 +20,11 @@
 //!   geometric-mean throughput against a committed baseline JSON and exit
 //!   non-zero if it regressed more than `--max-regression` percent.
 //!
-//! `--profile` prints the per-phase breakdown after each measured run; build
-//! with `--features profile` (forwards to `earlyreg-sim/profile`) to compile
-//! the scope timers in.
+//! `--profile` prints the per-phase breakdown after each measured run;
+//! `--profile-json FILE` additionally writes every measured run's table as
+//! JSON (CI's profiling-smoke step parses it to pin the rename+commit share
+//! of phase time).  Build with `--features profile` (forwards to
+//! `earlyreg-sim/profile`) to compile the scope timers in.
 //!
 //! Workloads come from the string-keyed workload registry: `--workloads`
 //! takes registered ids/aliases plus the keywords `all`, `paper` (the
@@ -39,11 +41,13 @@
 
 use earlyreg_core::{registry, ReleasePolicy};
 use earlyreg_experiments::config::ExperimentOptions;
-use earlyreg_experiments::runner::{cross_points, run_sweep};
+use earlyreg_experiments::runner::{cross_points, run_sweep_with_lane_stats};
 use earlyreg_sim::profile::prof;
-use earlyreg_sim::{decoded_trace_for, MachineConfig, RunLimits, Simulator, TRACE_SLACK};
+use earlyreg_sim::{
+    decoded_trace_for, LaneStats, MachineConfig, RunLimits, Simulator, TRACE_SLACK,
+};
 use earlyreg_workloads::registry as workloads_registry;
-use earlyreg_workloads::{suite, workload_with_target_instructions, Scale, WorkloadKind};
+use earlyreg_workloads::{shared_suite, workload_with_target_instructions, Scale, WorkloadKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -55,12 +59,13 @@ struct Args {
     baseline: Option<String>,
     max_regression: f64,
     profile: bool,
+    profile_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_sim_throughput [--instructions N] [--workloads name,name,...] [--out FILE] \
-         [--sweep] [--baseline FILE] [--max-regression PCT] [--profile]"
+         [--sweep] [--baseline FILE] [--max-regression PCT] [--profile] [--profile-json FILE]"
     );
     std::process::exit(2);
 }
@@ -79,6 +84,7 @@ fn parse_args() -> Args {
         baseline: None,
         max_regression: 25.0,
         profile: false,
+        profile_json: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -93,6 +99,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = Some(value()),
             "--max-regression" => args.max_regression = value().parse().unwrap_or_else(|_| usage()),
             "--profile" => args.profile = true,
+            "--profile-json" => args.profile_json = Some(value()),
             _ => usage(),
         }
     }
@@ -128,12 +135,14 @@ impl Measurement {
     }
 }
 
-/// One timed sweep pass (cold cache): wall time + aggregate throughput.
+/// One timed sweep pass (cold cache): wall time + aggregate throughput +
+/// lane-group occupancy.
 struct SweepMeasurement {
     mode: &'static str,
     points: usize,
     committed: u64,
     seconds: f64,
+    lane_stats: LaneStats,
 }
 
 impl SweepMeasurement {
@@ -146,11 +155,60 @@ impl SweepMeasurement {
     }
 }
 
-fn maybe_profile(enabled: bool, label: &str) {
-    if enabled {
-        println!("--- per-phase profile: {label} ---");
-        print!("{}", prof::take_report());
+/// A drained per-phase profile table for one measured run, kept for
+/// `--profile-json`.
+struct ProfileCapture {
+    label: String,
+    rows: Vec<prof::PhaseRow>,
+}
+
+/// Drain the per-phase profile after a measured run: print it under
+/// `--profile`, keep it for `--profile-json`.  Draining even when only one of
+/// the two was requested keeps runs independent (the thread-local table is
+/// cumulative).
+fn maybe_profile(args: &Args, label: &str, captures: &mut Vec<ProfileCapture>) {
+    if !args.profile && args.profile_json.is_none() {
+        return;
     }
+    let rows = prof::take_table();
+    if args.profile {
+        println!("--- per-phase profile: {label} ---");
+        print!("{}", prof::render_rows(&rows));
+    }
+    if args.profile_json.is_some() {
+        captures.push(ProfileCapture {
+            label: label.to_string(),
+            rows,
+        });
+    }
+}
+
+/// Serialize the captured per-phase tables as JSON (one entry per measured
+/// label, phases in pipeline order).
+fn write_profile_json(path: &str, captures: &[ProfileCapture]) {
+    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput_phases\",\n  \"runs\": [\n");
+    for (i, c) in captures.iter().enumerate() {
+        let total: u64 = c.rows.iter().map(|r| r.nanos).sum();
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{}\", \"total_nanos\": {}, \"phases\": [",
+            c.label, total
+        );
+        for (j, row) in c.rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}{{\"phase\": \"{}\", \"nanos\": {}, \"calls\": {}}}",
+                if j > 0 { ", " } else { "" },
+                row.phase.name(),
+                row.nanos,
+                row.calls,
+            );
+        }
+        let _ = writeln!(json, "]}}{}", if i + 1 < captures.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
 }
 
 /// The fig10 full sweep (whole suite x paper policies x 48 registers) with a
@@ -162,10 +220,14 @@ fn run_fig10_sweep(mode: &'static str, max_instructions: u64) -> SweepMeasuremen
         max_instructions,
     };
     // fig10's default plan covers the paper's Table 3 suite only, so the
-    // timed sweep filters the registry the same way.
-    let workloads: Vec<_> = suite(options.scale)
-        .into_iter()
+    // timed sweep filters the registry the same way.  `shared_suite` is the
+    // same memoized handle `run_sweep` uses internally: point enumeration
+    // needs the suite anyway, so the timed region below measures simulation,
+    // not a redundant second suite build.
+    let workloads: Vec<_> = shared_suite(options.scale)
+        .iter()
         .filter(|w| w.spec.paper)
+        .cloned()
         .collect();
     let points = cross_points(&workloads, &registry::PAPER_POLICIES, &[48]);
     let n = points.len();
@@ -175,7 +237,7 @@ fn run_fig10_sweep(mode: &'static str, max_instructions: u64) -> SweepMeasuremen
         std::env::remove_var("EARLYREG_NO_REPLAY");
     }
     let start = Instant::now();
-    let results = run_sweep(&options, points);
+    let (results, lane_stats) = run_sweep_with_lane_stats(&options, points);
     let seconds = start.elapsed().as_secs_f64();
     std::env::remove_var("EARLYREG_NO_REPLAY");
     SweepMeasurement {
@@ -183,6 +245,7 @@ fn run_fig10_sweep(mode: &'static str, max_instructions: u64) -> SweepMeasuremen
         points: n,
         committed: results.iter().map(|r| r.stats.committed).sum(),
         seconds,
+        lane_stats,
     }
 }
 
@@ -241,6 +304,7 @@ fn main() {
     let policies: Vec<ReleasePolicy> = registry::registered().collect();
 
     let mut measurements = Vec::new();
+    let mut profile_captures = Vec::new();
     for name in expand_workloads(&args.workloads) {
         // Size the program a little above the budget so the run is limited by
         // `max_instructions`, not by the program halting early.
@@ -283,7 +347,11 @@ fn main() {
                     m.mips(),
                     m.cps(),
                 );
-                maybe_profile(args.profile, &format!("{name}/{}/{mode}", policy.label()));
+                maybe_profile(
+                    &args,
+                    &format!("{name}/{}/{mode}", policy.label()),
+                    &mut profile_captures,
+                );
                 measurements.push(m);
             }
         }
@@ -296,14 +364,17 @@ fn main() {
                 let m = run_fig10_sweep(mode, args.instructions);
                 println!(
                     "fig10 sweep {:<7} {:>3} points, {:>12} instructions in {:>7.3}s  ->  \
-                     {:>10.0} sim-instr/s",
+                     {:>10.0} sim-instr/s  (lane occupancy {:.2}/{} over {} rounds)",
                     m.mode,
                     m.points,
                     m.committed,
                     m.seconds,
                     m.mips(),
+                    m.lane_stats.occupancy(),
+                    earlyreg_experiments::runner::MAX_LANE_WIDTH,
+                    m.lane_stats.rounds,
                 );
-                maybe_profile(args.profile, &format!("fig10 sweep/{mode}"));
+                maybe_profile(&args, &format!("fig10 sweep/{mode}"), &mut profile_captures);
                 m
             })
             .collect()
@@ -331,14 +402,22 @@ fn main() {
     if !sweeps.is_empty() {
         json.push_str(",\n  \"sweep\": {\n    \"experiment\": \"fig10\",\n    \"passes\": [\n");
         for (i, m) in sweeps.iter().enumerate() {
+            let ls = &m.lane_stats;
             let _ = writeln!(
                 json,
-                "      {{\"mode\": \"{}\", \"points\": {}, \"instructions\": {}, \"wall_seconds\": {:.6}, \"sim_instr_per_host_sec\": {:.1}}}{}",
+                "      {{\"mode\": \"{}\", \"points\": {}, \"instructions\": {}, \"wall_seconds\": {:.6}, \"sim_instr_per_host_sec\": {:.1}, \"lanes\": {{\"lanes\": {}, \"rounds\": {}, \"live_lane_rounds\": {}, \"full_rounds\": {}, \"detached_lane_rounds\": {}, \"lane_cycles\": {}, \"occupancy\": {:.4}}}}}{}",
                 m.mode,
                 m.points,
                 m.committed,
                 m.seconds,
                 m.mips(),
+                ls.lanes,
+                ls.rounds,
+                ls.live_lane_rounds,
+                ls.full_rounds,
+                ls.detached_lane_rounds,
+                ls.lane_cycles,
+                ls.occupancy(),
                 if i + 1 < sweeps.len() { "," } else { "" },
             );
         }
@@ -347,6 +426,10 @@ fn main() {
     json.push_str("\n}\n");
     std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
     println!("wrote {}", args.out);
+
+    if let Some(path) = &args.profile_json {
+        write_profile_json(path, &profile_captures);
+    }
 
     // Regression gate: geometric mean across per-point measurements vs the
     // committed baseline.

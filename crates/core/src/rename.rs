@@ -105,11 +105,40 @@ pub struct RecoveryOutcome {
 /// Per-branch checkpoint of the speculative rename state the *engine* owns
 /// (the scheme checkpoints its own state through
 /// [`ReleaseScheme::on_branch_renamed`]).
-#[derive(Debug, Clone)]
+///
+/// Checkpoints are *journaled*, not copied: a checkpoint is just a position
+/// in the undo journal.  Rolling back to a branch replays the journal suffix
+/// after its mark in reverse, then re-derives the stale-mapping flags for
+/// entries that name freed registers (see
+/// [`RenameUnit::recover_branch_mispredict`]).  This turns the per-branch
+/// cost from O(map size) copies into O(mutations actually made under the
+/// branch), which the profiler showed dominating the rename phase.
+#[derive(Debug, Clone, Copy)]
 struct Checkpoint {
     branch_id: InstrId,
-    maps: [crate::map_table::MapTable; 2],
-    skip_release: [Vec<bool>; 2],
+    /// Absolute journal position (`journal_base`-relative indices are
+    /// recovered by subtracting the base) at which this checkpoint was
+    /// taken.  Rolling back undoes every journal entry at or after `mark`.
+    mark: u64,
+}
+
+/// One undoable speculative mutation, recorded while at least one branch
+/// checkpoint is live.  `Map`/`SkipConsumed` restore rename-time mutations;
+/// `PatchRelease` records a commit-time scheme release performed under a
+/// live checkpoint (it restores nothing at rollback — the freed register is
+/// re-flagged by the rollback coherence scan — but lets
+/// [`RenameUnit::check_checkpoint_coherence`] reconstruct which checkpoint
+/// states legitimately name a freed register).
+#[derive(Debug, Clone, Copy)]
+enum JournalEntry {
+    /// The speculative map of `reg` was redirected away from `old`.
+    Map { reg: ArchReg, old: PhysReg },
+    /// The stale-mapping flag of `reg` was consumed (true → false) by its
+    /// redefinition.
+    SkipConsumed { reg: ArchReg },
+    /// `phys` was released by a commit-time scheme release while this
+    /// journal position was live.
+    PatchRelease { class: RegClass, phys: PhysReg },
 }
 
 /// Per-class rename state.
@@ -166,10 +195,12 @@ pub struct RenameUnit {
     scheme_releases: Vec<(RegClass, PhysReg)>,
     confirm_release_now: Vec<(RegClass, PhysReg)>,
     confirm_to_rwc0: Vec<(InstrId, u8)>,
-    /// Retired checkpoints kept for reuse: a conditional branch is decoded
-    /// every handful of instructions, so checkpointing copies into pooled
-    /// buffers instead of allocating fresh tables.
-    checkpoint_pool: Vec<Checkpoint>,
+    /// Undo journal for speculative mutations made while ≥1 checkpoint is
+    /// live.  Confirmed prefixes are drained; `journal_base` is the absolute
+    /// position of `journal[0]` so checkpoint marks stay valid across
+    /// drains.
+    journal: Vec<JournalEntry>,
+    journal_base: u64,
 }
 
 impl RenameUnit {
@@ -217,9 +248,78 @@ impl RenameUnit {
             scheme_releases: Vec::new(),
             confirm_release_now: Vec::new(),
             confirm_to_rwc0: Vec::new(),
-            checkpoint_pool: Vec::new(),
+            journal: Vec::new(),
+            journal_base: 0,
             config,
         }
+    }
+
+    /// Absolute position of the journal end (the mark a checkpoint taken now
+    /// would get).
+    #[inline]
+    fn journal_end(&self) -> u64 {
+        self.journal_base + self.journal.len() as u64
+    }
+
+    /// Record an undoable speculative mutation.  Only meaningful — and only
+    /// paid for — while at least one checkpoint is live; with no live
+    /// checkpoint there is nothing to roll back to, so the journal stays
+    /// empty.
+    #[inline]
+    fn journal_push(&mut self, entry: JournalEntry) {
+        if !self.checkpoints.is_empty() {
+            self.journal.push(entry);
+        }
+    }
+
+    /// Drop journal entries no live checkpoint can roll back to: everything
+    /// before the oldest checkpoint's mark (the whole journal when no
+    /// checkpoint is live).
+    fn compact_journal(&mut self) {
+        match self.checkpoints.front() {
+            None => {
+                self.journal_base += self.journal.len() as u64;
+                self.journal.clear();
+            }
+            Some(oldest) => {
+                let drop = (oldest.mark - self.journal_base) as usize;
+                if drop > 0 {
+                    self.journal.drain(..drop);
+                    self.journal_base = oldest.mark;
+                }
+            }
+        }
+    }
+
+    /// Trim retained scratch capacity (undo journal, checkpoint deque,
+    /// squash/outcome buffers) back to small bounds.  Branch-storm workloads
+    /// grow these high-water marks; sweep drivers call this at point
+    /// boundaries so pooled units do not carry peak capacity across points.
+    pub fn trim_scratch(&mut self) {
+        const KEEP: usize = 64;
+        self.journal.shrink_to(KEEP);
+        self.checkpoints.shrink_to(KEEP);
+        self.squash_scratch.shrink_to(KEEP);
+        self.commit_outcome.released.shrink_to(KEEP);
+        self.recovery.freed.shrink_to(KEEP);
+        self.resolve_released.shrink_to(KEEP);
+        self.scheme_releases.shrink_to(KEEP);
+        self.confirm_release_now.shrink_to(KEEP);
+        self.confirm_to_rwc0.shrink_to(KEEP);
+    }
+
+    /// Total retained scratch capacity, in entries (regression probe for
+    /// [`RenameUnit::trim_scratch`]).
+    pub fn scratch_capacity(&self) -> usize {
+        self.journal.capacity()
+            + self.checkpoints.capacity()
+            + self.squash_scratch.capacity()
+            + self.commit_outcome.released.capacity()
+            + self.recovery.freed.capacity()
+            + self.resolve_released.capacity()
+            + self.scheme_releases.capacity()
+            + self.confirm_release_now.capacity()
+            + self.confirm_to_rwc0.capacity()
     }
 
     /// The configuration this unit was built with.
@@ -414,6 +514,7 @@ impl RenameUnit {
                 // Consume the stale-mapping flag (the plan is AllocOnly).
                 debug_assert_eq!(plan, DestPlan::AllocOnly);
                 self.bank_mut(class).skip_release[dst.index()] = false;
+                self.journal_push(JournalEntry::SkipConsumed { reg: dst });
             }
             let old_pd = self.bank(class).maps.front.get(dst);
             let renamed = match plan {
@@ -523,39 +624,23 @@ impl RenameUnit {
             // Redirect the map to the new version and record the destination
             // use (the new version's provisional last use is its own
             // producer — the Figure 4.b case).
-            self.bank_mut(class).maps.front.set(dst, renamed.phys);
+            let old = self.bank_mut(class).maps.front.set(dst, renamed.phys);
+            if old != renamed.phys {
+                self.journal_push(JournalEntry::Map { reg: dst, old });
+            }
             self.scheme.record_use(dst, renamed.phys, id, UseKind::Dst);
             dst_rename = Some(renamed);
         }
 
         // Branches: take a checkpoint of the engine's speculative rename
-        // state and let the scheme capture its own (LUs Table copy, Release
-        // Queue level, ...).  A retired checkpoint is reused when available:
-        // the state is copied into its buffers.
+        // state — under journaling just the current journal position — and
+        // let the scheme capture its own (LUs Table copy, Release Queue
+        // level, ...).
         if is_branch {
-            let cp = match self.checkpoint_pool.pop() {
-                Some(mut cp) => {
-                    cp.branch_id = id;
-                    for class in RegClass::ALL {
-                        let i = class.index();
-                        cp.maps[i].restore_from(&self.banks[i].maps.front);
-                        cp.skip_release[i].copy_from_slice(&self.banks[i].skip_release);
-                    }
-                    cp
-                }
-                None => Checkpoint {
-                    branch_id: id,
-                    maps: [
-                        self.banks[0].maps.front.clone(),
-                        self.banks[1].maps.front.clone(),
-                    ],
-                    skip_release: [
-                        self.banks[0].skip_release.clone(),
-                        self.banks[1].skip_release.clone(),
-                    ],
-                },
-            };
-            self.checkpoints.push_back(cp);
+            self.checkpoints.push_back(Checkpoint {
+                branch_id: id,
+                mark: self.journal_end(),
+            });
             self.scheme.on_branch_renamed(id);
         }
 
@@ -602,9 +687,8 @@ impl RenameUnit {
                 | ReleaseReason::BranchConfirm
         ) {
             let (maps, arch_released) = (&bank.maps, &mut bank.arch_released);
-            for r in maps.retire.find_logical_all(phys) {
-                arch_released[r.index()] = true;
-            }
+            maps.retire
+                .for_each_logical_of(phys, |r| arch_released[r.index()] = true);
         }
         bank.free.release(phys);
         bank.occupancy.on_release(phys, cycle, reason);
@@ -692,24 +776,23 @@ impl RenameUnit {
             });
             // A scheme release can outrun the redefinition entirely (the
             // oracle frees at the true last use, which may commit before the
-            // redefinition is decoded).  Any speculative map entry — current
-            // or checkpointed — still naming the freed register is now
-            // stale: flag it so the eventual redefinition neither releases
-            // nor reuses it, even after a misprediction rollback.  *Every*
+            // redefinition is decoded).  Any speculative map entry still
+            // naming the freed register is now stale: flag it so the
+            // eventual redefinition neither releases nor reuses it.  *Every*
             // matching entry must be flagged: once a stale mapping to a
             // recycled register coexists with the live one, flagging only
             // the first match would leave the live mapping unprotected.
+            // Checkpointed states need no eager patching: a misprediction
+            // rollback re-derives the flags for freed registers (the
+            // coherence scan in `recover_branch_mispredict`) — the journal
+            // only records that the release happened under a live
+            // checkpoint, so the coherence probe can tell a legitimate
+            // scheme release from a corrupting one.
             let bank = self.bank_mut(class);
             let (maps, skip_release) = (&bank.maps, &mut bank.skip_release);
-            for r in maps.front.find_logical_all(phys) {
-                skip_release[r.index()] = true;
-            }
-            for cp in self.checkpoints.iter_mut() {
-                let (maps, skip_release) = (&cp.maps, &mut cp.skip_release);
-                for r in maps[class.index()].find_logical_all(phys) {
-                    skip_release[class.index()][r.index()] = true;
-                }
-            }
+            maps.front
+                .for_each_logical_of(phys, |r| skip_release[r.index()] = true);
+            self.journal_push(JournalEntry::PatchRelease { class, phys });
         }
         self.scheme_releases = scheme_releases;
 
@@ -759,8 +842,11 @@ impl RenameUnit {
             .iter()
             .position(|c| c.branch_id == id)
             .unwrap_or_else(|| panic!("branch {id} has no checkpoint to confirm"));
-        if let Some(cp) = self.checkpoints.remove(pos) {
-            self.checkpoint_pool.push(cp);
+        // Branches can confirm out of order; only removing the *oldest*
+        // checkpoint unpins a journal prefix.
+        self.checkpoints.remove(pos);
+        if pos == 0 {
+            self.compact_journal();
         }
 
         let mut released = std::mem::take(&mut self.resolve_released);
@@ -832,18 +918,50 @@ impl RenameUnit {
             .unwrap_or_else(|| panic!("mispredicted branch {id} has no checkpoint"));
         // Checkpoints of squashed (younger) branches disappear; the
         // mispredicted branch's own checkpoint is consumed by the recovery.
-        while self.checkpoints.len() > pos + 1 {
-            let cp = self.checkpoints.pop_back().expect("length checked");
-            self.checkpoint_pool.push(cp);
-        }
+        self.checkpoints.truncate(pos + 1);
         let cp = self.checkpoints.pop_back().expect("checkpoint exists");
+        // Undo the journal suffix recorded at or after the branch's mark, in
+        // reverse: map redirects roll back to the old version, consumed
+        // stale-mapping flags are re-armed.  Commit-time release records
+        // restore nothing — the commits themselves are not speculative — and
+        // for the same reason they must *survive* the rollback: older
+        // checkpoints still need to know the release happened, so they are
+        // re-appended at the new journal end (which every surviving
+        // checkpoint's mark is at or below).
+        let mut surviving_patches: Vec<JournalEntry> = Vec::new();
+        while self.journal_end() > cp.mark {
+            let entry = self.journal.pop().expect("journal reaches every mark");
+            match entry {
+                JournalEntry::Map { reg, old } => {
+                    self.banks[reg.class().index()].maps.front.set(reg, old);
+                }
+                JournalEntry::SkipConsumed { reg } => {
+                    self.banks[reg.class().index()].skip_release[reg.index()] = true;
+                }
+                JournalEntry::PatchRelease { .. } => surviving_patches.push(entry),
+            }
+        }
+        if !self.checkpoints.is_empty() {
+            self.journal.extend(surviving_patches.into_iter().rev());
+        }
+        self.compact_journal();
+        // Coherence scan: re-derive the stale-mapping flags the eager
+        // checkpoint copies used to carry.  Any restored map entry naming a
+        // register now on the free list is stale — either it was released
+        // under the branch (journal records the release) or its flag had
+        // been consumed on the wrong path.  A register released early and
+        // *reallocated* cannot appear here unflagged: the reallocating
+        // instruction is younger than the branch and was just squash-freed,
+        // so the register is back on the free list.
         for class in RegClass::ALL {
             let bank = &mut self.banks[class.index()];
-            bank.maps.front.restore_from(&cp.maps[class.index()]);
-            bank.skip_release
-                .copy_from_slice(&cp.skip_release[class.index()]);
+            let (free, maps, skip_release) = (&bank.free, &bank.maps, &mut bank.skip_release);
+            for (reg, phys) in maps.front.iter() {
+                if free.contains(phys) {
+                    skip_release[reg.index()] = true;
+                }
+            }
         }
-        self.checkpoint_pool.push(cp);
 
         self.scheme.on_branch_mispredict(id);
         #[cfg(debug_assertions)]
@@ -885,9 +1003,8 @@ impl RenameUnit {
                 }
             }
         }
-        while let Some(cp) = self.checkpoints.pop_back() {
-            self.checkpoint_pool.push(cp);
-        }
+        self.checkpoints.clear();
+        self.compact_journal();
         self.scheme.on_exception();
         for class in RegClass::ALL {
             let bank = &mut self.banks[class.index()];
@@ -942,20 +1059,81 @@ impl RenameUnit {
 
     /// Checkpoint-coherence probe: every *checkpointed* map entry that names
     /// a register currently on the free list must carry that checkpoint's
-    /// stale-mapping flag — otherwise a misprediction rollback to it would
-    /// resurrect a released register as a live mapping.  This extends the
-    /// front-map check in [`RenameUnit::check_invariants`] to the whole
-    /// checkpoint stack.
+    /// stale-mapping flag or a journal record explaining the release —
+    /// otherwise a misprediction rollback to it would resurrect a released
+    /// register as a live mapping.  This extends the front-map check in
+    /// [`RenameUnit::check_invariants`] to the whole checkpoint stack.
+    ///
+    /// Checkpoints are journal marks, so the probe reconstructs each
+    /// checkpoint's map/flag state by replaying the undo journal backwards
+    /// from the current state (pull-based: the reconstruction only costs
+    /// anything when the probe is called).  A `PatchRelease` record seen
+    /// while walking towards a checkpoint's mark proves every checkpoint at
+    /// or before that position legitimately names the freed register — the
+    /// rollback coherence scan will re-flag it.
     pub fn check_checkpoint_coherence(&self) -> Result<(), String> {
+        // Structural validity of the journal/checkpoint relationship.
+        if !self.journal.is_empty() && self.checkpoints.is_empty() {
+            return Err(format!(
+                "journal holds {} entries with no live checkpoint",
+                self.journal.len()
+            ));
+        }
+        let end = self.journal_end();
+        let mut prev = self.journal_base;
         for cp in &self.checkpoints {
+            if cp.mark < prev || cp.mark > end {
+                return Err(format!(
+                    "checkpoint of branch {}: mark {} outside journal window [{prev}, {end}]",
+                    cp.branch_id, cp.mark
+                ));
+            }
+            prev = cp.mark;
+        }
+        if self.checkpoints.is_empty() {
+            return Ok(());
+        }
+
+        // Reconstruct checkpoint states youngest-first by undoing the
+        // journal, collecting the commit-time releases performed while each
+        // checkpoint was live.
+        let mut maps: [Vec<PhysReg>; 2] = [
+            self.banks[0].maps.front.mapped_physical().collect(),
+            self.banks[1].maps.front.mapped_physical().collect(),
+        ];
+        let mut skips: [Vec<bool>; 2] = [
+            self.banks[0].skip_release.clone(),
+            self.banks[1].skip_release.clone(),
+        ];
+        let mut patched: [Vec<PhysReg>; 2] = [Vec::new(), Vec::new()];
+        let mut pos = end;
+        for cp in self.checkpoints.iter().rev() {
+            while pos > cp.mark {
+                pos -= 1;
+                match self.journal[(pos - self.journal_base) as usize] {
+                    JournalEntry::Map { reg, old } => {
+                        maps[reg.class().index()][reg.index()] = old;
+                    }
+                    JournalEntry::SkipConsumed { reg } => {
+                        skips[reg.class().index()][reg.index()] = true;
+                    }
+                    JournalEntry::PatchRelease { class, phys } => {
+                        patched[class.index()].push(phys);
+                    }
+                }
+            }
             for class in RegClass::ALL {
                 let free = &self.bank(class).free;
-                for (reg, phys) in cp.maps[class.index()].iter() {
-                    if free.contains(phys) && !cp.skip_release[class.index()][reg.index()] {
+                for (i, &phys) in maps[class.index()].iter().enumerate() {
+                    if free.contains(phys)
+                        && !skips[class.index()][i]
+                        && !patched[class.index()].contains(&phys)
+                    {
                         return Err(format!(
-                            "checkpoint of branch {}: map of {reg} points to free register \
+                            "checkpoint of branch {}: map of {} points to free register \
                              {phys} without a stale-mapping flag",
-                            cp.branch_id
+                            cp.branch_id,
+                            ArchReg::new(class, i)
                         ));
                     }
                 }

@@ -44,10 +44,15 @@ struct Line {
 }
 
 /// One set-associative cache with LRU replacement.
+///
+/// Lines are stored set-major in one flat array (`sets × associativity`):
+/// a single allocation instead of one `Vec` per set, which keeps simulator
+/// construction cheap (the Table 2 hierarchy has thousands of sets) and the
+/// way-scan of an access contiguous in memory.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
     access_clock: u64,
     stats: CacheStats,
     set_shift: u32,
@@ -60,13 +65,21 @@ impl Cache {
         config.validate().expect("invalid cache configuration");
         let sets = config.sets();
         Cache {
-            sets: vec![vec![Line::default(); config.associativity]; sets],
+            lines: vec![Line::default(); sets * config.associativity],
             access_clock: 0,
             stats: CacheStats::default(),
             set_shift: config.line_bytes.trailing_zeros(),
             set_mask: (sets - 1) as u64,
             config,
         }
+    }
+
+    /// Return to the freshly-built cold state (all lines invalid, zero
+    /// stats), keeping the line allocation.  Simulator pooling uses this.
+    pub fn reset(&mut self) {
+        self.lines.fill(Line::default());
+        self.access_clock = 0;
+        self.stats = CacheStats::default();
     }
 
     /// The configuration this cache was built with.
@@ -85,7 +98,8 @@ impl Cache {
         self.access_clock += 1;
         let set_idx = ((byte_addr >> self.set_shift) & self.set_mask) as usize;
         let tag = byte_addr >> (self.set_shift + self.set_mask.count_ones());
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.config.associativity;
+        let set = &mut self.lines[base..base + self.config.associativity];
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_used = self.access_clock;
             self.stats.hits += 1;
@@ -142,6 +156,29 @@ impl MemoryHierarchy {
             memory_latency,
             memory_accesses: 0,
         }
+    }
+
+    /// Return every level to the cold state, keeping the allocations.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.memory_accesses = 0;
+    }
+
+    /// True when this hierarchy was built with exactly these parameters
+    /// (pool-reuse check).
+    pub fn built_with(
+        &self,
+        icache: &CacheConfig,
+        dcache: &CacheConfig,
+        l2: &CacheConfig,
+        memory_latency: u32,
+    ) -> bool {
+        self.l1i.config() == icache
+            && self.l1d.config() == dcache
+            && self.l2.config() == l2
+            && self.memory_latency == memory_latency
     }
 
     /// Latency of an instruction fetch touching `byte_addr`.

@@ -1,0 +1,326 @@
+//! The lane engine: step N same-workload sweep points in lockstep chunks.
+//!
+//! A fig10-style sweep runs the *same* program under many machine
+//! configurations (release policy × register-file size).  Each point is an
+//! independent [`Simulator`], but almost everything a simulator *reads* is
+//! identical across points: the `Arc<Program>`, the decoded replay trace,
+//! and the static per-PC fetch facts in the shared
+//! [`FrontEndTable`](crate::FrontEndTable).  A [`LaneGroup`] exploits that
+//! by stepping all points through those shared structures together:
+//!
+//! * **Lockstep rounds.** The group advances every unfinished lane by a
+//!   fixed cycle chunk per round ([`LaneGroup::DEFAULT_CHUNK`]).  Within a
+//!   round the shared program/trace/table stay hot in cache while each
+//!   lane's private timing state (rename unit, ROB, LSQ, predictor,
+//!   statistics) streams through — the front-end index math was already
+//!   computed once per program, not once per lane.
+//! * **Divergence detach / re-sync.** A lane whose prediction turns onto a
+//!   wrong path stops claiming trace entries and executes live, exactly as
+//!   in sequential stepping (see [`crate::replay`]); the group keeps
+//!   stepping it and records the rounds it spent detached in
+//!   [`LaneStats`].  Recovery re-synchronises the lane's cursor and it
+//!   counts as attached again.  Detaching never changes *what* a lane
+//!   computes — only the occupancy accounting — which is one half of the
+//!   bit-identity argument.
+//! * **Bit-identity.** Lanes never exchange dynamic state: every mutable
+//!   structure is private to its simulator, and chaining
+//!   [`Simulator::run_slice`] chunks is the same loop as one
+//!   [`Simulator::run`] call.  Lane-stepped `SimStats` are therefore
+//!   bit-identical to sequential runs; `tests/stats_equivalence.rs` pins
+//!   this for every registered policy.
+//! * **Pooling.** Finished lanes are torn down into a
+//!   [`SimPool`](crate::SimPool) so the next group re-initialises their
+//!   large allocations instead of re-allocating, and each lane's rename
+//!   unit trims its high-water scratch growth at the point boundary.
+
+use crate::pipeline::{RunLimits, SimPool, Simulator};
+use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
+
+/// True when `EARLYREG_NO_LANES` is set (to anything non-empty): sweep paths
+/// should fall back to sequential per-point stepping for debugging, like
+/// `EARLYREG_NO_REPLAY` does for the replay front-end.
+pub fn lanes_disabled() -> bool {
+    std::env::var_os("EARLYREG_NO_LANES").is_some_and(|v| !v.is_empty())
+}
+
+/// Occupancy statistics for one lane group (or aggregated over a sweep).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneStats {
+    /// Lanes the group was built with.
+    pub lanes: u64,
+    /// Lockstep rounds executed (a round steps every unfinished lane once).
+    pub rounds: u64,
+    /// Lane-rounds stepped (sum over rounds of unfinished lanes).
+    pub live_lane_rounds: u64,
+    /// Rounds in which every stepped lane was attached to its trace.
+    pub full_rounds: u64,
+    /// Lane-rounds stepped while detached from the trace (wrong path or
+    /// live-front-end lane).
+    pub detached_lane_rounds: u64,
+    /// Total simulated cycles across all lanes.
+    pub lane_cycles: u64,
+}
+
+impl LaneStats {
+    /// Mean unfinished lanes per round — how full the group stayed.
+    pub fn occupancy(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.live_lane_rounds as f64 / self.rounds as f64
+        }
+    }
+
+    /// Fold another group's statistics into this one (sweep aggregation).
+    pub fn merge(&mut self, other: &LaneStats) {
+        self.lanes += other.lanes;
+        self.rounds += other.rounds;
+        self.live_lane_rounds += other.live_lane_rounds;
+        self.full_rounds += other.full_rounds;
+        self.detached_lane_rounds += other.detached_lane_rounds;
+        self.lane_cycles += other.lane_cycles;
+    }
+}
+
+struct Lane {
+    sim: Simulator,
+    limits: RunLimits,
+    done: bool,
+}
+
+/// A group of same-workload simulators stepped in lockstep chunks.
+pub struct LaneGroup {
+    lanes: Vec<Lane>,
+    chunk: u64,
+    stats: LaneStats,
+}
+
+impl LaneGroup {
+    /// Default cycles per lane per lockstep round: long enough to amortise
+    /// the switch between lanes, short enough that the shared read-only
+    /// structures stay cache-resident across the round.
+    pub const DEFAULT_CHUNK: u64 = 1024;
+
+    /// An empty group stepping `chunk` cycles per lane per round.
+    pub fn new(chunk: u64) -> Self {
+        assert!(chunk > 0, "lane chunk must be positive");
+        LaneGroup {
+            lanes: Vec::new(),
+            chunk,
+            stats: LaneStats::default(),
+        }
+    }
+
+    /// An empty group with the default chunk size.
+    pub fn with_default_chunk() -> Self {
+        Self::new(Self::DEFAULT_CHUNK)
+    }
+
+    /// Add a lane.  Lanes are expected to share one `Arc<Program>` (and
+    /// trace, when replaying) — that is where the lockstep win comes from —
+    /// but nothing breaks if they don't.
+    pub fn push(&mut self, sim: Simulator, limits: RunLimits) {
+        self.lanes.push(Lane {
+            sim,
+            limits,
+            done: false,
+        });
+        self.stats.lanes += 1;
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when no lane was added.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Occupancy statistics so far.
+    pub fn stats(&self) -> &LaneStats {
+        &self.stats
+    }
+
+    /// One lockstep round: step every unfinished lane by the chunk.
+    /// Returns false once every lane has finished.
+    pub fn step_round(&mut self) -> bool {
+        let mut live = 0u64;
+        let mut detached = 0u64;
+        for lane in &mut self.lanes {
+            if lane.done {
+                continue;
+            }
+            live += 1;
+            if !lane.sim.replay_on_trace() {
+                detached += 1;
+            }
+            let before = lane.sim.cycle();
+            lane.done = lane.sim.run_slice(lane.limits, self.chunk);
+            self.stats.lane_cycles += lane.sim.cycle() - before;
+            if lane.done {
+                // Point boundary: drop the branch-storm high-water scratch
+                // growth before the carcass goes back to the pool.
+                lane.sim.trim_scratch();
+            }
+        }
+        if live == 0 {
+            return false;
+        }
+        self.stats.rounds += 1;
+        self.stats.live_lane_rounds += live;
+        self.stats.detached_lane_rounds += detached;
+        if detached == 0 {
+            self.stats.full_rounds += 1;
+        }
+        true
+    }
+
+    /// Step rounds until every lane has finished.
+    pub fn run(&mut self) {
+        while self.step_round() {}
+    }
+
+    /// Run any unfinished lanes to completion, then tear the group down:
+    /// per-lane final statistics in push order, the group's occupancy
+    /// statistics, and every simulator carcass reclaimed into `pool`.
+    pub fn into_results(mut self, pool: &mut SimPool) -> (Vec<SimStats>, LaneStats) {
+        self.run();
+        let stats = self.stats;
+        let results = self
+            .lanes
+            .into_iter()
+            .map(|lane| {
+                let s = lane.sim.stats().clone();
+                pool.reclaim(lane.sim);
+                s
+            })
+            .collect();
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::replay::decoded_trace_for;
+    use earlyreg_core::ReleasePolicy;
+    use earlyreg_isa::{ArchReg, BranchCond, Program, ProgramBuilder};
+    use std::sync::Arc;
+
+    fn loop_program(iters: i64) -> Arc<Program> {
+        let mut b = ProgramBuilder::new("lane-loop");
+        let i = ArchReg::int(1);
+        let acc = ArchReg::int(2);
+        b.li(i, iters);
+        b.li(acc, 0);
+        let top = b.here();
+        b.addi(acc, acc, 3);
+        b.addi(i, i, -1);
+        b.branch(BranchCond::Gt, i, None, top);
+        b.halt();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn config(policy: ReleasePolicy, regs: usize) -> MachineConfig {
+        MachineConfig::small(policy, regs, regs)
+    }
+
+    #[test]
+    fn lane_group_matches_sequential_runs() {
+        let program = loop_program(300);
+        let trace = decoded_trace_for(&program, u64::MAX);
+        let points = [
+            (ReleasePolicy::Conventional, 40),
+            (ReleasePolicy::Basic, 40),
+            (ReleasePolicy::Extended, 44),
+        ];
+
+        let sequential: Vec<_> = points
+            .iter()
+            .map(|&(policy, regs)| {
+                let mut sim = Simulator::with_replay(
+                    config(policy, regs),
+                    Arc::clone(&program),
+                    Arc::clone(&trace),
+                );
+                sim.run(RunLimits::default())
+            })
+            .collect();
+
+        let mut pool = SimPool::new();
+        let mut group = LaneGroup::new(64);
+        for &(policy, regs) in &points {
+            group.push(
+                Simulator::with_replay_pooled(
+                    config(policy, regs),
+                    Arc::clone(&program),
+                    Arc::clone(&trace),
+                    &mut pool,
+                ),
+                RunLimits::default(),
+            );
+        }
+        let (laned, lane_stats) = group.into_results(&mut pool);
+
+        assert_eq!(
+            laned, sequential,
+            "lane-stepped stats must be bit-identical"
+        );
+        assert_eq!(lane_stats.lanes, 3);
+        assert!(lane_stats.rounds > 0);
+        assert!(lane_stats.occupancy() > 0.0);
+        assert_eq!(
+            lane_stats.lane_cycles,
+            sequential.iter().map(|s| s.cycles).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn pooled_rebuild_is_bit_identical_across_points() {
+        let program = loop_program(200);
+        let trace = decoded_trace_for(&program, u64::MAX);
+        let cfg = config(ReleasePolicy::Basic, 40);
+
+        let fresh = {
+            let mut sim = Simulator::with_replay(cfg, Arc::clone(&program), Arc::clone(&trace));
+            sim.run(RunLimits::default())
+        };
+
+        // Round-trip the same point through the pool twice: the second
+        // build reuses the first's carcass.
+        let mut pool = SimPool::new();
+        for _ in 0..2 {
+            let mut sim = Simulator::with_replay_pooled(
+                cfg,
+                Arc::clone(&program),
+                Arc::clone(&trace),
+                &mut pool,
+            );
+            let stats = sim.run(RunLimits::default());
+            assert_eq!(stats, fresh, "pooled rebuild must be bit-identical");
+            pool.reclaim(sim);
+        }
+    }
+
+    #[test]
+    fn detached_rounds_are_recorded_for_live_lanes() {
+        let program = loop_program(100);
+        // A live (no-replay) lane is permanently detached.
+        let mut group = LaneGroup::new(16);
+        group.push(
+            Simulator::new(
+                config(ReleasePolicy::Conventional, 40),
+                Arc::clone(&program),
+            ),
+            RunLimits::default(),
+        );
+        group.run();
+        let stats = *group.stats();
+        assert_eq!(stats.full_rounds, 0);
+        assert_eq!(stats.detached_lane_rounds, stats.live_lane_rounds);
+    }
+}

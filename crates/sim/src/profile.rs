@@ -14,6 +14,16 @@
 
 /// Profiling entry points; see the module docs.
 pub mod prof {
+    /// One row of the per-phase profile table, as structured data.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct PhaseRow {
+        /// Which phase this row describes.
+        pub phase: Phase,
+        /// Accumulated wall time in nanoseconds.
+        pub nanos: u64,
+        /// Number of scope entries.
+        pub calls: u64,
+    }
     /// A pipeline phase being timed.  `TraceCapture` covers the one-off
     /// emulator pass that records a [`DecodedTrace`](earlyreg_isa::DecodedTrace).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,25 +119,24 @@ pub mod prof {
             true
         }
 
+        /// Drain the per-phase table for this thread as structured rows
+        /// (display order) and reset it.
+        pub fn take_table() -> Vec<super::PhaseRow> {
+            let table = TABLE.with(|t| std::mem::take(&mut *t.borrow_mut()));
+            Phase::all()
+                .into_iter()
+                .map(|phase| super::PhaseRow {
+                    phase,
+                    nanos: table[phase as usize].nanos,
+                    calls: table[phase as usize].calls,
+                })
+                .collect()
+        }
+
         /// Render the per-phase table for this thread and reset it.
         pub fn take_report() -> String {
-            let table = TABLE.with(|t| std::mem::take(&mut *t.borrow_mut()));
-            let total: u64 = table.iter().map(|a| a.nanos).sum::<u64>().max(1);
-            let mut out =
-                String::from("phase           time (ms)      share      calls    ns/call\n");
-            for phase in Phase::all() {
-                let acc = table[phase as usize];
-                let per_call = acc.nanos.checked_div(acc.calls).unwrap_or(0);
-                out.push_str(&format!(
-                    "{:<14} {:>10.2} {:>9.1}% {:>10} {:>10}\n",
-                    phase.name(),
-                    acc.nanos as f64 / 1e6,
-                    acc.nanos as f64 / total as f64 * 100.0,
-                    acc.calls,
-                    per_call,
-                ));
-            }
-            out
+            let rows = take_table();
+            super::render_rows(&rows)
         }
     }
 
@@ -149,13 +158,37 @@ pub mod prof {
             false
         }
 
+        /// Empty table without the `profile` feature.
+        pub fn take_table() -> Vec<super::PhaseRow> {
+            Vec::new()
+        }
+
         /// Empty report without the `profile` feature.
         pub fn take_report() -> String {
             String::from("(profiling compiled out; rebuild with --features profile)\n")
         }
     }
 
-    pub use imp::{enabled, scope, take_report, ScopeGuard};
+    /// Render structured rows as the human-readable table `take_report`
+    /// prints.
+    pub fn render_rows(rows: &[PhaseRow]) -> String {
+        let total: u64 = rows.iter().map(|r| r.nanos).sum::<u64>().max(1);
+        let mut out = String::from("phase           time (ms)      share      calls    ns/call\n");
+        for row in rows {
+            let per_call = row.nanos.checked_div(row.calls).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<14} {:>10.2} {:>9.1}% {:>10} {:>10}\n",
+                row.phase.name(),
+                row.nanos as f64 / 1e6,
+                row.nanos as f64 / total as f64 * 100.0,
+                row.calls,
+                per_call,
+            ));
+        }
+        out
+    }
+
+    pub use imp::{enabled, scope, take_report, take_table, ScopeGuard};
 }
 
 #[cfg(test)]

@@ -36,5 +36,6 @@ pub mod suite;
 pub use generic::{generic_workload, GenericWorkloadConfig};
 pub use registry::{WorkloadDescriptor, WorkloadKind};
 pub use suite::{
-    suite, workload_by_name, workload_with_target_instructions, Scale, Workload, WorkloadClass,
+    shared_suite, suite, workload_by_name, workload_with_target_instructions, Scale, Workload,
+    WorkloadClass,
 };
